@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices DESIGN.md calls out (§4.1 of the
+//! paper argues for each of these):
+//!
+//! 1. **one-hot vs raw-probability ensemble input** — the paper's argument
+//!    for categorical modeling of the LP matrix,
+//! 2. **hierarchical model vs flat clustering** on the same affinity matrix,
+//! 3. **prototypes-per-layer (Z) sweep** — the "top-10 prototypes …
+//!    empirically sufficient" claim,
+//! 4. **mapping rule**: the `L_g`-maximizing assignment (Equation 14) vs a
+//!    greedy per-cluster majority vote that may produce conflicts.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench ablations
+//! ```
+
+use goggles::core::hierarchical::{HierarchicalModel, HierarchicalOptions};
+use goggles::core::mapping::{apply_mapping, map_clusters_via_dev_set};
+use goggles::experiments::report::Table;
+use goggles::experiments::{Scale, TrialContext};
+use goggles::models::{hard_labels, DiagonalGmm, EmOptions, KMeans};
+use goggles_bench::{emit, timed};
+use goggles_datasets::DevSet;
+use goggles_tensor::Matrix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+
+    let mut table = Table::new(
+        "Ablations: labeling accuracy (%) per design choice",
+        &[
+            "Dataset",
+            "GOGGLES",
+            "raw-prob ensemble",
+            "flat diag-GMM",
+            "flat K-Means",
+            "Z=1",
+            "Z=half",
+            "greedy mapping",
+        ],
+    );
+
+    for (d, task) in params.tasks_for_trial(0).iter().enumerate() {
+        let name = task.kind.dataset_name();
+        let ctx = timed(&format!("context {name}"), || TrialContext::build(&params, task, d));
+        let em = EmOptions { restarts: 2, ..EmOptions::default() };
+        let opts = HierarchicalOptions {
+            num_classes: 2,
+            em,
+            one_hot: true,
+            threads: 8,
+            seed: 7,
+        };
+
+        // 1. paper configuration
+        let paper_acc = hierarchical_accuracy(&ctx, &opts);
+        // 2. raw probabilities into the ensemble
+        let raw_acc =
+            hierarchical_accuracy(&ctx, &HierarchicalOptions { one_hot: false, ..opts });
+        // 3. flat clustering on the same matrix (optimal mapping, §5.1.6)
+        let flat_gmm = DiagonalGmm::fit(&ctx.affinity.data, 2, &em, 3)
+            .map(|g| ctx.optimal_mapping_accuracy(&g.train_labels(), 2))
+            .unwrap_or(f64::NAN);
+        let flat_km = KMeans::fit(&ctx.affinity.data, 2, 3, 3)
+            .map(|k| ctx.optimal_mapping_accuracy(&k.labels, 2))
+            .unwrap_or(f64::NAN);
+        // 4. fewer prototypes per layer
+        let z = params.top_z;
+        let z1 = restricted_accuracy(&ctx, &opts, 1, z);
+        let zh = restricted_accuracy(&ctx, &opts, (z / 2).max(1), z);
+        // 5. greedy (possibly conflicting) mapping instead of Equation 14
+        let greedy = greedy_mapping_accuracy(&ctx, &opts);
+
+        table.push_row(vec![
+            name.to_string(),
+            pct(paper_acc),
+            pct(raw_acc),
+            pct(flat_gmm),
+            pct(flat_km),
+            pct(z1),
+            pct(zh),
+            pct(greedy),
+        ]);
+    }
+    emit(&table, "ablations");
+    println!("expected: GOGGLES column ≥ each ablation on average; Z=1 < Z=half ≤ full.");
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.2}", 100.0 * v)
+}
+
+/// Fit the hierarchy with the given options and map via the trial dev set.
+fn hierarchical_accuracy(ctx: &TrialContext, opts: &HierarchicalOptions) -> f64 {
+    let model = HierarchicalModel::fit(&ctx.affinity, opts).expect("fit");
+    let g = map_clusters_via_dev_set(&model.responsibilities, &ctx.dev_rows);
+    let mapped = apply_mapping(&model.responsibilities, &g);
+    ctx.labeling_accuracy(&hard_labels(&mapped))
+}
+
+/// Keep only the first `z_keep` prototypes of each layer, then infer.
+fn restricted_accuracy(
+    ctx: &TrialContext,
+    opts: &HierarchicalOptions,
+    z_keep: usize,
+    z_total: usize,
+) -> f64 {
+    let keep: Vec<usize> = (0..ctx.affinity.alpha)
+        .filter(|f| f % z_total < z_keep)
+        .collect();
+    let restricted = ctx.affinity.restrict_functions(&keep);
+    let model = HierarchicalModel::fit(&restricted, opts).expect("fit");
+    let g = map_clusters_via_dev_set(&model.responsibilities, &ctx.dev_rows);
+    let mapped = apply_mapping(&model.responsibilities, &g);
+    ctx.labeling_accuracy(&hard_labels(&mapped))
+}
+
+/// Greedy mapping: each cluster takes the majority dev class among the dev
+/// examples it claims — conflicts allowed (the failure mode §4.3 fixes).
+fn greedy_mapping_accuracy(ctx: &TrialContext, opts: &HierarchicalOptions) -> f64 {
+    let model = HierarchicalModel::fit(&ctx.affinity, opts).expect("fit");
+    let gamma = &model.responsibilities;
+    let k = gamma.cols();
+    let dev: &DevSet = &ctx.dev_rows;
+    let mut mapping = vec![0usize; k];
+    for (cluster, slot) in mapping.iter_mut().enumerate() {
+        let mut mass = vec![0.0f64; k];
+        for (&idx, &class) in dev.indices.iter().zip(&dev.labels) {
+            mass[class] += gamma[(idx, cluster)];
+        }
+        *slot = goggles_tensor::argmax(&mass);
+    }
+    // apply (possibly non-bijective) mapping
+    let n = gamma.rows();
+    let mut mapped = Matrix::<f64>::zeros(n, k);
+    for (cluster, &class) in mapping.iter().enumerate() {
+        for i in 0..n {
+            mapped[(i, class)] += gamma[(i, cluster)];
+        }
+    }
+    ctx.labeling_accuracy(&hard_labels(&mapped))
+}

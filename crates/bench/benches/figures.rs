@@ -1,0 +1,89 @@
+//! Regenerates **Figures 2, 5, 7, 8 and 9** of the paper:
+//!
+//! * Figure 2 — affinity-score distributions (same vs cross class) of a
+//!   good / medium / useless affinity function on the CUB task,
+//! * Figure 5 — the class-sorted affinity-matrix block means for the same
+//!   three functions,
+//! * Figure 7 — the Theorem-1 lower bound on P(correct cluster→class
+//!   mapping) vs dev-set size,
+//! * Figure 8 — labeling accuracy vs dev-set size on all five datasets,
+//! * Figure 9 — labeling accuracy vs number of affinity functions.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench figures
+//! ```
+
+use goggles::experiments::report::Table;
+use goggles::experiments::{figures, Scale, TrialContext};
+use goggles_bench::{emit, mean, timed};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+
+    // --- Figures 2 & 5 on the CUB task (as in the paper's examples) ---
+    let tasks = params.tasks_for_trial(0);
+    let cub_ctx = timed("build CUB context", || TrialContext::build(&params, &tasks[0], 0));
+    let fig2 = figures::figure2(&cub_ctx, 10);
+    emit(&fig2.to_table(), "figure2");
+    emit(&figures::figure5(&cub_ctx), "figure5");
+
+    // --- Figure 7: pure theory, no data needed ---
+    emit(&figures::figure7(&[0.7, 0.8, 0.9], 25), "figure7");
+
+    // --- Figures 8 & 9 across all five datasets ---
+    let sizes = [0usize, 1, 2, 3, 4, 5, 8, 10];
+    let counts = [1usize, 2, 5, 10, 20, 30, 50];
+    let mut fig8 = Table::new(
+        "Figure 8: labeling accuracy (%) vs development set size (per class)",
+        &std::iter::once("Dataset".to_string())
+            .chain(sizes.iter().map(|s| format!("d={s}")))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let mut fig9 = Table::new(
+        "Figure 9: labeling accuracy (%) vs number of affinity functions",
+        &std::iter::once("Dataset".to_string())
+            .chain(counts.iter().map(|c| format!("α={c}")))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    for (d, task) in tasks.iter().enumerate() {
+        let name = task.kind.dataset_name();
+        let ctx = if d == 0 {
+            // reuse the CUB context built above
+            None
+        } else {
+            Some(timed(&format!("build {name} context"), || {
+                TrialContext::build(&params, task, 0)
+            }))
+        };
+        let ctx = ctx.as_ref().unwrap_or(&cub_ctx);
+
+        let series8 = figures::figure8(ctx, &sizes, 0xF18);
+        let mut row = vec![name.to_string()];
+        row.extend(series8.iter().map(|&(_, a)| format!("{:.2}", 100.0 * a)));
+        fig8.push_row(row);
+
+        let series9 = figures::figure9(ctx, &counts, 0xF19);
+        let mut row = vec![name.to_string()];
+        row.extend(series9.iter().map(|&(_, a)| format!("{:.2}", 100.0 * a)));
+        fig9.push_row(row);
+
+        println!(
+            "{name}: fig8 mean {:.1}%, fig9 mean {:.1}%",
+            100.0 * mean(&series8.iter().map(|&(_, a)| a).collect::<Vec<_>>()),
+            100.0 * mean(&series9.iter().map(|&(_, a)| a).collect::<Vec<_>>()),
+        );
+    }
+    emit(&fig8, "figure8");
+    emit(&fig9, "figure9");
+
+    println!("expected shapes: fig8 rises from chance at d=0 and plateaus by d≈5;");
+    println!("fig9 is broadly increasing in the number of affinity functions.");
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the pipeline's hot kernels: CNN inference,
+//! prototype extraction, affinity-matrix construction, the EM fits and the
+//! assignment solver. These are performance benches (wall-clock), not
+//! accuracy reproductions — the paper's §5.3 running-time discussion is the
+//! nearest analogue.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use goggles::cnn::{Vgg16, VggConfig};
+use goggles::core::affinity::AffinityMatrix;
+use goggles::core::prototypes::{embed_image, embed_images};
+use goggles::core::theory;
+use goggles::models::{BernoulliMixture, DiagonalGmm, EmOptions, KMeans};
+use goggles::tensor::rng::{normal, std_rng};
+use goggles::tensor::Matrix;
+use goggles::vision::{draw, Image};
+use goggles_models::solve_assignment;
+use std::hint::black_box;
+
+fn test_image(seed: usize) -> Image {
+    let mut img = Image::filled(3, 32, 32, 0.3);
+    draw::fill_disc(&mut img, 8.0 + (seed % 12) as f32, 16.0, 6.0, &[0.9, 0.2, 0.1]);
+    draw::fill_rect(&mut img, 20, 4, 28, 28, &[0.1, 0.5, 0.8]);
+    img
+}
+
+fn bench_cnn(c: &mut Criterion) {
+    let net = Vgg16::new(&VggConfig::tiny(), 1);
+    let img = test_image(0);
+    c.bench_function("cnn/forward_pool_taps_32px", |b| {
+        b.iter(|| black_box(net.forward_pool_taps(black_box(&img))))
+    });
+    c.bench_function("cnn/logits_32px", |b| b.iter(|| black_box(net.logits(black_box(&img)))));
+}
+
+fn bench_prototypes(c: &mut Criterion) {
+    let net = Vgg16::new(&VggConfig::tiny(), 1);
+    let img = test_image(1);
+    c.bench_function("prototypes/embed_image_z4", |b| {
+        b.iter(|| black_box(embed_image(&net, black_box(&img), 4, true)))
+    });
+}
+
+fn bench_affinity(c: &mut Criterion) {
+    let net = Vgg16::new(&VggConfig::tiny(), 1);
+    let images: Vec<Image> = (0..24).map(test_image).collect();
+    let refs: Vec<&Image> = images.iter().collect();
+    let embeddings = embed_images(&net, &refs, 4, 4, true);
+    c.bench_function("affinity/build_n24_alpha20", |b| {
+        b.iter(|| black_box(AffinityMatrix::build(black_box(&embeddings), 4)))
+    });
+}
+
+fn synthetic_block(n: usize, d: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = std_rng(seed);
+    Matrix::from_fn(n, d, |i, _| {
+        let c = if i < n / 2 { -1.0 } else { 1.0 };
+        c + normal(&mut rng)
+    })
+}
+
+fn bench_models(c: &mut Criterion) {
+    let data = synthetic_block(64, 64, 2);
+    let em = EmOptions { restarts: 1, ..EmOptions::default() };
+    c.bench_function("models/diag_gmm_fit_64x64", |b| {
+        b.iter(|| black_box(DiagonalGmm::fit(black_box(&data), 2, &em, 0).unwrap()))
+    });
+    let binary = data.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    c.bench_function("models/bernoulli_fit_64x64", |b| {
+        b.iter(|| black_box(BernoulliMixture::fit(black_box(&binary), 2, &em, 0).unwrap()))
+    });
+    c.bench_function("models/kmeans_fit_64x64", |b| {
+        b.iter(|| black_box(KMeans::fit(black_box(&data), 2, 1, 0).unwrap()))
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut rng = std_rng(3);
+    c.bench_function("assignment/hungarian_16x16", |b| {
+        b.iter_batched(
+            || Matrix::from_fn(16, 16, |_, _| normal(&mut rng)),
+            |score| black_box(solve_assignment(&score)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_theory(c: &mut Criterion) {
+    c.bench_function("theory/p_mapping_correct_k4_d20", |b| {
+        b.iter(|| black_box(theory::p_mapping_correct(black_box(0.8), 4, 20)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cnn, bench_prototypes, bench_affinity, bench_models,
+              bench_assignment, bench_theory
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates **Table 1** of the paper: labeling accuracy on the training
+//! set for GOGGLES vs Snorkel (CUB only), Snuba, the HoG/Logits
+//! representation ablations and the K-Means/GMM/Spectral class-inference
+//! baselines, over the five datasets.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench table1
+//! ```
+//!
+//! Expected reproduction shape (not absolute numbers — see EXPERIMENTS.md):
+//! GOGGLES ≫ Snuba everywhere, GOGGLES ≥ clustering baselines on average,
+//! CUB easiest, GTSRB hardest.
+
+use goggles::experiments::{table1, Scale};
+use goggles_bench::{emit, timed};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+    let results = timed("Table 1", || table1::run(&params));
+    emit(&results.to_table(), "table1");
+
+    // Shape summary against the paper.
+    let avg = results.averages();
+    let goggles_avg = avg[0].unwrap_or(0.0);
+    let snuba_avg = avg[2].unwrap_or(0.0);
+    println!("paper:   GOGGLES avg 81.76, Snuba avg 58.88 (Δ ≈ 23 points)");
+    println!(
+        "this run: GOGGLES avg {:.2}, Snuba avg {:.2} (Δ = {:.1} points)",
+        100.0 * goggles_avg,
+        100.0 * snuba_avg,
+        100.0 * (goggles_avg - snuba_avg)
+    );
+}

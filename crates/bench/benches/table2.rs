@@ -1,0 +1,35 @@
+//! Regenerates **Table 2** of the paper: end-model accuracy on the held-out
+//! test set for FSL (Baseline++ on the dev set), Snorkel (CUB), Snuba,
+//! GOGGLES and the supervised upper bound.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench table2
+//! ```
+//!
+//! Expected shape: UpperBound ≥ GOGGLES ≥ FSL ≥ Snuba, with GOGGLES within
+//! single digits of the upper bound (paper: 82.03 vs 89.14 average).
+
+use goggles::experiments::{table2, Scale};
+use goggles_bench::{emit, timed};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+    let results = timed("Table 2", || table2::run(&params));
+    emit(&results.to_table(), "table2");
+
+    let avg = results.averages();
+    println!("paper averages:   FSL 77.23, Snuba 60.60, GOGGLES 82.03, UpperBound 89.14");
+    println!(
+        "this run:         FSL {}, Snuba {}, GOGGLES {}, UpperBound {}",
+        fmt(avg[0]),
+        fmt(avg[2]),
+        fmt(avg[3]),
+        fmt(avg[4]),
+    );
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{:.2}", 100.0 * x)).unwrap_or_else(|| "-".into())
+}

@@ -1,0 +1,54 @@
+//! Shared plumbing for the reproduction benches: result persistence and a
+//! tiny stopwatch, so each `harness = false` bench target stays minimal.
+//!
+//! The actual experiment logic lives in `goggles::experiments`; these
+//! benches are the runnable entry points that `cargo bench --workspace`
+//! executes to regenerate the paper's tables and figures.
+
+use goggles::experiments::report::{results_dir, Table};
+use std::time::Instant;
+
+/// Print a table to stdout and persist it as CSV under the results dir.
+pub fn emit(table: &Table, file_stem: &str) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{file_stem}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),
+    }
+}
+
+/// Run a closure, reporting wall-clock time around it.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    println!("=== {label} ===");
+    let start = Instant::now();
+    let out = f();
+    println!("[{label} took {:.1?}]\n", start.elapsed());
+    out
+}
+
+/// Mean of a slice (0 for empty) — tiny helper for aggregating sweeps.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_passes_through_value() {
+        let v = timed("noop", || 41 + 1);
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,304 @@
+//! The VGG-16 backbone (Simonyan & Zisserman, 2014) at configurable width,
+//! with taps at the five max-pooling layers — the exact surface the paper's
+//! affinity functions consume — plus the "logits" feature head the
+//! Snuba/Logits baselines use (§5.1.2, §5.1.5).
+
+use crate::layers::{relu_in_place, Conv2d, Linear, MaxPool2d};
+use goggles_tensor::rng::std_rng;
+use goggles_tensor::Tensor3;
+use goggles_vision::Image;
+
+/// Configuration of the surrogate VGG-16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VggConfig {
+    /// Input channel count (3 for RGB; grayscale images are broadcast).
+    pub input_channels: usize,
+    /// Channel widths of the five convolutional blocks. The canonical VGG-16
+    /// is `[64, 128, 256, 512, 512]`; the default here is 1/8 of that, which
+    /// keeps full-dataset evaluation CPU-friendly while preserving topology.
+    pub block_channels: [usize; 5],
+    /// Spatial input size (square). VGG-16 uses 224; the reproduction
+    /// defaults to 64 so that the pool-5 map is 2×2 (DESIGN.md §5).
+    pub input_size: usize,
+    /// Widths of the two hidden fully-connected layers (VGG: 4096, 4096).
+    pub fc_dims: [usize; 2],
+    /// Output ("logits") dimension (VGG: 1000 ImageNet classes).
+    pub logits_dim: usize,
+}
+
+impl Default for VggConfig {
+    fn default() -> Self {
+        Self {
+            input_channels: 3,
+            block_channels: [8, 16, 32, 64, 64],
+            input_size: 64,
+            fc_dims: [128, 128],
+            logits_dim: 100,
+        }
+    }
+}
+
+impl VggConfig {
+    /// A very small configuration for fast unit tests (32×32 input).
+    pub fn tiny() -> Self {
+        Self {
+            input_channels: 3,
+            block_channels: [4, 8, 8, 16, 16],
+            input_size: 32,
+            fc_dims: [32, 32],
+            logits_dim: 16,
+        }
+    }
+
+    /// Number of convolution layers per block — fixed by the VGG-16 paper.
+    pub const CONVS_PER_BLOCK: [usize; 5] = [2, 2, 3, 3, 3];
+
+    /// Spatial size of the pool-`i` output (0-based block index).
+    pub fn pool_size(&self, block: usize) -> usize {
+        assert!(block < 5);
+        self.input_size >> (block + 1)
+    }
+
+    /// Flattened feature length after pool-5 (input to the first FC layer).
+    pub fn flattened_len(&self) -> usize {
+        let s = self.pool_size(4);
+        self.block_channels[4] * s * s
+    }
+}
+
+/// The VGG-16 network: 13 convolutions in 5 max-pooled blocks + 3 dense
+/// layers, with deterministic seeded weights.
+#[derive(Debug, Clone)]
+pub struct Vgg16 {
+    config: VggConfig,
+    blocks: Vec<Vec<Conv2d>>,
+    fc: [Linear; 3],
+}
+
+impl Vgg16 {
+    /// Build the network with He-initialized weights drawn from `seed`.
+    ///
+    /// The same `(config, seed)` pair always produces the same network, so
+    /// every pipeline in the workspace shares one frozen backbone exactly as
+    /// the paper shares one pretrained VGG-16 across all datasets.
+    pub fn new(config: &VggConfig, seed: u64) -> Self {
+        assert!(config.input_size >= 32, "input_size must be ≥ 32 for five 2x pools");
+        assert!(
+            config.input_size.is_power_of_two(),
+            "input_size must be a power of two so pool maps stay aligned"
+        );
+        let mut rng = std_rng(seed);
+        let mut blocks = Vec::with_capacity(5);
+        let mut in_c = config.input_channels;
+        for (b, &out_c) in config.block_channels.iter().enumerate() {
+            let mut layers = Vec::with_capacity(VggConfig::CONVS_PER_BLOCK[b]);
+            for _ in 0..VggConfig::CONVS_PER_BLOCK[b] {
+                layers.push(Conv2d::new_he_init(&mut rng, in_c, out_c, 3));
+                in_c = out_c;
+            }
+            blocks.push(layers);
+        }
+        let fc = [
+            Linear::new_he_init(&mut rng, config.flattened_len(), config.fc_dims[0]),
+            Linear::new_he_init(&mut rng, config.fc_dims[0], config.fc_dims[1]),
+            Linear::new_he_init(&mut rng, config.fc_dims[1], config.logits_dim),
+        ];
+        Self { config: config.clone(), blocks, fc }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &VggConfig {
+        &self.config
+    }
+
+    /// Normalize an arbitrary image into the network's input tensor:
+    /// grayscale is broadcast to the input channel count, spatial size is
+    /// bilinearly resized to `input_size`, and values are shifted/scaled by
+    /// **fixed** constants — the analogue of VGG's dataset-mean subtraction.
+    /// (Per-image standardization would erase cross-image color statistics,
+    /// which are a primary class signal on color datasets.)
+    pub fn prepare_input(&self, img: &Image) -> Tensor3<f32> {
+        let img = if img.channels() == 1 && self.config.input_channels > 1 {
+            img.broadcast_channels(self.config.input_channels)
+        } else {
+            img.clone()
+        };
+        assert_eq!(
+            img.channels(),
+            self.config.input_channels,
+            "prepare_input: channel count mismatch"
+        );
+        let s = self.config.input_size;
+        let mut resized = if img.height() != s || img.width() != s {
+            goggles_vision::filter::resize_bilinear(&img, s, s)
+        } else {
+            img
+        };
+        // Fixed affine normalization: mean 0.45, std 0.25 (≈ ImageNet
+        // statistics in [0,1] units).
+        resized
+            .tensor_mut()
+            .map_in_place(|v| (v - 0.45) * 4.0);
+        resized.into_tensor()
+    }
+
+    /// Run the convolutional trunk and return the filter map after **each**
+    /// of the five max-pool layers (the paper's Algorithm 1, line 1).
+    pub fn forward_pool_taps(&self, img: &Image) -> Vec<Tensor3<f32>> {
+        let mut x = self.prepare_input(img);
+        let mut taps = Vec::with_capacity(5);
+        for block in &self.blocks {
+            for conv in block {
+                x = conv.forward(&x);
+                relu_in_place(&mut x);
+            }
+            x = MaxPool2d.forward(&x);
+            taps.push(x.clone());
+        }
+        taps
+    }
+
+    /// Full forward pass to the logits feature vector (the representation
+    /// the Snuba-primitives and "Logits" baselines consume).
+    pub fn logits(&self, img: &Image) -> Vec<f32> {
+        let taps = self.forward_pool_taps(img);
+        let last = taps.last().expect("five taps");
+        let mut x: Vec<f32> = last.as_slice().to_vec();
+        for (i, layer) in self.fc.iter().enumerate() {
+            x = layer.forward(&x);
+            // ReLU between dense layers but not after the logits output.
+            if i < 2 {
+                for v in &mut x {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// Convenience: logits for a batch of images as an `n × logits_dim`
+    /// row-major matrix.
+    pub fn logits_batch(&self, imgs: &[Image]) -> goggles_tensor::Matrix<f32> {
+        let mut out = goggles_tensor::Matrix::zeros(imgs.len(), self.config.logits_dim);
+        for (i, img) in imgs.iter().enumerate() {
+            let l = self.logits(img);
+            out.row_mut(i).copy_from_slice(&l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_vision::draw;
+
+    fn test_net() -> Vgg16 {
+        Vgg16::new(&VggConfig::tiny(), 7)
+    }
+
+    fn textured_image(seed_shift: f32) -> Image {
+        let mut img = Image::filled(3, 32, 32, 0.4);
+        draw::fill_disc(&mut img, 10.0 + seed_shift, 12.0, 6.0, &[0.9, 0.2, 0.1]);
+        draw::fill_rect(&mut img, 20, 4, 28, 30, &[0.1, 0.6, 0.9]);
+        img
+    }
+
+    #[test]
+    fn pool_taps_have_expected_shapes() {
+        let net = test_net();
+        let taps = net.forward_pool_taps(&textured_image(0.0));
+        let cfg = VggConfig::tiny();
+        assert_eq!(taps.len(), 5);
+        for (b, tap) in taps.iter().enumerate() {
+            let s = cfg.pool_size(b);
+            assert_eq!(tap.shape(), (cfg.block_channels[b], s, s), "block {b}");
+        }
+    }
+
+    #[test]
+    fn logits_have_configured_dim_and_are_finite() {
+        let net = test_net();
+        let l = net.logits(&textured_image(0.0));
+        assert_eq!(l.len(), VggConfig::tiny().logits_dim);
+        assert!(l.iter().all(|v| v.is_finite()));
+        // not all dead
+        assert!(l.iter().any(|&v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn network_is_deterministic() {
+        let a = test_net().logits(&textured_image(0.0));
+        let b = test_net().logits(&textured_image(0.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_networks() {
+        let a = Vgg16::new(&VggConfig::tiny(), 1).logits(&textured_image(0.0));
+        let b = Vgg16::new(&VggConfig::tiny(), 2).logits(&textured_image(0.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn similar_images_have_closer_logits_than_dissimilar() {
+        let net = test_net();
+        let a = net.logits(&textured_image(0.0));
+        let a2 = net.logits(&textured_image(1.0)); // slightly shifted disc
+        let mut other = Image::filled(3, 32, 32, 0.4);
+        draw::fill_stripes(&mut other, 0.8, 5.0, 0.5, &[0.2, 0.9, 0.3], 1.0);
+        let b = net.logits(&other);
+        let sim = |x: &[f32], y: &[f32]| goggles_tensor::cosine_similarity(x, y);
+        assert!(
+            sim(&a, &a2) > sim(&a, &b),
+            "near pair {} should beat far pair {}",
+            sim(&a, &a2),
+            sim(&a, &b)
+        );
+    }
+
+    #[test]
+    fn grayscale_input_is_broadcast() {
+        let net = test_net();
+        let gray = Image::filled(1, 40, 40, 0.5); // also exercises resize
+        let taps = net.forward_pool_taps(&gray);
+        assert_eq!(taps[0].channels(), VggConfig::tiny().block_channels[0]);
+    }
+
+    #[test]
+    fn activations_do_not_explode_or_vanish() {
+        let net = test_net();
+        let taps = net.forward_pool_taps(&textured_image(0.0));
+        for (b, tap) in taps.iter().enumerate() {
+            let mx = tap.as_slice().iter().copied().fold(0.0f32, f32::max);
+            assert!(mx.is_finite() && mx < 1e4, "block {b} max {mx}");
+            assert!(mx > 1e-6, "block {b} is dead (max {mx})");
+        }
+    }
+
+    #[test]
+    fn flattened_len_matches_tap5() {
+        let cfg = VggConfig::tiny();
+        let net = Vgg16::new(&cfg, 3);
+        let taps = net.forward_pool_taps(&textured_image(0.0));
+        assert_eq!(taps[4].as_slice().len(), cfg.flattened_len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_input_rejected() {
+        let cfg = VggConfig { input_size: 48, ..VggConfig::tiny() };
+        let _ = Vgg16::new(&cfg, 0);
+    }
+
+    #[test]
+    fn logits_batch_stacks_rows() {
+        let net = test_net();
+        let imgs = vec![textured_image(0.0), textured_image(2.0)];
+        let m = net.logits_batch(&imgs);
+        assert_eq!(m.shape(), (2, VggConfig::tiny().logits_dim));
+        assert_eq!(m.row(0), net.logits(&imgs[0]).as_slice());
+    }
+}

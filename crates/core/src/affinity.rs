@@ -1,0 +1,363 @@
+//! Affinity functions and the affinity matrix (§2.2 Step 1, §3.2).
+//!
+//! An affinity function `f_L^z` is indexed by a max-pool layer `L` and a
+//! prototype rank `z`; its value on an ordered pair is
+//! `f_L^z(x_i, x_j) = max_{h,w} cos(v_j^z, v_i^{(h,w)})` (Equation 2) — "find
+//! the most similar patch in image x_i with respect to the z-th prototype of
+//! image x_j".
+//!
+//! The affinity matrix `A ∈ R^{N×αN}` packs every function's `N × N` block
+//! side by side: `A[i, f·N + j] = f(x_i, x_j)` (the paper's
+//! `A[i, j] = f_{j/N}(x_i, x_{j%N})`).
+//!
+//! Because patch tables and prototypes are pre-normalized, each block
+//! reduces to a matrix product followed by a column-max, and rows are
+//! computed in parallel.
+
+use crate::prototypes::ImageEmbedding;
+use goggles_tensor::Matrix;
+
+/// Identifier of one affinity function: `(layer L, prototype rank z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffinityFunction {
+    /// Max-pool layer index, `0..5` shallow → deep.
+    pub layer: usize,
+    /// Prototype rank within the layer, `0..Z`.
+    pub z: usize,
+}
+
+impl AffinityFunction {
+    /// All `5·z_per_layer` functions in canonical order (layer-major).
+    pub fn library(z_per_layer: usize) -> Vec<AffinityFunction> {
+        (0..5)
+            .flat_map(|layer| (0..z_per_layer).map(move |z| AffinityFunction { layer, z }))
+            .collect()
+    }
+
+    /// Flat index of this function in the canonical library.
+    pub fn flat_index(&self, z_per_layer: usize) -> usize {
+        self.layer * z_per_layer + self.z
+    }
+}
+
+impl std::fmt::Display for AffinityFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f[L{}:z{}]", self.layer + 1, self.z + 1)
+    }
+}
+
+/// The dense `N × αN` affinity matrix plus its layout metadata.
+#[derive(Debug, Clone)]
+pub struct AffinityMatrix {
+    /// Row-major scores; row `i`, column `f·N + j`.
+    pub data: Matrix<f64>,
+    /// Number of instances `N = n + m`.
+    pub n: usize,
+    /// Number of affinity functions `α`.
+    pub alpha: usize,
+    /// Prototypes per layer (`Z`), recorded for function bookkeeping.
+    pub z_per_layer: usize,
+}
+
+impl AffinityMatrix {
+    /// Build the matrix from per-image embeddings (Algorithm 1 applied to
+    /// all ordered pairs). `threads` bounds the row-parallel fan-out.
+    pub fn build(embeddings: &[ImageEmbedding], threads: usize) -> Self {
+        let n = embeddings.len();
+        assert!(n > 0, "need at least one embedding");
+        let n_layers = embeddings[0].layers.len();
+        let z = embeddings[0].layers[0].prototypes.rows();
+        let alpha = n_layers * z;
+        let mut data = Matrix::<f64>::zeros(n, alpha * n);
+
+        // Pre-stack prototypes per layer: P_L is (n·z) × C with row (j·z + r)
+        // holding prototype r of image j.
+        let stacked: Vec<Matrix<f32>> = (0..n_layers)
+            .map(|layer| {
+                let c = embeddings[0].layers[layer].prototypes.cols();
+                let mut p = Matrix::<f32>::zeros(n * z, c);
+                for (j, emb) in embeddings.iter().enumerate() {
+                    for r in 0..z {
+                        p.row_mut(j * z + r).copy_from_slice(emb.layers[layer].prototypes.row(r));
+                    }
+                }
+                p
+            })
+            .collect();
+
+        let threads = threads.max(1).min(n);
+        let chunk = n.div_ceil(threads);
+        let row_len = alpha * n;
+        std::thread::scope(|scope| {
+            for (t, rows_chunk) in data.as_mut_slice().chunks_mut(chunk * row_len).enumerate() {
+                let start = t * chunk;
+                let stacked = &stacked;
+                scope.spawn(move || {
+                    for (local, row) in rows_chunk.chunks_mut(row_len).enumerate() {
+                        let i = start + local;
+                        fill_row(row, &embeddings[i], stacked, n, z);
+                    }
+                });
+            }
+        });
+        Self { data, n, alpha, z_per_layer: z }
+    }
+
+    /// The `N × N` block of affinity function `f` (by flat index).
+    pub fn function_block(&self, f: usize) -> Matrix<f64> {
+        assert!(f < self.alpha, "function index {f} out of range ({})", self.alpha);
+        self.data.col_block(f * self.n, (f + 1) * self.n)
+    }
+
+    /// A copy restricted to the first `keep` affinity functions (used by the
+    /// Figure 9 sweep over the number of affinity functions).
+    pub fn restrict_functions(&self, keep: &[usize]) -> AffinityMatrix {
+        assert!(!keep.is_empty());
+        let mut blocks: Vec<Matrix<f64>> = Vec::with_capacity(keep.len());
+        for &f in keep {
+            blocks.push(self.function_block(f));
+        }
+        let mut data = blocks[0].clone();
+        for b in &blocks[1..] {
+            data = data.hstack(b).expect("equal row counts");
+        }
+        AffinityMatrix { data, n: self.n, alpha: keep.len(), z_per_layer: self.z_per_layer }
+    }
+
+    /// Build a **single-function** affinity matrix from arbitrary feature
+    /// vectors via pairwise cosine similarity — the HOG / Logits
+    /// representation baselines of §5.1.5 feed this into the same inference
+    /// module.
+    pub fn from_feature_vectors(features: &Matrix<f64>) -> Self {
+        let n = features.rows();
+        assert!(n > 0, "need at least one feature row");
+        let mut normalized = features.clone();
+        normalized.l2_normalize_rows();
+        let sims = normalized.matmul(&normalized.transpose());
+        Self { data: sims, n, alpha: 1, z_per_layer: 1 }
+    }
+
+    /// Per-function separation diagnostics against ground truth (drives the
+    /// Figure 2 and Figure 5 harnesses).
+    pub fn score_distribution(&self, f: usize, labels: &[usize]) -> ScoreDistribution {
+        assert_eq!(labels.len(), self.n, "labels must cover all instances");
+        let block = self.function_block(f);
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let v = block[(i, j)];
+                if labels[i] == labels[j] {
+                    same.push(v);
+                } else {
+                    diff.push(v);
+                }
+            }
+        }
+        let auc = goggles_tensor::auc(&same, &diff);
+        ScoreDistribution { function: f, same_class: same, cross_class: diff, auc }
+    }
+
+    /// Class-sorted block means of one function's `N × N` slice — the
+    /// numeric content of the paper's Figure 5 heatmap. Entry `[a][b]` is
+    /// the mean affinity of (row class `a`, column class `b`) pairs.
+    pub fn sorted_block_view(&self, f: usize, labels: &[usize], k: usize) -> Vec<Vec<f64>> {
+        let block = self.function_block(f);
+        let mut sums = vec![vec![0.0f64; k]; k];
+        let mut counts = vec![vec![0usize; k]; k];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                sums[labels[i]][labels[j]] += block[(i, j)];
+                counts[labels[i]][labels[j]] += 1;
+            }
+        }
+        for a in 0..k {
+            for b in 0..k {
+                if counts[a][b] > 0 {
+                    sums[a][b] /= counts[a][b] as f64;
+                }
+            }
+        }
+        sums
+    }
+}
+
+/// Same-class vs cross-class affinity scores of one function, plus the AUC
+/// separation measure used to rank functions (Example 2 / Figure 2).
+#[derive(Debug, Clone)]
+pub struct ScoreDistribution {
+    /// Flat function index.
+    pub function: usize,
+    /// Scores of ordered same-class pairs (diagonal excluded).
+    pub same_class: Vec<f64>,
+    /// Scores of ordered cross-class pairs.
+    pub cross_class: Vec<f64>,
+    /// P(same-class score > cross-class score); 0.5 = uninformative.
+    pub auc: f64,
+}
+
+/// Fill row `i` of the affinity matrix: for every layer, multiply the
+/// image's patch table against the stacked prototype table and take column
+/// maxima (Equation 2 vectorized over all (j, z) pairs at once).
+fn fill_row(
+    row: &mut [f64],
+    embedding: &ImageEmbedding,
+    stacked: &[Matrix<f32>],
+    n: usize,
+    z: usize,
+) {
+    for (layer, protos) in stacked.iter().enumerate() {
+        let patches = &embedding.layers[layer].patches; // HW × C
+        let hw = patches.rows();
+        let nz = protos.rows(); // n·z
+        debug_assert_eq!(patches.cols(), protos.cols());
+        // scores[(j·z + r)] = max over patches of dot(patch, proto)
+        let mut best = vec![f32::NEG_INFINITY; nz];
+        for p in 0..hw {
+            let patch = patches.row(p);
+            for (b, proto_row) in best.iter_mut().zip(0..nz) {
+                let proto = protos.row(proto_row);
+                let mut dot = 0.0f32;
+                for (&a, &q) in patch.iter().zip(proto) {
+                    dot += a * q;
+                }
+                if dot > *b {
+                    *b = dot;
+                }
+            }
+        }
+        // Scatter into the row: function (layer·z + r) block, column j.
+        for j in 0..n {
+            for r in 0..z {
+                let f = layer * z + r;
+                row[f * n + j] = best[j * z + r] as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototypes::{embed_images, LayerEmbedding};
+    use goggles_cnn::{Vgg16, VggConfig};
+    use goggles_vision::{draw, Image};
+
+    /// Hand-built one-layer embedding for exact-value tests.
+    fn toy_embedding(patch_rows: &[&[f32]], proto_rows: &[&[f32]]) -> ImageEmbedding {
+        let mut patches = Matrix::from_rows(patch_rows);
+        patches.l2_normalize_rows();
+        let mut prototypes = Matrix::from_rows(proto_rows);
+        prototypes.l2_normalize_rows();
+        let locations = vec![(0, 0); proto_rows.len()];
+        ImageEmbedding { layers: vec![LayerEmbedding { patches, prototypes, locations }] }
+    }
+
+    #[test]
+    fn affinity_is_max_cosine_over_patches() {
+        // Image 0 has patches along x and y axes; image 1's prototype is
+        // along x. f(x_0, x_1) must be cos(x, x) = 1.
+        let e0 = toy_embedding(&[&[1.0, 0.0], &[0.0, 1.0]], &[&[0.0, 1.0]]);
+        let e1 = toy_embedding(&[&[0.7, 0.7]], &[&[1.0, 0.0]]);
+        let am = AffinityMatrix::build(&[e0, e1], 1);
+        assert_eq!(am.alpha, 1);
+        assert_eq!(am.n, 2);
+        let block = am.function_block(0);
+        // A[0, 1] = max cos(patches of 0, proto of 1) = max(1, 0) = 1
+        assert!((block[(0, 1)] - 1.0).abs() < 1e-6);
+        // A[1, 0] = max cos(patch (0.7,0.7)/√.98, proto y) = √0.5
+        assert!((block[(1, 0)] - 0.5f64.sqrt()).abs() < 1e-6);
+        // Self-affinity: image's own prototype is among its patches -> 1
+        assert!((block[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layout_matches_paper_indexing() {
+        // Two functions (z=2), three images: column f·N + j.
+        let mk = |a: f32, b: f32| {
+            toy_embedding(&[&[a, b]], &[&[a, b], &[b, a]])
+        };
+        let embs = vec![mk(1.0, 0.0), mk(0.0, 1.0), mk(0.7, 0.7)];
+        let am = AffinityMatrix::build(&embs, 2);
+        assert_eq!(am.data.shape(), (3, 2 * 3));
+        // block f=1, j=0 lives at column 1*3+0 = 3
+        let b1 = am.function_block(1);
+        assert_eq!(am.data[(2, 3)], b1[(2, 0)]);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let net = Vgg16::new(&VggConfig::tiny(), 3);
+        let images: Vec<Image> = (0..5)
+            .map(|i| {
+                let mut img = Image::filled(3, 32, 32, 0.2);
+                draw::fill_disc(&mut img, 8.0 + i as f32 * 3.0, 16.0, 5.0, &[0.9, 0.3, 0.1]);
+                img
+            })
+            .collect();
+        let refs: Vec<&Image> = images.iter().collect();
+        let embs = embed_images(&net, &refs, 3, 1, false);
+        let a1 = AffinityMatrix::build(&embs, 1);
+        let a4 = AffinityMatrix::build(&embs, 4);
+        assert!(a1.data.max_abs_diff(&a4.data) < 1e-12);
+    }
+
+    #[test]
+    fn from_feature_vectors_is_cosine_gram() {
+        let feats = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        let am = AffinityMatrix::from_feature_vectors(&feats);
+        assert_eq!(am.alpha, 1);
+        assert!((am.data[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((am.data[(0, 1)]).abs() < 1e-12);
+        assert!((am.data[(0, 2)] - 0.5f64.sqrt()).abs() < 1e-12);
+        // symmetric
+        assert!((am.data[(2, 1)] - am.data[(1, 2)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_distribution_separates_good_function() {
+        // Build features where class 0 ⟂ class 1: affinity within class 1,
+        // across class 0 → AUC must be 1.
+        let feats = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let am = AffinityMatrix::from_feature_vectors(&feats);
+        let dist = am.score_distribution(0, &[0, 0, 1, 1]);
+        assert!((dist.auc - 1.0).abs() < 1e-9);
+        assert_eq!(dist.same_class.len(), 4);
+        assert_eq!(dist.cross_class.len(), 8);
+    }
+
+    #[test]
+    fn sorted_block_view_shows_block_structure() {
+        let feats = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let am = AffinityMatrix::from_feature_vectors(&feats);
+        let blocks = am.sorted_block_view(0, &[0, 0, 1, 1], 2);
+        assert!(blocks[0][0] > 0.99 && blocks[1][1] > 0.99);
+        assert!(blocks[0][1] < 0.01 && blocks[1][0] < 0.01);
+    }
+
+    #[test]
+    fn restrict_functions_keeps_selected_blocks() {
+        let mk = |a: f32, b: f32| toy_embedding(&[&[a, b]], &[&[a, b], &[b, a]]);
+        let embs = vec![mk(1.0, 0.0), mk(0.0, 1.0)];
+        let am = AffinityMatrix::build(&embs, 1);
+        let restricted = am.restrict_functions(&[1]);
+        assert_eq!(restricted.alpha, 1);
+        assert_eq!(restricted.data, am.function_block(1));
+    }
+
+    #[test]
+    fn library_enumerates_layer_major() {
+        let lib = AffinityFunction::library(10);
+        assert_eq!(lib.len(), 50);
+        assert_eq!(lib[0], AffinityFunction { layer: 0, z: 0 });
+        assert_eq!(lib[10], AffinityFunction { layer: 1, z: 0 });
+        assert_eq!(lib[49].flat_index(10), 49);
+        assert_eq!(format!("{}", lib[10]), "f[L2:z1]");
+    }
+}

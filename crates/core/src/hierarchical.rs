@@ -1,0 +1,301 @@
+//! The hierarchical generative model (§4.1, Figure 6).
+//!
+//! *Base layer*: one diagonal-covariance GMM per affinity function, fit on
+//! that function's `N × N` slice of the affinity matrix, emitting a label
+//! prediction matrix `LP_f ∈ R^{N×K}`.
+//!
+//! *Ensemble layer*: the α blocks are one-hot encoded ("we convert LP to a
+//! one-hot encoded matrix by converting the highest class prediction to 1"),
+//! concatenated into `LP ∈ {0,1}^{N×αK}` and modeled with a multivariate
+//! Bernoulli mixture whose parameters `b_{k,l}` learn each affinity
+//! function's reliability.
+//!
+//! Base models are independent, so they are fit on a thread fan-out — the
+//! parallelization §5.3 of the paper describes.
+
+use crate::affinity::AffinityMatrix;
+use crate::Result;
+use goggles_models::{BernoulliMixture, DiagonalGmm, EmOptions};
+use goggles_tensor::Matrix;
+
+/// Options for the hierarchical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalOptions {
+    /// Number of classes K.
+    pub num_classes: usize,
+    /// EM options shared by base and ensemble models.
+    pub em: EmOptions,
+    /// One-hot encode the concatenated LP before the ensemble (paper
+    /// behaviour). `false` feeds raw probabilities — an ablation knob that
+    /// demonstrates the §4.1 argument for categorical modeling.
+    pub one_hot: bool,
+    /// Thread fan-out for the base models.
+    pub threads: usize,
+    /// Seed for all stochastic initialization.
+    pub seed: u64,
+}
+
+impl Default for HierarchicalOptions {
+    fn default() -> Self {
+        Self { num_classes: 2, em: EmOptions::default(), one_hot: true, threads: 8, seed: 0 }
+    }
+}
+
+/// Fitted hierarchical model.
+#[derive(Debug, Clone)]
+pub struct HierarchicalModel {
+    /// Per-base-model label prediction matrices, each `N × K` (cluster ids
+    /// are per-model and unaligned — the ensemble resolves that).
+    pub base_predictions: Vec<Matrix<f64>>,
+    /// Concatenated (one-hot) ensemble input, `N × αK`.
+    pub ensemble_input: Matrix<f64>,
+    /// Final ensemble responsibilities, `N × K` (cluster space, pre-mapping).
+    pub responsibilities: Matrix<f64>,
+    /// The fitted ensemble model (its Bernoulli parameters are per-function
+    /// reliability estimates).
+    pub ensemble: BernoulliMixture,
+    /// Final ensemble log-likelihood.
+    pub log_likelihood: f64,
+}
+
+impl HierarchicalModel {
+    /// Fit the full hierarchy on an affinity matrix.
+    pub fn fit(affinity: &AffinityMatrix, opts: &HierarchicalOptions) -> Result<Self> {
+        let k = opts.num_classes;
+        let base_predictions = fit_base_models(affinity, opts)?;
+        let ensemble_input = concat_label_predictions(&base_predictions, opts.one_hot);
+        // The ensemble fit is cheap (binary N × αK input) but decides the
+        // final labels, so it gets extra restarts regardless of the base
+        // models' budget: EM local optima here directly cost accuracy.
+        let ensemble_em = EmOptions { restarts: opts.em.restarts.max(5), ..opts.em };
+        let ensemble = BernoulliMixture::fit(
+            &ensemble_input,
+            k,
+            &ensemble_em,
+            opts.seed ^ 0xE45E_3B1E,
+        )?;
+        let responsibilities = ensemble.responsibilities.clone();
+        let log_likelihood = ensemble.stats.log_likelihood;
+        Ok(Self { base_predictions, ensemble_input, responsibilities, ensemble, log_likelihood })
+    }
+
+    /// Number of base models (α).
+    pub fn alpha(&self) -> usize {
+        self.base_predictions.len()
+    }
+
+    /// Estimated reliability of each affinity function: the mean absolute
+    /// deviation of its ensemble Bernoulli parameters from 0.5. A useless
+    /// function's one-hot votes are independent of the cluster, so its
+    /// `b_{k,l}` sit near the base rate; an informative one's sit near 0/1.
+    pub fn function_reliabilities(&self) -> Vec<f64> {
+        let k = self.ensemble.probs.rows();
+        let alpha = self.alpha();
+        let kk = self.ensemble.probs.cols() / alpha;
+        let mut out = Vec::with_capacity(alpha);
+        for f in 0..alpha {
+            let mut acc = 0.0;
+            let mut cnt = 0;
+            for comp in 0..k {
+                for l in f * kk..(f + 1) * kk {
+                    acc += (self.ensemble.probs[(comp, l)] - 0.5).abs();
+                    cnt += 1;
+                }
+            }
+            out.push(acc / cnt as f64);
+        }
+        out
+    }
+}
+
+/// Fit one diagonal GMM per affinity-function block, in parallel.
+fn fit_base_models(
+    affinity: &AffinityMatrix,
+    opts: &HierarchicalOptions,
+) -> Result<Vec<Matrix<f64>>> {
+    let alpha = affinity.alpha;
+    let k = opts.num_classes;
+    let threads = opts.threads.max(1).min(alpha);
+    let mut results: Vec<Option<Result<Matrix<f64>>>> = Vec::new();
+    results.resize_with(alpha, || None);
+    let chunk = alpha.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let f = start + off;
+                    let block = affinity.function_block(f);
+                    let fit = DiagonalGmm::fit(
+                        &block,
+                        k,
+                        &opts.em,
+                        opts.seed ^ (0xBA5E_0000 + f as u64),
+                    )
+                    .map(|g| g.responsibilities);
+                    *slot = Some(fit.map_err(Into::into));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
+}
+
+/// Concatenate α label-prediction matrices into the ensemble input
+/// (`N × αK`), one-hot encoding each block when requested.
+pub fn concat_label_predictions(blocks: &[Matrix<f64>], one_hot: bool) -> Matrix<f64> {
+    assert!(!blocks.is_empty(), "need at least one base model");
+    let n = blocks[0].rows();
+    let k = blocks[0].cols();
+    let mut out = Matrix::<f64>::zeros(n, blocks.len() * k);
+    for (f, block) in blocks.iter().enumerate() {
+        assert_eq!(block.shape(), (n, k), "ragged LP block {f}");
+        for i in 0..n {
+            let src = block.row(i);
+            let dst = &mut out.row_mut(i)[f * k..(f + 1) * k];
+            if one_hot {
+                let best = goggles_tensor::argmax(src);
+                dst[best] = 1.0;
+            } else {
+                dst.copy_from_slice(src);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_tensor::rng::{normal, std_rng};
+
+    /// Synthetic affinity matrix: `alpha_good` informative functions whose
+    /// blocks have same-class affinity ≈ hi and cross ≈ lo, plus
+    /// `alpha_noise` pure-noise functions. Returns (matrix, truth).
+    fn synthetic_affinity(
+        n_per: usize,
+        alpha_good: usize,
+        alpha_noise: usize,
+        gap: f64,
+        seed: u64,
+    ) -> (AffinityMatrix, Vec<usize>) {
+        let n = 2 * n_per;
+        let alpha = alpha_good + alpha_noise;
+        let truth: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
+        let mut rng = std_rng(seed);
+        let mut data = Matrix::<f64>::zeros(n, alpha * n);
+        for f in 0..alpha {
+            for i in 0..n {
+                for j in 0..n {
+                    let v = if f < alpha_good {
+                        let base = if truth[i] == truth[j] { 0.5 + gap } else { 0.5 - gap };
+                        base + 0.05 * normal(&mut rng)
+                    } else {
+                        0.5 + 0.15 * normal(&mut rng)
+                    };
+                    data[(i, f * n + j)] = v.clamp(0.0, 1.0);
+                }
+            }
+        }
+        (AffinityMatrix { data, n, alpha, z_per_layer: 1 }, truth)
+    }
+
+    fn binary_accuracy(labels: &[usize], truth: &[usize]) -> f64 {
+        let same =
+            labels.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+        same.max(1.0 - same)
+    }
+
+    fn opts(seed: u64) -> HierarchicalOptions {
+        HierarchicalOptions {
+            em: EmOptions { restarts: 2, ..EmOptions::default() },
+            seed,
+            threads: 4,
+            ..HierarchicalOptions::default()
+        }
+    }
+
+    #[test]
+    fn recovers_classes_from_clean_affinities() {
+        let (am, truth) = synthetic_affinity(20, 3, 0, 0.3, 1);
+        let model = HierarchicalModel::fit(&am, &opts(0)).unwrap();
+        let labels = goggles_models::hard_labels(&model.responsibilities);
+        assert!(binary_accuracy(&labels, &truth) > 0.95);
+    }
+
+    #[test]
+    fn tolerates_majority_noise_functions() {
+        // 2 informative functions among 8 noise ones — the affinity
+        // selection problem the ensemble must solve (§4.1).
+        let (am, truth) = synthetic_affinity(20, 2, 8, 0.3, 2);
+        let model = HierarchicalModel::fit(&am, &opts(1)).unwrap();
+        let labels = goggles_models::hard_labels(&model.responsibilities);
+        assert!(binary_accuracy(&labels, &truth) > 0.9);
+    }
+
+    #[test]
+    fn reliabilities_rank_good_functions_above_noise() {
+        let (am, _) = synthetic_affinity(25, 2, 4, 0.35, 3);
+        let model = HierarchicalModel::fit(&am, &opts(2)).unwrap();
+        let rel = model.function_reliabilities();
+        assert_eq!(rel.len(), 6);
+        let min_good = rel[..2].iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_noise = rel[2..].iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            min_good > max_noise,
+            "good {min_good:.3} should exceed noise {max_noise:.3} ({rel:?})"
+        );
+    }
+
+    #[test]
+    fn one_hot_encoding_is_binary_row_block_normalized() {
+        let blocks = vec![
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]),
+            Matrix::from_rows(&[&[0.2, 0.8], &[0.7, 0.3]]),
+        ];
+        let lp = concat_label_predictions(&blocks, true);
+        assert_eq!(lp.shape(), (2, 4));
+        assert_eq!(lp.row(0), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(lp.row(1), &[0.0, 1.0, 1.0, 0.0]);
+        // raw mode passes probabilities through
+        let raw = concat_label_predictions(&blocks, false);
+        assert_eq!(raw.row(0), &[0.9, 0.1, 0.2, 0.8]);
+    }
+
+    #[test]
+    fn ensemble_dims_are_alpha_times_k() {
+        let (am, _) = synthetic_affinity(15, 2, 1, 0.3, 4);
+        let model = HierarchicalModel::fit(&am, &opts(3)).unwrap();
+        assert_eq!(model.alpha(), 3);
+        assert_eq!(model.ensemble_input.shape(), (30, 6));
+        assert_eq!(model.responsibilities.shape(), (30, 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (am, _) = synthetic_affinity(15, 2, 2, 0.3, 5);
+        let a = HierarchicalModel::fit(&am, &opts(7)).unwrap();
+        let b = HierarchicalModel::fit(&am, &opts(7)).unwrap();
+        assert_eq!(
+            goggles_models::hard_labels(&a.responsibilities),
+            goggles_models::hard_labels(&b.responsibilities)
+        );
+    }
+
+    #[test]
+    fn hierarchical_parameter_count_is_linear_in_n() {
+        // The §4.1 claim: hierarchy has 2αKN + αK parameters vs the naive
+        // full GMM's K(C(αN,2) + αN). Verify the formula on our shapes.
+        let (am, _) = synthetic_affinity(10, 2, 0, 0.3, 6);
+        let n = am.n;
+        let alpha = am.alpha;
+        let k = 2usize;
+        let hier_params = 2 * alpha * k * n + alpha * k;
+        let d = alpha * n;
+        let naive_params = k * (d * (d - 1) / 2 + d);
+        assert!(hier_params < naive_params / 4, "{hier_params} vs {naive_params}");
+    }
+}

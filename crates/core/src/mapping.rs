@@ -1,0 +1,185 @@
+//! Cluster→class mapping from the development set (§4.3).
+//!
+//! The hierarchical model clusters instances without knowing which cluster
+//! is which class. Given dev-set labels, the paper defines the mapping
+//! goodness `L_g = Σ_k Σ_{l ∈ LS_g(k)} γ_{l,k}` (Equation 12) and picks the
+//! one-to-one mapping maximizing it (Equation 14) — an assignment problem
+//! solved in `O(K³)` (Equation 16), with a closed form for K=2
+//! (Equation 15).
+
+use goggles_datasets::DevSet;
+use goggles_models::solve_assignment;
+use goggles_tensor::Matrix;
+
+/// Compute the optimal cluster→class mapping `g` from ensemble
+/// responsibilities (`N × K`, rows aligned with the dataset's global image
+/// indices) and a development set.
+///
+/// Returns `g` as a vector with `g[cluster] = class`. With an empty dev set
+/// the identity mapping is returned (the unmapped-cluster regime of the
+/// Figure 8 size-0 point).
+pub fn map_clusters_via_dev_set(responsibilities: &Matrix<f64>, dev: &DevSet) -> Vec<usize> {
+    let k = responsibilities.cols();
+    if dev.is_empty() {
+        return (0..k).collect();
+    }
+    // w[cluster][class] = Σ_{l ∈ LS_class} γ_{l,cluster}  (Equation 16).
+    let mut w = Matrix::<f64>::zeros(k, k);
+    for (&idx, &class) in dev.indices.iter().zip(&dev.labels) {
+        assert!(idx < responsibilities.rows(), "dev index {idx} out of range");
+        assert!(class < k, "dev label {class} out of range");
+        for cluster in 0..k {
+            w[(cluster, class)] += responsibilities[(idx, cluster)];
+        }
+    }
+    solve_assignment(&w)
+}
+
+/// Reorder the columns of a responsibility/label matrix so that column `c`
+/// holds the probability of **class** `c` under mapping `g`
+/// ("we rearrange the columns … according to the mapping g").
+pub fn apply_mapping(responsibilities: &Matrix<f64>, g: &[usize]) -> Matrix<f64> {
+    let (n, k) = responsibilities.shape();
+    assert_eq!(g.len(), k, "mapping arity mismatch");
+    let mut out = Matrix::<f64>::zeros(n, k);
+    for (cluster, &class) in g.iter().enumerate() {
+        for i in 0..n {
+            out[(i, class)] = responsibilities[(i, cluster)];
+        }
+    }
+    out
+}
+
+/// The paper's closed-form K=2 rule (Equation 15), used as a cross-check of
+/// the assignment solver: map cluster 1 to class 1 iff the class-1 dev
+/// examples carry at least as much cluster-1 mass as the class-0 ones.
+///
+/// Equivalent to the `L_g` maximization only for **class-balanced** dev
+/// sets (the paper's standing assumption in §4.3: "we assume the size of
+/// LS_k' is the same for all classes"); with unbalanced sets prefer
+/// [`map_clusters_via_dev_set`].
+pub fn map_two_clusters(responsibilities: &Matrix<f64>, dev: &DevSet) -> Vec<usize> {
+    assert_eq!(responsibilities.cols(), 2, "closed form needs K = 2");
+    if dev.is_empty() {
+        return vec![0, 1];
+    }
+    let mut mass_c1_class1 = 0.0;
+    let mut mass_c1_class0 = 0.0;
+    for (&idx, &class) in dev.indices.iter().zip(&dev.labels) {
+        let g1 = responsibilities[(idx, 1)];
+        if class == 1 {
+            mass_c1_class1 += g1;
+        } else {
+            mass_c1_class0 += g1;
+        }
+    }
+    if mass_c1_class1 >= mass_c1_class0 {
+        vec![0, 1] // identity
+    } else {
+        vec![1, 0] // swap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(indices: Vec<usize>, labels: Vec<usize>) -> DevSet {
+        DevSet { indices, labels }
+    }
+
+    #[test]
+    fn identity_when_clusters_already_aligned() {
+        let gamma = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2], &[0.1, 0.9], &[0.2, 0.8]]);
+        let d = dev(vec![0, 2], vec![0, 1]);
+        assert_eq!(map_clusters_via_dev_set(&gamma, &d), vec![0, 1]);
+    }
+
+    #[test]
+    fn swap_when_clusters_are_flipped() {
+        let gamma = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2], &[0.1, 0.9], &[0.2, 0.8]]);
+        // dev says rows 0,1 are class 1 and rows 2,3 class 0 → swap.
+        let d = dev(vec![0, 1, 2, 3], vec![1, 1, 0, 0]);
+        assert_eq!(map_clusters_via_dev_set(&gamma, &d), vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_dev_set_gives_identity() {
+        let gamma = Matrix::from_rows(&[&[0.9, 0.1], &[0.1, 0.9]]);
+        assert_eq!(map_clusters_via_dev_set(&gamma, &DevSet::empty()), vec![0, 1]);
+    }
+
+    #[test]
+    fn hungarian_matches_closed_form_for_k2() {
+        // randomized cross-check of Equation 15 vs Equation 14.
+        use goggles_tensor::rng::std_rng;
+        use rand::Rng;
+        for seed in 0..30u64 {
+            let mut rng = std_rng(seed);
+            let n = 12;
+            let gamma = Matrix::from_fn(n, 2, |_, _| rng.random::<f64>());
+            // normalize rows
+            let gamma = {
+                let mut g = gamma;
+                for i in 0..n {
+                    let s: f64 = g.row(i).iter().sum();
+                    for v in g.row_mut(i) {
+                        *v /= s;
+                    }
+                }
+                g
+            };
+            let indices: Vec<usize> = (0..6).collect();
+            let labels: Vec<usize> = (0..6).map(|i| i % 2).collect();
+            let d = dev(indices, labels);
+            assert_eq!(
+                map_clusters_via_dev_set(&gamma, &d),
+                map_two_clusters(&gamma, &d),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_way_mapping_resolves_conflicts() {
+        // Both clusters 0 and 1 "prefer" class 0 by majority; the one-to-one
+        // constraint must give each cluster a distinct class maximizing L_g.
+        let gamma = Matrix::from_rows(&[
+            &[0.6, 0.3, 0.1], // dev class 0
+            &[0.5, 0.4, 0.1], // dev class 1
+            &[0.1, 0.2, 0.7], // dev class 2
+        ]);
+        let d = dev(vec![0, 1, 2], vec![0, 1, 2]);
+        let g = map_clusters_via_dev_set(&gamma, &d);
+        // cluster 0 → class 0 (0.6), cluster 1 → class 1 (0.4), cluster 2 → 2
+        assert_eq!(g, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn apply_mapping_permutes_columns() {
+        let gamma = Matrix::from_rows(&[&[0.7, 0.2, 0.1]]);
+        let mapped = apply_mapping(&gamma, &[2, 0, 1]);
+        // cluster 0's mass lands in class-2 column, etc.
+        assert_eq!(mapped.row(0), &[0.2, 0.1, 0.7]);
+    }
+
+    #[test]
+    fn apply_identity_is_noop() {
+        let gamma = Matrix::from_rows(&[&[0.3, 0.7], &[0.9, 0.1]]);
+        assert_eq!(apply_mapping(&gamma, &[0, 1]), gamma);
+    }
+
+    #[test]
+    fn mapping_is_a_permutation() {
+        let gamma = Matrix::from_rows(&[
+            &[0.4, 0.3, 0.3],
+            &[0.2, 0.5, 0.3],
+            &[0.1, 0.3, 0.6],
+            &[0.6, 0.2, 0.2],
+        ]);
+        let d = dev(vec![0, 1, 2, 3], vec![1, 0, 2, 1]);
+        let mut g = map_clusters_via_dev_set(&gamma, &d);
+        g.sort_unstable();
+        assert_eq!(g, vec![0, 1, 2]);
+    }
+}

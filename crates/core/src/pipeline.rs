@@ -1,0 +1,380 @@
+//! End-to-end GOGGLES pipeline (the paper's Figure 3): images → affinity
+//! matrix → hierarchical class inference → dev-set mapping → probabilistic
+//! labels.
+
+use crate::affinity::AffinityMatrix;
+use crate::hierarchical::{HierarchicalModel, HierarchicalOptions};
+use crate::mapping::{apply_mapping, map_clusters_via_dev_set};
+use crate::prototypes::embed_images;
+use crate::{GogglesError, Result};
+use goggles_cnn::{Vgg16, VggConfig};
+use goggles_datasets::{Dataset, DevSet};
+use goggles_models::EmOptions;
+use goggles_tensor::Matrix;
+use goggles_vision::Image;
+
+/// Configuration of the full GOGGLES system.
+#[derive(Debug, Clone)]
+pub struct GogglesConfig {
+    /// Backbone architecture (§3 uses VGG-16; see DESIGN.md for the
+    /// surrogate-weights substitution).
+    pub vgg: VggConfig,
+    /// Seed of the frozen backbone weights — shared across all datasets,
+    /// like the single pretrained VGG-16 in the paper.
+    pub backbone_seed: u64,
+    /// Prototypes per max-pool layer (`Z`; the paper uses 10, for
+    /// `α = 50` affinity functions).
+    pub top_z: usize,
+    /// Number of classes `K`.
+    pub num_classes: usize,
+    /// EM options for base and ensemble models.
+    pub em: EmOptions,
+    /// One-hot encode base predictions before the ensemble (paper default).
+    pub one_hot: bool,
+    /// Center patch vectors per image/layer before cosine similarity.
+    /// Required by the surrogate random-weight backbone (see
+    /// `prototypes::embed_image`); irrelevant-to-harmful with a genuinely
+    /// pretrained backbone, hence configurable.
+    pub center_patches: bool,
+    /// Thread fan-out for embedding, affinity and base-model fitting.
+    pub threads: usize,
+    /// Seed for all inference-side randomness.
+    pub seed: u64,
+}
+
+impl Default for GogglesConfig {
+    fn default() -> Self {
+        Self {
+            vgg: VggConfig::default(),
+            backbone_seed: 0xB0DE,
+            top_z: 10,
+            num_classes: 2,
+            em: EmOptions::default(),
+            one_hot: true,
+            center_patches: true,
+            threads: default_threads(),
+            seed: 0,
+        }
+    }
+}
+
+impl GogglesConfig {
+    /// A reduced configuration (tiny backbone, Z = 4 → α = 20) for tests
+    /// and fast examples. Same code paths, ~10× cheaper.
+    pub fn fast() -> Self {
+        Self { vgg: VggConfig::tiny(), top_z: 4, em: EmOptions { restarts: 2, ..EmOptions::default() }, ..Self::default() }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Probabilistic labels `ỹ_i^k = Pr(y*_i = k)` for a block of instances,
+/// columns aligned with **classes** (mapping already applied).
+#[derive(Debug, Clone)]
+pub struct ProbabilisticLabels {
+    /// `n × K` row-stochastic matrix.
+    pub probs: Matrix<f64>,
+}
+
+impl ProbabilisticLabels {
+    /// Discrete labels by per-row argmax.
+    pub fn hard_labels(&self) -> Vec<usize> {
+        goggles_models::hard_labels(&self.probs)
+    }
+
+    /// Fraction of rows whose argmax matches `truth`.
+    pub fn accuracy(&self, truth: &[usize]) -> f64 {
+        assert_eq!(truth.len(), self.probs.rows());
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let hard = self.hard_labels();
+        hard.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    }
+
+    /// Mean max-probability — a calibration-free confidence summary.
+    pub fn mean_confidence(&self) -> f64 {
+        let n = self.probs.rows();
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n)
+            .map(|i| self.probs.row(i).iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+/// Everything the pipeline produced for one dataset.
+#[derive(Debug, Clone)]
+pub struct LabelingResult {
+    /// Class-aligned probabilistic labels; row `r` describes the instance
+    /// whose global dataset index is `row_indices[r]`.
+    pub labels: ProbabilisticLabels,
+    /// The cluster→class mapping `g` chosen by the dev set.
+    pub mapping: Vec<usize>,
+    /// The fitted hierarchical model (kept for ablation/diagnostics).
+    pub model: HierarchicalModel,
+    /// Global dataset index of each row.
+    pub row_indices: Vec<usize>,
+}
+
+impl LabelingResult {
+    /// Labeling accuracy over all inferred rows.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        let truth: Vec<usize> = self.row_indices.iter().map(|&i| dataset.labels[i]).collect();
+        self.labels.accuracy(&truth)
+    }
+
+    /// Labeling accuracy excluding the development set — the number the
+    /// paper reports ("we report the performance of GOGGLES on the
+    /// remaining images", §5.1.1).
+    pub fn accuracy_excluding_dev(&self, dataset: &Dataset, dev: &DevSet) -> f64 {
+        let hard = self.labels.hard_labels();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (r, &idx) in self.row_indices.iter().enumerate() {
+            if dev.indices.contains(&idx) {
+                continue;
+            }
+            total += 1;
+            if hard[r] == dataset.labels[idx] {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f64 / total as f64
+    }
+}
+
+/// The GOGGLES system: a frozen backbone plus the affinity-coding pipeline.
+#[derive(Debug, Clone)]
+pub struct Goggles {
+    net: Vgg16,
+    config: GogglesConfig,
+}
+
+impl Goggles {
+    /// Instantiate the system (builds the frozen backbone deterministically).
+    pub fn new(config: GogglesConfig) -> Self {
+        let net = Vgg16::new(&config.vgg, config.backbone_seed);
+        Self { net, config }
+    }
+
+    /// The frozen backbone (shared with the end-model baselines so every
+    /// method sees the same representation, as in §5.1.3).
+    pub fn backbone(&self) -> &Vgg16 {
+        &self.net
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GogglesConfig {
+        &self.config
+    }
+
+    /// Step 1: construct the `N × αN` affinity matrix for a set of images.
+    pub fn build_affinity_matrix(&self, images: &[&Image]) -> AffinityMatrix {
+        let embeddings = embed_images(
+            &self.net,
+            images,
+            self.config.top_z,
+            self.config.threads,
+            self.config.center_patches,
+        );
+        AffinityMatrix::build(&embeddings, self.config.threads)
+    }
+
+    /// Step 2: class inference on a prebuilt affinity matrix. `dev_rows`
+    /// must be expressed in **row space** of the matrix.
+    ///
+    /// This entry point is also what the representation ablations use: feed
+    /// an [`AffinityMatrix::from_feature_vectors`] built from HOG or logits
+    /// features to run "GOGGLES' inference module on them" (§5.3).
+    pub fn infer_from_affinity(
+        &self,
+        affinity: &AffinityMatrix,
+        dev_rows: &DevSet,
+    ) -> Result<(ProbabilisticLabels, Vec<usize>, HierarchicalModel)> {
+        let opts = HierarchicalOptions {
+            num_classes: self.config.num_classes,
+            em: self.config.em,
+            one_hot: self.config.one_hot,
+            threads: self.config.threads,
+            seed: self.config.seed,
+        };
+        let model = HierarchicalModel::fit(affinity, &opts)?;
+        let mapping = map_clusters_via_dev_set(&model.responsibilities, dev_rows);
+        let probs = apply_mapping(&model.responsibilities, &mapping);
+        Ok((ProbabilisticLabels { probs }, mapping, model))
+    }
+
+    /// Full pipeline on a dataset's training block with a development set
+    /// sampled from it. Dev indices are global dataset indices; rows of the
+    /// result cover every training instance (dev rows included, since the
+    /// paper folds the dev set into the affinity matrix: `N = n + m`).
+    pub fn label_dataset(&self, dataset: &Dataset, dev: &DevSet) -> Result<LabelingResult> {
+        let images = dataset.train_images();
+        if images.is_empty() {
+            return Err(GogglesError::InvalidInput("dataset has no training images".into()));
+        }
+        let affinity = self.build_affinity_matrix(&images);
+        let dev_rows = translate_dev_to_rows(&dataset.train_indices, dev)?;
+        let (labels, mapping, model) = self.infer_from_affinity(&affinity, &dev_rows)?;
+        Ok(LabelingResult { labels, mapping, model, row_indices: dataset.train_indices.clone() })
+    }
+
+    /// Pipeline variant that reuses a prebuilt affinity matrix over the
+    /// training block (the sweep harnesses build `A` once and re-infer).
+    pub fn label_dataset_with_affinity(
+        &self,
+        dataset: &Dataset,
+        affinity: &AffinityMatrix,
+        dev: &DevSet,
+    ) -> Result<LabelingResult> {
+        let dev_rows = translate_dev_to_rows(&dataset.train_indices, dev)?;
+        let (labels, mapping, model) = self.infer_from_affinity(affinity, &dev_rows)?;
+        Ok(LabelingResult { labels, mapping, model, row_indices: dataset.train_indices.clone() })
+    }
+}
+
+/// Translate a dev set in global dataset indices into affinity-matrix row
+/// space (rows follow `train_indices` order).
+fn translate_dev_to_rows(train_indices: &[usize], dev: &DevSet) -> Result<DevSet> {
+    let mut rows = Vec::with_capacity(dev.len());
+    for &idx in &dev.indices {
+        let row = train_indices.iter().position(|&t| t == idx).ok_or_else(|| {
+            GogglesError::InvalidInput(format!("dev index {idx} not in the training block"))
+        })?;
+        rows.push(row);
+    }
+    Ok(DevSet { indices: rows, labels: dev.labels.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_datasets::{generate, TaskConfig, TaskKind};
+
+    fn small_dataset(seed: u64) -> Dataset {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 12, 2, seed);
+        cfg.image_size = 32;
+        generate(&cfg)
+    }
+
+    fn fast_goggles(seed: u64) -> Goggles {
+        Goggles::new(GogglesConfig { seed, ..GogglesConfig::fast() })
+    }
+
+    #[test]
+    fn end_to_end_labels_an_easy_task_well() {
+        let ds = small_dataset(1);
+        let dev = ds.sample_dev_set(3, 1);
+        let result = fast_goggles(0).label_dataset(&ds, &dev).unwrap();
+        assert_eq!(result.labels.probs.rows(), 24);
+        let acc = result.accuracy(&ds);
+        assert!(acc > 0.7, "accuracy = {acc}");
+        // rows are stochastic
+        for i in 0..result.labels.probs.rows() {
+            let s: f64 = result.labels.probs.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accuracy_excluding_dev_drops_dev_rows() {
+        let ds = small_dataset(2);
+        let dev = ds.sample_dev_set(3, 2);
+        let result = fast_goggles(1).label_dataset(&ds, &dev).unwrap();
+        // 24 rows, 6 dev rows excluded → 18 counted.
+        let excl = result.accuracy_excluding_dev(&ds, &dev);
+        assert!((0.0..=1.0).contains(&excl));
+        // with an empty dev set, both accuracies coincide
+        let all = result.accuracy(&ds);
+        let same = result.accuracy_excluding_dev(&ds, &DevSet::empty());
+        assert!((all - same).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_matrix_shape_is_n_by_alpha_n() {
+        let ds = small_dataset(3);
+        let g = fast_goggles(2);
+        let am = g.build_affinity_matrix(&ds.train_images());
+        let n = ds.train_indices.len();
+        let alpha = 5 * g.config().top_z;
+        assert_eq!(am.data.shape(), (n, alpha * n));
+        assert_eq!(am.alpha, alpha);
+    }
+
+    #[test]
+    fn dev_set_fixes_cluster_orientation() {
+        // With a dev set, the mapped labels should agree with ground truth
+        // better than chance on the dev rows themselves.
+        let ds = small_dataset(4);
+        let dev = ds.sample_dev_set(4, 4);
+        let result = fast_goggles(3).label_dataset(&ds, &dev).unwrap();
+        let hard = result.labels.hard_labels();
+        let mut correct = 0;
+        for (&idx, &lbl) in dev.indices.iter().zip(&dev.labels) {
+            let row = ds.train_indices.iter().position(|&t| t == idx).unwrap();
+            if hard[row] == lbl {
+                correct += 1;
+            }
+        }
+        assert!(correct * 2 >= dev.len(), "dev agreement {correct}/{}", dev.len());
+    }
+
+    #[test]
+    fn invalid_dev_index_is_rejected() {
+        let ds = small_dataset(5);
+        let dev = DevSet { indices: vec![999], labels: vec![0] };
+        assert!(fast_goggles(0).label_dataset(&ds, &dev).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = small_dataset(6);
+        let dev = ds.sample_dev_set(3, 6);
+        let a = fast_goggles(9).label_dataset(&ds, &dev).unwrap();
+        let b = fast_goggles(9).label_dataset(&ds, &dev).unwrap();
+        assert_eq!(a.labels.hard_labels(), b.labels.hard_labels());
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn feature_affinity_pipeline_works() {
+        // Logits-style ablation: cosine affinity over backbone features.
+        let ds = small_dataset(7);
+        let g = fast_goggles(4);
+        let feats32 = g.backbone().logits_batch(
+            &ds.train_images().iter().map(|&i| i.clone()).collect::<Vec<_>>(),
+        );
+        let feats = Matrix::from_fn(feats32.rows(), feats32.cols(), |i, j| feats32[(i, j)] as f64);
+        let am = AffinityMatrix::from_feature_vectors(&feats);
+        let dev = ds.sample_dev_set(3, 7);
+        let dev_rows = DevSet {
+            indices: dev
+                .indices
+                .iter()
+                .map(|&i| ds.train_indices.iter().position(|&t| t == i).unwrap())
+                .collect(),
+            labels: dev.labels.clone(),
+        };
+        let (labels, mapping, model) = g.infer_from_affinity(&am, &dev_rows).unwrap();
+        assert_eq!(labels.probs.rows(), ds.train_indices.len());
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(model.alpha(), 1);
+    }
+
+    #[test]
+    fn mean_confidence_in_unit_range() {
+        let ds = small_dataset(8);
+        let dev = ds.sample_dev_set(2, 8);
+        let result = fast_goggles(5).label_dataset(&ds, &dev).unwrap();
+        let c = result.labels.mean_confidence();
+        assert!((0.5..=1.0).contains(&c), "confidence = {c}");
+    }
+}

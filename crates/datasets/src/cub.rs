@@ -1,0 +1,386 @@
+//! CUB-200-like synthetic bird tasks.
+//!
+//! The real CUB-200-2011 contains 11,788 photos of 200 bird species with 312
+//! binary image-level attribute annotations. This generator defines 200
+//! procedural "species" (deterministic body/head plumage colors, wing-bar
+//! pattern, beak geometry) and renders photographs of them with pose,
+//! position, scale, lighting and background variation. Binary tasks pick a
+//! species pair, mirroring the paper's 10 sampled class pairs.
+//!
+//! Per-image attribute annotations (a compact analogue of CUB's 312) are
+//! emitted so the Snorkel comparison can turn them into labeling functions
+//! exactly as §5.1.2 describes: *"each attribute annotation in the union of
+//! the class-specific attributes acts as a labeling function which outputs a
+//! binary label corresponding to the class that the attribute belongs to"*.
+
+use crate::types::{Dataset, TaskConfig, TaskKind};
+use goggles_tensor::rng::{sample_without_replacement, std_rng};
+use goggles_vision::{draw, filter, noise, Image};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of procedural species.
+pub const NUM_SPECIES: usize = 200;
+
+/// Number of binary attributes in the vocabulary (8 body-color bins, 8
+/// head-color bins, 4 pattern flags, 4 beak flags).
+pub const NUM_ATTRIBUTES: usize = 24;
+
+/// Flip probability applied to ideal attributes to simulate imperfect
+/// crowd-sourced image-level annotations.
+const ATTRIBUTE_NOISE: f64 = 0.05;
+
+/// Procedural description of one species.
+#[derive(Debug, Clone)]
+pub struct Species {
+    /// Species index in `0..NUM_SPECIES`.
+    pub id: usize,
+    body_rgb: [f32; 3],
+    head_rgb: [f32; 3],
+    belly_rgb: [f32; 3],
+    /// Wing-bar stripe period in pixels; `None` = plain wing.
+    wing_bar_period: Option<f32>,
+    wing_bar_angle: f32,
+    beak_len_frac: f32,
+    body_hue_bin: usize,
+    head_hue_bin: usize,
+}
+
+impl Species {
+    /// Deterministically derive species `id`'s appearance.
+    pub fn new(id: usize) -> Self {
+        assert!(id < NUM_SPECIES, "species id {id} out of range");
+        let mut rng = std_rng(0xC0B_0000 + id as u64);
+        let body_hue_bin = rng.random_range(0..8usize);
+        // Head hue biased away from the body hue so species look coherent.
+        let head_hue_bin = (body_hue_bin + rng.random_range(2..7usize)) % 8;
+        // Saturated plumage with per-species brightness level: distinctive
+        // enough that a contrast-driven (surrogate) backbone can pick it up,
+        // the role ImageNet pretraining plays for the real VGG-16.
+        let body_rgb = hue_bin_to_rgb(body_hue_bin, 0.6 + 0.4 * rng.random::<f32>());
+        let head_rgb = hue_bin_to_rgb(head_hue_bin, 0.65 + 0.35 * rng.random::<f32>());
+        let belly_rgb = hue_bin_to_rgb(rng.random_range(0..8usize), 0.85);
+        let wing_bar_period = if rng.random::<f32>() < 0.5 {
+            Some(2.5 + 3.0 * rng.random::<f32>())
+        } else {
+            None
+        };
+        let wing_bar_angle = rng.random::<f32>() * std::f32::consts::PI;
+        let beak_len_frac = 0.15 + 0.25 * rng.random::<f32>();
+        Self {
+            id,
+            body_rgb,
+            head_rgb,
+            belly_rgb,
+            wing_bar_period,
+            wing_bar_angle,
+            beak_len_frac,
+            body_hue_bin,
+            head_hue_bin,
+        }
+    }
+
+    /// Ideal (noise-free, class-level) attribute vector; the analogue of
+    /// CUB's class-level attribute table.
+    pub fn class_attributes(&self) -> Vec<bool> {
+        let mut attrs = vec![false; NUM_ATTRIBUTES];
+        attrs[self.body_hue_bin] = true; // 0..8: body color bins
+        attrs[8 + self.head_hue_bin] = true; // 8..16: head color bins
+        // 16..20: pattern flags
+        attrs[16] = self.wing_bar_period.is_some(); // has wing bars
+        attrs[17] = matches!(self.wing_bar_period, Some(p) if p < 4.0); // fine bars
+        attrs[18] = self.body_hue_bin == self.head_hue_bin; // uniform plumage
+        attrs[19] = self.belly_rgb[0] > 0.6; // warm belly
+        // 20..24: beak flags
+        attrs[20] = self.beak_len_frac > 0.3; // long beak
+        attrs[21] = self.beak_len_frac <= 0.2; // stubby beak
+        attrs[22] = self.head_rgb[2] > 0.5; // bluish head
+        attrs[23] = self.body_rgb[0] > 0.5; // reddish body
+        attrs
+    }
+
+    /// Render one photograph of this species.
+    pub fn render(&self, rng: &mut StdRng, size: usize) -> Image {
+        let s = size as f32;
+        let mut img = Image::new(3, size, size);
+
+        // Background: muted desaturated noise (foliage / sky). Kept dull so
+        // the plumage is the salient content, as in framed bird photos.
+        let bg = 0.3 + 0.15 * rng.random::<f32>();
+        let bg_tint = [bg, bg * (0.9 + 0.2 * rng.random::<f32>()), bg];
+        for c in 0..3 {
+            img.tensor_mut().channel_mut(c).fill(bg_tint[c]);
+        }
+        noise::add_value_noise_texture(&mut img, rng, 3.0, 2, 0.06);
+
+        // Pose / placement jitter.
+        let cx = s * (0.4 + 0.2 * rng.random::<f32>());
+        let cy = s * (0.42 + 0.16 * rng.random::<f32>());
+        let scale = 0.85 + 0.3 * rng.random::<f32>();
+        let body_ry = 0.20 * s * scale;
+        let body_rx = 0.30 * s * scale;
+        let facing: f32 = if rng.random::<f32>() < 0.5 { 1.0 } else { -1.0 };
+        let light = 0.9 + 0.2 * rng.random::<f32>();
+
+        let lit = |rgb: [f32; 3]| [rgb[0] * light, rgb[1] * light, rgb[2] * light];
+
+        // Body.
+        draw::fill_ellipse(&mut img, cy, cx, body_ry, body_rx, &lit(self.body_rgb));
+        // Belly patch.
+        draw::fill_ellipse(
+            &mut img,
+            cy + 0.5 * body_ry,
+            cx,
+            0.5 * body_ry,
+            0.7 * body_rx,
+            &lit(self.belly_rgb),
+        );
+        // Wing bars.
+        if let Some(period) = self.wing_bar_period {
+            draw::fill_stripes_in_disc(
+                &mut img,
+                cy,
+                cx - facing * 0.2 * body_rx,
+                0.75 * body_ry.min(body_rx),
+                self.wing_bar_angle,
+                period * scale,
+                &lit([0.95, 0.95, 0.95]),
+                0.8,
+            );
+        }
+        // Head.
+        let head_r = 0.55 * body_ry;
+        let hx = cx + facing * (body_rx + 0.2 * head_r);
+        let hy = cy - 0.9 * body_ry;
+        draw::fill_disc(&mut img, hy, hx, head_r, &lit(self.head_rgb));
+        // Eye.
+        draw::fill_disc(&mut img, hy - 0.2 * head_r, hx + facing * 0.3 * head_r, 1.2, &[0.05, 0.05, 0.05]);
+        // Beak: small triangle pointing forward.
+        let beak_len = self.beak_len_frac * s * 0.3 * scale;
+        draw::fill_polygon(
+            &mut img,
+            &[
+                (hy - 0.3 * head_r, hx + facing * head_r * 0.8),
+                (hy + 0.3 * head_r, hx + facing * head_r * 0.8),
+                (hy, hx + facing * (head_r * 0.8 + beak_len)),
+            ],
+            &[0.9, 0.7, 0.1],
+        );
+
+        // Photographic nuisances.
+        noise::add_gaussian_noise(&mut img, rng, 0.03);
+        let mut out = filter::gaussian_blur(&img, 0.4 + 0.3 * rng.random::<f32>());
+        out.clamp01();
+        out
+    }
+}
+
+/// Per-image attribute annotations plus the class-level table — everything
+/// the Snorkel labeling functions of §5.1.2 need.
+#[derive(Debug, Clone)]
+pub struct CubAttributes {
+    /// `train_len × NUM_ATTRIBUTES` binary image-level annotations, aligned
+    /// with the dataset's training block.
+    pub image_attributes: Vec<Vec<bool>>,
+    /// `num_classes × NUM_ATTRIBUTES` class-level attribute table.
+    pub class_attributes: Vec<Vec<bool>>,
+}
+
+/// Seed-mixing constant for pair sampling.
+const PAIR_SEED_MIX: u64 = 0xC0B_9A12;
+
+/// Sample `n_pairs` distinct species pairs, mirroring "we randomly sample 10
+/// class-pairs from the 200 classes" (§5.1.1).
+pub fn class_pairs(n_pairs: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = std_rng(seed ^ PAIR_SEED_MIX);
+    (0..n_pairs)
+        .map(|_| {
+            let picks = sample_without_replacement(&mut rng, NUM_SPECIES, 2);
+            (picks[0], picks[1])
+        })
+        .collect()
+}
+
+/// Generate a CUB binary task between `class_a` and `class_b`.
+pub fn generate(config: &TaskConfig, class_a: usize, class_b: usize) -> Dataset {
+    assert_ne!(class_a, class_b, "CUB task needs two distinct species");
+    let species = [Species::new(class_a), Species::new(class_b)];
+    let mut rng = std_rng(config.seed ^ 0xC0B_0001);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (cls, sp) in species.iter().enumerate() {
+        for _ in 0..config.n_train_per_class {
+            train.push((sp.render(&mut rng, config.image_size), cls));
+        }
+        for _ in 0..config.n_test_per_class {
+            test.push((sp.render(&mut rng, config.image_size), cls));
+        }
+    }
+    Dataset::from_parts(
+        format!("CUB({class_a} vs {class_b})"),
+        TaskKind::Cub { class_a, class_b },
+        2,
+        train,
+        test,
+    )
+}
+
+/// Generate the attribute annotations for a CUB dataset's training block.
+///
+/// Image-level attributes are the species' class attributes with
+/// `ATTRIBUTE_NOISE` (5%) independent flips — simulating imperfect human
+/// annotators, the regime Snorkel is designed for.
+pub fn attributes_for(dataset: &Dataset, seed: u64) -> CubAttributes {
+    let TaskKind::Cub { class_a, class_b } = dataset.kind else {
+        panic!("attributes_for requires a CUB dataset, got {:?}", dataset.kind);
+    };
+    let class_attributes: Vec<Vec<bool>> =
+        vec![Species::new(class_a).class_attributes(), Species::new(class_b).class_attributes()];
+    let mut rng = std_rng(seed ^ 0xA77_0001);
+    let image_attributes = dataset
+        .train_indices
+        .iter()
+        .map(|&i| {
+            let ideal = &class_attributes[dataset.labels[i]];
+            ideal
+                .iter()
+                .map(|&a| if rng.random::<f64>() < ATTRIBUTE_NOISE { !a } else { a })
+                .collect()
+        })
+        .collect();
+    CubAttributes { image_attributes, class_attributes }
+}
+
+/// Map one of 8 hue bins to an RGB triple at the given value (brightness).
+fn hue_bin_to_rgb(bin: usize, value: f32) -> [f32; 3] {
+    let hue = bin as f32 / 8.0; // [0, 1)
+    hsv_to_rgb(hue, 0.85, value)
+}
+
+/// Standard HSV→RGB conversion (h, s, v ∈ [0, 1]).
+fn hsv_to_rgb(h: f32, s: f32, v: f32) -> [f32; 3] {
+    let h6 = (h.fract() + 1.0).fract() * 6.0;
+    let i = h6.floor() as i32 % 6;
+    let f = h6 - h6.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    match i {
+        0 => [v, t, p],
+        1 => [q, v, p],
+        2 => [p, v, t],
+        3 => [p, q, v],
+        4 => [t, p, v],
+        _ => [v, p, q],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_is_deterministic() {
+        let a = Species::new(42);
+        let b = Species::new(42);
+        assert_eq!(a.body_rgb, b.body_rgb);
+        assert_eq!(a.class_attributes(), b.class_attributes());
+    }
+
+    #[test]
+    fn species_differ_in_attributes() {
+        // Most random species pairs should differ somewhere.
+        let mut distinct = 0;
+        for i in 0..20 {
+            let a = Species::new(i).class_attributes();
+            let b = Species::new(i + 100).class_attributes();
+            if a != b {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 18, "only {distinct}/20 pairs distinct");
+    }
+
+    #[test]
+    fn render_produces_valid_image() {
+        let sp = Species::new(7);
+        let mut rng = std_rng(1);
+        let img = sp.render(&mut rng, 64);
+        assert_eq!(img.shape(), (3, 64, 64));
+        assert!(img.tensor().as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn renders_vary_between_calls() {
+        let sp = Species::new(3);
+        let mut rng = std_rng(2);
+        let a = sp.render(&mut rng, 32);
+        let b = sp.render(&mut rng, 32);
+        assert_ne!(a, b, "pose/lighting jitter should vary");
+    }
+
+    #[test]
+    fn generate_shapes_and_balance() {
+        let cfg = TaskConfig::new(TaskKind::Cub { class_a: 1, class_b: 5 }, 8, 4, 0);
+        let ds = generate(&cfg, 1, 5);
+        assert_eq!(ds.train_indices.len(), 16);
+        assert_eq!(ds.test_indices.len(), 8);
+        let ones = ds.train_labels().iter().filter(|&&l| l == 1).count();
+        assert_eq!(ones, 8);
+        assert_eq!(ds.name, "CUB(1 vs 5)");
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 9 }, 3, 1, 42);
+        let a = generate(&cfg, 0, 9);
+        let b = generate(&cfg, 0, 9);
+        assert_eq!(a.images[0], b.images[0]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn class_pairs_distinct_and_deterministic() {
+        let p1 = class_pairs(10, 3);
+        let p2 = class_pairs(10, 3);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 10);
+        for &(a, b) in &p1 {
+            assert_ne!(a, b);
+            assert!(a < NUM_SPECIES && b < NUM_SPECIES);
+        }
+    }
+
+    #[test]
+    fn attributes_align_with_classes() {
+        let cfg = TaskConfig::new(TaskKind::Cub { class_a: 2, class_b: 8 }, 30, 2, 1);
+        let ds = generate(&cfg, 2, 8);
+        let attrs = attributes_for(&ds, 0);
+        assert_eq!(attrs.image_attributes.len(), 60);
+        assert_eq!(attrs.class_attributes.len(), 2);
+        // Image attrs should match their class attrs up to flip noise.
+        let mut agreement = 0usize;
+        let mut total = 0usize;
+        for (row, &idx) in attrs.image_attributes.iter().zip(&ds.train_indices) {
+            let ideal = &attrs.class_attributes[ds.labels[idx]];
+            agreement += row.iter().zip(ideal).filter(|(a, b)| a == b).count();
+            total += NUM_ATTRIBUTES;
+        }
+        let rate = agreement as f64 / total as f64;
+        assert!(rate > 0.9, "agreement {rate}");
+        assert!(rate < 1.0, "attribute noise should flip something");
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), [1.0, 0.0, 0.0]);
+        let g = hsv_to_rgb(1.0 / 3.0, 1.0, 1.0);
+        assert!(g[1] > 0.99 && g[0] < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn species_id_out_of_range_panics() {
+        let _ = Species::new(NUM_SPECIES);
+    }
+}

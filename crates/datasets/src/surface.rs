@@ -1,0 +1,268 @@
+//! Surface-finish inspection task (the `Surface` row of Table 1).
+//!
+//! The original corpus [Louhichi 2019] photographs industrial metallic parts
+//! labeled *good* (smooth finish) or *bad* (rough finish); the paper notes
+//! the parts "look very similar to the untrained eye". The class evidence is
+//! purely textural: grain amplitude, pitting and deep scratch marks. This
+//! generator reproduces that: both classes share the same metallic substrate,
+//! illumination gradient and polish direction; the bad class adds coarse
+//! grain, pits and cross-direction scratches.
+
+use crate::types::{Dataset, TaskConfig, TaskKind};
+use goggles_tensor::rng::{normal, std_rng};
+use goggles_vision::{draw, filter, noise, Image};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Render one metallic part photo. `rough == false` is the "good" class.
+pub fn render_part(rng: &mut StdRng, size: usize, rough: bool) -> Image {
+    let s = size as f32;
+    let mut img = Image::new(3, size, size);
+
+    // Metallic base tone with a diagonal illumination gradient.
+    let base = 0.55 + 0.1 * rng.random::<f32>();
+    let grad_angle = rng.random::<f32>() * std::f32::consts::TAU;
+    let (gy, gx) = (grad_angle.sin(), grad_angle.cos());
+    let grad_amp = 0.1 + 0.08 * rng.random::<f32>();
+    for y in 0..size {
+        for x in 0..size {
+            let t = (y as f32 / s - 0.5) * gy + (x as f32 / s - 0.5) * gx;
+            let v = base + grad_amp * t;
+            img.set_pixel(y, x, &[v, v, v * 1.03]); // faint cool metallic tint
+        }
+    }
+
+    // Shared polish direction for the machining marks on this part.
+    let polish_angle = rng.random::<f32>() * std::f32::consts::PI;
+
+    if rough {
+        // Bad finish: coarse grain, pits and deep cross-direction scratches.
+        noise::add_value_noise_texture(&mut img, rng, 10.0, 4, 0.16);
+        let n_pits = 6 + rng.random_range(0..8usize);
+        for _ in 0..n_pits {
+            let cy = rng.random::<f32>() * s;
+            let cx = rng.random::<f32>() * s;
+            let r = 0.8 + 1.8 * rng.random::<f32>();
+            draw::fill_disc(&mut img, cy, cx, r, &[0.18, 0.18, 0.2]);
+        }
+        noise::add_scratches(
+            &mut img,
+            rng,
+            5,
+            polish_angle + std::f32::consts::FRAC_PI_2,
+            0.5,
+            0.3,
+        );
+        noise::add_gaussian_noise(&mut img, rng, 0.04);
+    } else {
+        // Good finish: fine low-amplitude grain + faint aligned polish lines.
+        noise::add_value_noise_texture(&mut img, rng, 16.0, 2, 0.04);
+        noise::add_scratches(&mut img, rng, 3, polish_angle, 0.05, 0.05);
+        noise::add_gaussian_noise(&mut img, rng, 0.02);
+    }
+
+    // Slight defocus jitter shared by both classes.
+    let mut out = filter::gaussian_blur(&img, 0.3 + 0.2 * rng.random::<f32>());
+    // Small global exposure wobble.
+    let exposure = 1.0 + 0.08 * normal(rng) as f32;
+    for v in out.tensor_mut().as_mut_slice() {
+        *v *= exposure;
+    }
+    out.clamp01();
+    out
+}
+
+/// Generate the surface-finish dataset (class 0 = good, class 1 = bad).
+pub fn generate(config: &TaskConfig) -> Dataset {
+    let mut rng = std_rng(config.seed ^ 0x50FA_CE01);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for cls in 0..2usize {
+        let rough = cls == 1;
+        for _ in 0..config.n_train_per_class {
+            train.push((render_part(&mut rng, config.image_size, rough), cls));
+        }
+        for _ in 0..config.n_test_per_class {
+            test.push((render_part(&mut rng, config.image_size, rough), cls));
+        }
+    }
+    Dataset::from_parts("Surface".into(), TaskKind::Surface, 2, train, test)
+}
+
+/// Defect grade of a part in the three-class task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// Grade 0: smooth polished finish.
+    Smooth,
+    /// Grade 1: deep cross-direction scratches, otherwise fine grain.
+    Scratched,
+    /// Grade 2: pitting + coarse grain.
+    Pitted,
+}
+
+/// Render one part of the given grade (three-class task).
+pub fn render_part_graded(rng: &mut StdRng, size: usize, grade: Grade) -> Image {
+    let s = size as f32;
+    let mut img = Image::new(3, size, size);
+    let base = 0.55 + 0.1 * rng.random::<f32>();
+    let grad_angle = rng.random::<f32>() * std::f32::consts::TAU;
+    let (gy, gx) = (grad_angle.sin(), grad_angle.cos());
+    let grad_amp = 0.1 + 0.08 * rng.random::<f32>();
+    for y in 0..size {
+        for x in 0..size {
+            let t = (y as f32 / s - 0.5) * gy + (x as f32 / s - 0.5) * gx;
+            let v = base + grad_amp * t;
+            img.set_pixel(y, x, &[v, v, v * 1.03]);
+        }
+    }
+    let polish_angle = rng.random::<f32>() * std::f32::consts::PI;
+    match grade {
+        Grade::Smooth => {
+            noise::add_value_noise_texture(&mut img, rng, 16.0, 2, 0.04);
+            noise::add_scratches(&mut img, rng, 3, polish_angle, 0.05, 0.05);
+        }
+        Grade::Scratched => {
+            noise::add_value_noise_texture(&mut img, rng, 16.0, 2, 0.05);
+            noise::add_scratches(
+                &mut img,
+                rng,
+                9,
+                polish_angle + std::f32::consts::FRAC_PI_2,
+                0.4,
+                0.35,
+            );
+        }
+        Grade::Pitted => {
+            noise::add_value_noise_texture(&mut img, rng, 10.0, 4, 0.14);
+            let n_pits = 10 + rng.random_range(0..8usize);
+            for _ in 0..n_pits {
+                let cy = rng.random::<f32>() * s;
+                let cx = rng.random::<f32>() * s;
+                let r = 1.0 + 2.0 * rng.random::<f32>();
+                draw::fill_disc(&mut img, cy, cx, r, &[0.15, 0.15, 0.18]);
+            }
+        }
+    }
+    noise::add_gaussian_noise(&mut img, rng, 0.02);
+    let mut out = filter::gaussian_blur(&img, 0.3 + 0.2 * rng.random::<f32>());
+    let exposure = 1.0 + 0.08 * normal(rng) as f32;
+    for v in out.tensor_mut().as_mut_slice() {
+        *v *= exposure;
+    }
+    out.clamp01();
+    out
+}
+
+/// Generate the three-grade dataset (0 = smooth, 1 = scratched, 2 = pitted).
+pub fn generate_grades(config: &TaskConfig) -> Dataset {
+    let mut rng = std_rng(config.seed ^ 0x50FA_CE03);
+    let grades = [Grade::Smooth, Grade::Scratched, Grade::Pitted];
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (cls, &grade) in grades.iter().enumerate() {
+        for _ in 0..config.n_train_per_class {
+            train.push((render_part_graded(&mut rng, config.image_size, grade), cls));
+        }
+        for _ in 0..config.n_test_per_class {
+            test.push((render_part_graded(&mut rng, config.image_size, grade), cls));
+        }
+    }
+    Dataset::from_parts("Surface-3".into(), TaskKind::SurfaceGrades, 3, train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texture_energy(img: &Image) -> f32 {
+        // high-frequency energy: mean |pixel - blur(pixel)|
+        let blurred = filter::gaussian_blur(img, 1.5);
+        img.tensor()
+            .as_slice()
+            .iter()
+            .zip(blurred.tensor().as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / img.tensor().as_slice().len() as f32
+    }
+
+    #[test]
+    fn rough_parts_have_more_texture_energy() {
+        let mut rng = std_rng(1);
+        let mut good = 0.0;
+        let mut bad = 0.0;
+        for _ in 0..8 {
+            good += texture_energy(&render_part(&mut rng, 64, false));
+            bad += texture_energy(&render_part(&mut rng, 64, true));
+        }
+        assert!(
+            bad > 1.5 * good,
+            "texture gap too small: good {good:.4} vs bad {bad:.4}"
+        );
+    }
+
+    #[test]
+    fn images_are_valid() {
+        let mut rng = std_rng(2);
+        for rough in [false, true] {
+            let img = render_part(&mut rng, 64, rough);
+            assert_eq!(img.shape(), (3, 64, 64));
+            assert!(img.tensor().as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn generate_layout_and_determinism() {
+        let cfg = TaskConfig::new(TaskKind::Surface, 5, 2, 3);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train_indices.len(), 10);
+        assert_eq!(a.test_indices.len(), 4);
+        assert_eq!(a.images[3], b.images[3]);
+        assert_eq!(a.train_labels(), vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn parts_vary_within_class() {
+        let mut rng = std_rng(4);
+        let a = render_part(&mut rng, 32, true);
+        let b = render_part(&mut rng, 32, true);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn graded_dataset_has_three_balanced_classes() {
+        let cfg = TaskConfig::new(TaskKind::SurfaceGrades, 6, 2, 9);
+        let ds = generate_grades(&cfg);
+        assert_eq!(ds.num_classes, 3);
+        assert_eq!(ds.train_indices.len(), 18);
+        for cls in 0..3 {
+            assert_eq!(ds.train_labels().iter().filter(|&&l| l == cls).count(), 6);
+        }
+        assert_eq!(ds.name, "Surface-3");
+    }
+
+    #[test]
+    fn defective_grades_have_more_texture_than_smooth() {
+        // Both defect grades carry clearly more high-frequency energy than
+        // the smooth grade (their *kind* of energy differs — directional
+        // strokes vs isotropic pits — which is what the classifier uses).
+        let mut rng = std_rng(10);
+        let mut energy = [0.0f32; 3];
+        for _ in 0..6 {
+            for (g, grade) in
+                [Grade::Smooth, Grade::Scratched, Grade::Pitted].iter().enumerate()
+            {
+                energy[g] += texture_energy(&render_part_graded(&mut rng, 64, *grade));
+            }
+        }
+        assert!(energy[1] > 1.3 * energy[0], "scratched {} vs smooth {}", energy[1], energy[0]);
+        assert!(energy[2] > 1.3 * energy[0], "pitted {} vs smooth {}", energy[2], energy[0]);
+    }
+
+    #[test]
+    fn graded_generator_is_deterministic() {
+        let cfg = TaskConfig::new(TaskKind::SurfaceGrades, 2, 1, 5);
+        assert_eq!(generate_grades(&cfg).images[4], generate_grades(&cfg).images[4]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Adam optimizer (Kingma & Ba, 2015) over a flat parameter vector.
+//!
+//! §5.1.3: "The FSL models as well as all end models are trained with the
+//! Adam optimizer with a learning rate of 10⁻³".
+
+/// Adam state for one parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Standard hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(n_params: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n_params], v: vec![0.0; n_params], t: 0 }
+    }
+
+    /// Apply one update: `params -= lr * m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param arity changed");
+        assert_eq!(grads.len(), self.m.len(), "grad arity mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / b1t;
+            let v_hat = *v / b2t;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² — gradient 2(x-3).
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = vec![0.0f64];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = 2.0 * (params[0] - 3.0);
+            opt.step(&mut params, &[g]);
+        }
+        assert!((params[0] - 3.0).abs() < 1e-3, "x = {}", params[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    /// Rosenbrock-ish coupled quadratic in 2D.
+    #[test]
+    fn converges_on_coupled_quadratic() {
+        let mut p = vec![5.0f64, -4.0];
+        let mut opt = Adam::new(2, 0.05);
+        for _ in 0..3000 {
+            // f = (p0-1)^2 + 10(p1-p0)^2
+            let g0 = 2.0 * (p[0] - 1.0) - 20.0 * (p[1] - p[0]);
+            let g1 = 20.0 * (p[1] - p[0]);
+            opt.step(&mut p, &[g0, g1]);
+        }
+        assert!((p[0] - 1.0).abs() < 1e-2 && (p[1] - 1.0).abs() < 1e-2, "{p:?}");
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // Adam's bias correction makes the first step ≈ lr · sign(g).
+        let mut p = vec![0.0f64];
+        let mut opt = Adam::new(1, 0.001);
+        opt.step(&mut p, &[42.0]);
+        assert!((p[0] + 0.001).abs() < 1e-6, "step = {}", p[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grad_arity_mismatch_panics() {
+        let mut p = vec![0.0f64; 2];
+        let mut opt = Adam::new(2, 0.1);
+        opt.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared evaluation protocol: feature standardization (fit on train, apply
+//! everywhere) and accuracy metrics.
+
+use goggles_tensor::Matrix;
+
+/// Per-feature affine standardizer fit on training features.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    inv_stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Apply to a feature matrix (columns must match the fit dimension).
+    pub fn transform(&self, features: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(features.cols(), self.means.len(), "feature dim mismatch");
+        Matrix::from_fn(features.rows(), features.cols(), |i, j| {
+            (features[(i, j)] - self.means[j]) * self.inv_stds[j]
+        })
+    }
+}
+
+/// Fit a standardizer on training features (variance floored at 1e-12).
+pub fn standardize_fit(train: &Matrix<f64>) -> Standardizer {
+    let means = train.col_means();
+    let vars = train.col_variances();
+    let inv_stds = vars.iter().map(|&v| 1.0 / v.max(1e-12).sqrt()).collect();
+    Standardizer { means, inv_stds }
+}
+
+/// Fraction of predictions equal to truth.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+}
+
+/// One-hot probabilistic labels from hard labels (the supervised
+/// upper-bound trains on these).
+pub fn one_hot_labels(labels: &[usize], num_classes: usize) -> Matrix<f64> {
+    let mut out = Matrix::<f64>::zeros(labels.len(), num_classes);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} out of range");
+        out[(i, l)] = 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let train = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0], &[5.0, 10.0]]);
+        let s = standardize_fit(&train);
+        let z = s.transform(&train);
+        let means = z.col_means();
+        assert!(means[0].abs() < 1e-12);
+        let vars = z.col_variances();
+        assert!((vars[0] - 1.0).abs() < 1e-9);
+        // constant column stays finite (0 after centering)
+        assert!(z.col(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn standardizer_applies_train_statistics_to_test() {
+        let train = Matrix::from_rows(&[&[0.0], &[2.0]]);
+        let s = standardize_fit(&train);
+        let test = Matrix::from_rows(&[&[4.0]]);
+        let z = s.transform(&test);
+        // mean 1, std 1 → (4-1)/1 = 3
+        assert!((z[(0, 0)] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn one_hot_shape_and_content() {
+        let oh = one_hot_labels(&[1, 0, 2], 3);
+        assert_eq!(oh.shape(), (3, 3));
+        assert_eq!(oh.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(oh.row(2), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_hot_rejects_out_of_range() {
+        let _ = one_hot_labels(&[3], 3);
+    }
+}

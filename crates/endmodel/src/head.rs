@@ -1,0 +1,376 @@
+//! Trainable heads over frozen backbone features.
+//!
+//! [`SoftmaxHead`] is plain multinomial logistic regression;
+//! [`MlpHead`] adds one ReLU hidden layer — the analogue of "freezing the
+//! convolutional layers of the VGG-16 model and only updating the weights of
+//! the fully connected layers" (§5.1.4). Both minimize the **expected**
+//! cross-entropy under probabilistic labels,
+//! `θ̂ = argmin_θ Σ_i E_{y∼ỹ_i}[ℓ(h_θ(x_i), y)]` (§2.1), which reduces to
+//! cross-entropy against the soft label vector.
+
+use crate::adam::Adam;
+use goggles_tensor::rng::{normal, std_rng};
+use goggles_tensor::{log_sum_exp, Matrix};
+
+/// Training configuration shared by the heads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Adam learning rate (paper: 1e-3).
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { learning_rate: 1e-3, epochs: 300, weight_decay: 1e-4, seed: 0 }
+    }
+}
+
+/// Multinomial logistic-regression head.
+#[derive(Debug, Clone)]
+pub struct SoftmaxHead {
+    /// Flat parameters: `K × d` weights then `K` biases.
+    params: Vec<f64>,
+    dim: usize,
+    k: usize,
+    /// Training-loss trace (one entry per epoch).
+    pub loss_trace: Vec<f64>,
+}
+
+impl SoftmaxHead {
+    /// Train on `features` (`n × d`) with probabilistic labels (`n × K`).
+    pub fn train(features: &Matrix<f64>, soft_labels: &Matrix<f64>, cfg: &TrainConfig) -> Self {
+        let (n, d) = features.shape();
+        let k = soft_labels.cols();
+        assert_eq!(soft_labels.rows(), n, "label rows must match features");
+        assert!(n > 0 && d > 0 && k >= 2, "degenerate training problem");
+        let mut rng = std_rng(cfg.seed);
+        let mut params: Vec<f64> = (0..k * d).map(|_| 0.01 * normal(&mut rng)).collect();
+        params.extend(std::iter::repeat_n(0.0, k));
+        let mut opt = Adam::new(params.len(), cfg.learning_rate);
+        let mut grads = vec![0.0f64; params.len()];
+        let mut loss_trace = Vec::with_capacity(cfg.epochs);
+        let mut logits = vec![0.0f64; k];
+        for _ in 0..cfg.epochs {
+            grads.fill(0.0);
+            let mut loss = 0.0;
+            for i in 0..n {
+                let x = features.row(i);
+                forward_linear(&params, x, d, k, &mut logits);
+                let lse = log_sum_exp(&logits);
+                let y = soft_labels.row(i);
+                for c in 0..k {
+                    let p = (logits[c] - lse).exp();
+                    loss -= y[c] * (logits[c] - lse);
+                    let err = p - y[c];
+                    let wg = &mut grads[c * d..(c + 1) * d];
+                    for (g, &xv) in wg.iter_mut().zip(x) {
+                        *g += err * xv;
+                    }
+                    grads[k * d + c] += err;
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            for (g, p) in grads.iter_mut().zip(params.iter()) {
+                *g = *g * inv_n + cfg.weight_decay * p;
+            }
+            loss_trace.push(loss * inv_n);
+            opt.step(&mut params, &grads);
+        }
+        Self { params, dim: d, k, loss_trace }
+    }
+
+    /// Class probabilities for each feature row.
+    pub fn predict_proba(&self, features: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(features.cols(), self.dim);
+        let mut out = Matrix::<f64>::zeros(features.rows(), self.k);
+        let mut logits = vec![0.0f64; self.k];
+        for (i, x) in features.rows_iter().enumerate() {
+            forward_linear(&self.params, x, self.dim, self.k, &mut logits);
+            let lse = log_sum_exp(&logits);
+            for c in 0..self.k {
+                out[(i, c)] = (logits[c] - lse).exp();
+            }
+        }
+        out
+    }
+
+    /// Hard predictions.
+    pub fn predict(&self, features: &Matrix<f64>) -> Vec<usize> {
+        let p = self.predict_proba(features);
+        (0..p.rows()).map(|i| goggles_tensor::argmax(p.row(i))).collect()
+    }
+}
+
+#[inline]
+fn forward_linear(params: &[f64], x: &[f64], d: usize, k: usize, logits: &mut [f64]) {
+    for c in 0..k {
+        let w = &params[c * d..(c + 1) * d];
+        let mut acc = params[k * d + c];
+        for (&wv, &xv) in w.iter().zip(x) {
+            acc += wv * xv;
+        }
+        logits[c] = acc;
+    }
+}
+
+/// One-hidden-layer MLP head (ReLU), trained with backprop + Adam on the
+/// expected cross-entropy.
+#[derive(Debug, Clone)]
+pub struct MlpHead {
+    /// Flat parameters: `h × d` (W1), `h` (b1), `K × h` (W2), `K` (b2).
+    params: Vec<f64>,
+    dim: usize,
+    hidden: usize,
+    k: usize,
+    /// Training-loss trace.
+    pub loss_trace: Vec<f64>,
+}
+
+impl MlpHead {
+    /// Train with `hidden` ReLU units.
+    pub fn train(
+        features: &Matrix<f64>,
+        soft_labels: &Matrix<f64>,
+        hidden: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        let (n, d) = features.shape();
+        let k = soft_labels.cols();
+        assert_eq!(soft_labels.rows(), n);
+        assert!(n > 0 && d > 0 && k >= 2 && hidden > 0, "degenerate problem");
+        let mut rng = std_rng(cfg.seed);
+        let he1 = (2.0 / d as f64).sqrt();
+        let he2 = (2.0 / hidden as f64).sqrt();
+        let mut params: Vec<f64> = Vec::with_capacity(hidden * d + hidden + k * hidden + k);
+        params.extend((0..hidden * d).map(|_| he1 * normal(&mut rng)));
+        params.extend(std::iter::repeat_n(0.0, hidden));
+        params.extend((0..k * hidden).map(|_| he2 * normal(&mut rng)));
+        params.extend(std::iter::repeat_n(0.0, k));
+        let n_params = params.len();
+        let mut opt = Adam::new(n_params, cfg.learning_rate);
+        let mut grads = vec![0.0f64; n_params];
+        let mut loss_trace = Vec::with_capacity(cfg.epochs);
+        let mut h_act = vec![0.0f64; hidden];
+        let mut logits = vec![0.0f64; k];
+        let mut dh = vec![0.0f64; hidden];
+        let (w1_end, b1_end) = (hidden * d, hidden * d + hidden);
+        let w2_end = b1_end + k * hidden;
+        for _ in 0..cfg.epochs {
+            grads.fill(0.0);
+            let mut loss = 0.0;
+            for i in 0..n {
+                let x = features.row(i);
+                // forward
+                for h in 0..hidden {
+                    let w = &params[h * d..(h + 1) * d];
+                    let mut acc = params[w1_end + h];
+                    for (&wv, &xv) in w.iter().zip(x) {
+                        acc += wv * xv;
+                    }
+                    h_act[h] = acc.max(0.0);
+                }
+                for c in 0..k {
+                    let w = &params[b1_end + c * hidden..b1_end + (c + 1) * hidden];
+                    let mut acc = params[w2_end + c];
+                    for (&wv, &hv) in w.iter().zip(&h_act) {
+                        acc += wv * hv;
+                    }
+                    logits[c] = acc;
+                }
+                let lse = log_sum_exp(&logits);
+                let y = soft_labels.row(i);
+                dh.fill(0.0);
+                for c in 0..k {
+                    let p = (logits[c] - lse).exp();
+                    loss -= y[c] * (logits[c] - lse);
+                    let err = p - y[c];
+                    let w2 = &params[b1_end + c * hidden..b1_end + (c + 1) * hidden];
+                    let g2 = &mut grads[b1_end + c * hidden..b1_end + (c + 1) * hidden];
+                    for ((g, &hv), (&wv, dhv)) in
+                        g2.iter_mut().zip(&h_act).zip(w2.iter().zip(dh.iter_mut()))
+                    {
+                        *g += err * hv;
+                        *dhv += err * wv;
+                    }
+                    grads[w2_end + c] += err;
+                }
+                for h in 0..hidden {
+                    if h_act[h] <= 0.0 {
+                        continue; // ReLU gate
+                    }
+                    let g1 = &mut grads[h * d..(h + 1) * d];
+                    for (g, &xv) in g1.iter_mut().zip(x) {
+                        *g += dh[h] * xv;
+                    }
+                    grads[w1_end + h] += dh[h];
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            for (g, p) in grads.iter_mut().zip(params.iter()) {
+                *g = *g * inv_n + cfg.weight_decay * p;
+            }
+            loss_trace.push(loss * inv_n);
+            opt.step(&mut params, &grads);
+        }
+        Self { params, dim: d, hidden, k, loss_trace }
+    }
+
+    /// Class probabilities.
+    pub fn predict_proba(&self, features: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(features.cols(), self.dim);
+        let (hidden, d, k) = (self.hidden, self.dim, self.k);
+        let (w1_end, b1_end) = (hidden * d, hidden * d + hidden);
+        let w2_end = b1_end + k * hidden;
+        let mut out = Matrix::<f64>::zeros(features.rows(), k);
+        let mut h_act = vec![0.0f64; hidden];
+        let mut logits = vec![0.0f64; k];
+        for (i, x) in features.rows_iter().enumerate() {
+            for h in 0..hidden {
+                let w = &self.params[h * d..(h + 1) * d];
+                let mut acc = self.params[w1_end + h];
+                for (&wv, &xv) in w.iter().zip(x) {
+                    acc += wv * xv;
+                }
+                h_act[h] = acc.max(0.0);
+            }
+            for c in 0..k {
+                let w = &self.params[b1_end + c * hidden..b1_end + (c + 1) * hidden];
+                let mut acc = self.params[w2_end + c];
+                for (&wv, &hv) in w.iter().zip(&h_act) {
+                    acc += wv * hv;
+                }
+                logits[c] = acc;
+            }
+            let lse = log_sum_exp(&logits);
+            for c in 0..k {
+                out[(i, c)] = (logits[c] - lse).exp();
+            }
+        }
+        out
+    }
+
+    /// Hard predictions.
+    pub fn predict(&self, features: &Matrix<f64>) -> Vec<usize> {
+        let p = self.predict_proba(features);
+        (0..p.rows()).map(|i| goggles_tensor::argmax(p.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{accuracy, one_hot_labels};
+    use goggles_tensor::rng::std_rng;
+
+    /// Linearly separable 2-D blobs.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix<f64>, Vec<usize>) {
+        let mut rng = std_rng(seed);
+        let n = 2 * n_per;
+        let truth: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
+        let feats = Matrix::from_fn(n, 2, |i, _| {
+            let c = if truth[i] == 0 { -1.5 } else { 1.5 };
+            c + normal(&mut rng) * 0.5
+        });
+        (feats, truth)
+    }
+
+    /// XOR data — not linearly separable.
+    fn xor(n_per: usize, seed: u64) -> (Matrix<f64>, Vec<usize>) {
+        let mut rng = std_rng(seed);
+        let n = 4 * n_per;
+        let mut rows = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for q in 0..4 {
+            let (sx, sy) = [(1.0, 1.0), (-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0)][q];
+            for _ in 0..n_per {
+                rows.push([sx * 2.0 + normal(&mut rng) * 0.4, sy * 2.0 + normal(&mut rng) * 0.4]);
+                truth.push(usize::from(q >= 2));
+            }
+        }
+        (Matrix::from_fn(n, 2, |i, j| rows[i][j]), truth)
+    }
+
+    #[test]
+    fn softmax_fits_separable_data() {
+        let (x, y) = blobs(50, 1);
+        let head = SoftmaxHead::train(&x, &one_hot_labels(&y, 2), &TrainConfig::default());
+        assert!(accuracy(&head.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn softmax_loss_decreases() {
+        let (x, y) = blobs(40, 2);
+        let head = SoftmaxHead::train(&x, &one_hot_labels(&y, 2), &TrainConfig::default());
+        let first = head.loss_trace[0];
+        let last = *head.loss_trace.last().unwrap();
+        assert!(last < first * 0.8, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn mlp_solves_xor_where_softmax_cannot() {
+        let (x, y) = xor(30, 3);
+        let oh = one_hot_labels(&y, 2);
+        let cfg = TrainConfig { epochs: 600, learning_rate: 5e-3, ..TrainConfig::default() };
+        let linear = SoftmaxHead::train(&x, &oh, &cfg);
+        let mlp = MlpHead::train(&x, &oh, 16, &cfg);
+        let lin_acc = accuracy(&linear.predict(&x), &y);
+        let mlp_acc = accuracy(&mlp.predict(&x), &y);
+        assert!(lin_acc < 0.75, "linear should fail on XOR: {lin_acc}");
+        assert!(mlp_acc > 0.9, "mlp should solve XOR: {mlp_acc}");
+    }
+
+    #[test]
+    fn soft_labels_train_comparably_to_hard_when_confident() {
+        let (x, y) = blobs(60, 4);
+        // Soft labels: 0.9/0.1 instead of 1/0.
+        let mut soft = one_hot_labels(&y, 2);
+        soft.map_in_place(|v| if v == 1.0 { 0.9 } else { 0.1 });
+        let head = SoftmaxHead::train(&x, &soft, &TrainConfig::default());
+        assert!(accuracy(&head.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn noisy_soft_labels_degrade_gracefully() {
+        // Near-uniform labels carry almost no signal; the model should stay
+        // close to chance rather than hallucinate certainty.
+        let (x, y) = blobs(60, 5);
+        let soft = Matrix::filled(x.rows(), 2, 0.5);
+        let head = SoftmaxHead::train(&x, &soft, &TrainConfig::default());
+        let p = head.predict_proba(&x);
+        let avg_conf: f64 = (0..p.rows())
+            .map(|i| p.row(i).iter().cloned().fold(f64::MIN, f64::max))
+            .sum::<f64>()
+            / p.rows() as f64;
+        assert!(avg_conf < 0.6, "uniform labels produced confidence {avg_conf}");
+        let _ = y;
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (x, y) = blobs(20, 6);
+        let head = MlpHead::train(&x, &one_hot_labels(&y, 2), 8, &TrainConfig { epochs: 50, ..TrainConfig::default() });
+        let p = head.predict_proba(&x);
+        for i in 0..p.rows() {
+            assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = blobs(30, 7);
+        let oh = one_hot_labels(&y, 2);
+        let cfg = TrainConfig { epochs: 60, ..TrainConfig::default() };
+        let a = SoftmaxHead::train(&x, &oh, &cfg);
+        let b = SoftmaxHead::train(&x, &oh, &cfg);
+        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_eq!(a.loss_trace, b.loss_trace);
+    }
+
+    use goggles_tensor::rng::normal;
+}

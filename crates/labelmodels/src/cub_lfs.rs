@@ -1,0 +1,110 @@
+//! Attribute-annotation labeling functions for the CUB task (§5.1.2).
+//!
+//! "We combine CUB's image-level attribute annotations … with the
+//! class-level attribute information provided … each attribute annotation in
+//! the union of the class-specific attributes acts as a labeling function
+//! which outputs a binary label corresponding to the class that the
+//! attribute belongs to. If an attribute belongs to both classes from the
+//! class-pair, the labeling function abstains."
+
+use crate::lf::{LabelMatrix, ABSTAIN};
+use crate::Result;
+use goggles_datasets::cub::CubAttributes;
+
+/// Build the Snorkel vote matrix for a CUB task from its attribute
+/// annotations. Rows align with the dataset's training block.
+///
+/// For every attribute `a` owned by exactly one of the two classes, the LF
+/// votes that class on images annotated with `a` and abstains otherwise.
+/// Attributes owned by both or neither class are skipped (they'd always
+/// abstain).
+pub fn attribute_label_matrix(attrs: &CubAttributes) -> Result<LabelMatrix> {
+    let n = attrs.image_attributes.len();
+    let num_attrs = attrs.class_attributes[0].len();
+    // Attribute → owning class, when unique.
+    let mut lf_defs: Vec<(usize, usize)> = Vec::new(); // (attribute, class)
+    for a in 0..num_attrs {
+        let in0 = attrs.class_attributes[0][a];
+        let in1 = attrs.class_attributes[1][a];
+        match (in0, in1) {
+            (true, false) => lf_defs.push((a, 0)),
+            (false, true) => lf_defs.push((a, 1)),
+            _ => {} // both or neither → always abstains, skip
+        }
+    }
+    let m = lf_defs.len();
+    let mut votes = Vec::with_capacity(n * m);
+    for img_attrs in &attrs.image_attributes {
+        for &(a, class) in &lf_defs {
+            votes.push(if img_attrs[a] { class as i64 } else { ABSTAIN });
+        }
+    }
+    LabelMatrix::new(n, m, 2, votes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snorkel::SnorkelModel;
+    use goggles_datasets::cub;
+    use goggles_datasets::{generate, TaskConfig, TaskKind};
+
+    fn cub_dataset(seed: u64) -> (goggles_datasets::Dataset, CubAttributes) {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 3, class_b: 117 }, 25, 3, seed);
+        cfg.image_size = 32;
+        let ds = generate(&cfg, );
+        let attrs = cub::attributes_for(&ds, seed);
+        (ds, attrs)
+    }
+
+    #[test]
+    fn lf_count_matches_distinct_attributes() {
+        let (_, attrs) = cub_dataset(1);
+        let lm = attribute_label_matrix(&attrs).unwrap();
+        let distinct = (0..cub::NUM_ATTRIBUTES)
+            .filter(|&a| attrs.class_attributes[0][a] != attrs.class_attributes[1][a])
+            .count();
+        assert_eq!(lm.num_lfs(), distinct);
+        assert_eq!(lm.n(), 50);
+    }
+
+    #[test]
+    fn votes_follow_attribute_ownership() {
+        let (_, attrs) = cub_dataset(2);
+        let lm = attribute_label_matrix(&attrs).unwrap();
+        // Reconstruct lf defs the same way to cross-check a few votes.
+        let mut defs = Vec::new();
+        for a in 0..cub::NUM_ATTRIBUTES {
+            match (attrs.class_attributes[0][a], attrs.class_attributes[1][a]) {
+                (true, false) => defs.push((a, 0usize)),
+                (false, true) => defs.push((a, 1usize)),
+                _ => {}
+            }
+        }
+        for (j, &(a, class)) in defs.iter().enumerate() {
+            for i in 0..5 {
+                let expect = if attrs.image_attributes[i][a] { class as i64 } else { ABSTAIN };
+                assert_eq!(lm.vote(i, j), expect, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn snorkel_on_attribute_lfs_labels_cub_well() {
+        // End-to-end §5.1.2: attribute LFs + generative model ≈ the paper's
+        // Snorkel-on-CUB row (89.17% with real data; high here too since
+        // annotations are 95% faithful).
+        let (ds, attrs) = cub_dataset(3);
+        let lm = attribute_label_matrix(&attrs).unwrap();
+        let model = SnorkelModel::fit(&lm, 100, 1e-6).unwrap();
+        let truth = ds.train_labels();
+        let acc = model
+            .hard_labels()
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.8, "Snorkel CUB accuracy = {acc}");
+    }
+}

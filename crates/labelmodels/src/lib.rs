@@ -1,0 +1,53 @@
+//! # goggles-labelmodels
+//!
+//! The data-programming systems GOGGLES is compared against in §5:
+//!
+//! * [`lf`] — labeling-function abstraction and the vote matrix (each LF
+//!   emits a class or abstains, exactly the data-programming contract of
+//!   Ratner et al.),
+//! * [`snorkel`] — a Snorkel-style generative label model: per-LF accuracy
+//!   and propensity learned by EM from agreements/disagreements, producing
+//!   probabilistic labels (Snorkel's core; the paper runs it on CUB's
+//!   attribute annotations, §5.1.2),
+//! * [`snuba`] — a Snuba-style synthesizer that *learns* LFs from a small
+//!   development set over automatically extracted primitives, with
+//!   F1+diversity selection and abstain calibration (Varma & Ré 2018),
+//! * [`primitives`] — the primitive extraction the paper's authors
+//!   recommended for a fair Snuba comparison: VGG logits projected onto the
+//!   top-10 principal components (§5.1.2),
+//! * [`cub_lfs`] — attribute-annotation LFs for the CUB task ("each
+//!   attribute annotation in the union of the class-specific attributes acts
+//!   as a labeling function").
+
+pub mod cub_lfs;
+pub mod lf;
+pub mod primitives;
+pub mod snorkel;
+pub mod snuba;
+
+pub use lf::{LabelMatrix, ABSTAIN};
+pub use snorkel::SnorkelModel;
+pub use snuba::{Snuba, SnubaConfig};
+
+/// Errors from label-model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelModelError {
+    /// No labeling functions / empty vote matrix.
+    EmptyInput,
+    /// Invalid configuration or vote values.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for LabelModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelModelError::EmptyInput => write!(f, "empty input"),
+            LabelModelError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelModelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LabelModelError>;

@@ -1,0 +1,90 @@
+//! Primitive extraction for Snuba (§5.1.2).
+//!
+//! The paper, after consulting Snuba's authors, feeds Snuba "a rich feature
+//! representation extracted from images as their primitives": the VGG-16
+//! logits projected onto the top-10 principal components. This module
+//! implements that projection over any feature matrix.
+
+use crate::{LabelModelError, Result};
+use goggles_tensor::{Matrix, Pca};
+
+/// PCA-projected primitives plus the fitted projection (so test-time
+/// features can be mapped consistently).
+#[derive(Debug, Clone)]
+pub struct Primitives {
+    /// `n × k` projected primitive matrix.
+    pub values: Matrix<f64>,
+    /// The fitted PCA.
+    pub pca: Pca,
+}
+
+/// Project `features` (`n × d`, e.g. backbone logits) onto the top-`k`
+/// principal components. The paper uses `k = 10` and notes that "providing
+/// more components does not change the results significantly".
+pub fn extract_primitives(features: &Matrix<f64>, k: usize) -> Result<Primitives> {
+    if features.rows() == 0 || features.cols() == 0 {
+        return Err(LabelModelError::EmptyInput);
+    }
+    let pca = Pca::fit(features, k)
+        .map_err(|e| LabelModelError::InvalidInput(format!("PCA failed: {e}")))?;
+    let values = pca.transform(features);
+    Ok(Primitives { values, pca })
+}
+
+/// Convert an `f32` feature matrix (CNN output) to `f64`.
+pub fn to_f64(features: &Matrix<f32>) -> Matrix<f64> {
+    Matrix::from_fn(features.rows(), features.cols(), |i, j| features[(i, j)] as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_tensor::rng::{normal, std_rng};
+
+    #[test]
+    fn primitives_have_requested_dims() {
+        let mut rng = std_rng(1);
+        let feats = Matrix::from_fn(50, 20, |_, _| normal(&mut rng));
+        let prim = extract_primitives(&feats, 10).unwrap();
+        assert_eq!(prim.values.shape(), (50, 10));
+    }
+
+    #[test]
+    fn k_clamped_to_dim() {
+        let mut rng = std_rng(2);
+        let feats = Matrix::from_fn(30, 4, |_, _| normal(&mut rng));
+        let prim = extract_primitives(&feats, 10).unwrap();
+        assert_eq!(prim.values.cols(), 4);
+    }
+
+    #[test]
+    fn variance_concentrates_in_leading_components() {
+        // embed a dominant 1-D signal in 6 dims
+        let mut rng = std_rng(3);
+        let feats = Matrix::from_fn(200, 6, |_, j| {
+            let t = normal(&mut rng);
+            if j == 0 {
+                5.0 * t
+            } else {
+                0.1 * normal(&mut rng)
+            }
+        });
+        let prim = extract_primitives(&feats, 3).unwrap();
+        let vars = prim.values.col_variances();
+        assert!(vars[0] > 10.0 * vars[1], "{vars:?}");
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let feats = Matrix::<f64>::zeros(0, 5);
+        assert!(extract_primitives(&feats, 3).is_err());
+    }
+
+    #[test]
+    fn to_f64_preserves_values() {
+        let f32m = Matrix::<f32>::from_rows(&[&[1.5, -2.25]]);
+        let f64m = to_f64(&f32m);
+        assert_eq!(f64m[(0, 0)], 1.5);
+        assert_eq!(f64m[(0, 1)], -2.25);
+    }
+}

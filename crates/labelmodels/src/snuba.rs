@@ -1,0 +1,709 @@
+//! Snuba-style automatic LF synthesis (Varma & Ré, VLDB 2019).
+//!
+//! Snuba takes (i) per-instance primitives and (ii) a small labeled
+//! development set, and *learns* a committee of weak labeling functions:
+//!
+//! 1. **Candidate generation** — decision stumps over every single
+//!    primitive dimension (Snuba's default heuristic family), fit on the
+//!    dev set;
+//! 2. **Abstain calibration** — each stump only votes outside a margin
+//!    `β` around its threshold, with `β` chosen from a grid to maximize the
+//!    dev-set F1 (Snuba's `find_beta`);
+//! 3. **Diverse selection** — iteratively commit the candidate with the
+//!    best dev F1, down-weighted by its coverage overlap (Jaccard) with the
+//!    already-committed committee;
+//! 4. **Aggregation** — the committee's votes on all unlabeled instances go
+//!    through the [`crate::snorkel::SnorkelModel`] generative model to
+//!    produce probabilistic labels, as in the original system.
+//!
+//! With a 10-example dev set the stumps are inevitably noisy — which is the
+//! behaviour the paper's Table 1 documents (Snuba near chance on image
+//! tasks when primitives are automatically extracted).
+//!
+//! Like the original system, three heuristic families are supported
+//! ([`HeuristicFamily`]): decision stumps on single primitives, logistic
+//! regressors on primitive pairs, and k-nearest-neighbour heuristics on
+//! primitive pairs (Varma & Ré §3.1). The default uses all three.
+
+use crate::lf::{LabelMatrix, ABSTAIN};
+use crate::snorkel::SnorkelModel;
+use crate::{LabelModelError, Result};
+use goggles_tensor::Matrix;
+
+/// One synthesized stump heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stump {
+    /// Primitive dimension the stump thresholds.
+    pub feature: usize,
+    /// Decision threshold θ.
+    pub threshold: f64,
+    /// Class voted when `x > θ + β` ( `1 - class_above` voted below θ - β).
+    pub class_above: usize,
+    /// Abstain half-width β.
+    pub beta: f64,
+    /// Dev-set F1 achieved during synthesis.
+    pub dev_f1: f64,
+}
+
+impl Stump {
+    /// Vote on a primitive row.
+    pub fn vote(&self, row: &[f64]) -> i64 {
+        let x = row[self.feature];
+        if x > self.threshold + self.beta {
+            self.class_above as i64
+        } else if x < self.threshold - self.beta {
+            1 - self.class_above as i64
+        } else {
+            ABSTAIN
+        }
+    }
+}
+
+/// Which weak-heuristic families the synthesizer may draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeuristicFamily {
+    /// Decision stumps on single primitives only.
+    Stumps,
+    /// Logistic regressors on primitive pairs only.
+    Logistic,
+    /// kNN voters on primitive pairs only.
+    Knn,
+    /// All three families compete in the selection loop (Snuba default).
+    All,
+}
+
+/// A synthesized weak heuristic from any family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Heuristic {
+    /// Threshold on one primitive.
+    Stump(Stump),
+    /// Logistic regressor over a primitive pair.
+    Logistic(LogisticLf),
+    /// k-nearest-neighbour vote over a primitive pair.
+    Knn(KnnLf),
+}
+
+impl Heuristic {
+    /// Vote on a primitive row.
+    pub fn vote(&self, row: &[f64]) -> i64 {
+        match self {
+            Heuristic::Stump(s) => s.vote(row),
+            Heuristic::Logistic(l) => l.vote(row),
+            Heuristic::Knn(k) => k.vote(row),
+        }
+    }
+
+    /// Dev-set macro F1 recorded during synthesis.
+    pub fn dev_f1(&self) -> f64 {
+        match self {
+            Heuristic::Stump(s) => s.dev_f1,
+            Heuristic::Logistic(l) => l.dev_f1,
+            Heuristic::Knn(k) => k.dev_f1,
+        }
+    }
+}
+
+/// Logistic-regressor heuristic on a primitive pair, with a symmetric
+/// abstain band around p = 0.5 (Snuba's confidence thresholding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticLf {
+    /// The two primitive dimensions consumed.
+    pub features: (usize, usize),
+    /// `[w_a, w_b, bias]` of the fitted regressor.
+    pub weights: [f64; 3],
+    /// Abstain half-width on the probability scale.
+    pub beta: f64,
+    /// Dev-set F1 achieved during synthesis.
+    pub dev_f1: f64,
+}
+
+impl LogisticLf {
+    fn prob(&self, row: &[f64]) -> f64 {
+        let z = self.weights[0] * row[self.features.0]
+            + self.weights[1] * row[self.features.1]
+            + self.weights[2];
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Vote class 1 above `0.5 + β`, class 0 below `0.5 − β`, else abstain.
+    pub fn vote(&self, row: &[f64]) -> i64 {
+        let p = self.prob(row);
+        if p > 0.5 + self.beta {
+            1
+        } else if p < 0.5 - self.beta {
+            0
+        } else {
+            ABSTAIN
+        }
+    }
+}
+
+/// kNN heuristic on a primitive pair: majority vote of the `k` nearest dev
+/// examples, abstaining on ties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnLf {
+    /// The two primitive dimensions consumed.
+    pub features: (usize, usize),
+    /// `(a, b, label)` support points from the dev set.
+    pub support: Vec<(f64, f64, usize)>,
+    /// Neighbourhood size (odd values avoid most ties).
+    pub k: usize,
+    /// Dev-set F1 achieved during synthesis.
+    pub dev_f1: f64,
+}
+
+impl KnnLf {
+    /// Majority vote of the k nearest support points; abstain on ties.
+    pub fn vote(&self, row: &[f64]) -> i64 {
+        let (a, b) = (row[self.features.0], row[self.features.1]);
+        let mut dists: Vec<(f64, usize)> = self
+            .support
+            .iter()
+            .map(|&(sa, sb, l)| ((sa - a).powi(2) + (sb - b).powi(2), l))
+            .collect();
+        dists.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN distance"));
+        let k = self.k.min(dists.len()).max(1);
+        let ones = dists[..k].iter().filter(|&&(_, l)| l == 1).count();
+        let zeros = k - ones;
+        match ones.cmp(&zeros) {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => ABSTAIN,
+        }
+    }
+}
+
+/// Snuba configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnubaConfig {
+    /// Maximum committee size.
+    pub max_lfs: usize,
+    /// Candidate β values per heuristic (fractions of the relevant range).
+    pub beta_grid: usize,
+    /// Synthesis stops when no remaining candidate reaches this dev F1.
+    pub min_f1: f64,
+    /// Heuristic families allowed to compete.
+    pub family: HeuristicFamily,
+}
+
+impl Default for SnubaConfig {
+    fn default() -> Self {
+        Self { max_lfs: 10, beta_grid: 5, min_f1: 0.55, family: HeuristicFamily::All }
+    }
+}
+
+/// The fitted Snuba system.
+#[derive(Debug, Clone)]
+pub struct Snuba {
+    /// Committed heuristics in selection order.
+    pub committee: Vec<Heuristic>,
+    /// Vote matrix of the committee on all instances.
+    pub votes: LabelMatrix,
+    /// Aggregated probabilistic labels (`n × 2`).
+    pub probs: Matrix<f64>,
+    /// The generative aggregator.
+    pub label_model: SnorkelModel,
+}
+
+impl Snuba {
+    /// Synthesize labeling functions from `primitives` (`n × d`, all
+    /// instances) using dev rows `dev_rows` with labels `dev_labels`
+    /// (binary tasks, matching the paper's setup).
+    pub fn fit(
+        primitives: &Matrix<f64>,
+        dev_rows: &[usize],
+        dev_labels: &[usize],
+        config: &SnubaConfig,
+    ) -> Result<Self> {
+        let n = primitives.rows();
+        let d = primitives.cols();
+        if n == 0 || d == 0 {
+            return Err(LabelModelError::EmptyInput);
+        }
+        if dev_rows.len() != dev_labels.len() || dev_rows.is_empty() {
+            return Err(LabelModelError::InvalidInput("dev set empty or ragged".into()));
+        }
+        if dev_labels.iter().any(|&l| l > 1) {
+            return Err(LabelModelError::InvalidInput("Snuba reproduction is binary".into()));
+        }
+
+        // --- candidate generation per heuristic family ---
+        let dev_feats: Vec<Vec<f64>> = dev_rows
+            .iter()
+            .map(|&r| primitives.row(r).to_vec())
+            .collect();
+        let mut candidates: Vec<Heuristic> = Vec::new();
+        let family = config.family;
+        if matches!(family, HeuristicFamily::Stumps | HeuristicFamily::All) {
+            for feature in 0..d {
+                candidates.extend(
+                    synthesize_stumps_for_feature(feature, &dev_feats, dev_labels, config)
+                        .into_iter()
+                        .map(Heuristic::Stump),
+                );
+            }
+        }
+        if matches!(family, HeuristicFamily::Logistic | HeuristicFamily::All) {
+            for a in 0..d {
+                for b in (a + 1)..d {
+                    candidates.extend(
+                        synthesize_logistic_for_pair((a, b), &dev_feats, dev_labels, config)
+                            .into_iter()
+                            .map(Heuristic::Logistic),
+                    );
+                }
+            }
+        }
+        if matches!(family, HeuristicFamily::Knn | HeuristicFamily::All) {
+            for a in 0..d {
+                for b in (a + 1)..d {
+                    if let Some(knn) =
+                        synthesize_knn_for_pair((a, b), &dev_feats, dev_labels)
+                    {
+                        candidates.push(Heuristic::Knn(knn));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(LabelModelError::InvalidInput(
+                "no heuristic candidates could be synthesized".into(),
+            ));
+        }
+
+        // --- diverse greedy selection ---
+        let mut committee: Vec<Heuristic> = Vec::new();
+        let mut committed_cov: Vec<bool> = vec![false; dev_rows.len()];
+        while committee.len() < config.max_lfs {
+            let mut best: Option<(f64, usize)> = None;
+            for (ci, cand) in candidates.iter().enumerate() {
+                if committee.iter().any(|c| c == cand) {
+                    continue;
+                }
+                if cand.dev_f1() < config.min_f1 {
+                    continue;
+                }
+                // Jaccard overlap with committee coverage on the dev set.
+                let cov: Vec<bool> =
+                    dev_feats.iter().map(|row| cand.vote(row) != ABSTAIN).collect();
+                let inter = cov
+                    .iter()
+                    .zip(&committed_cov)
+                    .filter(|(a, b)| **a && **b)
+                    .count() as f64;
+                let union = cov
+                    .iter()
+                    .zip(&committed_cov)
+                    .filter(|(a, b)| **a || **b)
+                    .count()
+                    .max(1) as f64;
+                let diversity = 1.0 - inter / union;
+                let score = cand.dev_f1() * (0.5 + 0.5 * diversity);
+                if best.map(|(s, _)| score > s).unwrap_or(true) {
+                    best = Some((score, ci));
+                }
+            }
+            let Some((_, ci)) = best else { break };
+            let chosen = candidates[ci].clone();
+            for (flag, row) in committed_cov.iter_mut().zip(&dev_feats) {
+                *flag = *flag || chosen.vote(row) != ABSTAIN;
+            }
+            committee.push(chosen);
+        }
+        if committee.is_empty() {
+            // Fall back to the single best candidate so the system always
+            // emits labels (Snuba's terminate-with-best behaviour).
+            let best = candidates
+                .into_iter()
+                .max_by(|a, b| a.dev_f1().partial_cmp(&b.dev_f1()).expect("NaN F1"))
+                .expect("non-empty candidates");
+            committee.push(best);
+        }
+
+        // --- vote on every instance and aggregate ---
+        let m = committee.len();
+        let mut votes = Vec::with_capacity(n * m);
+        for i in 0..n {
+            let row = primitives.row(i);
+            for heuristic in &committee {
+                votes.push(heuristic.vote(row));
+            }
+        }
+        let votes = LabelMatrix::new(n, m, 2, votes)?;
+        let label_model = SnorkelModel::fit(&votes, 100, 1e-6)?;
+        let probs = label_model.probs.clone();
+        Ok(Self { committee, votes, probs, label_model })
+    }
+
+    /// Hard labels by argmax.
+    pub fn hard_labels(&self) -> Vec<usize> {
+        (0..self.probs.rows()).map(|i| goggles_tensor::argmax(self.probs.row(i))).collect()
+    }
+}
+
+/// Candidate stumps for one feature: thresholds at midpoints between sorted
+/// dev values, both polarities, β from a grid — each scored by dev F1.
+fn synthesize_stumps_for_feature(
+    feature: usize,
+    dev_feats: &[Vec<f64>],
+    dev_labels: &[usize],
+    config: &SnubaConfig,
+) -> Vec<Stump> {
+    let mut values: Vec<f64> = dev_feats.iter().map(|r| r[feature]).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN primitive"));
+    values.dedup();
+    if values.len() < 2 {
+        return Vec::new();
+    }
+    let range = values[values.len() - 1] - values[0];
+    let mut out = Vec::new();
+    for w in values.windows(2) {
+        let threshold = (w[0] + w[1]) / 2.0;
+        for class_above in 0..2usize {
+            for b in 0..config.beta_grid.max(1) {
+                let beta = range * b as f64 / (4.0 * config.beta_grid.max(1) as f64);
+                let stump = Stump { feature, threshold, class_above, beta, dev_f1: 0.0 };
+                let f1 = macro_f1_on_dev(&stump, dev_feats, dev_labels);
+                out.push(Stump { dev_f1: f1, ..stump });
+            }
+        }
+    }
+    // Keep only the best few per feature to bound the candidate pool.
+    out.sort_by(|a, b| b.dev_f1.partial_cmp(&a.dev_f1).expect("NaN F1"));
+    out.truncate(4);
+    out
+}
+
+/// Candidate logistic regressors for one primitive pair: a short
+/// gradient-descent fit on the dev set, then a β grid over the abstain
+/// band — each scored by dev F1.
+fn synthesize_logistic_for_pair(
+    features: (usize, usize),
+    dev_feats: &[Vec<f64>],
+    dev_labels: &[usize],
+    config: &SnubaConfig,
+) -> Vec<LogisticLf> {
+    // Standardize the two coordinates over the dev set so a fixed learning
+    // rate behaves across primitive scales.
+    let coords: Vec<(f64, f64)> = dev_feats
+        .iter()
+        .map(|r| (r[features.0], r[features.1]))
+        .collect();
+    let n = coords.len() as f64;
+    let (ma, mb) = coords.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x / n, b + y / n));
+    let (va, vb) = coords.iter().fold((0.0, 0.0), |(a, b), &(x, y)| {
+        (a + (x - ma).powi(2) / n, b + (y - mb).powi(2) / n)
+    });
+    let (sa, sb) = (va.sqrt().max(1e-9), vb.sqrt().max(1e-9));
+    // Plain-GD logistic fit in the standardized space.
+    let mut w = [0.0f64; 3];
+    for _ in 0..200 {
+        let mut g = [0.0f64; 3];
+        for (&(x, y), &l) in coords.iter().zip(dev_labels) {
+            let (xs, ys) = ((x - ma) / sa, (y - mb) / sb);
+            let z = w[0] * xs + w[1] * ys + w[2];
+            let p = 1.0 / (1.0 + (-z).exp());
+            let err = p - l as f64;
+            g[0] += err * xs;
+            g[1] += err * ys;
+            g[2] += err;
+        }
+        for (wi, gi) in w.iter_mut().zip(g) {
+            *wi -= 0.5 * gi / n;
+        }
+    }
+    // Fold the standardization back into raw-space weights.
+    let raw = [
+        w[0] / sa,
+        w[1] / sb,
+        w[2] - w[0] * ma / sa - w[1] * mb / sb,
+    ];
+    let mut out = Vec::new();
+    for b in 0..config.beta_grid.max(1) {
+        let beta = 0.4 * b as f64 / config.beta_grid.max(1) as f64;
+        let lf = LogisticLf { features, weights: raw, beta, dev_f1: 0.0 };
+        let f1 = macro_f1_generic(|row| lf.vote(row), dev_feats, dev_labels);
+        out.push(LogisticLf { dev_f1: f1, ..lf });
+    }
+    out.sort_by(|a, b| b.dev_f1.partial_cmp(&a.dev_f1).expect("NaN F1"));
+    out.truncate(2);
+    out
+}
+
+/// kNN heuristic for one primitive pair, scored by leave-one-out dev F1.
+fn synthesize_knn_for_pair(
+    features: (usize, usize),
+    dev_feats: &[Vec<f64>],
+    dev_labels: &[usize],
+) -> Option<KnnLf> {
+    if dev_feats.len() < 4 {
+        return None;
+    }
+    let support: Vec<(f64, f64, usize)> = dev_feats
+        .iter()
+        .zip(dev_labels)
+        .map(|(r, &l)| (r[features.0], r[features.1], l))
+        .collect();
+    let k = 3usize;
+    // Leave-one-out F1: score each dev point against the other support
+    // points (otherwise every point trivially matches itself).
+    let mut correct_votes = Vec::with_capacity(dev_feats.len());
+    for i in 0..dev_feats.len() {
+        let mut others = support.clone();
+        others.swap_remove(i);
+        let lf = KnnLf { features, support: others, k, dev_f1: 0.0 };
+        correct_votes.push(lf.vote(&dev_feats[i]));
+    }
+    let f1 = {
+        let mut f1_sum = 0.0;
+        for class in 0..2usize {
+            let mut tp = 0.0;
+            let mut fp = 0.0;
+            let mut fne = 0.0;
+            for (&v, &truth) in correct_votes.iter().zip(dev_labels) {
+                if v == class as i64 {
+                    if truth == class {
+                        tp += 1.0;
+                    } else {
+                        fp += 1.0;
+                    }
+                } else if truth == class {
+                    fne += 1.0;
+                }
+            }
+            let denom = 2.0 * tp + fp + fne;
+            f1_sum += if denom > 0.0 { 2.0 * tp / denom } else { 0.0 };
+        }
+        f1_sum / 2.0
+    };
+    Some(KnnLf { features, support, k, dev_f1: f1 })
+}
+
+/// Macro F1 for an arbitrary vote closure (shared by the non-stump
+/// families; the stump path keeps its specialized version).
+fn macro_f1_generic(
+    vote: impl Fn(&[f64]) -> i64,
+    dev_feats: &[Vec<f64>],
+    dev_labels: &[usize],
+) -> f64 {
+    let mut f1_sum = 0.0;
+    for class in 0..2usize {
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut fne = 0.0;
+        for (row, &truth) in dev_feats.iter().zip(dev_labels) {
+            let v = vote(row);
+            if v == class as i64 {
+                if truth == class {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+            } else if truth == class {
+                fne += 1.0;
+            }
+        }
+        let denom = 2.0 * tp + fp + fne;
+        f1_sum += if denom > 0.0 { 2.0 * tp / denom } else { 0.0 };
+    }
+    f1_sum / 2.0
+}
+
+/// Macro-averaged F1 of a stump's non-abstaining votes on the dev set.
+/// Abstains count as missed recall (Snuba's weighted-F1 notion).
+fn macro_f1_on_dev(stump: &Stump, dev_feats: &[Vec<f64>], dev_labels: &[usize]) -> f64 {
+    let mut f1_sum = 0.0;
+    for class in 0..2usize {
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut fne = 0.0;
+        for (row, &truth) in dev_feats.iter().zip(dev_labels) {
+            let v = stump.vote(row);
+            if v == class as i64 {
+                if truth == class {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+            } else if truth == class {
+                fne += 1.0;
+            }
+        }
+        let denom = 2.0 * tp + fp + fne;
+        f1_sum += if denom > 0.0 { 2.0 * tp / denom } else { 0.0 };
+    }
+    f1_sum / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_tensor::rng::{normal, std_rng};
+
+    /// Primitives with one informative dimension and several noise dims.
+    fn separable_primitives(n_per: usize, noise_dims: usize, gap: f64, seed: u64) -> (Matrix<f64>, Vec<usize>) {
+        let mut rng = std_rng(seed);
+        let n = 2 * n_per;
+        let truth: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
+        let data = Matrix::from_fn(n, 1 + noise_dims, |i, j| {
+            if j == 0 {
+                let c = if truth[i] == 0 { -gap } else { gap };
+                c + normal(&mut rng)
+            } else {
+                normal(&mut rng)
+            }
+        });
+        (data, truth)
+    }
+
+    fn dev_of(truth: &[usize], per_class: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2usize {
+            let mut count = 0;
+            for (i, &t) in truth.iter().enumerate() {
+                if t == class && count < per_class {
+                    rows.push(i);
+                    labels.push(class);
+                    count += 1;
+                }
+            }
+        }
+        (rows, labels)
+    }
+
+    fn accuracy(labels: &[usize], truth: &[usize]) -> f64 {
+        labels.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn learns_good_lfs_on_separable_primitives() {
+        let (prim, truth) = separable_primitives(60, 4, 3.0, 1);
+        let (rows, labels) = dev_of(&truth, 5);
+        let snuba = Snuba::fit(&prim, &rows, &labels, &SnubaConfig::default()).unwrap();
+        let acc = accuracy(&snuba.hard_labels(), &truth);
+        assert!(acc > 0.9, "accuracy = {acc}");
+        // At least one committed stump uses the informative feature.
+        // At least one committed heuristic consumes the informative
+        // dimension 0 (whatever its family).
+        let uses_dim0 = snuba.committee.iter().any(|h| match h {
+            Heuristic::Stump(s) => s.feature == 0,
+            Heuristic::Logistic(l) => l.features.0 == 0 || l.features.1 == 0,
+            Heuristic::Knn(k) => k.features.0 == 0 || k.features.1 == 0,
+        });
+        assert!(uses_dim0, "{:?}", snuba.committee);
+    }
+
+    #[test]
+    fn near_chance_on_noise_primitives() {
+        // No informative dimension at all — the regime of Table 1.
+        let (prim, truth) = separable_primitives(60, 5, 0.0, 2);
+        let (rows, labels) = dev_of(&truth, 5);
+        let snuba = Snuba::fit(&prim, &rows, &labels, &SnubaConfig::default()).unwrap();
+        let acc = accuracy(&snuba.hard_labels(), &truth);
+        assert!((0.3..0.72).contains(&acc), "noise accuracy = {acc}");
+    }
+
+    #[test]
+    fn committee_respects_max_size() {
+        let (prim, truth) = separable_primitives(40, 8, 2.0, 3);
+        let (rows, labels) = dev_of(&truth, 5);
+        let cfg = SnubaConfig { max_lfs: 3, ..SnubaConfig::default() };
+        let snuba = Snuba::fit(&prim, &rows, &labels, &cfg).unwrap();
+        assert!(snuba.committee.len() <= 3);
+        assert_eq!(snuba.votes.num_lfs(), snuba.committee.len());
+    }
+
+    #[test]
+    fn stump_vote_respects_abstain_band() {
+        let s = Stump { feature: 0, threshold: 0.0, class_above: 1, beta: 0.5, dev_f1: 1.0 };
+        assert_eq!(s.vote(&[1.0]), 1);
+        assert_eq!(s.vote(&[-1.0]), 0);
+        assert_eq!(s.vote(&[0.2]), ABSTAIN);
+        assert_eq!(s.vote(&[-0.4]), ABSTAIN);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (prim, _) = separable_primitives(10, 2, 1.0, 4);
+        assert!(Snuba::fit(&prim, &[], &[], &SnubaConfig::default()).is_err());
+        assert!(Snuba::fit(&prim, &[0], &[2], &SnubaConfig::default()).is_err());
+        let empty = Matrix::<f64>::zeros(0, 3);
+        assert!(Snuba::fit(&empty, &[0], &[0], &SnubaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (prim, truth) = separable_primitives(30, 3, 2.0, 5);
+        let (rows, labels) = dev_of(&truth, 4);
+        let a = Snuba::fit(&prim, &rows, &labels, &SnubaConfig::default()).unwrap();
+        let b = Snuba::fit(&prim, &rows, &labels, &SnubaConfig::default()).unwrap();
+        assert_eq!(a.hard_labels(), b.hard_labels());
+        assert_eq!(a.committee, b.committee);
+    }
+
+    #[test]
+    fn each_family_works_alone() {
+        let (prim, truth) = separable_primitives(50, 3, 2.5, 11);
+        let (rows, labels) = dev_of(&truth, 5);
+        for family in [HeuristicFamily::Stumps, HeuristicFamily::Logistic, HeuristicFamily::Knn] {
+            let cfg = SnubaConfig { family, ..SnubaConfig::default() };
+            let snuba = Snuba::fit(&prim, &rows, &labels, &cfg).unwrap();
+            let acc = accuracy(&snuba.hard_labels(), &truth);
+            assert!(acc > 0.8, "{family:?} accuracy = {acc}");
+            // the committee is family-pure
+            for h in &snuba.committee {
+                let ok = matches!(
+                    (family, h),
+                    (HeuristicFamily::Stumps, Heuristic::Stump(_))
+                        | (HeuristicFamily::Logistic, Heuristic::Logistic(_))
+                        | (HeuristicFamily::Knn, Heuristic::Knn(_))
+                );
+                assert!(ok, "{family:?} committed {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_lf_abstains_in_band() {
+        let lf = LogisticLf { features: (0, 1), weights: [2.0, 0.0, 0.0], beta: 0.2, dev_f1: 1.0 };
+        assert_eq!(lf.vote(&[3.0, 0.0]), 1); // p ≈ 1
+        assert_eq!(lf.vote(&[-3.0, 0.0]), 0); // p ≈ 0
+        assert_eq!(lf.vote(&[0.0, 0.0]), ABSTAIN); // p = 0.5
+    }
+
+    #[test]
+    fn knn_lf_votes_by_neighbourhood() {
+        let support = vec![
+            (0.0, 0.0, 0usize),
+            (0.1, 0.0, 0),
+            (0.0, 0.1, 0),
+            (5.0, 5.0, 1),
+            (5.1, 5.0, 1),
+            (5.0, 5.1, 1),
+        ];
+        let lf = KnnLf { features: (0, 1), support, k: 3, dev_f1: 1.0 };
+        assert_eq!(lf.vote(&[0.05, 0.05]), 0);
+        assert_eq!(lf.vote(&[5.05, 5.05]), 1);
+        // equidistant midpoint with k=2 would tie; with k=3 the nearest
+        // neighbours break it — use an even k to force the tie instead
+        let tie = KnnLf { features: (0, 1), support: vec![(0.0, 0.0, 0), (1.0, 1.0, 1)], k: 2, dev_f1: 0.5 };
+        assert_eq!(tie.vote(&[0.5, 0.5]), ABSTAIN);
+    }
+
+    #[test]
+    fn more_dev_labels_do_not_hurt() {
+        let (prim, truth) = separable_primitives(80, 4, 1.5, 6);
+        let (rows5, labels5) = dev_of(&truth, 5);
+        let (rows20, labels20) = dev_of(&truth, 20);
+        let cfg = SnubaConfig::default();
+        let small = Snuba::fit(&prim, &rows5, &labels5, &cfg).unwrap();
+        let large = Snuba::fit(&prim, &rows20, &labels20, &cfg).unwrap();
+        let acc_small = accuracy(&small.hard_labels(), &truth);
+        let acc_large = accuracy(&large.hard_labels(), &truth);
+        assert!(
+            acc_large >= acc_small - 0.08,
+            "acc20 {acc_large} much worse than acc5 {acc_small}"
+        );
+    }
+}

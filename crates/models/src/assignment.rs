@@ -1,0 +1,210 @@
+//! Linear-sum assignment (Hungarian algorithm, Jonker–Volgenant shortest
+//! augmenting path variant) in `O(K³)`.
+//!
+//! §4.3 of the paper reduces the cluster→class mapping to an assignment
+//! problem: "there are known algorithms \[12\] that solve it with a worst case
+//! time complexity of O(K³)". This module provides both a minimizing and a
+//! maximizing entry point over a square score matrix.
+
+use goggles_tensor::Matrix;
+
+/// Solve the **minimum**-cost assignment on a square `n × n` cost matrix.
+/// Returns `assign` with `assign[row] = col`.
+///
+/// Implementation: shortest augmenting paths with dual potentials (the JV /
+/// "Hungarian with potentials" formulation), `O(n³)` worst case.
+///
+/// # Panics
+/// Panics if `cost` is not square or contains NaN.
+pub fn solve_assignment_min(cost: &Matrix<f64>) -> Vec<usize> {
+    let n = cost.rows();
+    assert_eq!(n, cost.cols(), "assignment requires a square matrix");
+    assert!(cost.as_slice().iter().all(|v| !v.is_nan()), "NaN cost");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Potentials over rows (u) and columns (v); matching from columns to
+    // rows in `way`/`matched_row`. 1-based sentinel formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut matched_row = vec![0usize; n + 1]; // column -> row (1-based; 0 = free)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assign = vec![0usize; n];
+    for j in 1..=n {
+        if matched_row[j] != 0 {
+            assign[matched_row[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+/// Solve the **maximum**-score assignment (used for the paper's `L_g`
+/// maximization, Equation 14/16): returns `assign[row] = col` maximizing
+/// `Σ score[row, assign[row]]`.
+pub fn solve_assignment(score: &Matrix<f64>) -> Vec<usize> {
+    let neg = score.map(|v| -v);
+    solve_assignment_min(&neg)
+}
+
+/// Total score of an assignment.
+pub fn assignment_score(score: &Matrix<f64>, assign: &[usize]) -> f64 {
+    assign.iter().enumerate().map(|(r, &c)| score[(r, c)]).sum()
+}
+
+/// Exhaustive `O(K!)` maximizer, for cross-checking in tests and for tiny K
+/// (the paper notes brute force "is actually feasible for a small K").
+pub fn solve_assignment_brute_force(score: &Matrix<f64>) -> Vec<usize> {
+    let n = score.rows();
+    assert_eq!(n, score.cols());
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = perm.clone();
+    let mut best_score = assignment_score(score, &perm);
+    // Heap's algorithm.
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let s = assignment_score(score, &perm);
+            if s > best_score {
+                best_score = s;
+                best = perm.clone();
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_tensor::rng::std_rng;
+    use rand::Rng;
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_scores() {
+        let score = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 5.0]]);
+        assert_eq!(solve_assignment(&score), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn picks_permutation_over_greedy() {
+        // Greedy row-wise would pick (0,0)=9 then be forced to (1,1)=0;
+        // optimal is (0,1)+(1,0) = 8 + 8.
+        let score = Matrix::from_rows(&[&[9.0, 8.0], &[8.0, 0.0]]);
+        let a = solve_assignment(&score);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(assignment_score(&score, &a), 16.0);
+    }
+
+    #[test]
+    fn min_variant_on_known_cost() {
+        let cost = Matrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]);
+        let a = solve_assignment_min(&cost);
+        // optimal: (0,1)+(1,0)+(2,2) = 1+2+2 = 5
+        let total: f64 = a.iter().enumerate().map(|(r, &c)| cost[(r, c)]).sum();
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn result_is_a_permutation() {
+        let mut rng = std_rng(1);
+        let score = Matrix::from_fn(7, 7, |_, _| rng.random::<f64>());
+        let mut a = solve_assignment(&score);
+        a.sort_unstable();
+        assert_eq!(a, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..20u64 {
+            let mut rng = std_rng(seed);
+            let n = 2 + (seed as usize % 4); // 2..=5
+            let score = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() * 10.0 - 5.0);
+            let fast = solve_assignment(&score);
+            let brute = solve_assignment_brute_force(&score);
+            let fs = assignment_score(&score, &fast);
+            let bs = assignment_score(&score, &brute);
+            assert!(
+                (fs - bs).abs() < 1e-9,
+                "seed {seed}: fast {fs} != brute {bs} ({fast:?} vs {brute:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_negative_scores() {
+        let score = Matrix::from_rows(&[&[-1.0, -5.0], &[-5.0, -1.0]]);
+        assert_eq!(solve_assignment(&score), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_assignment() {
+        let score = Matrix::<f64>::zeros(0, 0);
+        assert!(solve_assignment(&score).is_empty());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let score = Matrix::from_rows(&[&[3.0]]);
+        assert_eq!(solve_assignment(&score), vec![0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! K-means clustering with k-means++ seeding (Arthur & Vassilvitskii 2007).
+//!
+//! Serves two roles: the `K-Means` baseline column of Table 1, and the
+//! initializer for every EM mixture model in this crate (responsibilities
+//! start from a hard k-means partition, which is the standard practice the
+//! paper's reference implementation follows).
+
+use crate::{ModelError, Result};
+use goggles_tensor::rng::{sample_weighted, std_rng};
+use goggles_tensor::Matrix;
+use rand::Rng;
+
+/// Fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, `k × d`.
+    pub centroids: Matrix<f64>,
+    /// Hard assignment of each training row.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed by the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Fit `k` clusters on the rows of `data` with `restarts` k-means++
+    /// restarts (best inertia wins). Deterministic given `seed`.
+    pub fn fit(data: &Matrix<f64>, k: usize, restarts: usize, seed: u64) -> Result<Self> {
+        let n = data.rows();
+        let d = data.cols();
+        if n == 0 || d == 0 {
+            return Err(ModelError::EmptyInput);
+        }
+        if k == 0 {
+            return Err(ModelError::InvalidParameter("k must be ≥ 1".into()));
+        }
+        if n < k {
+            return Err(ModelError::TooFewSamples { samples: n, components: k });
+        }
+        let mut best: Option<KMeans> = None;
+        for r in 0..restarts.max(1) {
+            let mut rng = std_rng(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let fit = Self::fit_once(data, k, &mut rng);
+            if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
+                best = Some(fit);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    fn fit_once<R: Rng + ?Sized>(data: &Matrix<f64>, k: usize, rng: &mut R) -> KMeans {
+        let n = data.rows();
+        let d = data.cols();
+        let mut centroids = kmeans_pp_init(data, k, rng);
+        let mut labels = vec![0usize; n];
+        let mut iterations = 0;
+        let max_iters = 100;
+        let mut prev_inertia = f64::INFINITY;
+        let mut inertia = f64::INFINITY;
+        for it in 0..max_iters {
+            iterations = it + 1;
+            // Assignment step.
+            inertia = 0.0;
+            for (i, row) in data.rows_iter().enumerate() {
+                let (lbl, dist) = nearest_centroid(row, &centroids);
+                labels[i] = lbl;
+                inertia += dist;
+            }
+            // Update step.
+            let mut sums = Matrix::<f64>::zeros(k, d);
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.rows_iter().enumerate() {
+                counts[labels[i]] += 1;
+                for (s, &v) in sums.row_mut(labels[i]).iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from
+                    // its centroid (standard fix; keeps k clusters alive).
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(data.row(a), centroids.row(labels[a]));
+                            let db = sq_dist(data.row(b), centroids.row(labels[b]));
+                            da.partial_cmp(&db).expect("NaN distance")
+                        })
+                        .expect("non-empty data");
+                    centroids.row_mut(c).copy_from_slice(data.row(far));
+                } else {
+                    let inv = 1.0 / counts[c] as f64;
+                    let row = sums.row(c).to_vec();
+                    for (cv, sv) in centroids.row_mut(c).iter_mut().zip(row) {
+                        *cv = sv * inv;
+                    }
+                }
+            }
+            if (prev_inertia - inertia).abs() <= 1e-10 * prev_inertia.abs().max(1.0) {
+                break;
+            }
+            prev_inertia = inertia;
+        }
+        KMeans { centroids, labels, inertia, iterations }
+    }
+
+    /// Assign new rows to the nearest centroid.
+    pub fn predict(&self, data: &Matrix<f64>) -> Vec<usize> {
+        data.rows_iter().map(|row| nearest_centroid(row, &self.centroids).0).collect()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+}
+
+/// Squared Euclidean distance between two equally-long slices.
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// `(argmin_c dist², min dist²)` over centroids.
+fn nearest_centroid(row: &[f64], centroids: &Matrix<f64>) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.rows_iter().enumerate() {
+        let d = sq_dist(row, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid uniform, each further centroid drawn
+/// with probability proportional to its squared distance from the nearest
+/// chosen centroid.
+fn kmeans_pp_init<R: Rng + ?Sized>(data: &Matrix<f64>, k: usize, rng: &mut R) -> Matrix<f64> {
+    let n = data.rows();
+    let d = data.cols();
+    let mut centroids = Matrix::<f64>::zeros(k, d);
+    let first = rng.random_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dists: Vec<f64> =
+        data.rows_iter().map(|row| sq_dist(row, centroids.row(0))).collect();
+    for c in 1..k {
+        let idx = sample_weighted(rng, &dists);
+        centroids.row_mut(c).copy_from_slice(data.row(idx));
+        for (i, row) in data.rows_iter().enumerate() {
+            let nd = sq_dist(row, centroids.row(c));
+            if nd < dists[i] {
+                dists[i] = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_tensor::rng::{normal, std_rng};
+
+    /// Two well-separated Gaussian blobs; returns (data, truth).
+    fn blobs(n_per: usize, seed: u64) -> (Matrix<f64>, Vec<usize>) {
+        let mut rng = std_rng(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (label, center) in [(-5.0f64, 0usize), (5.0, 1)].map(|(c, l)| (c, l)) {
+            for _ in 0..n_per {
+                rows.push(vec![label + normal(&mut rng) * 0.5, label + normal(&mut rng) * 0.5]);
+                truth.push(center);
+            }
+        }
+        let data = Matrix::from_fn(rows.len(), 2, |i, j| rows[i][j]);
+        (data, truth)
+    }
+
+    /// Fraction of points whose cluster id matches truth up to the best of
+    /// the two possible label permutations.
+    fn binary_cluster_accuracy(labels: &[usize], truth: &[usize]) -> f64 {
+        let same =
+            labels.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+        same.max(1.0 - same)
+    }
+
+    #[test]
+    fn separates_two_blobs_perfectly() {
+        let (data, truth) = blobs(50, 1);
+        let km = KMeans::fit(&data, 2, 3, 42).unwrap();
+        assert!(binary_cluster_accuracy(&km.labels, &truth) > 0.99);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = blobs(50, 2);
+        let k1 = KMeans::fit(&data, 1, 1, 0).unwrap();
+        let k2 = KMeans::fit(&data, 2, 3, 0).unwrap();
+        let k4 = KMeans::fit(&data, 4, 3, 0).unwrap();
+        assert!(k2.inertia < k1.inertia);
+        assert!(k4.inertia <= k2.inertia);
+    }
+
+    #[test]
+    fn predict_matches_training_labels() {
+        let (data, _) = blobs(30, 3);
+        let km = KMeans::fit(&data, 2, 2, 7).unwrap();
+        assert_eq!(km.predict(&data), km.labels);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (data, _) = blobs(30, 4);
+        let a = KMeans::fit(&data, 2, 2, 5).unwrap();
+        let b = KMeans::fit(&data, 2, 2, 5).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let km = KMeans::fit(&data, 3, 2, 0).unwrap();
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert!(matches!(
+            KMeans::fit(&data, 3, 1, 0),
+            Err(ModelError::TooFewSamples { .. })
+        ));
+        assert!(matches!(KMeans::fit(&data, 0, 1, 0), Err(ModelError::InvalidParameter(_))));
+        let empty = Matrix::<f64>::zeros(0, 2);
+        assert!(matches!(KMeans::fit(&empty, 1, 1, 0), Err(ModelError::EmptyInput)));
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let data = Matrix::filled(10, 3, 1.5);
+        let km = KMeans::fit(&data, 2, 2, 0).unwrap();
+        assert_eq!(km.labels.len(), 10);
+        assert!(km.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! # goggles-models
+//!
+//! Probabilistic-model and clustering substrate for the GOGGLES
+//! reproduction. The paper's class-inference module (§4) is built from
+//! mixture models fit with expectation–maximization; its evaluation (§5.3)
+//! additionally compares against generic clustering baselines. Rust has no
+//! batteries-included EM ecosystem, so this crate implements everything from
+//! scratch:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding (baseline, and
+//!   the initializer for the mixture models),
+//! * [`DiagonalGmm`] — Gaussian mixture with **diagonal** covariance, the
+//!   paper's base model (§4.1: "we use the diagonal covariance matrix, which
+//!   reduces the number of parameters significantly"),
+//! * [`FullGmm`] — full-covariance Gaussian mixture, the naive baseline the
+//!   paper argues against (and the `GMM` column of Table 1),
+//! * [`BernoulliMixture`] — multivariate-Bernoulli mixture, the paper's
+//!   ensemble model (Equation 7),
+//! * [`SpectralCoclustering`] — Dhillon (2001) bipartite spectral graph
+//!   partitioning, the `Spectral` column of Table 1,
+//! * [`assignment::solve_assignment`] — O(K³) Hungarian solver for the
+//!   cluster→class mapping (§4.3 reduces the mapping to an assignment
+//!   problem, citing Jonker–Volgenant).
+//!
+//! All models take explicit seeds, run multiple restarts, operate in the
+//! log domain and floor variances, so they are deterministic and robust on
+//! the badly conditioned inputs (near-discrete label-prediction matrices)
+//! that the paper highlights.
+
+pub mod assignment;
+pub mod bernoulli;
+pub mod em;
+pub mod gmm_diag;
+pub mod gmm_full;
+pub mod kmeans;
+pub mod spectral;
+
+pub use assignment::solve_assignment;
+pub use bernoulli::BernoulliMixture;
+pub use em::{hard_labels, EmOptions, FitStats};
+pub use gmm_diag::DiagonalGmm;
+pub use gmm_full::FullGmm;
+pub use kmeans::KMeans;
+pub use spectral::SpectralCoclustering;
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Input matrix had no rows or columns.
+    EmptyInput,
+    /// Fewer samples than mixture components.
+    TooFewSamples { samples: usize, components: usize },
+    /// Invalid hyperparameter (description inside).
+    InvalidParameter(String),
+    /// Numerical failure that survived regularization and restarts.
+    Numerical(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyInput => write!(f, "empty input"),
+            ModelError::TooFewSamples { samples, components } => {
+                write!(f, "{samples} samples cannot support {components} components")
+            }
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

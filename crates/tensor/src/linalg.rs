@@ -1,0 +1,471 @@
+//! Linear algebra needed by the GOGGLES inference stack:
+//!
+//! * cyclic Jacobi symmetric eigendecomposition (exact, for moderate sizes),
+//! * Cholesky factorization + triangular solves + log-determinant
+//!   (full-covariance GMM baseline),
+//! * PCA (Snuba's primitive extraction projects VGG logits onto the top-10
+//!   principal components, §5.1.2),
+//! * orthogonal-iteration truncated eigenbasis (spectral co-clustering
+//!   baseline needs leading singular vectors of a large rectangular matrix).
+
+use crate::matrix::Matrix;
+use crate::rng;
+use crate::{Result, TensorError};
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ` with
+/// eigenvalues sorted in **descending** order and eigenvectors as columns of
+/// `vectors` (i.e. `vectors.col(k)` pairs with `values[k]`).
+#[derive(Debug, Clone)]
+pub struct EighResult {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix<f64>,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Runs sweeps of Givens rotations until the off-diagonal Frobenius mass
+/// drops below `1e-12` times the matrix norm (or 100 sweeps). For the sizes
+/// this workspace uses (≤ a few hundred) this is fast and extremely robust.
+pub fn jacobi_eigh(a: &Matrix<f64>) -> Result<EighResult> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if n == 0 {
+        return Err(TensorError::Empty("jacobi_eigh on 0x0 matrix".into()));
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::<f64>::identity(n);
+    let norm = m.frobenius_norm().max(1e-300);
+    let tol = 1e-12 * norm;
+
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate rotations into v.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok(EighResult { values, vectors })
+}
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = a`.
+///
+/// Fails with [`TensorError::Numerical`] if `a` is not positive definite
+/// (within a small tolerance); callers that fit covariance matrices should
+/// add ridge regularization before calling.
+pub fn cholesky(a: &Matrix<f64>) -> Result<Matrix<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let mut l = Matrix::<f64>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::Numerical(format!(
+                        "cholesky: non-positive pivot {sum:.3e} at {i}"
+                    )));
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `L x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower_triangular(l: &Matrix<f64>, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    debug_assert_eq!(b.len(), n);
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// `log det(a)` of a positive-definite matrix via its Cholesky factor.
+pub fn log_det_psd(a: &Matrix<f64>) -> Result<f64> {
+    let l = cholesky(a)?;
+    Ok(2.0 * (0..a.rows()).map(|i| l[(i, i)].ln()).sum::<f64>())
+}
+
+/// Principal component analysis fit on the rows of a data matrix.
+///
+/// This mirrors what the Snuba comparison in the paper does with the VGG-16
+/// logits: project 1000-dimensional features onto the top-k principal
+/// components to obtain dense "primitives" (§5.1.2).
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Feature means subtracted before projection (length = input dim).
+    pub mean: Vec<f64>,
+    /// Projection matrix, `input_dim × k` (columns are components).
+    pub components: Matrix<f64>,
+    /// Eigenvalues (explained variance) of the retained components.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit a `k`-component PCA on the rows of `data` (`n × d`).
+    ///
+    /// `k` is clamped to `min(n, d)`. Uses the exact Jacobi decomposition of
+    /// the `d × d` covariance, so it is intended for `d` up to ~1000.
+    pub fn fit(data: &Matrix<f64>, k: usize) -> Result<Self> {
+        let n = data.rows();
+        let d = data.cols();
+        if n == 0 || d == 0 {
+            return Err(TensorError::Empty("Pca::fit on empty data".into()));
+        }
+        let k = k.min(d).min(n).max(1);
+        let mean = data.col_means();
+        // covariance = centeredᵀ centered / n
+        let mut cov = Matrix::<f64>::zeros(d, d);
+        for row in data.rows_iter() {
+            for i in 0..d {
+                let di = row[i] - mean[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    cov[(i, j)] += di * (row[j] - mean[j]);
+                }
+            }
+        }
+        let inv_n = 1.0 / n as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[(i, j)] * inv_n;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let eig = jacobi_eigh(&cov)?;
+        let components = eig.vectors.col_block(0, k);
+        let explained_variance = eig.values[..k].to_vec();
+        Ok(Self { mean, components, explained_variance })
+    }
+
+    /// Project the rows of `data` into the component space (`n × k`).
+    pub fn transform(&self, data: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(data.cols(), self.mean.len(), "Pca::transform: dim mismatch");
+        let k = self.components.cols();
+        let mut out = Matrix::zeros(data.rows(), k);
+        for (i, row) in data.rows_iter().enumerate() {
+            for c in 0..k {
+                let mut acc = 0.0;
+                for (j, &x) in row.iter().enumerate() {
+                    acc += (x - self.mean[j]) * self.components[(j, c)];
+                }
+                out[(i, c)] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Top-`k` eigenpairs of a symmetric PSD matrix by orthogonal (subspace)
+/// iteration with QR re-orthogonalization. Suitable when the matrix is big
+/// enough that full Jacobi would be wasteful but only a few leading
+/// directions are needed (spectral co-clustering).
+pub fn orthogonal_iteration(
+    a: &Matrix<f64>,
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> Result<EighResult> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if n == 0 || k == 0 {
+        return Err(TensorError::Empty("orthogonal_iteration needs n > 0 and k > 0".into()));
+    }
+    let k = k.min(n);
+    let mut rng = rng::std_rng(seed);
+    // n × k random start, orthonormalized.
+    let mut q = Matrix::from_fn(n, k, |_, _| rng::normal(&mut rng));
+    gram_schmidt_columns(&mut q);
+    for _ in 0..iters.max(1) {
+        let mut z = a.matmul(&q);
+        gram_schmidt_columns(&mut z);
+        q = z;
+    }
+    // Rayleigh quotients as eigenvalue estimates.
+    let aq = a.matmul(&q);
+    let mut values = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut lambda = 0.0;
+        for r in 0..n {
+            lambda += q[(r, c)] * aq[(r, c)];
+        }
+        values.push(lambda);
+    }
+    // Sort descending by |value| pairing columns.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).expect("NaN eigenvalue"));
+    let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    let mut vectors = Matrix::zeros(n, k);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = q[(r, old_c)];
+        }
+    }
+    Ok(EighResult { values: sorted_values, vectors })
+}
+
+/// In-place modified Gram–Schmidt on the columns of `q`. Columns that
+/// collapse to (numerical) zero are re-randomized deterministically from
+/// their index so the basis stays full-rank.
+fn gram_schmidt_columns(q: &mut Matrix<f64>) {
+    let (n, k) = q.shape();
+    for c in 0..k {
+        for prev in 0..c {
+            let mut dot = 0.0;
+            for r in 0..n {
+                dot += q[(r, c)] * q[(r, prev)];
+            }
+            for r in 0..n {
+                let sub = dot * q[(r, prev)];
+                q[(r, c)] -= sub;
+            }
+        }
+        let mut norm = 0.0;
+        for r in 0..n {
+            norm += q[(r, c)] * q[(r, c)];
+        }
+        norm = norm.sqrt();
+        if norm <= 1e-12 {
+            // Deterministic re-seed keyed by the column index.
+            let mut rng = rng::std_rng(0x9E37_79B9 ^ (c as u64));
+            for r in 0..n {
+                q[(r, c)] = rng::normal(&mut rng);
+            }
+            let mut n2 = 0.0;
+            for r in 0..n {
+                n2 += q[(r, c)] * q[(r, c)];
+            }
+            norm = n2.sqrt();
+        }
+        let inv = 1.0 / norm;
+        for r in 0..n {
+            q[(r, c)] *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix<f64> {
+        // A known symmetric positive definite matrix.
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = spd3();
+        let eig = jacobi_eigh(&a).unwrap();
+        // V diag(λ) Vᵀ == a
+        let n = 3;
+        let mut recon = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += eig.vectors[(i, k)] * eig.values[k] * eig.vectors[(j, k)];
+                }
+                recon[(i, j)] = s;
+            }
+        }
+        assert!(a.max_abs_diff(&recon) < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_sorted_descending() {
+        let eig = jacobi_eigh(&spd3()).unwrap();
+        assert!(eig.values.windows(2).all(|w| w[0] >= w[1]));
+        // trace preserved
+        let trace: f64 = eig.values.iter().sum();
+        assert!((trace - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, 2.0]]);
+        let eig = jacobi_eigh(&a).unwrap();
+        assert!((eig.values[0] - 5.0).abs() < 1e-12);
+        assert!((eig.values[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_rejects_rectangular() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(jacobi_eigh(&a), Err(TensorError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose());
+        assert!(a.max_abs_diff(&recon) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn solve_lower_triangular_roundtrip() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve_lower_triangular(&l, &b);
+        let back = l.matvec(&x);
+        for (bb, xb) in b.iter().zip(back.iter()) {
+            assert!((bb - xb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_eigenvalue_product() {
+        let a = spd3();
+        let eig = jacobi_eigh(&a).unwrap();
+        let expect: f64 = eig.values.iter().map(|v| v.ln()).sum();
+        assert!((log_det_psd(&a).unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Points spread along (1, 1)/√2 with tiny orthogonal noise.
+        let mut rows = Vec::new();
+        let mut rng = crate::rng::std_rng(1);
+        for _ in 0..200 {
+            let t = crate::rng::normal(&mut rng) * 5.0;
+            let e = crate::rng::normal(&mut rng) * 0.05;
+            rows.push(vec![t + e, t - e]);
+        }
+        let data = Matrix::from_fn(200, 2, |i, j| rows[i][j]);
+        let pca = Pca::fit(&data, 1).unwrap();
+        let c = pca.components.col(0);
+        let dir = (c[0].abs() - c[1].abs()).abs();
+        assert!(dir < 0.05, "component not along diagonal: {c:?}");
+        assert!(pca.explained_variance[0] > 10.0);
+        let z = pca.transform(&data);
+        assert_eq!(z.shape(), (200, 1));
+    }
+
+    #[test]
+    fn pca_transform_centers_data() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let z = pca.transform(&data);
+        // projected data must be centered
+        let means = z.col_means();
+        for m in means {
+            assert!(m.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orthogonal_iteration_matches_jacobi_leading_pair() {
+        let a = spd3();
+        let full = jacobi_eigh(&a).unwrap();
+        let top = orthogonal_iteration(&a, 2, 200, 7).unwrap();
+        assert!((top.values[0] - full.values[0]).abs() < 1e-6);
+        assert!((top.values[1] - full.values[1]).abs() < 1e-6);
+        // eigenvector alignment up to sign
+        for k in 0..2 {
+            let mut dot = 0.0;
+            for r in 0..3 {
+                dot += top.vectors[(r, k)] * full.vectors[(r, k)];
+            }
+            assert!(dot.abs() > 0.999, "k={k} dot={dot}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_iteration_columns_are_orthonormal() {
+        let a = spd3();
+        let top = orthogonal_iteration(&a, 3, 100, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut dot = 0.0;
+                for r in 0..3 {
+                    dot += top.vectors[(r, i)] * top.vectors[(r, j)];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Floating-point scalar abstraction so the same matrix kernels serve both
+//! the f32 image/CNN path and the f64 probabilistic-inference path.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating point element type usable inside [`crate::Matrix`].
+///
+/// Implemented for `f32` and `f64`. The trait deliberately exposes only the
+/// operations the numeric kernels in this workspace need, so adding a new
+/// scalar (e.g. a fixed-point type for testing) stays cheap.
+pub trait Scalar:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used for literals and accumulators).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Power with an arbitrary exponent.
+    fn powf(self, e: Self) -> Self;
+    /// `true` when the value is finite (not NaN / infinity).
+    fn is_finite(self) -> bool;
+    /// IEEE maximum of two values (NaN-propagating like `f64::max`).
+    fn maximum(self, other: Self) -> Self;
+    /// IEEE minimum of two values.
+    fn minimum(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn powf(self, e: Self) -> Self {
+                <$t>::powf(self, e)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: f64) -> f64 {
+        T::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn constants_are_identities() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0f64);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, -1.5, 3.25, 1e300] {
+            assert_eq!(roundtrip::<f64>(v), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_preserves_representable_values() {
+        for v in [0.0, -1.5, 3.25, 1024.0] {
+            assert_eq!(roundtrip::<f32>(v), v);
+        }
+    }
+
+    #[test]
+    fn maximum_minimum_match_std() {
+        assert_eq!(2.0f64.maximum(3.0), 3.0);
+        assert_eq!(2.0f64.minimum(3.0), 2.0);
+        assert_eq!((-2.0f32).maximum(1.0), 1.0);
+    }
+
+    #[test]
+    fn is_finite_flags_nan_and_inf() {
+        assert!(!f64::NAN.is_finite());
+        assert!(!f32::INFINITY.is_finite());
+        assert!(1.0f64.is_finite());
+    }
+}

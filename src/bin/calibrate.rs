@@ -1,0 +1,36 @@
+//! Developer tool: measure GOGGLES labeling accuracy per dataset at a given
+//! scale, to calibrate generator difficulty against the paper's Table 1
+//! ordering (CUB 97.8 > Surface 89.2 > TB 76.9 > PN 74.4 > GTSRB 70.5).
+//!
+//! ```text
+//! GOGGLES_SCALE=paper cargo run --release --bin calibrate
+//! ```
+use goggles::experiments::{methods, Scale, TrialContext};
+
+fn main() {
+    let params = Scale::from_env().params();
+    println!("{params:?}");
+    for trial in 0..params.trials {
+        for task in params.tasks_for_trial(trial) {
+            let ctx = TrialContext::build(&params, &task, trial);
+            let truth = ctx.train_truth();
+            let mut aucs: Vec<f64> = (0..ctx.affinity.alpha)
+                .map(|f| {
+                    let x = ctx.affinity.score_distribution(f, &truth).auc;
+                    x.max(1.0 - x)
+                })
+                .collect();
+            aucs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let acc = methods::run_goggles(&ctx).labeling_accuracy(&ctx);
+            println!(
+                "trial {trial} {:>8}: goggles {:>6.2}% | best-fn AUC {:.3}/{:.3}/{:.3} median {:.3}",
+                task.kind.dataset_name(),
+                100.0 * acc,
+                aucs[0],
+                aucs[1],
+                aucs[2],
+                aucs[aucs.len() / 2]
+            );
+        }
+    }
+}

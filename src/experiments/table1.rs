@@ -1,0 +1,142 @@
+//! Table 1: labeling accuracy on the training set for GOGGLES, the data
+//! programming systems, the representation ablations and the class-inference
+//! baselines, across the five datasets.
+
+use super::methods::{
+    run_flat_gmm, run_goggles, run_hog, run_kmeans, run_logits, run_snorkel, run_snuba,
+    run_spectral, MethodOutput,
+};
+use super::report::Table;
+use super::{RunParams, TrialContext};
+
+/// Column order follows the paper's Table 1.
+pub const METHOD_NAMES: [&str; 8] =
+    ["GOGGLES", "Snorkel", "Snuba", "HoG", "Logits", "K-Means", "GMM", "Spectral"];
+
+/// Accumulated Table 1 numbers: `accuracy[dataset][method]`, `None` for the
+/// paper's `-` cells.
+#[derive(Debug, Clone)]
+pub struct Table1Results {
+    /// Dataset row labels.
+    pub datasets: Vec<String>,
+    /// Mean accuracy per dataset × method.
+    pub accuracy: Vec<Vec<Option<f64>>>,
+}
+
+impl Table1Results {
+    /// Column-wise averages over datasets (ignoring `-` cells), the paper's
+    /// `Average` row.
+    pub fn averages(&self) -> Vec<Option<f64>> {
+        (0..METHOD_NAMES.len())
+            .map(|m| {
+                let vals: Vec<f64> =
+                    self.accuracy.iter().filter_map(|row| row[m]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Render in the paper's layout.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Dataset"];
+        headers.extend(METHOD_NAMES);
+        let mut t = Table::new("Table 1: labeling accuracy on training set (%)", &headers);
+        for (ds, row) in self.datasets.iter().zip(&self.accuracy) {
+            let mut cells = vec![ds.clone()];
+            cells.extend(row.iter().map(|&v| Table::pct(v)));
+            t.push_row(cells);
+        }
+        let mut avg = vec!["Average".to_string()];
+        avg.extend(self.averages().iter().map(|&v| Table::pct(v)));
+        t.push_row(avg);
+        t
+    }
+}
+
+/// Run the Table 1 evaluation at the given parameters. Every method sees
+/// the same affinity matrix / dev set / backbone per trial; results are
+/// averaged over `params.trials` trials (CUB/GTSRB rotate class pairs).
+pub fn run(params: &RunParams) -> Table1Results {
+    let dataset_names = ["CUB", "GTSRB", "Surface", "TB-Xray", "PN-Xray"];
+    let mut sums = vec![vec![0.0f64; METHOD_NAMES.len()]; dataset_names.len()];
+    let mut counts = vec![vec![0usize; METHOD_NAMES.len()]; dataset_names.len()];
+    for trial in 0..params.trials.max(1) {
+        let tasks = params.tasks_for_trial(trial);
+        for (d, task) in tasks.iter().enumerate() {
+            let ctx = TrialContext::build(params, task, trial);
+            let outputs: Vec<Option<MethodOutput>> = vec![
+                Some(run_goggles(&ctx)),
+                run_snorkel(&ctx),
+                Some(run_snuba(&ctx)),
+                Some(run_hog(&ctx)),
+                Some(run_logits(&ctx)),
+                Some(run_kmeans(&ctx)),
+                Some(run_flat_gmm(&ctx)),
+                Some(run_spectral(&ctx)),
+            ];
+            for (m, out) in outputs.iter().enumerate() {
+                if let Some(out) = out {
+                    sums[d][m] += out.labeling_accuracy(&ctx);
+                    counts[d][m] += 1;
+                }
+            }
+        }
+    }
+    let accuracy = sums
+        .iter()
+        .zip(&counts)
+        .map(|(srow, crow)| {
+            srow.iter()
+                .zip(crow)
+                .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
+                .collect()
+        })
+        .collect();
+    Table1Results { datasets: dataset_names.iter().map(|s| s.to_string()).collect(), accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_skip_missing_cells() {
+        let r = Table1Results {
+            datasets: vec!["A".into(), "B".into()],
+            accuracy: vec![
+                vec![Some(0.9), Some(0.8), None, None, None, None, None, None],
+                vec![Some(0.7), None, None, None, None, None, None, None],
+            ],
+        };
+        let avg = r.averages();
+        assert!((avg[0].unwrap() - 0.8).abs() < 1e-12);
+        assert!((avg[1].unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(avg[2], None);
+    }
+
+    #[test]
+    fn to_table_layout_matches_paper() {
+        let r = Table1Results {
+            datasets: vec!["CUB".into()],
+            accuracy: vec![vec![
+                Some(0.9783),
+                Some(0.8917),
+                Some(0.5883),
+                Some(0.6293),
+                Some(0.9635),
+                Some(0.9867),
+                Some(0.9762),
+                Some(0.7208),
+            ]],
+        };
+        let t = r.to_table();
+        let s = t.render();
+        assert!(s.contains("GOGGLES"));
+        assert!(s.contains("97.83"));
+        assert!(s.contains("Average"));
+    }
+}

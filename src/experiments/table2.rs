@@ -1,0 +1,166 @@
+//! Table 2: end-model accuracy on the held-out test set. Probabilistic
+//! labels from each labeling system train an MLP head over frozen backbone
+//! features (the paper fine-tunes VGG FC layers — same freeze-the-trunk
+//! protocol); FSL trains on the dev set only; the upper bound trains on
+//! ground truth.
+
+use super::methods::{run_goggles, run_snorkel, run_snuba};
+use super::report::Table;
+use super::{RunParams, TrialContext};
+use goggles_endmodel::{
+    accuracy, one_hot_labels, standardize_fit, CosineClassifier, MlpHead, TrainConfig,
+};
+use goggles_tensor::Matrix;
+
+/// Column order follows the paper's Table 2.
+pub const METHOD_NAMES: [&str; 5] = ["FSL", "Snorkel", "Snuba", "GOGGLES", "UpperBound"];
+
+/// Accumulated Table 2 numbers.
+#[derive(Debug, Clone)]
+pub struct Table2Results {
+    /// Dataset row labels.
+    pub datasets: Vec<String>,
+    /// Mean test accuracy per dataset × method (`None` = not applicable).
+    pub accuracy: Vec<Vec<Option<f64>>>,
+}
+
+impl Table2Results {
+    /// Column averages (ignoring missing cells).
+    pub fn averages(&self) -> Vec<Option<f64>> {
+        (0..METHOD_NAMES.len())
+            .map(|m| {
+                let vals: Vec<f64> =
+                    self.accuracy.iter().filter_map(|row| row[m]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Render in the paper's layout.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Dataset"];
+        headers.extend(METHOD_NAMES);
+        let mut t = Table::new("Table 2: end model accuracy on held-out test set (%)", &headers);
+        for (ds, row) in self.datasets.iter().zip(&self.accuracy) {
+            let mut cells = vec![ds.clone()];
+            cells.extend(row.iter().map(|&v| Table::pct(v)));
+            t.push_row(cells);
+        }
+        let mut avg = vec!["Average".to_string()];
+        avg.extend(self.averages().iter().map(|&v| Table::pct(v)));
+        t.push_row(avg);
+        t
+    }
+}
+
+/// Train an MLP head on probabilistic labels and evaluate on the test set.
+fn end_model_accuracy(
+    ctx: &TrialContext,
+    soft_labels: &Matrix<f64>,
+    seed: u64,
+) -> f64 {
+    let standardizer = standardize_fit(&ctx.train_logits);
+    let train = standardizer.transform(&ctx.train_logits);
+    let test = standardizer.transform(&ctx.test_logits);
+    let cfg = TrainConfig { epochs: 200, seed, ..TrainConfig::default() };
+    let head = MlpHead::train(&train, soft_labels, 32, &cfg);
+    accuracy(&head.predict(&test), &ctx.dataset.test_labels())
+}
+
+/// The FSL Baseline++ protocol: cosine head trained on dev features only.
+fn fsl_accuracy(ctx: &TrialContext, seed: u64) -> f64 {
+    let standardizer = standardize_fit(&ctx.train_logits);
+    let train = standardizer.transform(&ctx.train_logits);
+    let test = standardizer.transform(&ctx.test_logits);
+    let support = train.select_rows(&ctx.dev_rows.indices);
+    let clf = CosineClassifier::train(
+        &support,
+        &ctx.dev_rows.labels,
+        ctx.dataset.num_classes,
+        150,
+        seed,
+    );
+    accuracy(&clf.predict(&test), &ctx.dataset.test_labels())
+}
+
+/// Run the Table 2 evaluation.
+pub fn run(params: &RunParams) -> Table2Results {
+    let dataset_names = ["CUB", "GTSRB", "Surface", "TB-Xray", "PN-Xray"];
+    let mut sums = vec![vec![0.0f64; METHOD_NAMES.len()]; dataset_names.len()];
+    let mut counts = vec![vec![0usize; METHOD_NAMES.len()]; dataset_names.len()];
+    for trial in 0..params.trials.max(1) {
+        let tasks = params.tasks_for_trial(trial);
+        for (d, task) in tasks.iter().enumerate() {
+            let ctx = TrialContext::build(params, task, trial);
+            let seed = 0xE4D + trial as u64;
+            // FSL
+            sums[d][0] += fsl_accuracy(&ctx, seed);
+            counts[d][0] += 1;
+            // Snorkel (CUB only)
+            if let Some(out) = run_snorkel(&ctx) {
+                let probs = out.probs.expect("snorkel is probabilistic");
+                sums[d][1] += end_model_accuracy(&ctx, &probs, seed);
+                counts[d][1] += 1;
+            }
+            // Snuba
+            let snuba = run_snuba(&ctx);
+            sums[d][2] +=
+                end_model_accuracy(&ctx, &snuba.probs.expect("snuba probs"), seed);
+            counts[d][2] += 1;
+            // GOGGLES
+            let gg = run_goggles(&ctx);
+            sums[d][3] += end_model_accuracy(&ctx, &gg.probs.expect("goggles probs"), seed);
+            counts[d][3] += 1;
+            // Supervised upper bound
+            let oh = one_hot_labels(&ctx.train_truth(), ctx.dataset.num_classes);
+            sums[d][4] += end_model_accuracy(&ctx, &oh, seed);
+            counts[d][4] += 1;
+        }
+    }
+    let accuracy = sums
+        .iter()
+        .zip(&counts)
+        .map(|(srow, crow)| {
+            srow.iter()
+                .zip(crow)
+                .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
+                .collect()
+        })
+        .collect();
+    Table2Results { datasets: dataset_names.iter().map(|s| s.to_string()).collect(), accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_missing_snorkel_cells() {
+        let r = Table2Results {
+            datasets: vec!["Surface".into()],
+            accuracy: vec![vec![Some(0.76), None, Some(0.5167), Some(0.8333), Some(0.92)]],
+        };
+        let s = r.to_table().render();
+        assert!(s.contains("UpperBound"));
+        assert!(s.contains("-"));
+        assert!(s.contains("83.33"));
+    }
+
+    #[test]
+    fn averages_ignore_missing() {
+        let r = Table2Results {
+            datasets: vec!["A".into(), "B".into()],
+            accuracy: vec![
+                vec![Some(0.5), Some(0.9), Some(0.4), Some(0.8), Some(0.95)],
+                vec![Some(0.7), None, Some(0.6), Some(0.9), Some(0.99)],
+            ],
+        };
+        let avg = r.averages();
+        assert!((avg[0].unwrap() - 0.6).abs() < 1e-12);
+        assert!((avg[1].unwrap() - 0.9).abs() < 1e-12);
+    }
+}

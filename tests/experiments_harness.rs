@@ -1,0 +1,105 @@
+//! Smoke tests of the experiment harness: every table/figure entry point
+//! runs end-to-end at micro scale and produces structurally valid output.
+
+use goggles::experiments::report::Table;
+use goggles::experiments::{figures, table1, table2, RunParams, TrialContext};
+
+fn micro_params() -> RunParams {
+    RunParams {
+        n_train_per_class: 8,
+        n_test_per_class: 3,
+        image_size: 32,
+        pairs: 1,
+        trials: 1,
+        dev_per_class: 2,
+        top_z: 2,
+        tiny_backbone: true,
+    }
+}
+
+#[test]
+fn table1_runs_and_has_paper_layout() {
+    let results = table1::run(&micro_params());
+    assert_eq!(results.datasets.len(), 5);
+    for row in &results.accuracy {
+        assert_eq!(row.len(), table1::METHOD_NAMES.len());
+        // GOGGLES, Snuba, HoG, Logits, K-Means, GMM, Spectral always run.
+        assert!(row[0].is_some());
+        assert!(row[2].is_some());
+    }
+    // Snorkel only on CUB.
+    assert!(results.accuracy[0][1].is_some());
+    assert!(results.accuracy[1][1].is_none());
+    let rendered = results.to_table().render();
+    assert!(rendered.contains("Average"));
+    assert!(rendered.contains("GOGGLES"));
+}
+
+#[test]
+fn table2_runs_and_has_paper_layout() {
+    let results = table2::run(&micro_params());
+    assert_eq!(results.datasets.len(), 5);
+    for (d, row) in results.accuracy.iter().enumerate() {
+        assert_eq!(row.len(), table2::METHOD_NAMES.len());
+        for (m, cell) in row.iter().enumerate() {
+            if m == 1 {
+                // Snorkel: CUB only
+                assert_eq!(cell.is_some(), d == 0, "dataset {d}");
+            } else {
+                assert!(cell.is_some(), "dataset {d} method {m}");
+                let v = cell.unwrap();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_figures_run_at_micro_scale() {
+    let params = micro_params();
+    let task = params.tasks_for_trial(0)[0];
+    let ctx = TrialContext::build(&params, &task, 0);
+
+    let fig2 = figures::figure2(&ctx, 8);
+    assert_eq!(fig2.histograms.len(), 3);
+    assert_eq!(fig2.to_table().rows.len(), 8);
+
+    let fig5 = figures::figure5(&ctx);
+    assert_eq!(fig5.rows.len(), 3);
+
+    let fig7 = figures::figure7(&[0.8], 12);
+    assert_eq!(fig7.rows.len(), 12);
+
+    let fig8 = figures::figure8(&ctx, &[0, 1, 2], 1);
+    assert_eq!(fig8.len(), 3);
+    assert!((fig8[0].1 - 0.5).abs() < 1e-9, "d=0 must be chance for K=2");
+
+    let fig9 = figures::figure9(&ctx, &[1, 5, 10], 1);
+    assert_eq!(fig9.len(), 3);
+    assert_eq!(fig9[2].0, ctx.affinity.alpha.min(10));
+}
+
+#[test]
+fn csv_artifacts_round_trip() {
+    let dir = std::env::temp_dir().join(format!("goggles_it_{}", std::process::id()));
+    let mut t = Table::new("smoke", &["a", "b"]);
+    t.push_row(vec!["1".into(), "2".into()]);
+    let path = dir.join("smoke.csv");
+    t.write_csv(&path).expect("csv write");
+    let content = std::fs::read_to_string(&path).expect("read back");
+    assert_eq!(content, "a,b\n1,2\n");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn optimal_mapping_accuracy_never_below_dev_mapping() {
+    // For any labeling, granting the optimal mapping can only help — the
+    // protocol asymmetry the paper gives its clustering baselines.
+    let params = micro_params();
+    let task = params.tasks_for_trial(0)[2];
+    let ctx = TrialContext::build(&params, &task, 0);
+    let out = goggles::experiments::methods::run_goggles(&ctx);
+    let mapped = ctx.labeling_accuracy(&out.hard_labels);
+    let optimal = ctx.optimal_mapping_accuracy(&out.hard_labels, 2);
+    assert!(optimal >= mapped - 1e-12, "optimal {optimal} < dev-mapped {mapped}");
+}

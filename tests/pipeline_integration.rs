@@ -1,0 +1,152 @@
+//! End-to-end integration tests: the full GOGGLES pipeline (datasets →
+//! backbone → affinity → hierarchical inference → dev mapping) across every
+//! dataset family, exercised through the public facade exactly as a
+//! downstream user would.
+
+use goggles::prelude::*;
+
+fn small_task(kind: TaskKind, seed: u64) -> Dataset {
+    let mut cfg = TaskConfig::new(kind, 12, 4, seed);
+    cfg.image_size = 32;
+    generate(&cfg)
+}
+
+fn fast_goggles(seed: u64) -> Goggles {
+    Goggles::new(GogglesConfig { seed, ..GogglesConfig::fast() })
+}
+
+#[test]
+fn pipeline_runs_on_every_dataset_family() {
+    let kinds = [
+        TaskKind::Cub { class_a: 0, class_b: 1 },
+        TaskKind::Gtsrb { class_a: 0, class_b: 8 },
+        TaskKind::Surface,
+        TaskKind::TbXray,
+        TaskKind::PnXray,
+    ];
+    let goggles = fast_goggles(0);
+    for kind in kinds {
+        let ds = small_task(kind, 3);
+        let dev = ds.sample_dev_set(3, 3);
+        let result = goggles.label_dataset(&ds, &dev).expect("pipeline");
+        assert_eq!(result.labels.probs.rows(), ds.train_indices.len(), "{kind:?}");
+        // rows are probability distributions
+        for i in 0..result.labels.probs.rows() {
+            let s: f64 = result.labels.probs.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{kind:?} row {i}");
+        }
+        // mapping is a permutation of {0, 1}
+        let mut m = result.mapping.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1], "{kind:?}");
+    }
+}
+
+#[test]
+fn easy_color_task_labels_accurately() {
+    // CUB with distinct species colors is the paper's easiest regime.
+    let ds = small_task(TaskKind::Cub { class_a: 0, class_b: 1 }, 7);
+    let dev = ds.sample_dev_set(3, 7);
+    let result = fast_goggles(1).label_dataset(&ds, &dev).expect("pipeline");
+    let acc = result.accuracy_excluding_dev(&ds, &dev);
+    assert!(acc > 0.75, "easy CUB accuracy = {acc}");
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let ds = small_task(TaskKind::Surface, 5);
+    let dev = ds.sample_dev_set(3, 5);
+    let a = fast_goggles(9).label_dataset(&ds, &dev).expect("run a");
+    let b = fast_goggles(9).label_dataset(&ds, &dev).expect("run b");
+    assert_eq!(a.labels.hard_labels(), b.labels.hard_labels());
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(
+        a.model.ensemble.stats.log_likelihood,
+        b.model.ensemble.stats.log_likelihood
+    );
+}
+
+#[test]
+fn affinity_matrix_has_paper_geometry() {
+    // A ∈ R^{N×αN} with α = 5 Z (Section 3 discussion).
+    let ds = small_task(TaskKind::Surface, 11);
+    let goggles = fast_goggles(2);
+    let am = goggles.build_affinity_matrix(&ds.train_images());
+    let n = ds.train_indices.len();
+    let alpha = 5 * goggles.config().top_z;
+    assert_eq!(am.data.shape(), (n, alpha * n));
+    // Cosine scores live in [-1, 1].
+    assert!(am.data.as_slice().iter().all(|v| (-1.0001..=1.0001).contains(v)));
+    // Self-affinity: an image's own prototype is among its own patches, so
+    // the diagonal of every function block is (numerically) 1 — except for
+    // layers whose pooled map has a single spatial position (pool-5 at 32px
+    // input), where per-image centering blanks the lone patch and the
+    // function is legitimately uninformative (the ensemble discounts it).
+    let z = goggles.config().top_z;
+    for f in 0..alpha {
+        let layer = f / z;
+        if goggles.config().vgg.pool_size(layer) < 2 {
+            continue;
+        }
+        let block = am.function_block(f);
+        for i in 0..n {
+            assert!(block[(i, i)] > 0.999, "f={f} i={i}: {}", block[(i, i)]);
+        }
+    }
+}
+
+#[test]
+fn more_dev_labels_never_flip_a_good_mapping() {
+    let ds = small_task(TaskKind::Cub { class_a: 2, class_b: 3 }, 13);
+    let goggles = fast_goggles(3);
+    let dev5 = ds.sample_dev_set(5, 13);
+    let r5 = goggles.label_dataset(&ds, &dev5).expect("dev5");
+    let acc5 = r5.accuracy(&ds);
+    // With a larger dev set the mapping can only get more reliable.
+    let dev6 = ds.sample_dev_set(6, 13);
+    let r6 = goggles.label_dataset(&ds, &dev6).expect("dev6");
+    let acc6 = r6.accuracy(&ds);
+    assert!(
+        acc6 >= acc5 - 0.1,
+        "larger dev set should not collapse accuracy: {acc5} → {acc6}"
+    );
+}
+
+#[test]
+fn probabilistic_labels_feed_downstream_training() {
+    // §2.1: the labels' purpose is to train a downstream model.
+    use goggles::endmodel::{accuracy, one_hot_labels, standardize_fit, MlpHead, TrainConfig};
+    use goggles::tensor::Matrix;
+
+    // End-model features need the full-width backbone at 64px: the tiny
+    // 32px configuration funnels pool-5 through a 1x1x16 bottleneck and its
+    // logits carry almost no class information (fine for affinity coding,
+    // useless for a feature head).
+    let cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 15, 8, 17);
+    let ds = generate(&cfg);
+    let dev = ds.sample_dev_set(4, 17);
+    let goggles = Goggles::new(GogglesConfig { seed: 4, top_z: 4, ..GogglesConfig::default() });
+    let result = goggles.label_dataset(&ds, &dev).expect("labels");
+
+    let to_f64 =
+        |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
+    let train_imgs: Vec<Image> = ds.train_images().iter().map(|&i| i.clone()).collect();
+    let test_imgs: Vec<Image> = ds.test_images().iter().map(|&i| i.clone()).collect();
+    let train_raw = to_f64(&goggles.backbone().logits_batch(&train_imgs));
+    let test_raw = to_f64(&goggles.backbone().logits_batch(&test_imgs));
+    let std = standardize_fit(&train_raw);
+    let (train, test) = (std.transform(&train_raw), std.transform(&test_raw));
+
+    let cfg = TrainConfig { epochs: 120, ..TrainConfig::default() };
+    let weak = MlpHead::train(&train, &result.labels.probs, 16, &cfg);
+    let weak_acc = accuracy(&weak.predict(&test), &ds.test_labels());
+
+    let upper = MlpHead::train(&train, &one_hot_labels(&ds.train_labels(), 2), 16, &cfg);
+    let upper_acc = accuracy(&upper.predict(&test), &ds.test_labels());
+
+    assert!(weak_acc > 0.5, "weakly-supervised end model at chance: {weak_acc}");
+    assert!(
+        upper_acc >= weak_acc - 0.15,
+        "upper bound ({upper_acc}) should not trail GOGGLES ({weak_acc}) badly"
+    );
+}

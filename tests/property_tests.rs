@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: theory DP vs exhaustive enumeration, assignment optimality,
+//! EM posterior validity, affinity-matrix geometry and mapping laws.
+
+use goggles::core::mapping::{apply_mapping, map_clusters_via_dev_set, map_two_clusters};
+use goggles::core::theory;
+use goggles::datasets::DevSet;
+use goggles::models::{
+    assignment, solve_assignment, BernoulliMixture, DiagonalGmm, EmOptions, KMeans,
+};
+use goggles::tensor::rng::std_rng;
+use goggles::tensor::{log_sum_exp, Matrix};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1's DP must agree with exhaustive multinomial enumeration.
+    #[test]
+    fn theory_dp_matches_brute_force(
+        eta in 0.05f64..0.95,
+        k in 2usize..5,
+        d in 1usize..7,
+    ) {
+        let dp = theory::p_class_correct(eta, k, d);
+        let brute = theory::p_class_correct_brute_force(eta, k, d);
+        prop_assert!((dp - brute).abs() < 1e-9, "dp {dp} vs brute {brute}");
+        prop_assert!((0.0..=1.0).contains(&dp));
+    }
+
+    /// The Hungarian solver must achieve the exhaustive optimum.
+    #[test]
+    fn assignment_is_optimal(seed in 0u64..500, n in 2usize..6) {
+        let mut rng = std_rng(seed);
+        let score = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() * 10.0 - 5.0);
+        let fast = solve_assignment(&score);
+        let brute = assignment::solve_assignment_brute_force(&score);
+        let fs = assignment::assignment_score(&score, &fast);
+        let bs = assignment::assignment_score(&score, &brute);
+        prop_assert!((fs - bs).abs() < 1e-9, "fast {fs} vs brute {bs}");
+        // result is a permutation
+        let mut sorted = fast.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// log-sum-exp must match the naive computation where it is stable, and
+    /// dominate the max everywhere.
+    #[test]
+    fn log_sum_exp_properties(xs in proptest::collection::vec(-30.0f64..30.0, 1..12)) {
+        let lse = log_sum_exp(&xs);
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        prop_assert!((lse - naive).abs() < 1e-9);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    /// GMM posteriors are row-stochastic for arbitrary (non-degenerate) data.
+    #[test]
+    fn gmm_posteriors_are_distributions(seed in 0u64..200) {
+        let mut rng = std_rng(seed);
+        let data = Matrix::from_fn(24, 3, |_, _| rng.random::<f64>() * 4.0 - 2.0);
+        let opts = EmOptions { restarts: 1, max_iters: 25, ..EmOptions::default() };
+        let gmm = DiagonalGmm::fit(&data, 2, &opts, seed).unwrap();
+        for i in 0..24 {
+            let s: f64 = gmm.responsibilities.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+        prop_assert!(gmm.stats.log_likelihood.is_finite());
+    }
+
+    /// Bernoulli-mixture parameters stay clamped inside (0, 1).
+    #[test]
+    fn bernoulli_params_clamped(seed in 0u64..200) {
+        let mut rng = std_rng(seed);
+        let data = Matrix::from_fn(20, 6, |_, _| f64::from(rng.random::<bool>()));
+        let opts = EmOptions { restarts: 1, max_iters: 25, ..EmOptions::default() };
+        let bm = BernoulliMixture::fit(&data, 2, &opts, seed).unwrap();
+        prop_assert!(bm.probs.as_slice().iter().all(|&b| b > 0.0 && b < 1.0));
+        prop_assert!((bm.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// K-means inertia never increases when k grows (same seed pool).
+    #[test]
+    fn kmeans_inertia_monotone_in_k(seed in 0u64..100) {
+        let mut rng = std_rng(seed);
+        let data = Matrix::from_fn(30, 2, |_, _| rng.random::<f64>());
+        let k1 = KMeans::fit(&data, 1, 2, seed).unwrap();
+        let k2 = KMeans::fit(&data, 2, 2, seed).unwrap();
+        let k3 = KMeans::fit(&data, 3, 2, seed).unwrap();
+        prop_assert!(k2.inertia <= k1.inertia + 1e-9);
+        prop_assert!(k3.inertia <= k2.inertia + 1e-9);
+    }
+
+    /// Applying a mapping permutes columns losslessly: accuracy against any
+    /// truth is invariant under (mapping, inverse-mapping) round trips.
+    #[test]
+    fn mapping_roundtrip_is_identity(seed in 0u64..200, n in 2usize..20) {
+        let mut rng = std_rng(seed);
+        let mut gamma = Matrix::from_fn(n, 2, |_, _| rng.random::<f64>());
+        for i in 0..n {
+            let s: f64 = gamma.row(i).iter().sum();
+            for v in gamma.row_mut(i) {
+                *v /= s;
+            }
+        }
+        let g = vec![1usize, 0];
+        let double = apply_mapping(&apply_mapping(&gamma, &g), &g);
+        prop_assert!(gamma.max_abs_diff(&double) < 1e-12);
+    }
+
+    /// The K = 2 closed form (Equation 15) agrees with the Hungarian
+    /// maximization of L_g (Equation 14) on random responsibilities.
+    #[test]
+    fn k2_mapping_closed_form_agrees(seed in 0u64..300, n in 4usize..24) {
+        let mut rng = std_rng(seed);
+        let mut gamma = Matrix::from_fn(n, 2, |_, _| rng.random::<f64>());
+        for i in 0..n {
+            let s: f64 = gamma.row(i).iter().sum();
+            for v in gamma.row_mut(i) {
+                *v /= s;
+            }
+        }
+        // Equation 15 assumes a class-balanced dev set ("we assume the
+        // size of LS_k' is the same for all classes", §4.3) — with
+        // unbalanced sets the general L_g maximization legitimately
+        // differs, so keep the draw balanced (even-sized, alternating).
+        let dev_n = 2 * (n / 4).max(1);
+        let dev = DevSet {
+            indices: (0..dev_n).collect(),
+            labels: (0..dev_n).map(|i| i % 2).collect(),
+        };
+        prop_assert_eq!(
+            map_clusters_via_dev_set(&gamma, &dev),
+            map_two_clusters(&gamma, &dev)
+        );
+    }
+
+    /// Theorem 1 bound is monotone in η for fixed (k, d).
+    #[test]
+    fn theory_monotone_in_eta(k in 2usize..4, d in 1usize..8) {
+        let mut prev = 0.0;
+        for step in 1..9 {
+            let eta = step as f64 / 10.0;
+            let p = theory::p_mapping_correct(eta, k, d);
+            prop_assert!(p >= prev - 1e-9, "eta {eta}: {p} < {prev}");
+            prev = p;
+        }
+    }
+}
+
+/// Deterministic (non-proptest) property: cosine-gram affinity matrices are
+/// symmetric with unit diagonal for nonzero rows.
+#[test]
+fn feature_affinity_is_symmetric_unit_diagonal() {
+    use goggles::core::AffinityMatrix;
+    let mut rng = std_rng(5);
+    let feats = Matrix::from_fn(10, 6, |_, _| rng.random::<f64>() + 0.1);
+    let am = AffinityMatrix::from_feature_vectors(&feats);
+    for i in 0..10 {
+        assert!((am.data[(i, i)] - 1.0).abs() < 1e-9);
+        for j in 0..10 {
+            assert!((am.data[(i, j)] - am.data[(j, i)]).abs() < 1e-9);
+        }
+    }
+}
