@@ -45,19 +45,12 @@ fn main() {
         let name = task.kind.dataset_name();
         let ctx = timed(&format!("context {name}"), || TrialContext::build(&params, task, d));
         let em = EmOptions { restarts: 2, ..EmOptions::default() };
-        let opts = HierarchicalOptions {
-            num_classes: 2,
-            em,
-            one_hot: true,
-            threads: 8,
-            seed: 7,
-        };
+        let opts = HierarchicalOptions { num_classes: 2, em, one_hot: true, threads: 8, seed: 7 };
 
         // 1. paper configuration
         let paper_acc = hierarchical_accuracy(&ctx, &opts);
         // 2. raw probabilities into the ensemble
-        let raw_acc =
-            hierarchical_accuracy(&ctx, &HierarchicalOptions { one_hot: false, ..opts });
+        let raw_acc = hierarchical_accuracy(&ctx, &HierarchicalOptions { one_hot: false, ..opts });
         // 3. flat clustering on the same matrix (optimal mapping, §5.1.6)
         let flat_gmm = DiagonalGmm::fit(&ctx.affinity.data, 2, &em, 3)
             .map(|g| ctx.optimal_mapping_accuracy(&g.train_labels(), 2))
@@ -106,9 +99,7 @@ fn restricted_accuracy(
     z_keep: usize,
     z_total: usize,
 ) -> f64 {
-    let keep: Vec<usize> = (0..ctx.affinity.alpha)
-        .filter(|f| f % z_total < z_keep)
-        .collect();
+    let keep: Vec<usize> = (0..ctx.affinity.alpha).filter(|f| f % z_total < z_keep).collect();
     let restricted = ctx.affinity.restrict_functions(&keep);
     let model = HierarchicalModel::fit(&restricted, opts).expect("fit");
     let g = map_clusters_via_dev_set(&model.responsibilities, &ctx.dev_rows);

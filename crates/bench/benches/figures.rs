@@ -59,9 +59,7 @@ fn main() {
             // reuse the CUB context built above
             None
         } else {
-            Some(timed(&format!("build {name} context"), || {
-                TrialContext::build(&params, task, 0)
-            }))
+            Some(timed(&format!("build {name} context"), || TrialContext::build(&params, task, 0)))
         };
         let ctx = ctx.as_ref().unwrap_or(&cub_ctx);
 

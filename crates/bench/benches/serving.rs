@@ -1,0 +1,35 @@
+//! Serving benchmark: single-image p50 latency and micro-batched throughput
+//! of the `goggles-serve` [`goggles::serve::LabelService`] versus a full
+//! `label_dataset` refit over the same held-out images.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench serving
+//! ```
+//!
+//! Also drops `BENCH_serving.json` in the results dir (see
+//! `goggles::experiments::report::results_dir`).
+
+use goggles::experiments::report::results_dir;
+use goggles::experiments::{serving, Scale};
+use goggles_bench::timed;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+    let report = timed("Serving", || serving::run(&params));
+    println!("{}", report.to_table().render());
+    let path = results_dir().join("BENCH_serving.json");
+    match report.write_json(&path) {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),
+    }
+    // The acceptance guardrail of the serving subsystem: fold-in inference
+    // must not trail a full refit by more than 2 accuracy points.
+    assert!(
+        report.served_accuracy + 0.02 + 1e-9 >= report.batch_accuracy,
+        "served {:.3} trails batch refit {:.3} by more than 2 points",
+        report.served_accuracy,
+        report.batch_accuracy
+    );
+}

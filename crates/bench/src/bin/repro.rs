@@ -6,16 +6,17 @@
 //! ```
 //!
 //! Accepted names: `table1`, `table2`, `fig2`, `fig5`, `fig7`, `fig8`,
-//! `fig9`, `all`. Results print as text tables and are saved as CSV under
+//! `fig9`, `serving`, `all`. Results print as text tables and are saved as
+//! CSV (plus `BENCH_serving.json` for the serving run) under
 //! `results/` (override with `GOGGLES_RESULTS_DIR`).
 
-use goggles::experiments::{figures, table1, table2, Scale, TrialContext};
+use goggles::experiments::{figures, serving, table1, table2, Scale, TrialContext};
 use goggles_bench::{emit, timed};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let known = ["table1", "table2", "fig2", "fig5", "fig7", "fig8", "fig9", "all"];
+    let known = ["table1", "table2", "fig2", "fig5", "fig7", "fig8", "fig9", "serving", "all"];
     if !known.contains(&what) {
         eprintln!("unknown experiment {what:?}; expected one of {known:?}");
         std::process::exit(2);
@@ -36,6 +37,15 @@ fn main() {
     }
     if run("fig7") {
         emit(&figures::figure7(&[0.7, 0.8, 0.9], 25), "figure7");
+    }
+    if run("serving") {
+        let report = timed("Serving", || serving::run(&params));
+        println!("{}", report.to_table().render());
+        let path = goggles::experiments::report::results_dir().join("BENCH_serving.json");
+        match report.write_json(&path) {
+            Ok(()) => println!("[saved {}]\n", path.display()),
+            Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),
+        }
     }
     // The data-driven figures share one CUB context.
     if run("fig2") || run("fig5") || run("fig8") || run("fig9") {

@@ -252,8 +252,7 @@ mod tests {
         let conv = Conv2d::new_he_init(&mut rng, 16, 32, 3);
         let n = conv.weight.len() as f64;
         let mean: f64 = conv.weight.iter().map(|&v| v as f64).sum::<f64>() / n;
-        let var: f64 =
-            conv.weight.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = conv.weight.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
         let expect = 2.0 / (16.0 * 9.0);
         assert!(mean.abs() < 0.005, "mean = {mean}");
         assert!((var - expect).abs() / expect < 0.15, "var = {var}, expect = {expect}");

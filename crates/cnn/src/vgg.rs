@@ -136,9 +136,7 @@ impl Vgg16 {
         };
         // Fixed affine normalization: mean 0.45, std 0.25 (≈ ImageNet
         // statistics in [0,1] units).
-        resized
-            .tensor_mut()
-            .map_in_place(|v| (v - 0.45) * 4.0);
+        resized.tensor_mut().map_in_place(|v| (v - 0.45) * 4.0);
         resized.into_tensor()
     }
 

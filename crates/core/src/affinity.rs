@@ -59,19 +59,32 @@ pub struct AffinityMatrix {
     pub z_per_layer: usize,
 }
 
-impl AffinityMatrix {
-    /// Build the matrix from per-image embeddings (Algorithm 1 applied to
-    /// all ordered pairs). `threads` bounds the row-parallel fan-out.
-    pub fn build(embeddings: &[ImageEmbedding], threads: usize) -> Self {
+/// The frozen prototype side of a fitted affinity matrix: per layer, the
+/// stacked `(n·z) × C` prototype table of all `n` training images (row
+/// `j·z + r` holds prototype `r` of image `j`).
+///
+/// A bank is everything needed to evaluate every affinity function against
+/// the *stored* training corpus for a **new** image: the `1 × αN` row
+/// `A[x, f·N + j] = f(x, x_j)` follows from the new image's patch tables
+/// alone, so out-of-sample inference never re-embeds the training set (the
+/// serving path of `goggles-serve`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrototypeBank {
+    /// One stacked prototype table per backbone layer, shallow → deep.
+    pub stacked: Vec<Matrix<f32>>,
+    /// Number of stored (training) images `N`.
+    pub n: usize,
+    /// Prototypes per layer (`Z`).
+    pub z_per_layer: usize,
+}
+
+impl PrototypeBank {
+    /// Stack the prototypes of a training corpus.
+    pub fn from_embeddings(embeddings: &[ImageEmbedding]) -> Self {
         let n = embeddings.len();
         assert!(n > 0, "need at least one embedding");
         let n_layers = embeddings[0].layers.len();
         let z = embeddings[0].layers[0].prototypes.rows();
-        let alpha = n_layers * z;
-        let mut data = Matrix::<f64>::zeros(n, alpha * n);
-
-        // Pre-stack prototypes per layer: P_L is (n·z) × C with row (j·z + r)
-        // holding prototype r of image j.
         let stacked: Vec<Matrix<f32>> = (0..n_layers)
             .map(|layer| {
                 let c = embeddings[0].layers[layer].prototypes.cols();
@@ -84,23 +97,72 @@ impl AffinityMatrix {
                 p
             })
             .collect();
+        Self { stacked, n, z_per_layer: z }
+    }
 
-        let threads = threads.max(1).min(n);
-        let chunk = n.div_ceil(threads);
-        let row_len = alpha * n;
+    /// Number of affinity functions `α = layers · Z`.
+    pub fn alpha(&self) -> usize {
+        self.stacked.len() * self.z_per_layer
+    }
+
+    /// Affinity rows of `queries` against the stored prototypes: an
+    /// `m × αN` matrix laid out exactly like [`AffinityMatrix::data`]
+    /// (`row q, column f·N + j = f(query_q, train_j)`). Cost is
+    /// `O(m · N)` affinity evaluations — independent of `N²`.
+    pub fn affinity_rows(&self, queries: &[ImageEmbedding], threads: usize) -> Matrix<f64> {
+        let m = queries.len();
+        let row_len = self.alpha() * self.n;
+        let mut data = Matrix::<f64>::zeros(m, row_len);
+        if m == 0 {
+            return data;
+        }
+        // Fail loudly (also in release) on geometry mismatches — a query
+        // embedded with a different backbone config would otherwise produce
+        // silently truncated dot products in `fill_row`.
+        for (q, emb) in queries.iter().enumerate() {
+            assert_eq!(
+                emb.layers.len(),
+                self.stacked.len(),
+                "query {q}: {} layers but the bank holds {}",
+                emb.layers.len(),
+                self.stacked.len()
+            );
+            for (l, (layer, protos)) in emb.layers.iter().zip(&self.stacked).enumerate() {
+                assert_eq!(
+                    layer.patches.cols(),
+                    protos.cols(),
+                    "query {q} layer {l}: patch dim {} != bank prototype dim {} \
+                     (was it embedded with the same backbone config?)",
+                    layer.patches.cols(),
+                    protos.cols()
+                );
+            }
+        }
+        let threads = threads.max(1).min(m);
+        let chunk = m.div_ceil(threads);
+        let (n, z) = (self.n, self.z_per_layer);
         std::thread::scope(|scope| {
             for (t, rows_chunk) in data.as_mut_slice().chunks_mut(chunk * row_len).enumerate() {
                 let start = t * chunk;
-                let stacked = &stacked;
+                let stacked = &self.stacked;
                 scope.spawn(move || {
                     for (local, row) in rows_chunk.chunks_mut(row_len).enumerate() {
-                        let i = start + local;
-                        fill_row(row, &embeddings[i], stacked, n, z);
+                        fill_row(row, &queries[start + local], stacked, n, z);
                     }
                 });
             }
         });
-        Self { data, n, alpha, z_per_layer: z }
+        data
+    }
+}
+
+impl AffinityMatrix {
+    /// Build the matrix from per-image embeddings (Algorithm 1 applied to
+    /// all ordered pairs). `threads` bounds the row-parallel fan-out.
+    pub fn build(embeddings: &[ImageEmbedding], threads: usize) -> Self {
+        let bank = PrototypeBank::from_embeddings(embeddings);
+        let data = bank.affinity_rows(embeddings, threads);
+        Self { data, n: bank.n, alpha: bank.alpha(), z_per_layer: bank.z_per_layer }
     }
 
     /// The `N × N` block of affinity function `f` (by flat index).
@@ -280,9 +342,7 @@ mod tests {
     #[test]
     fn layout_matches_paper_indexing() {
         // Two functions (z=2), three images: column f·N + j.
-        let mk = |a: f32, b: f32| {
-            toy_embedding(&[&[a, b]], &[&[a, b], &[b, a]])
-        };
+        let mk = |a: f32, b: f32| toy_embedding(&[&[a, b]], &[&[a, b], &[b, a]]);
         let embs = vec![mk(1.0, 0.0), mk(0.0, 1.0), mk(0.7, 0.7)];
         let am = AffinityMatrix::build(&embs, 2);
         assert_eq!(am.data.shape(), (3, 2 * 3));
@@ -349,6 +409,43 @@ mod tests {
         let restricted = am.restrict_functions(&[1]);
         assert_eq!(restricted.alpha, 1);
         assert_eq!(restricted.data, am.function_block(1));
+    }
+
+    #[test]
+    fn prototype_bank_rows_match_full_matrix() {
+        // The out-of-sample row path must agree exactly with the batch build
+        // when the "queries" are the training images themselves.
+        let net = Vgg16::new(&VggConfig::tiny(), 5);
+        let images: Vec<Image> = (0..6)
+            .map(|i| {
+                let mut img = Image::filled(3, 32, 32, 0.25);
+                draw::fill_disc(&mut img, 6.0 + 3.0 * i as f32, 14.0, 5.0, &[0.8, 0.4, 0.2]);
+                img
+            })
+            .collect();
+        let refs: Vec<&Image> = images.iter().collect();
+        let embs = embed_images(&net, &refs, 3, 1, false);
+        let am = AffinityMatrix::build(&embs, 2);
+        let bank = PrototypeBank::from_embeddings(&embs);
+        assert_eq!(bank.alpha(), am.alpha);
+        let rows = bank.affinity_rows(&embs, 3);
+        assert!(rows.max_abs_diff(&am.data) < 1e-12);
+        // A strict subset of queries reproduces the matching rows.
+        let sub = bank.affinity_rows(&embs[2..4], 1);
+        assert_eq!(sub.shape(), (2, am.alpha * am.n));
+        for (q, i) in (2..4).enumerate() {
+            for c in 0..sub.cols() {
+                assert_eq!(sub[(q, c)], am.data[(i, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn prototype_bank_empty_queries() {
+        let e0 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0]]);
+        let bank = PrototypeBank::from_embeddings(&[e0]);
+        let rows = bank.affinity_rows(&[], 4);
+        assert_eq!(rows.shape(), (0, 1));
     }
 
     #[test]

@@ -44,9 +44,13 @@ impl Default for HierarchicalOptions {
 /// Fitted hierarchical model.
 #[derive(Debug, Clone)]
 pub struct HierarchicalModel {
-    /// Per-base-model label prediction matrices, each `N × K` (cluster ids
-    /// are per-model and unaligned — the ensemble resolves that).
-    pub base_predictions: Vec<Matrix<f64>>,
+    /// The fitted per-function base models (diagonal GMMs over that
+    /// function's `N`-dimensional affinity columns), kept so new rows can be
+    /// folded in without refitting (see [`HierarchicalModel::predict_proba`]).
+    /// Each model's `responsibilities` is its `N × K` label-prediction
+    /// matrix (cluster ids are per-model and unaligned — the ensemble
+    /// resolves that); see [`HierarchicalModel::base_prediction`].
+    pub base_models: Vec<DiagonalGmm>,
     /// Concatenated (one-hot) ensemble input, `N × αK`.
     pub ensemble_input: Matrix<f64>,
     /// Final ensemble responsibilities, `N × K` (cluster space, pre-mapping).
@@ -54,6 +58,9 @@ pub struct HierarchicalModel {
     /// The fitted ensemble model (its Bernoulli parameters are per-function
     /// reliability estimates).
     pub ensemble: BernoulliMixture,
+    /// Whether base predictions were one-hot encoded before the ensemble
+    /// (recorded so fold-in encodes new rows identically).
+    pub one_hot: bool,
     /// Final ensemble log-likelihood.
     pub log_likelihood: f64,
 }
@@ -62,26 +69,66 @@ impl HierarchicalModel {
     /// Fit the full hierarchy on an affinity matrix.
     pub fn fit(affinity: &AffinityMatrix, opts: &HierarchicalOptions) -> Result<Self> {
         let k = opts.num_classes;
-        let base_predictions = fit_base_models(affinity, opts)?;
-        let ensemble_input = concat_label_predictions(&base_predictions, opts.one_hot);
+        let base_models = fit_base_models(affinity, opts)?;
+        let lp: Vec<&Matrix<f64>> = base_models.iter().map(|g| &g.responsibilities).collect();
+        let ensemble_input = concat_label_predictions(&lp, opts.one_hot);
         // The ensemble fit is cheap (binary N × αK input) but decides the
         // final labels, so it gets extra restarts regardless of the base
         // models' budget: EM local optima here directly cost accuracy.
         let ensemble_em = EmOptions { restarts: opts.em.restarts.max(5), ..opts.em };
-        let ensemble = BernoulliMixture::fit(
-            &ensemble_input,
-            k,
-            &ensemble_em,
-            opts.seed ^ 0xE45E_3B1E,
-        )?;
+        let ensemble =
+            BernoulliMixture::fit(&ensemble_input, k, &ensemble_em, opts.seed ^ 0xE45E_3B1E)?;
         let responsibilities = ensemble.responsibilities.clone();
         let log_likelihood = ensemble.stats.log_likelihood;
-        Ok(Self { base_predictions, ensemble_input, responsibilities, ensemble, log_likelihood })
+        Ok(Self {
+            base_models,
+            ensemble_input,
+            responsibilities,
+            ensemble,
+            one_hot: opts.one_hot,
+            log_likelihood,
+        })
     }
 
     /// Number of base models (α).
     pub fn alpha(&self) -> usize {
-        self.base_predictions.len()
+        self.base_models.len()
+    }
+
+    /// Label-prediction matrix (`N × K`, training responsibilities) of base
+    /// model `f` — a borrow, not a copy; the data lives in
+    /// [`HierarchicalModel::base_models`].
+    pub fn base_prediction(&self, f: usize) -> &Matrix<f64> {
+        &self.base_models[f].responsibilities
+    }
+
+    /// Dimensionality each base model was fit on (the training corpus size
+    /// `N` — every affinity function block is `N` columns wide).
+    pub fn n_train(&self) -> usize {
+        self.base_models.first().map_or(0, |g| g.means.cols())
+    }
+
+    /// Cluster posteriors for **new** affinity rows without any refitting:
+    /// each function's `N`-column block goes through its stored base GMM's
+    /// posterior, the blocks are (one-hot) concatenated exactly as in
+    /// training, and the stored ensemble emits `P(cluster | row)`.
+    ///
+    /// `rows` must be `m × αN`, laid out like [`AffinityMatrix::data`]
+    /// (e.g. from [`crate::PrototypeBank::affinity_rows`]). Returns `m × K`
+    /// in **cluster** space — apply the dev-set mapping for class space.
+    pub fn predict_proba(&self, rows: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let alpha = self.alpha();
+        let n = self.n_train();
+        if rows.cols() != alpha * n {
+            return Err(crate::GogglesError::InvalidInput(format!(
+                "affinity rows have {} columns; model expects α·N = {}·{} = {}",
+                rows.cols(),
+                alpha,
+                n,
+                alpha * n
+            )));
+        }
+        Ok(fold_in_rows(&self.base_models, &self.ensemble, self.one_hot, rows))
     }
 
     /// Estimated reliability of each affinity function: the mean absolute
@@ -108,15 +155,46 @@ impl HierarchicalModel {
     }
 }
 
+/// Fold precomputed affinity rows (`m × αN`, laid out like
+/// [`AffinityMatrix::data`]) through **already-fitted** models: each
+/// function's `N`-column block goes through its base GMM's posterior, the
+/// blocks are concatenated exactly as in training, and the ensemble emits
+/// `P(cluster | row)` (`m × K`, cluster space — no refitting anywhere).
+///
+/// This is the single source of truth for the fold-in math; both
+/// [`HierarchicalModel::predict_proba`] and the `goggles-serve` snapshot
+/// path call it.
+///
+/// # Panics
+/// Panics if `base_models` is empty or `rows` is not `m × αN`.
+pub fn fold_in_rows(
+    base_models: &[DiagonalGmm],
+    ensemble: &BernoulliMixture,
+    one_hot: bool,
+    rows: &Matrix<f64>,
+) -> Matrix<f64> {
+    assert!(!base_models.is_empty(), "need at least one base model");
+    let n = base_models[0].means.cols();
+    let alpha = base_models.len();
+    assert_eq!(rows.cols(), alpha * n, "affinity rows must be m × αN ({alpha}·{n})");
+    let lp: Vec<Matrix<f64>> = base_models
+        .iter()
+        .enumerate()
+        .map(|(f, gmm)| gmm.predict_proba(&rows.col_block(f * n, (f + 1) * n)))
+        .collect();
+    let input = concat_label_predictions(&lp, one_hot);
+    ensemble.predict_proba(&input)
+}
+
 /// Fit one diagonal GMM per affinity-function block, in parallel.
 fn fit_base_models(
     affinity: &AffinityMatrix,
     opts: &HierarchicalOptions,
-) -> Result<Vec<Matrix<f64>>> {
+) -> Result<Vec<DiagonalGmm>> {
     let alpha = affinity.alpha;
     let k = opts.num_classes;
     let threads = opts.threads.max(1).min(alpha);
-    let mut results: Vec<Option<Result<Matrix<f64>>>> = Vec::new();
+    let mut results: Vec<Option<Result<DiagonalGmm>>> = Vec::new();
     results.resize_with(alpha, || None);
     let chunk = alpha.div_ceil(threads);
     std::thread::scope(|scope| {
@@ -126,32 +204,29 @@ fn fit_base_models(
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
                     let f = start + off;
                     let block = affinity.function_block(f);
-                    let fit = DiagonalGmm::fit(
-                        &block,
-                        k,
-                        &opts.em,
-                        opts.seed ^ (0xBA5E_0000 + f as u64),
-                    )
-                    .map(|g| g.responsibilities);
+                    let fit =
+                        DiagonalGmm::fit(&block, k, &opts.em, opts.seed ^ (0xBA5E_0000 + f as u64));
                     *slot = Some(fit.map_err(Into::into));
                 }
             });
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("worker filled slot"))
-        .collect()
+    results.into_iter().map(|r| r.expect("worker filled slot")).collect()
 }
 
 /// Concatenate α label-prediction matrices into the ensemble input
-/// (`N × αK`), one-hot encoding each block when requested.
-pub fn concat_label_predictions(blocks: &[Matrix<f64>], one_hot: bool) -> Matrix<f64> {
+/// (`N × αK`), one-hot encoding each block when requested. Accepts owned
+/// matrices or references (`&[Matrix<f64>]` / `&[&Matrix<f64>]`).
+pub fn concat_label_predictions<M: std::borrow::Borrow<Matrix<f64>>>(
+    blocks: &[M],
+    one_hot: bool,
+) -> Matrix<f64> {
     assert!(!blocks.is_empty(), "need at least one base model");
-    let n = blocks[0].rows();
-    let k = blocks[0].cols();
+    let n = blocks[0].borrow().rows();
+    let k = blocks[0].borrow().cols();
     let mut out = Matrix::<f64>::zeros(n, blocks.len() * k);
     for (f, block) in blocks.iter().enumerate() {
+        let block = block.borrow();
         assert_eq!(block.shape(), (n, k), "ragged LP block {f}");
         for i in 0..n {
             let src = block.row(i);
@@ -283,6 +358,26 @@ mod tests {
             goggles_models::hard_labels(&a.responsibilities),
             goggles_models::hard_labels(&b.responsibilities)
         );
+    }
+
+    #[test]
+    fn fold_in_reproduces_training_posteriors() {
+        // predict_proba on the training rows themselves must agree with the
+        // stored responsibilities (same E-step on converged parameters).
+        let (am, _) = synthetic_affinity(15, 2, 1, 0.3, 8);
+        let model = HierarchicalModel::fit(&am, &opts(4)).unwrap();
+        assert_eq!(model.n_train(), am.n);
+        let rep = model.predict_proba(&am.data).unwrap();
+        let diff = rep.max_abs_diff(&model.responsibilities);
+        assert!(diff < 1e-8, "diff = {diff}");
+    }
+
+    #[test]
+    fn fold_in_rejects_wrong_width() {
+        let (am, _) = synthetic_affinity(10, 2, 0, 0.3, 9);
+        let model = HierarchicalModel::fit(&am, &opts(5)).unwrap();
+        let bad = Matrix::<f64>::zeros(1, am.n * am.alpha + 1);
+        assert!(model.predict_proba(&bad).is_err());
     }
 
     #[test]

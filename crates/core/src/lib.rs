@@ -38,8 +38,8 @@ pub mod pipeline;
 pub mod prototypes;
 pub mod theory;
 
-pub use affinity::{AffinityFunction, AffinityMatrix, ScoreDistribution};
-pub use hierarchical::{HierarchicalModel, HierarchicalOptions};
+pub use affinity::{AffinityFunction, AffinityMatrix, PrototypeBank, ScoreDistribution};
+pub use hierarchical::{fold_in_rows, HierarchicalModel, HierarchicalOptions};
 pub use mapping::{apply_mapping, map_clusters_via_dev_set};
 pub use pipeline::{Goggles, GogglesConfig, LabelingResult, ProbabilisticLabels};
 pub use prototypes::{ImageEmbedding, LayerEmbedding};

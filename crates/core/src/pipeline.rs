@@ -62,7 +62,12 @@ impl GogglesConfig {
     /// A reduced configuration (tiny backbone, Z = 4 → α = 20) for tests
     /// and fast examples. Same code paths, ~10× cheaper.
     pub fn fast() -> Self {
-        Self { vgg: VggConfig::tiny(), top_z: 4, em: EmOptions { restarts: 2, ..EmOptions::default() }, ..Self::default() }
+        Self {
+            vgg: VggConfig::tiny(),
+            top_z: 4,
+            em: EmOptions { restarts: 2, ..EmOptions::default() },
+            ..Self::default()
+        }
     }
 }
 
@@ -243,10 +248,20 @@ impl Goggles {
 
 /// Translate a dev set in global dataset indices into affinity-matrix row
 /// space (rows follow `train_indices` order).
+///
+/// One `HashMap` over `train_indices` replaces the per-dev-index linear
+/// `position` scan (`O(n + m)` instead of `O(n·m)`); should a global index
+/// somehow appear twice in `train_indices`, the **first** row keeps it,
+/// matching the old scan's behavior.
 fn translate_dev_to_rows(train_indices: &[usize], dev: &DevSet) -> Result<DevSet> {
+    let mut row_of: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::with_capacity(train_indices.len());
+    for (row, &t) in train_indices.iter().enumerate() {
+        row_of.entry(t).or_insert(row);
+    }
     let mut rows = Vec::with_capacity(dev.len());
     for &idx in &dev.indices {
-        let row = train_indices.iter().position(|&t| t == idx).ok_or_else(|| {
+        let row = *row_of.get(&idx).ok_or_else(|| {
             GogglesError::InvalidInput(format!("dev index {idx} not in the training block"))
         })?;
         rows.push(row);
@@ -328,6 +343,20 @@ mod tests {
     }
 
     #[test]
+    fn translate_dev_handles_duplicates_first_wins() {
+        // Duplicate dev indices all resolve; a (pathological) duplicated
+        // train index maps to its first row, like the old linear scan did.
+        let train = vec![5, 9, 7, 9, 3];
+        let dev = DevSet { indices: vec![9, 3, 9], labels: vec![1, 0, 1] };
+        let rows = translate_dev_to_rows(&train, &dev).unwrap();
+        assert_eq!(rows.indices, vec![1, 4, 1]);
+        assert_eq!(rows.labels, vec![1, 0, 1]);
+        // unknown index still rejected
+        let bad = DevSet { indices: vec![11], labels: vec![0] };
+        assert!(translate_dev_to_rows(&train, &bad).is_err());
+    }
+
+    #[test]
     fn invalid_dev_index_is_rejected() {
         let ds = small_dataset(5);
         let dev = DevSet { indices: vec![999], labels: vec![0] };
@@ -349,9 +378,9 @@ mod tests {
         // Logits-style ablation: cosine affinity over backbone features.
         let ds = small_dataset(7);
         let g = fast_goggles(4);
-        let feats32 = g.backbone().logits_batch(
-            &ds.train_images().iter().map(|&i| i.clone()).collect::<Vec<_>>(),
-        );
+        let feats32 = g
+            .backbone()
+            .logits_batch(&ds.train_images().iter().map(|&i| i.clone()).collect::<Vec<_>>());
         let feats = Matrix::from_fn(feats32.rows(), feats32.cols(), |i, j| feats32[(i, j)] as f64);
         let am = AffinityMatrix::from_feature_vectors(&feats);
         let dev = ds.sample_dev_set(3, 7);

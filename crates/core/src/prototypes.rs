@@ -41,7 +41,10 @@ pub struct ImageEmbedding {
 /// 3. read the channel-axis vector at that location,
 /// 4. drop duplicate locations, then pad by cycling the kept locations so
 ///    exactly `z` prototypes come back.
-pub fn extract_top_z_prototypes(map: &Tensor3<f32>, z: usize) -> (Matrix<f32>, Vec<(usize, usize)>) {
+pub fn extract_top_z_prototypes(
+    map: &Tensor3<f32>,
+    z: usize,
+) -> (Matrix<f32>, Vec<(usize, usize)>) {
     let (mut protos, locations) = extract_top_z_prototypes_raw(map, z);
     protos.l2_normalize_rows();
     (protos, locations)
@@ -56,9 +59,7 @@ fn extract_top_z_prototypes_raw(
     assert!(z > 0, "need z ≥ 1 prototypes");
     let activations = map.global_max_pool();
     let mut order: Vec<usize> = (0..map.channels()).collect();
-    order.sort_by(|&a, &b| {
-        activations[b].partial_cmp(&activations[a]).expect("NaN activation")
-    });
+    order.sort_by(|&a, &b| activations[b].partial_cmp(&activations[a]).expect("NaN activation"));
     let z_eff = z.min(map.channels());
     let mut locations: Vec<(usize, usize)> = Vec::with_capacity(z);
     for &c in order.iter().take(z_eff) {
@@ -187,13 +188,7 @@ mod tests {
     #[test]
     fn duplicate_locations_are_deduped_then_padded() {
         // Two channels peaking at the same location -> dedup to 1, pad to 3.
-        let map = Tensor3::from_vec(
-            2,
-            2,
-            2,
-            vec![5.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0],
-        )
-        .unwrap();
+        let map = Tensor3::from_vec(2, 2, 2, vec![5.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0]).unwrap();
         let (protos, locs) = extract_top_z_prototypes(&map, 3);
         assert_eq!(locs, vec![(0, 0), (0, 0), (0, 0)]);
         assert_eq!(protos.rows(), 3);

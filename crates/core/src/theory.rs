@@ -168,7 +168,10 @@ mod tests {
         let eta: f64 = 0.8;
         for d in [1usize, 3, 5, 10] {
             let expect: f64 = ((d / 2 + 1)..=d)
-                .map(|t| (ln_choose(d, t) + (t as f64) * eta.ln() + ((d - t) as f64) * (0.2f64).ln()).exp())
+                .map(|t| {
+                    (ln_choose(d, t) + (t as f64) * eta.ln() + ((d - t) as f64) * (0.2f64).ln())
+                        .exp()
+                })
                 .sum();
             let got = p_class_correct(eta, 2, d);
             assert!((got - expect).abs() < 1e-10, "d={d}: {got} vs {expect}");
@@ -182,10 +185,7 @@ mod tests {
                 for &eta in &[0.5f64, 0.7, 0.9] {
                     let dp = p_class_correct(eta, k, d);
                     let bf = p_class_correct_brute_force(eta, k, d);
-                    assert!(
-                        (dp - bf).abs() < 1e-9,
-                        "k={k} d={d} eta={eta}: dp {dp} vs brute {bf}"
-                    );
+                    assert!((dp - bf).abs() < 1e-9, "k={k} d={d} eta={eta}: dp {dp} vs brute {bf}");
                 }
             }
         }
@@ -193,10 +193,8 @@ mod tests {
 
     #[test]
     fn monotone_in_eta() {
-        let ps: Vec<f64> = [0.55, 0.65, 0.75, 0.85, 0.95]
-            .iter()
-            .map(|&eta| p_class_correct(eta, 2, 9))
-            .collect();
+        let ps: Vec<f64> =
+            [0.55, 0.65, 0.75, 0.85, 0.95].iter().map(|&eta| p_class_correct(eta, 2, 9)).collect();
         assert!(ps.windows(2).all(|w| w[1] > w[0]), "{ps:?}");
     }
 

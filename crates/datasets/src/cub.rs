@@ -60,11 +60,8 @@ impl Species {
         let body_rgb = hue_bin_to_rgb(body_hue_bin, 0.6 + 0.4 * rng.random::<f32>());
         let head_rgb = hue_bin_to_rgb(head_hue_bin, 0.65 + 0.35 * rng.random::<f32>());
         let belly_rgb = hue_bin_to_rgb(rng.random_range(0..8usize), 0.85);
-        let wing_bar_period = if rng.random::<f32>() < 0.5 {
-            Some(2.5 + 3.0 * rng.random::<f32>())
-        } else {
-            None
-        };
+        let wing_bar_period =
+            if rng.random::<f32>() < 0.5 { Some(2.5 + 3.0 * rng.random::<f32>()) } else { None };
         let wing_bar_angle = rng.random::<f32>() * std::f32::consts::PI;
         let beak_len_frac = 0.15 + 0.25 * rng.random::<f32>();
         Self {
@@ -86,12 +83,12 @@ impl Species {
         let mut attrs = vec![false; NUM_ATTRIBUTES];
         attrs[self.body_hue_bin] = true; // 0..8: body color bins
         attrs[8 + self.head_hue_bin] = true; // 8..16: head color bins
-        // 16..20: pattern flags
+                                             // 16..20: pattern flags
         attrs[16] = self.wing_bar_period.is_some(); // has wing bars
         attrs[17] = matches!(self.wing_bar_period, Some(p) if p < 4.0); // fine bars
         attrs[18] = self.body_hue_bin == self.head_hue_bin; // uniform plumage
         attrs[19] = self.belly_rgb[0] > 0.6; // warm belly
-        // 20..24: beak flags
+                                             // 20..24: beak flags
         attrs[20] = self.beak_len_frac > 0.3; // long beak
         attrs[21] = self.beak_len_frac <= 0.2; // stubby beak
         attrs[22] = self.head_rgb[2] > 0.5; // bluish head
@@ -154,7 +151,13 @@ impl Species {
         let hy = cy - 0.9 * body_ry;
         draw::fill_disc(&mut img, hy, hx, head_r, &lit(self.head_rgb));
         // Eye.
-        draw::fill_disc(&mut img, hy - 0.2 * head_r, hx + facing * 0.3 * head_r, 1.2, &[0.05, 0.05, 0.05]);
+        draw::fill_disc(
+            &mut img,
+            hy - 0.2 * head_r,
+            hx + facing * 0.3 * head_r,
+            1.2,
+            &[0.05, 0.05, 0.05],
+        );
         // Beak: small triangle pointing forward.
         let beak_len = self.beak_len_frac * s * 0.3 * scale;
         draw::fill_polygon(

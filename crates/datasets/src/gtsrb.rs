@@ -94,7 +94,14 @@ impl SignType {
             let y0 = rng.random_range(0..size) as i32;
             let x0 = rng.random_range(0..size) as i32;
             let col = [0.3 + 0.3 * rng.random::<f32>(); 3];
-            draw::fill_rect(&mut img, y0, x0, y0 + rng.random_range(4..16) as i32, x0 + rng.random_range(4..16) as i32, &col);
+            draw::fill_rect(
+                &mut img,
+                y0,
+                x0,
+                y0 + rng.random_range(4..16),
+                x0 + rng.random_range(4..16),
+                &col,
+            );
         }
 
         // Sign placement jitter (kept mostly in frame).
@@ -116,8 +123,24 @@ impl SignType {
                 dark
             }
             SignShape::Triangle => {
-                draw::fill_regular_polygon(&mut img, cy, cx, r, 3, -std::f32::consts::FRAC_PI_2, &red);
-                draw::fill_regular_polygon(&mut img, cy + 0.08 * r, cx, 0.68 * r, 3, -std::f32::consts::FRAC_PI_2, &white);
+                draw::fill_regular_polygon(
+                    &mut img,
+                    cy,
+                    cx,
+                    r,
+                    3,
+                    -std::f32::consts::FRAC_PI_2,
+                    &red,
+                );
+                draw::fill_regular_polygon(
+                    &mut img,
+                    cy + 0.08 * r,
+                    cx,
+                    0.68 * r,
+                    3,
+                    -std::f32::consts::FRAC_PI_2,
+                    &white,
+                );
                 dark
             }
             SignShape::BlueCircle => {

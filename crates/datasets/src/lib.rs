@@ -43,10 +43,24 @@ pub fn generate(config: &TaskConfig) -> Dataset {
 
 /// The five standard benchmark tasks in the paper's Table 1 order, using
 /// the canonical class pair for the pair-sampled datasets.
-pub fn standard_suite(n_train_per_class: usize, n_test_per_class: usize, seed: u64) -> Vec<TaskConfig> {
+pub fn standard_suite(
+    n_train_per_class: usize,
+    n_test_per_class: usize,
+    seed: u64,
+) -> Vec<TaskConfig> {
     vec![
-        TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, n_train_per_class, n_test_per_class, seed),
-        TaskConfig::new(TaskKind::Gtsrb { class_a: 0, class_b: 1 }, n_train_per_class, n_test_per_class, seed),
+        TaskConfig::new(
+            TaskKind::Cub { class_a: 0, class_b: 1 },
+            n_train_per_class,
+            n_test_per_class,
+            seed,
+        ),
+        TaskConfig::new(
+            TaskKind::Gtsrb { class_a: 0, class_b: 1 },
+            n_train_per_class,
+            n_test_per_class,
+            seed,
+        ),
         TaskConfig::new(TaskKind::Surface, n_train_per_class, n_test_per_class, seed),
         TaskConfig::new(TaskKind::TbXray, n_train_per_class, n_test_per_class, seed),
         TaskConfig::new(TaskKind::PnXray, n_train_per_class, n_test_per_class, seed),

@@ -195,10 +195,7 @@ mod tests {
             good += texture_energy(&render_part(&mut rng, 64, false));
             bad += texture_energy(&render_part(&mut rng, 64, true));
         }
-        assert!(
-            bad > 1.5 * good,
-            "texture gap too small: good {good:.4} vs bad {bad:.4}"
-        );
+        assert!(bad > 1.5 * good, "texture gap too small: good {good:.4} vs bad {bad:.4}");
     }
 
     #[test]
@@ -250,9 +247,7 @@ mod tests {
         let mut rng = std_rng(10);
         let mut energy = [0.0f32; 3];
         for _ in 0..6 {
-            for (g, grade) in
-                [Grade::Smooth, Grade::Scratched, Grade::Pitted].iter().enumerate()
-            {
+            for (g, grade) in [Grade::Smooth, Grade::Scratched, Grade::Pitted].iter().enumerate() {
                 energy[g] += texture_energy(&render_part_graded(&mut rng, 64, *grade));
             }
         }

@@ -58,7 +58,12 @@ pub struct TaskConfig {
 
 impl TaskConfig {
     /// Standard configuration at the reproduction's default 64×64 size.
-    pub fn new(kind: TaskKind, n_train_per_class: usize, n_test_per_class: usize, seed: u64) -> Self {
+    pub fn new(
+        kind: TaskKind,
+        n_train_per_class: usize,
+        n_test_per_class: usize,
+        seed: u64,
+    ) -> Self {
         Self { kind, n_train_per_class, n_test_per_class, image_size: 64, seed }
     }
 }
@@ -146,16 +151,12 @@ impl Dataset {
     /// # Panics
     /// Panics if a class has fewer than `per_class` training examples.
     pub fn sample_dev_set(&self, per_class: usize, seed: u64) -> DevSet {
-        let mut rng = std_rng(seed ^ 0xDE5E_7u64);
+        let mut rng = std_rng(seed ^ 0x000D_E5E7u64);
         let mut indices = Vec::with_capacity(per_class * self.num_classes);
         let mut labels = Vec::with_capacity(per_class * self.num_classes);
         for class in 0..self.num_classes {
-            let members: Vec<usize> = self
-                .train_indices
-                .iter()
-                .copied()
-                .filter(|&i| self.labels[i] == class)
-                .collect();
+            let members: Vec<usize> =
+                self.train_indices.iter().copied().filter(|&i| self.labels[i] == class).collect();
             assert!(
                 members.len() >= per_class,
                 "class {class} has only {} training examples (< {per_class})",
@@ -220,8 +221,7 @@ mod tests {
 
     fn tiny_dataset() -> Dataset {
         let img = || Image::filled(1, 4, 4, 0.5);
-        let train: Vec<(Image, usize)> =
-            (0..10).map(|i| (img(), usize::from(i >= 5))).collect();
+        let train: Vec<(Image, usize)> = (0..10).map(|i| (img(), usize::from(i >= 5))).collect();
         let test: Vec<(Image, usize)> = (0..4).map(|i| (img(), usize::from(i >= 2))).collect();
         Dataset::from_parts("toy".into(), TaskKind::Surface, 2, train, test)
     }

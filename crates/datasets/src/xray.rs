@@ -77,10 +77,7 @@ fn render_chest(rng: &mut StdRng, size: usize) -> (Image, Anatomy) {
     );
     draw::fill_ellipse(&mut img, cy + 0.12 * s, cx - 0.07 * s, 0.14 * s, 0.11 * s, &[0.48]);
 
-    (
-        img,
-        Anatomy { cy: lung_cy, cx, lung_ry, lung_rx, lung_gap },
-    )
+    (img, Anatomy { cy: lung_cy, cx, lung_ry, lung_rx, lung_gap })
 }
 
 /// Shared photographic post-processing (film grain, exposure, defocus).
@@ -108,7 +105,8 @@ pub fn render_tb(rng: &mut StdRng, size: usize, abnormal: bool) -> Image {
         for _ in 0..n {
             let side = if rng.random::<f32>() < 0.5 { -1.0 } else { 1.0 };
             let oy = anat.cy - anat.lung_ry * (0.15 + 0.6 * rng.random::<f32>());
-            let ox = anat.cx + side * (anat.lung_gap + anat.lung_rx * 0.6 * (rng.random::<f32>() - 0.5));
+            let ox =
+                anat.cx + side * (anat.lung_gap + anat.lung_rx * 0.6 * (rng.random::<f32>() - 0.5));
             let r = size as f32 * (0.02 + 0.07 * severity * (0.5 + 0.5 * rng.random::<f32>()));
             let bright = 0.3 + 0.65 * severity;
             draw::blend_disc(&mut img, oy, ox, r, &[bright], 0.5 + 0.5 * severity);

@@ -19,7 +19,15 @@ impl Adam {
     /// Standard hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
     pub fn new(n_params: usize, lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n_params], v: vec![0.0; n_params], t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
     }
 
     /// Apply one update: `params -= lr * m̂ / (√v̂ + ε)`.
@@ -29,10 +37,8 @@ impl Adam {
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, &g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, &g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;

@@ -82,7 +82,8 @@ impl CosineClassifier {
                     let cos = logits[c] / scale;
                     let g = &mut grads[c * d..(c + 1) * d];
                     for ((gv, &wv), &xv) in g.iter_mut().zip(w).zip(x) {
-                        let dcos = xv / (w_norms[c] * x_norm) - cos * wv / (w_norms[c] * w_norms[c]);
+                        let dcos =
+                            xv / (w_norms[c] * x_norm) - cos * wv / (w_norms[c] * w_norms[c]);
                         *gv += err * scale * dcos;
                     }
                 }
@@ -151,11 +152,7 @@ impl LinearFewShot {
         seed: u64,
     ) -> Self {
         let soft = crate::evaluate::one_hot_labels(labels, num_classes);
-        let cfg = crate::head::TrainConfig {
-            epochs,
-            seed,
-            ..crate::head::TrainConfig::default()
-        };
+        let cfg = crate::head::TrainConfig { epochs, seed, ..crate::head::TrainConfig::default() };
         Self { head: crate::head::SoftmaxHead::train(features, &soft, &cfg) }
     }
 
@@ -165,7 +162,10 @@ impl LinearFewShot {
     }
 
     /// Class probabilities for query features.
-    pub fn predict_proba(&self, features: &goggles_tensor::Matrix<f64>) -> goggles_tensor::Matrix<f64> {
+    pub fn predict_proba(
+        &self,
+        features: &goggles_tensor::Matrix<f64>,
+    ) -> goggles_tensor::Matrix<f64> {
         self.head.predict_proba(features)
     }
 }

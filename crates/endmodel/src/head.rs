@@ -343,10 +343,9 @@ mod tests {
         let soft = Matrix::filled(x.rows(), 2, 0.5);
         let head = SoftmaxHead::train(&x, &soft, &TrainConfig::default());
         let p = head.predict_proba(&x);
-        let avg_conf: f64 = (0..p.rows())
-            .map(|i| p.row(i).iter().cloned().fold(f64::MIN, f64::max))
-            .sum::<f64>()
-            / p.rows() as f64;
+        let avg_conf: f64 =
+            (0..p.rows()).map(|i| p.row(i).iter().cloned().fold(f64::MIN, f64::max)).sum::<f64>()
+                / p.rows() as f64;
         assert!(avg_conf < 0.6, "uniform labels produced confidence {avg_conf}");
         let _ = y;
     }
@@ -354,7 +353,12 @@ mod tests {
     #[test]
     fn probabilities_are_normalized() {
         let (x, y) = blobs(20, 6);
-        let head = MlpHead::train(&x, &one_hot_labels(&y, 2), 8, &TrainConfig { epochs: 50, ..TrainConfig::default() });
+        let head = MlpHead::train(
+            &x,
+            &one_hot_labels(&y, 2),
+            8,
+            &TrainConfig { epochs: 50, ..TrainConfig::default() },
+        );
         let p = head.predict_proba(&x);
         for i in 0..p.rows() {
             assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);

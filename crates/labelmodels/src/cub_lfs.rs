@@ -52,7 +52,7 @@ mod tests {
     fn cub_dataset(seed: u64) -> (goggles_datasets::Dataset, CubAttributes) {
         let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 3, class_b: 117 }, 25, 3, seed);
         cfg.image_size = 32;
-        let ds = generate(&cfg, );
+        let ds = generate(&cfg);
         let attrs = cub::attributes_for(&ds, seed);
         (ds, attrs)
     }
@@ -98,12 +98,7 @@ mod tests {
         let lm = attribute_label_matrix(&attrs).unwrap();
         let model = SnorkelModel::fit(&lm, 100, 1e-6).unwrap();
         let truth = ds.train_labels();
-        let acc = model
-            .hard_labels()
-            .iter()
-            .zip(&truth)
-            .filter(|(a, b)| a == b)
-            .count() as f64
+        let acc = model.hard_labels().iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
             / truth.len() as f64;
         assert!(acc > 0.8, "Snorkel CUB accuracy = {acc}");
     }

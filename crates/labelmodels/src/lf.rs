@@ -44,7 +44,11 @@ impl LabelMatrix {
     }
 
     /// Build by evaluating `lfs` (closures) on instance indices `0..n`.
-    pub fn from_lfs(n: usize, num_classes: usize, lfs: &[Box<dyn Fn(usize) -> i64>]) -> Result<Self> {
+    pub fn from_lfs(
+        n: usize,
+        num_classes: usize,
+        lfs: &[Box<dyn Fn(usize) -> i64>],
+    ) -> Result<Self> {
         let m = lfs.len();
         let mut votes = Vec::with_capacity(n * m);
         for i in 0..n {
@@ -90,8 +94,7 @@ impl LabelMatrix {
 
     /// Fraction of instances where at least one LF votes.
     pub fn total_coverage(&self) -> f64 {
-        let covered =
-            (0..self.n).filter(|&i| self.row(i).iter().any(|&v| v != ABSTAIN)).count();
+        let covered = (0..self.n).filter(|&i| self.row(i).iter().any(|&v| v != ABSTAIN)).count();
         covered as f64 / self.n as f64
     }
 
@@ -230,10 +233,8 @@ mod tests {
 
     #[test]
     fn from_lfs_evaluates_closures() {
-        let lfs: Vec<Box<dyn Fn(usize) -> i64>> = vec![
-            Box::new(|i| if i % 2 == 0 { 0 } else { 1 }),
-            Box::new(|_| ABSTAIN),
-        ];
+        let lfs: Vec<Box<dyn Fn(usize) -> i64>> =
+            vec![Box::new(|i| if i % 2 == 0 { 0 } else { 1 }), Box::new(|_| ABSTAIN)];
         let lm = LabelMatrix::from_lfs(4, 2, &lfs).unwrap();
         assert_eq!(lm.vote(2, 0), 0);
         assert_eq!(lm.vote(1, 1), ABSTAIN);

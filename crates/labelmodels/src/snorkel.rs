@@ -125,10 +125,7 @@ impl SnorkelModel {
     /// Derived per-LF, per-class firing propensity `P(vote ≠ abstain | y)`.
     pub fn propensities(&self) -> Vec<Vec<f64>> {
         let k = self.class_priors.len();
-        self.thetas
-            .iter()
-            .map(|theta| (0..k).map(|c| 1.0 - theta[(c, 0)]).collect())
-            .collect()
+        self.thetas.iter().map(|theta| (0..k).map(|c| 1.0 - theta[(c, 0)]).collect()).collect()
     }
 }
 
@@ -224,11 +221,7 @@ mod tests {
         let model = SnorkelModel::fit(&lm, 200, 1e-8).unwrap();
         let accs = model.accuracies();
         for good in &accs[..3] {
-            assert!(
-                *good > accs[3] + 0.1,
-                "good {good} vs weak {} ({accs:?})",
-                accs[3]
-            );
+            assert!(*good > accs[3] + 0.1, "good {good} vs weak {} ({accs:?})", accs[3]);
         }
         assert!((accs[3] - 0.6).abs() < 0.1, "weak LF accuracy {accs:?}");
     }
@@ -270,8 +263,7 @@ mod tests {
     fn beats_majority_vote_with_mixed_quality_lfs() {
         // Two excellent LFs + three coin-flips: the generative model should
         // discover the good ones and outperform the uniform-weight vote.
-        let (lm, truth) =
-            simulate(800, &[0.95, 0.9, 0.5, 0.5, 0.5], &[1.0, 1.0, 1.0, 1.0, 1.0], 4);
+        let (lm, truth) = simulate(800, &[0.95, 0.9, 0.5, 0.5, 0.5], &[1.0, 1.0, 1.0, 1.0, 1.0], 4);
         let model = SnorkelModel::fit(&lm, 200, 1e-8).unwrap();
         let mv = lm.majority_vote();
         let mv_labels: Vec<usize> =

@@ -228,10 +228,8 @@ impl Snuba {
         }
 
         // --- candidate generation per heuristic family ---
-        let dev_feats: Vec<Vec<f64>> = dev_rows
-            .iter()
-            .map(|&r| primitives.row(r).to_vec())
-            .collect();
+        let dev_feats: Vec<Vec<f64>> =
+            dev_rows.iter().map(|&r| primitives.row(r).to_vec()).collect();
         let mut candidates: Vec<Heuristic> = Vec::new();
         let family = config.family;
         if matches!(family, HeuristicFamily::Stumps | HeuristicFamily::All) {
@@ -257,9 +255,7 @@ impl Snuba {
         if matches!(family, HeuristicFamily::Knn | HeuristicFamily::All) {
             for a in 0..d {
                 for b in (a + 1)..d {
-                    if let Some(knn) =
-                        synthesize_knn_for_pair((a, b), &dev_feats, dev_labels)
-                    {
+                    if let Some(knn) = synthesize_knn_for_pair((a, b), &dev_feats, dev_labels) {
                         candidates.push(Heuristic::Knn(knn));
                     }
                 }
@@ -286,17 +282,11 @@ impl Snuba {
                 // Jaccard overlap with committee coverage on the dev set.
                 let cov: Vec<bool> =
                     dev_feats.iter().map(|row| cand.vote(row) != ABSTAIN).collect();
-                let inter = cov
-                    .iter()
-                    .zip(&committed_cov)
-                    .filter(|(a, b)| **a && **b)
-                    .count() as f64;
-                let union = cov
-                    .iter()
-                    .zip(&committed_cov)
-                    .filter(|(a, b)| **a || **b)
-                    .count()
-                    .max(1) as f64;
+                let inter =
+                    cov.iter().zip(&committed_cov).filter(|(a, b)| **a && **b).count() as f64;
+                let union =
+                    cov.iter().zip(&committed_cov).filter(|(a, b)| **a || **b).count().max(1)
+                        as f64;
                 let diversity = 1.0 - inter / union;
                 let score = cand.dev_f1() * (0.5 + 0.5 * diversity);
                 if best.map(|(s, _)| score > s).unwrap_or(true) {
@@ -385,15 +375,13 @@ fn synthesize_logistic_for_pair(
 ) -> Vec<LogisticLf> {
     // Standardize the two coordinates over the dev set so a fixed learning
     // rate behaves across primitive scales.
-    let coords: Vec<(f64, f64)> = dev_feats
-        .iter()
-        .map(|r| (r[features.0], r[features.1]))
-        .collect();
+    let coords: Vec<(f64, f64)> =
+        dev_feats.iter().map(|r| (r[features.0], r[features.1])).collect();
     let n = coords.len() as f64;
     let (ma, mb) = coords.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x / n, b + y / n));
-    let (va, vb) = coords.iter().fold((0.0, 0.0), |(a, b), &(x, y)| {
-        (a + (x - ma).powi(2) / n, b + (y - mb).powi(2) / n)
-    });
+    let (va, vb) = coords
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + (x - ma).powi(2) / n, b + (y - mb).powi(2) / n));
     let (sa, sb) = (va.sqrt().max(1e-9), vb.sqrt().max(1e-9));
     // Plain-GD logistic fit in the standardized space.
     let mut w = [0.0f64; 3];
@@ -413,11 +401,7 @@ fn synthesize_logistic_for_pair(
         }
     }
     // Fold the standardization back into raw-space weights.
-    let raw = [
-        w[0] / sa,
-        w[1] / sb,
-        w[2] - w[0] * ma / sa - w[1] * mb / sb,
-    ];
+    let raw = [w[0] / sa, w[1] / sb, w[2] - w[0] * ma / sa - w[1] * mb / sb];
     let mut out = Vec::new();
     for b in 0..config.beta_grid.max(1) {
         let beta = 0.4 * b as f64 / config.beta_grid.max(1) as f64;
@@ -439,11 +423,8 @@ fn synthesize_knn_for_pair(
     if dev_feats.len() < 4 {
         return None;
     }
-    let support: Vec<(f64, f64, usize)> = dev_feats
-        .iter()
-        .zip(dev_labels)
-        .map(|(r, &l)| (r[features.0], r[features.1], l))
-        .collect();
+    let support: Vec<(f64, f64, usize)> =
+        dev_feats.iter().zip(dev_labels).map(|(r, &l)| (r[features.0], r[features.1], l)).collect();
     let k = 3usize;
     // Leave-one-out F1: score each dev point against the other support
     // points (otherwise every point trivially matches itself).
@@ -541,7 +522,12 @@ mod tests {
     use goggles_tensor::rng::{normal, std_rng};
 
     /// Primitives with one informative dimension and several noise dims.
-    fn separable_primitives(n_per: usize, noise_dims: usize, gap: f64, seed: u64) -> (Matrix<f64>, Vec<usize>) {
+    fn separable_primitives(
+        n_per: usize,
+        noise_dims: usize,
+        gap: f64,
+        seed: u64,
+    ) -> (Matrix<f64>, Vec<usize>) {
         let mut rng = std_rng(seed);
         let n = 2 * n_per;
         let truth: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
@@ -687,7 +673,12 @@ mod tests {
         assert_eq!(lf.vote(&[5.05, 5.05]), 1);
         // equidistant midpoint with k=2 would tie; with k=3 the nearest
         // neighbours break it — use an even k to force the tie instead
-        let tie = KnnLf { features: (0, 1), support: vec![(0.0, 0.0, 0), (1.0, 1.0, 1)], k: 2, dev_f1: 0.5 };
+        let tie = KnnLf {
+            features: (0, 1),
+            support: vec![(0.0, 0.0, 0), (1.0, 1.0, 1)],
+            k: 2,
+            dev_f1: 0.5,
+        };
         assert_eq!(tie.vote(&[0.5, 0.5]), ABSTAIN);
     }
 

@@ -53,10 +53,7 @@ impl BernoulliMixture {
         for r in 0..opts.restarts.max(1) {
             let rs = seed.wrapping_add((r as u64).wrapping_mul(0xA076_1D64_78BD_642F));
             let fit = Self::fit_once(data, k, opts, rs)?;
-            if best
-                .as_ref()
-                .is_none_or(|b| fit.stats.log_likelihood > b.stats.log_likelihood)
-            {
+            if best.as_ref().is_none_or(|b| fit.stats.log_likelihood > b.stats.log_likelihood) {
                 best = Some(fit);
             }
         }
@@ -128,16 +125,11 @@ impl BernoulliMixture {
 
 /// `log_joint[i,k] = log π_k + Σ_l [ s log b + (1-s) log(1-b) ]`
 /// (log of Equation 7 plus the prior).
-fn fill_log_joint(
-    data: &Matrix<f64>,
-    weights: &[f64],
-    probs: &Matrix<f64>,
-    out: &mut Matrix<f64>,
-) {
+fn fill_log_joint(data: &Matrix<f64>, weights: &[f64], probs: &Matrix<f64>, out: &mut Matrix<f64>) {
     let k = weights.len();
     // Precompute log b and log (1-b).
-    let log_b = probs.map(|v| v.max(B_EPS).min(1.0 - B_EPS).ln());
-    let log_1mb = probs.map(|v| (1.0 - v.max(B_EPS).min(1.0 - B_EPS)).ln());
+    let log_b = probs.map(|v| v.clamp(B_EPS, 1.0 - B_EPS).ln());
+    let log_1mb = probs.map(|v| (1.0 - v.clamp(B_EPS, 1.0 - B_EPS)).ln());
     for (i, row) in data.rows_iter().enumerate() {
         for c in 0..k {
             let lb = log_b.row(c);

@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn e_step_handles_all_neg_inf_row() {
-        let log_joint =
-            Matrix::from_rows(&[&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[0.0, 0.0]]);
+        let log_joint = Matrix::from_rows(&[&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[0.0, 0.0]]);
         let mut resp = Matrix::zeros(2, 2);
         let _ = e_step_from_log_joint(&log_joint, &mut resp);
         assert_eq!(resp.row(0), &[0.5, 0.5]);

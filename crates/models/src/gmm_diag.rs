@@ -41,10 +41,7 @@ impl DiagonalGmm {
         for r in 0..opts.restarts.max(1) {
             let rs = seed.wrapping_add((r as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95));
             let fit = Self::fit_once(data, k, opts, rs)?;
-            if best
-                .as_ref()
-                .is_none_or(|b| fit.stats.log_likelihood > b.stats.log_likelihood)
-            {
+            if best.as_ref().is_none_or(|b| fit.stats.log_likelihood > b.stats.log_likelihood) {
                 best = Some(fit);
             }
         }

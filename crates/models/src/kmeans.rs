@@ -145,8 +145,7 @@ fn kmeans_pp_init<R: Rng + ?Sized>(data: &Matrix<f64>, k: usize, rng: &mut R) ->
     let mut centroids = Matrix::<f64>::zeros(k, d);
     let first = rng.random_range(0..n);
     centroids.row_mut(0).copy_from_slice(data.row(first));
-    let mut dists: Vec<f64> =
-        data.rows_iter().map(|row| sq_dist(row, centroids.row(0))).collect();
+    let mut dists: Vec<f64> = data.rows_iter().map(|row| sq_dist(row, centroids.row(0))).collect();
     for c in 1..k {
         let idx = sample_weighted(rng, &dists);
         centroids.row_mut(c).copy_from_slice(data.row(idx));
@@ -231,10 +230,7 @@ mod tests {
     #[test]
     fn input_validation() {
         let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
-        assert!(matches!(
-            KMeans::fit(&data, 3, 1, 0),
-            Err(ModelError::TooFewSamples { .. })
-        ));
+        assert!(matches!(KMeans::fit(&data, 3, 1, 0), Err(ModelError::TooFewSamples { .. })));
         assert!(matches!(KMeans::fit(&data, 0, 1, 0), Err(ModelError::InvalidParameter(_))));
         let empty = Matrix::<f64>::zeros(0, 2);
         assert!(matches!(KMeans::fit(&empty, 1, 1, 0), Err(ModelError::EmptyInput)));

@@ -1,0 +1,86 @@
+//! # goggles-serve
+//!
+//! Turns a fitted GOGGLES pipeline into a **servable artifact**. The paper's
+//! system (Das et al., SIGMOD 2020) is batch-only: labeling even one more
+//! image means re-embedding everything, rebuilding the `N × αN` affinity
+//! matrix and refitting every mixture model. This crate adds the missing
+//! inference path, in three layers:
+//!
+//! 1. **Snapshot** — [`FittedLabeler`] captures the frozen backbone recipe,
+//!    the training corpus' prototype bank, the fitted per-function GMM and
+//!    ensemble parameters, and the dev-set cluster→class mapping, with a
+//!    hand-rolled dependency-free binary format
+//!    ([`FittedLabeler::save`]/[`FittedLabeler::load`], checksummed).
+//! 2. **Out-of-sample inference** — [`FittedLabeler::label_one`] /
+//!    [`FittedLabeler::label_batch`] embed only the incoming image(s),
+//!    compute their `1 × αN` affinity rows against the stored prototypes
+//!    and fold them through the stored models (`predict_proba`, no refit).
+//!    Per-request cost is `O(image)`, not `O(dataset)`.
+//! 3. **Service front** — [`LabelService`] runs worker threads over a
+//!    bounded request queue with micro-batching (configurable batch size
+//!    and linger timeout) and throughput/latency counters.
+//!
+//! ## Quickstart: fit → snapshot → serve
+//!
+//! ```no_run
+//! use goggles_core::GogglesConfig;
+//! use goggles_datasets::{generate, TaskConfig, TaskKind};
+//! use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
+//!
+//! // Fit once (batch), freeze, and persist.
+//! let ds = generate(&TaskConfig::new(TaskKind::Surface, 40, 25, 7));
+//! let dev = ds.sample_dev_set(5, 7);
+//! let (labeler, fit_result) = FittedLabeler::fit(&GogglesConfig::fast(), &ds, &dev).unwrap();
+//! let bytes = labeler.save();
+//!
+//! // Later / elsewhere: reload and serve online traffic.
+//! let reloaded = FittedLabeler::load(&bytes).unwrap();
+//! let service = LabelService::spawn(reloaded, ServeConfig::default());
+//! let response = service.label(&ds.images[ds.test_indices[0]]).unwrap();
+//! println!("class {} with p = {:?}", response.label, response.probs);
+//! ```
+
+pub mod codec;
+pub mod service;
+pub mod snapshot;
+
+pub use service::{LabelResponse, LabelService, ServeConfig, ServiceStats};
+pub use snapshot::FittedLabeler;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Snapshot encoding/decoding failure (bad magic, checksum, shapes…).
+    Snapshot(String),
+    /// Filesystem failure while persisting/loading a snapshot.
+    Io(String),
+    /// The underlying pipeline failed while fitting.
+    Pipeline(goggles_core::GogglesError),
+    /// The service is shutting down (or already shut down).
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            ServeError::Io(msg) => write!(f, "io error: {msg}"),
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ServeError::Closed => write!(f, "label service is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<goggles_core::GogglesError> for ServeError {
+    fn from(e: goggles_core::GogglesError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Internal alias used by submodules (avoids clashing with `core::Result`).
+pub(crate) type ServeResult<T> = Result<T>;

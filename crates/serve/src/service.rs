@@ -1,0 +1,481 @@
+//! The service front: a bounded-queue micro-batching scheduler over a
+//! [`FittedLabeler`].
+//!
+//! Requests from any number of client threads land in one bounded queue.
+//! Worker threads pop a request, then linger up to
+//! [`ServeConfig::batch_timeout`] for more to arrive (capped at
+//! [`ServeConfig::max_batch`]) so concurrent traffic is labeled in one
+//! embedding/fold-in pass — the classic latency/throughput trade of
+//! inference serving. Throughput and latency counters are kept on the side
+//! and can be snapshotted at any time with [`LabelService::stats`].
+
+use crate::snapshot::FittedLabeler;
+use crate::{ServeError, ServeResult};
+use goggles_vision::Image;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the micro-batching scheduler.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads pulling batches off the queue.
+    pub workers: usize,
+    /// Largest batch a worker will assemble.
+    pub max_batch: usize,
+    /// How long a worker waits for a batch to fill before running it
+    /// anyway. `Duration::ZERO` disables lingering (pure latency mode).
+    pub batch_timeout: Duration,
+    /// Bound on queued (not yet running) requests; producers block when the
+    /// queue is full (backpressure, not unbounded memory).
+    pub queue_capacity: usize,
+    /// Thread fan-out *inside* one batch's embedding/affinity computation.
+    pub embed_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(2),
+            queue_capacity: 1024,
+            embed_threads: 1,
+        }
+    }
+}
+
+/// One labeled answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelResponse {
+    /// Argmax class.
+    pub label: usize,
+    /// Full class-probability row (mapping applied).
+    pub probs: Vec<f64>,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+}
+
+/// Monotonic counters captured by [`LabelService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Total images labeled (== requests; kept separate for clarity).
+    pub images: u64,
+    /// Sum of per-request queue+service latency, microseconds.
+    pub total_latency_us: u64,
+    /// Worst single-request latency, microseconds.
+    pub max_latency_us: u64,
+    /// Batches dropped because the labeler panicked on them (their clients
+    /// received [`crate::ServeError::Closed`]).
+    pub failed_batches: u64,
+}
+
+impl ServiceStats {
+    /// Mean images per executed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.images as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean request latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.requests as f64
+        }
+    }
+}
+
+struct Request {
+    image: Image,
+    enqueued: Instant,
+    respond: mpsc::Sender<LabelResponse>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    images: AtomicU64,
+    total_latency_us: AtomicU64,
+    max_latency_us: AtomicU64,
+    failed_batches: AtomicU64,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signaled when the queue gains an item or shutdown begins.
+    not_empty: Condvar,
+    /// Signaled when the queue loses an item.
+    not_full: Condvar,
+    labeler: FittedLabeler,
+    config: ServeConfig,
+    counters: Counters,
+}
+
+/// A running labeling service: spawn with [`LabelService::spawn`], submit
+/// with [`LabelService::label`] from any thread, stop with
+/// [`LabelService::shutdown`] (or drop).
+pub struct LabelService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LabelService {
+    /// Start the worker pool over a fitted labeler.
+    pub fn spawn(labeler: FittedLabeler, config: ServeConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            labeler,
+            config: config.clone(),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("goggles-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueue one image and return the channel its answer will arrive on.
+    /// Applies backpressure (blocks) while the queue is at capacity.
+    fn submit(&self, image: &Image) -> ServeResult<mpsc::Receiver<LabelResponse>> {
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().expect("queue poisoned");
+        while state.queue.len() >= self.shared.config.queue_capacity {
+            if state.shutting_down {
+                return Err(ServeError::Closed);
+            }
+            state = self.shared.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.shutting_down {
+            return Err(ServeError::Closed);
+        }
+        state.queue.push_back(Request {
+            image: image.clone(),
+            enqueued: Instant::now(),
+            respond: tx,
+        });
+        self.shared.not_empty.notify_one();
+        Ok(rx)
+    }
+
+    /// Label one image, blocking until a worker answers.
+    pub fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
+        self.submit(image)?.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Label several images; answers come back in input order. All images
+    /// are enqueued **before** the first answer is awaited, so a single
+    /// caller still feeds the micro-batcher full batches instead of paying
+    /// one linger timeout per image.
+    pub fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
+        let receivers: Vec<_> =
+            images.iter().map(|img| self.submit(img)).collect::<ServeResult<_>>()?;
+        receivers.into_iter().map(|rx| rx.recv().map_err(|_| ServeError::Closed)).collect()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            images: c.images.load(Ordering::Relaxed),
+            total_latency_us: c.total_latency_us.load(Ordering::Relaxed),
+            max_latency_us: c.max_latency_us.load(Ordering::Relaxed),
+            failed_batches: c.failed_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The labeler being served.
+    pub fn labeler(&self) -> &FittedLabeler {
+        &self.shared.labeler
+    }
+
+    /// Stop accepting new requests, drain the queue, and join the workers.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.shutting_down = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LabelService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = match next_batch(shared) {
+            Some(batch) => batch,
+            None => return,
+        };
+        run_batch(shared, batch);
+    }
+}
+
+/// Pop the next micro-batch: wait for a first request, then linger up to
+/// `batch_timeout` for the batch to fill. Returns `None` when the service
+/// is shutting down *and* the queue is fully drained.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut state = shared.state.lock().expect("queue poisoned");
+    loop {
+        while state.queue.is_empty() {
+            if state.shutting_down {
+                return None;
+            }
+            state = shared.not_empty.wait(state).expect("queue poisoned");
+        }
+        let max_batch = shared.config.max_batch;
+        let deadline = Instant::now() + shared.config.batch_timeout;
+        // Linger: give concurrent producers a short window to fill the batch.
+        while state.queue.len() < max_batch && !state.shutting_down {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) =
+                shared.not_empty.wait_timeout(state, deadline - now).expect("queue poisoned");
+            state = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.queue.len().min(max_batch);
+        // Another worker may have drained the queue while this one lingered
+        // without the lock — go back to waiting rather than reporting an
+        // empty batch (which would skew the batch counters).
+        if take == 0 {
+            continue;
+        }
+        let batch: Vec<Request> = state.queue.drain(..take).collect();
+        shared.not_full.notify_all();
+        // Other workers may still have work to do.
+        if !state.queue.is_empty() {
+            shared.not_empty.notify_one();
+        }
+        drop(state);
+        return Some(batch);
+    }
+}
+
+fn run_batch(shared: &Shared, batch: Vec<Request>) {
+    let images: Vec<&Image> = batch.iter().map(|r| &r.image).collect();
+    // Isolate panics (e.g. a malformed image tripping a backbone assert):
+    // dropping the batch drops its responders, so the affected clients get
+    // `Closed` instead of hanging forever, and the worker stays alive for
+    // everyone else.
+    let labels = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.labeler.label_batch(&images, shared.config.embed_threads)
+    })) {
+        Ok(labels) => labels,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            eprintln!(
+                "goggles-serve: dropping batch of {} after labeler panic: {msg}",
+                batch.len()
+            );
+            shared.counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let batch_size = batch.len();
+    let done = Instant::now();
+    let mut total_us = 0u64;
+    let mut max_us = 0u64;
+    for request in &batch {
+        let us = done.duration_since(request.enqueued).as_micros() as u64;
+        total_us += us;
+        max_us = max_us.max(us);
+    }
+    // Counters are bumped *before* the responses go out, so a client that
+    // observed its answer also observes its request in `stats()`.
+    let c = &shared.counters;
+    c.requests.fetch_add(batch_size as u64, Ordering::Relaxed);
+    c.images.fetch_add(batch_size as u64, Ordering::Relaxed);
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.total_latency_us.fetch_add(total_us, Ordering::Relaxed);
+    c.max_latency_us.fetch_max(max_us, Ordering::Relaxed);
+    for (i, request) in batch.iter().enumerate() {
+        let probs = labels.probs.row(i).to_vec();
+        let label = goggles_tensor::argmax(&probs);
+        // The receiver may have given up; ignore send failures.
+        let _ = request.respond.send(LabelResponse { label, probs, batch_size });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::FittedLabeler;
+    use goggles_core::GogglesConfig;
+    use goggles_datasets::{generate, Dataset, TaskConfig, TaskKind};
+
+    fn fitted(seed: u64) -> (FittedLabeler, Dataset) {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 6, seed);
+        cfg.image_size = 32;
+        let ds = generate(&cfg);
+        let dev = ds.sample_dev_set(3, seed);
+        let gcfg = GogglesConfig { seed, ..GogglesConfig::fast() };
+        let (labeler, _) = FittedLabeler::fit(&gcfg, &ds, &dev).unwrap();
+        (labeler, ds)
+    }
+
+    #[test]
+    fn serves_single_requests() {
+        let (labeler, ds) = fitted(11);
+        let expected = labeler.label_batch(&ds.test_images(), 1);
+        let service = LabelService::spawn(labeler, ServeConfig::default());
+        for (i, img) in ds.test_images().iter().enumerate() {
+            let resp = service.label(img).unwrap();
+            assert_eq!(resp.probs, expected.probs.row(i));
+            assert!(resp.batch_size >= 1);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, ds.test_indices.len() as u64);
+        assert!(stats.batches >= 1);
+        assert!(stats.max_latency_us > 0);
+    }
+
+    #[test]
+    fn concurrent_clients_get_batched_answers_matching_direct_path() {
+        let (labeler, ds) = fitted(12);
+        let expected = labeler.label_batch(&ds.test_images(), 1);
+        let service = Arc::new(LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 2,
+                max_batch: 4,
+                batch_timeout: Duration::from_millis(20),
+                ..ServeConfig::default()
+            },
+        ));
+        let images = ds.test_images();
+        let handles: Vec<_> = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                let service = Arc::clone(&service);
+                let img = (*img).clone();
+                std::thread::spawn(move || (i, service.label(&img).unwrap()))
+            })
+            .collect();
+        let mut max_batch_seen = 0;
+        for h in handles {
+            let (i, resp) = h.join().unwrap();
+            assert_eq!(resp.probs, expected.probs.row(i), "request {i}");
+            max_batch_seen = max_batch_seen.max(resp.batch_size);
+        }
+        // Concurrency should have produced at least one multi-request batch
+        // (12 simultaneous clients, 20 ms linger, 2 workers).
+        assert!(max_batch_seen >= 2, "no batching happened");
+        let stats = service.stats();
+        assert_eq!(stats.requests, images.len() as u64);
+        assert!(stats.batches <= stats.requests);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_is_idempotent() {
+        let (labeler, ds) = fitted(13);
+        let mut service = LabelService::spawn(labeler, ServeConfig::default());
+        let img = ds.test_images()[0].clone();
+        assert!(service.label(&img).is_ok());
+        service.shutdown();
+        service.shutdown(); // idempotent
+        assert!(matches!(service.label(&img), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn label_all_preserves_order_and_batches_from_one_caller() {
+        let (labeler, ds) = fitted(14);
+        let expected = labeler.label_batch(&ds.test_images(), 1);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                max_batch: 4,
+                batch_timeout: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        );
+        let responses = service.label_all(&ds.test_images()).unwrap();
+        assert_eq!(responses.len(), ds.test_indices.len());
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.probs, expected.probs.row(i));
+        }
+        // All requests were enqueued before the first await, so a single
+        // caller must produce at least one multi-image batch (12 requests,
+        // max_batch 4, one worker).
+        let stats = service.stats();
+        assert!(
+            stats.batches < stats.requests,
+            "label_all produced only singleton batches ({} batches for {} requests)",
+            stats.batches,
+            stats.requests
+        );
+    }
+
+    #[test]
+    fn labeler_panic_fails_the_request_but_not_the_service() {
+        // The labeler was fit on 3-channel images; a 4-channel image panics
+        // the backbone's channel assert inside the worker. The client must
+        // get `Closed`, not a hang, and the service must keep serving.
+        let (labeler, ds) = fitted(15);
+        let good = ds.test_images()[0].clone();
+        let expected = labeler.label_batch(&[&good], 1);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+        );
+        let bad = goggles_vision::Image::filled(4, 32, 32, 0.5);
+        match service.label(&bad) {
+            Err(ServeError::Closed) => {}
+            other => panic!("expected Closed for the poisoned request, got {other:?}"),
+        }
+        // Same worker, next request: still alive and correct.
+        let resp = service.label(&good).expect("service must survive a poisoned request");
+        assert_eq!(resp.probs, expected.probs.row(0));
+        let stats = service.stats();
+        assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.requests, 1, "poisoned request is not counted as served");
+    }
+}

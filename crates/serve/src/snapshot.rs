@@ -1,0 +1,548 @@
+//! Fitted-pipeline snapshots and out-of-sample inference.
+//!
+//! [`FittedLabeler`] freezes everything a labeling request needs:
+//!
+//! * the backbone *recipe* (`VggConfig` + seed — the network itself is
+//!   deterministic, so it is rebuilt rather than serialized),
+//! * the training corpus' [`PrototypeBank`] (per-layer stacked prototypes),
+//! * each affinity function's fitted diagonal-GMM parameters,
+//! * the Bernoulli-mixture ensemble parameters, and
+//! * the dev-set cluster→class mapping.
+//!
+//! A request then costs `O(image)`: embed the incoming image, compute its
+//! `1 × αN` affinity row against the stored prototypes, fold the row through
+//! the stored base models and ensemble (`predict_proba`, **no refit**), and
+//! apply the stored mapping. The training affinity matrix is never rebuilt.
+
+use crate::codec::{fnv1a, Reader, Writer};
+use crate::{ServeError, ServeResult};
+use goggles_cnn::{Vgg16, VggConfig};
+use goggles_core::hierarchical::fold_in_rows;
+use goggles_core::mapping::apply_mapping;
+use goggles_core::prototypes::embed_images;
+use goggles_core::{
+    Goggles, GogglesConfig, HierarchicalModel, LabelingResult, ProbabilisticLabels, PrototypeBank,
+};
+use goggles_datasets::{Dataset, DevSet};
+use goggles_models::{BernoulliMixture, DiagonalGmm, FitStats};
+use goggles_tensor::Matrix;
+use goggles_vision::Image;
+
+/// Magic bytes + version prefix of the snapshot format.
+const MAGIC: &[u8; 8] = b"GGLSNAP\x01";
+/// Format version (bump on layout changes).
+const VERSION: u32 = 1;
+/// Sanity cap for decoded collection lengths (functions, layers, classes).
+const MAX_SMALL_LEN: usize = 1 << 20;
+
+/// Frozen `DiagonalGmm`: same parameters, no training-side responsibilities
+/// (they are not part of the snapshot) and canonical stats — so labelers
+/// built by `fit` and by `load` compare (and serialize) identically.
+fn frozen_gmm(weights: Vec<f64>, means: Matrix<f64>, variances: Matrix<f64>) -> DiagonalGmm {
+    let k = weights.len();
+    DiagonalGmm {
+        weights,
+        means,
+        variances,
+        responsibilities: Matrix::zeros(0, k),
+        stats: FitStats { log_likelihood: 0.0, iterations: 0, converged: true },
+    }
+}
+
+/// Frozen `BernoulliMixture`, same convention as [`frozen_gmm`].
+fn frozen_ensemble(weights: Vec<f64>, probs: Matrix<f64>) -> BernoulliMixture {
+    let k = weights.len();
+    BernoulliMixture {
+        weights,
+        probs,
+        responsibilities: Matrix::zeros(0, k),
+        stats: FitStats { log_likelihood: 0.0, iterations: 0, converged: true },
+    }
+}
+
+/// A servable artifact: the frozen GOGGLES pipeline after fitting.
+///
+/// Obtain one with [`FittedLabeler::fit`] (or [`FittedLabeler::from_fitted`]
+/// if you already ran the batch pipeline and kept the embeddings), persist
+/// it with [`FittedLabeler::save`], and answer requests with
+/// [`FittedLabeler::label_one`] / [`FittedLabeler::label_batch`].
+#[derive(Debug, Clone)]
+pub struct FittedLabeler {
+    // --- serialized state ---
+    vgg: VggConfig,
+    backbone_seed: u64,
+    top_z: usize,
+    center_patches: bool,
+    num_classes: usize,
+    one_hot: bool,
+    mapping: Vec<usize>,
+    bank: PrototypeBank,
+    /// Rehydrated once at construction/load time — `predict_proba`-ready,
+    /// never rebuilt on the request path.
+    base_models: Vec<DiagonalGmm>,
+    ensemble: BernoulliMixture,
+    // --- rebuilt on construction/load, never serialized ---
+    net: Vgg16,
+}
+
+impl FittedLabeler {
+    /// Fit the full GOGGLES pipeline on `dataset`'s training block and
+    /// freeze it into a servable snapshot. Also returns the batch
+    /// [`LabelingResult`] so callers can report training-set accuracy
+    /// without re-running anything.
+    pub fn fit(
+        config: &GogglesConfig,
+        dataset: &Dataset,
+        dev: &DevSet,
+    ) -> ServeResult<(Self, LabelingResult)> {
+        let goggles = Goggles::new(config.clone());
+        let images = dataset.train_images();
+        if images.is_empty() {
+            return Err(ServeError::Pipeline(goggles_core::GogglesError::InvalidInput(
+                "dataset has no training images".into(),
+            )));
+        }
+        let embeddings = embed_images(
+            goggles.backbone(),
+            &images,
+            config.top_z,
+            config.threads,
+            config.center_patches,
+        );
+        let bank = PrototypeBank::from_embeddings(&embeddings);
+        let data = bank.affinity_rows(&embeddings, config.threads);
+        let affinity = goggles_core::AffinityMatrix {
+            data,
+            n: bank.n,
+            alpha: bank.alpha(),
+            z_per_layer: bank.z_per_layer,
+        };
+        let result = goggles
+            .label_dataset_with_affinity(dataset, &affinity, dev)
+            .map_err(ServeError::Pipeline)?;
+        let labeler = Self::from_fitted(&goggles, bank, &result.model, result.mapping.clone());
+        Ok((labeler, result))
+    }
+
+    /// Freeze an already-fitted pipeline: the `Goggles` system it ran under,
+    /// the prototype bank of the training corpus, the fitted hierarchical
+    /// model and the dev-set mapping.
+    pub fn from_fitted(
+        goggles: &Goggles,
+        bank: PrototypeBank,
+        model: &HierarchicalModel,
+        mapping: Vec<usize>,
+    ) -> Self {
+        let config = goggles.config();
+        assert_eq!(
+            bank.alpha(),
+            model.alpha(),
+            "prototype bank and model disagree on the number of affinity functions"
+        );
+        assert_eq!(bank.n, model.n_train(), "bank/model disagree on corpus size N");
+        Self {
+            vgg: config.vgg.clone(),
+            backbone_seed: config.backbone_seed,
+            top_z: config.top_z,
+            center_patches: config.center_patches,
+            num_classes: config.num_classes,
+            one_hot: model.one_hot,
+            mapping,
+            bank,
+            base_models: model
+                .base_models
+                .iter()
+                .map(|g| frozen_gmm(g.weights.clone(), g.means.clone(), g.variances.clone()))
+                .collect(),
+            ensemble: frozen_ensemble(model.ensemble.weights.clone(), model.ensemble.probs.clone()),
+            net: goggles.backbone().clone(),
+        }
+    }
+
+    /// Number of classes `K`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of affinity functions `α`.
+    pub fn alpha(&self) -> usize {
+        self.base_models.len()
+    }
+
+    /// Size `N` of the frozen training corpus.
+    pub fn n_train(&self) -> usize {
+        self.bank.n
+    }
+
+    /// The stored cluster→class mapping.
+    pub fn mapping(&self) -> &[usize] {
+        &self.mapping
+    }
+
+    /// The frozen prototype bank.
+    pub fn bank(&self) -> &PrototypeBank {
+        &self.bank
+    }
+
+    /// Label a batch of new images. Per image this embeds it, computes its
+    /// `1 × αN` affinity row against the stored prototypes and folds it
+    /// through the stored models — no training-matrix rebuild, no refit.
+    /// Returns class-aligned probabilistic labels (mapping applied).
+    pub fn label_batch(&self, images: &[&Image], threads: usize) -> ProbabilisticLabels {
+        if images.is_empty() {
+            return ProbabilisticLabels { probs: Matrix::zeros(0, self.num_classes) };
+        }
+        let embeddings = embed_images(&self.net, images, self.top_z, threads, self.center_patches);
+        let rows = self.bank.affinity_rows(&embeddings, threads);
+        let cluster_probs = self.fold_in(&rows);
+        ProbabilisticLabels { probs: apply_mapping(&cluster_probs, &self.mapping) }
+    }
+
+    /// Label a single image; returns the argmax class and the full
+    /// class-probability row.
+    pub fn label_one(&self, image: &Image) -> (usize, Vec<f64>) {
+        let labels = self.label_batch(&[image], 1);
+        let row = labels.probs.row(0).to_vec();
+        (goggles_tensor::argmax(&row), row)
+    }
+
+    /// Fold precomputed affinity rows (`m × αN`) through the stored base
+    /// models and ensemble: `predict_proba` all the way down, in cluster
+    /// space (mapping **not** applied).
+    pub fn fold_in(&self, rows: &Matrix<f64>) -> Matrix<f64> {
+        fold_in_rows(&self.base_models, &self.ensemble, self.one_hot, rows)
+    }
+
+    // ------------------------------------------------------------------
+    // persistence
+    // ------------------------------------------------------------------
+
+    /// Serialize to the hand-rolled binary snapshot format. Deterministic:
+    /// equal labelers produce identical bytes.
+    pub fn save(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(VERSION);
+        // backbone recipe
+        w.put_usize(self.vgg.input_channels);
+        for &c in &self.vgg.block_channels {
+            w.put_usize(c);
+        }
+        w.put_usize(self.vgg.input_size);
+        for &d in &self.vgg.fc_dims {
+            w.put_usize(d);
+        }
+        w.put_usize(self.vgg.logits_dim);
+        w.put_u64(self.backbone_seed);
+        // pipeline shape
+        w.put_usize(self.top_z);
+        w.put_bool(self.center_patches);
+        w.put_usize(self.num_classes);
+        w.put_bool(self.one_hot);
+        w.put_usize_slice(&self.mapping);
+        // prototype bank
+        w.put_usize(self.bank.n);
+        w.put_usize(self.bank.z_per_layer);
+        w.put_usize(self.bank.stacked.len());
+        for layer in &self.bank.stacked {
+            w.put_matrix_f32(layer);
+        }
+        // base models
+        w.put_usize(self.base_models.len());
+        for bm in &self.base_models {
+            w.put_f64_slice(&bm.weights);
+            w.put_matrix_f64(&bm.means);
+            w.put_matrix_f64(&bm.variances);
+        }
+        // ensemble
+        w.put_f64_slice(&self.ensemble.weights);
+        w.put_matrix_f64(&self.ensemble.probs);
+        // integrity trailer
+        let checksum = fnv1a(w.as_bytes());
+        w.put_u64(checksum);
+        w.into_bytes()
+    }
+
+    /// Deserialize a snapshot produced by [`FittedLabeler::save`], rebuild
+    /// the frozen backbone, and validate internal consistency.
+    pub fn load(bytes: &[u8]) -> ServeResult<Self> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(ServeError::Snapshot("snapshot too short".into()));
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(ServeError::Snapshot(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+        let mut r = Reader::new(payload);
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(ServeError::Snapshot("bad magic bytes".into()));
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(ServeError::Snapshot(format!(
+                "unsupported snapshot version {version} (supported: {VERSION})"
+            )));
+        }
+        let input_channels = r.get_usize()?;
+        let mut block_channels = [0usize; 5];
+        for c in &mut block_channels {
+            *c = r.get_usize()?;
+        }
+        let input_size = r.get_usize()?;
+        let mut fc_dims = [0usize; 2];
+        for d in &mut fc_dims {
+            *d = r.get_usize()?;
+        }
+        let logits_dim = r.get_usize()?;
+        let vgg = VggConfig { input_channels, block_channels, input_size, fc_dims, logits_dim };
+        let backbone_seed = r.get_u64()?;
+        let top_z = r.get_usize()?;
+        let center_patches = r.get_bool()?;
+        let num_classes = r.get_usize()?;
+        let one_hot = r.get_bool()?;
+        let mapping = r.get_usize_slice()?;
+        let n = r.get_usize()?;
+        let z_per_layer = r.get_usize()?;
+        let n_layers = r.get_len(MAX_SMALL_LEN)?;
+        let mut stacked = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            stacked.push(r.get_matrix_f32()?);
+        }
+        let bank = PrototypeBank { stacked, n, z_per_layer };
+        let n_models = r.get_len(MAX_SMALL_LEN)?;
+        let mut base_models = Vec::with_capacity(n_models);
+        for _ in 0..n_models {
+            let weights = r.get_f64_slice()?;
+            let means = r.get_matrix_f64()?;
+            let variances = r.get_matrix_f64()?;
+            base_models.push(frozen_gmm(weights, means, variances));
+        }
+        let ensemble = frozen_ensemble(r.get_f64_slice()?, r.get_matrix_f64()?);
+        if r.remaining() != 0 {
+            return Err(ServeError::Snapshot(format!(
+                "{} trailing bytes after snapshot payload",
+                r.remaining()
+            )));
+        }
+        // --- structural validation before rebuilding the backbone ---
+        if mapping.len() != num_classes || mapping.iter().any(|&c| c >= num_classes) {
+            return Err(ServeError::Snapshot("mapping is not a K-permutation".into()));
+        }
+        if n == 0 || z_per_layer == 0 || bank.stacked.is_empty() {
+            return Err(ServeError::Snapshot("prototype bank is empty".into()));
+        }
+        for (l, layer) in bank.stacked.iter().enumerate() {
+            if layer.rows() != n * z_per_layer || layer.cols() == 0 {
+                return Err(ServeError::Snapshot(format!(
+                    "bank layer {l} is {}×{}; expected N·Z = {}·{} = {} rows",
+                    layer.rows(),
+                    layer.cols(),
+                    n,
+                    z_per_layer,
+                    n * z_per_layer
+                )));
+            }
+        }
+        if base_models.len() != bank.stacked.len() * z_per_layer {
+            return Err(ServeError::Snapshot(format!(
+                "{} base models but bank encodes α = {}",
+                base_models.len(),
+                bank.stacked.len() * z_per_layer
+            )));
+        }
+        for (f, bm) in base_models.iter().enumerate() {
+            if bm.weights.len() != num_classes
+                || bm.means.shape() != (num_classes, n)
+                || bm.variances.shape() != (num_classes, n)
+            {
+                return Err(ServeError::Snapshot(format!(
+                    "base model {f} has inconsistent shapes"
+                )));
+            }
+        }
+        if ensemble.weights.len() != num_classes
+            || ensemble.probs.rows() != num_classes
+            || ensemble.probs.cols() != base_models.len() * num_classes
+        {
+            return Err(ServeError::Snapshot("ensemble parameter shapes inconsistent".into()));
+        }
+        let net = Vgg16::new(&vgg, backbone_seed);
+        Ok(Self {
+            vgg,
+            backbone_seed,
+            top_z,
+            center_patches,
+            num_classes,
+            one_hot,
+            mapping,
+            bank,
+            base_models,
+            ensemble,
+            net,
+        })
+    }
+
+    /// [`FittedLabeler::save`] straight to a file.
+    pub fn save_to(&self, path: &std::path::Path) -> ServeResult<()> {
+        std::fs::write(path, self.save())
+            .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// [`FittedLabeler::load`] straight from a file.
+    pub fn load_from(path: &std::path::Path) -> ServeResult<Self> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
+        Self::load(&bytes)
+    }
+}
+
+impl PartialEq for FittedLabeler {
+    /// Equality over the serialized state (the rebuilt backbone is a pure
+    /// function of it; model comparison covers exactly the persisted
+    /// parameters).
+    fn eq(&self, other: &Self) -> bool {
+        self.vgg == other.vgg
+            && self.backbone_seed == other.backbone_seed
+            && self.top_z == other.top_z
+            && self.center_patches == other.center_patches
+            && self.num_classes == other.num_classes
+            && self.one_hot == other.one_hot
+            && self.mapping == other.mapping
+            && self.bank == other.bank
+            && self.base_models.len() == other.base_models.len()
+            && self.base_models.iter().zip(&other.base_models).all(|(a, b)| {
+                a.weights == b.weights && a.means == b.means && a.variances == b.variances
+            })
+            && self.ensemble.weights == other.ensemble.weights
+            && self.ensemble.probs == other.ensemble.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_datasets::{generate, TaskConfig, TaskKind};
+
+    fn fitted(seed: u64) -> (FittedLabeler, LabelingResult, Dataset, DevSet) {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 10, 6, seed);
+        cfg.image_size = 32;
+        let ds = generate(&cfg);
+        let dev = ds.sample_dev_set(3, seed);
+        let gcfg = GogglesConfig { seed, ..GogglesConfig::fast() };
+        let (labeler, result) = FittedLabeler::fit(&gcfg, &ds, &dev).unwrap();
+        (labeler, result, ds, dev)
+    }
+
+    #[test]
+    fn fit_matches_batch_pipeline_exactly() {
+        // FittedLabeler::fit reuses the same affinity path as the batch
+        // pipeline, so its LabelingResult must be identical.
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 10, 4, 3);
+        cfg.image_size = 32;
+        let ds = generate(&cfg);
+        let dev = ds.sample_dev_set(3, 3);
+        let gcfg = GogglesConfig { seed: 1, ..GogglesConfig::fast() };
+        let (_, via_serve) = FittedLabeler::fit(&gcfg, &ds, &dev).unwrap();
+        let batch = Goggles::new(gcfg).label_dataset(&ds, &dev).unwrap();
+        assert_eq!(via_serve.labels.hard_labels(), batch.labels.hard_labels());
+        assert_eq!(via_serve.mapping, batch.mapping);
+        assert!(via_serve.labels.probs.max_abs_diff(&batch.labels.probs) < 1e-12);
+    }
+
+    #[test]
+    fn save_is_byte_for_byte_deterministic() {
+        let (labeler, _, _, _) = fitted(1);
+        let a = labeler.save();
+        let b = labeler.save();
+        assert_eq!(a, b);
+        let reloaded = FittedLabeler::load(&a).unwrap();
+        assert_eq!(reloaded, labeler);
+        assert_eq!(reloaded.save(), a, "save→load→save must be stable");
+    }
+
+    #[test]
+    fn reload_preserves_label_batch_exactly() {
+        let (labeler, _, ds, _) = fitted(2);
+        let test_images = ds.test_images();
+        let before = labeler.label_batch(&test_images, 2);
+        let reloaded = FittedLabeler::load(&labeler.save()).unwrap();
+        let after = reloaded.label_batch(&test_images, 2);
+        assert_eq!(before.probs, after.probs);
+    }
+
+    #[test]
+    fn label_one_agrees_with_label_batch() {
+        let (labeler, _, ds, _) = fitted(4);
+        let imgs = ds.test_images();
+        let batch = labeler.label_batch(&imgs, 1);
+        for (i, img) in imgs.iter().enumerate() {
+            let (hard, row) = labeler.label_one(img);
+            assert_eq!(row, batch.probs.row(i));
+            assert_eq!(hard, goggles_tensor::argmax(batch.probs.row(i)));
+        }
+    }
+
+    #[test]
+    fn out_of_sample_rows_are_distributions() {
+        let (labeler, _, ds, _) = fitted(5);
+        let labels = labeler.label_batch(&ds.test_images(), 2);
+        assert_eq!(labels.probs.shape(), (ds.test_indices.len(), 2));
+        for i in 0..labels.probs.rows() {
+            let s: f64 = labels.probs.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // empty batch is well-defined
+        let empty = labeler.label_batch(&[], 4);
+        assert_eq!(empty.probs.shape(), (0, 2));
+    }
+
+    #[test]
+    fn out_of_sample_path_on_training_images_matches_batch_labels() {
+        // Serving the *training* images through the snapshot re-embeds them,
+        // recomputes their affinity rows against the stored prototypes and
+        // folds in — which must agree with the batch pipeline's converged
+        // posteriors on those same rows.
+        let (labeler, result, ds, _) = fitted(6);
+        assert_eq!(labeler.alpha(), 20, "fast() config has α = 5·4");
+        let served = labeler.label_batch(&ds.train_images(), 2);
+        assert_eq!(served.probs.rows(), labeler.n_train());
+        let diff = served.probs.max_abs_diff(&result.labels.probs);
+        assert!(diff < 1e-6, "served vs batch posterior diff = {diff}");
+        assert_eq!(served.hard_labels(), result.labels.hard_labels());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let (labeler, _, _, _) = fitted(7);
+        let bytes = labeler.save();
+        // flip one payload byte → checksum failure
+        let mut bad = bytes.clone();
+        bad[MAGIC.len() + 10] ^= 0x40;
+        assert!(matches!(FittedLabeler::load(&bad), Err(ServeError::Snapshot(_))));
+        // truncation → error, not panic
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(FittedLabeler::load(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // bad magic
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(FittedLabeler::load(&wrong).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (labeler, _, ds, _) = fitted(8);
+        let dir = std::env::temp_dir().join("goggles_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.ggl");
+        labeler.save_to(&path).unwrap();
+        let reloaded = FittedLabeler::load_from(&path).unwrap();
+        let imgs = ds.test_images();
+        assert_eq!(labeler.label_batch(&imgs, 1).probs, reloaded.label_batch(&imgs, 1).probs);
+        std::fs::remove_file(&path).ok();
+    }
+}

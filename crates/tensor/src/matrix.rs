@@ -197,18 +197,12 @@ impl<T: Scalar> Matrix<T> {
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[T]) -> Vec<T> {
         assert_eq!(self.cols, v.len(), "matvec: {}x{} * {}", self.rows, self.cols, v.len());
-        self.rows_iter()
-            .map(|row| row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
-            .collect()
+        self.rows_iter().map(|row| row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(T) -> T) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Elementwise in-place map.

@@ -139,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(unstable_name_collisions)]
     fn maximum_minimum_match_std() {
         assert_eq!(2.0f64.maximum(3.0), 3.0);
         assert_eq!(2.0f64.minimum(3.0), 2.0);

@@ -8,9 +8,8 @@ use crate::image::Image;
 fn gaussian_kernel(sigma: f32) -> Vec<f32> {
     let sigma = sigma.max(1e-3);
     let radius = (3.0 * sigma).ceil() as i32;
-    let mut k: Vec<f32> = (-radius..=radius)
-        .map(|i| (-0.5 * (i as f32 / sigma).powi(2)).exp())
-        .collect();
+    let mut k: Vec<f32> =
+        (-radius..=radius).map(|i| (-0.5 * (i as f32 / sigma).powi(2)).exp()).collect();
     let sum: f32 = k.iter().sum();
     for v in &mut k {
         *v /= sum;
@@ -192,9 +191,12 @@ mod tests {
         let mut img = Image::new(1, 8, 8);
         draw::fill_disc(&mut img, 4.0, 4.0, 2.0, &[1.0]);
         let same = resize_bilinear(&img, 8, 8);
-        assert!(img.tensor().as_slice().iter().zip(same.tensor().as_slice()).all(
-            |(a, b)| (a - b).abs() < 1e-6
-        ));
+        assert!(img
+            .tensor()
+            .as_slice()
+            .iter()
+            .zip(same.tensor().as_slice())
+            .all(|(a, b)| (a - b).abs() < 1e-6));
     }
 
     #[test]

@@ -126,11 +126,8 @@ impl Image {
             return self.clone();
         }
         let (c, h, w) = self.shape();
-        let weights: Vec<f32> = if c == 3 {
-            vec![0.299, 0.587, 0.114]
-        } else {
-            vec![1.0 / c as f32; c]
-        };
+        let weights: Vec<f32> =
+            if c == 3 { vec![0.299, 0.587, 0.114] } else { vec![1.0 / c as f32; c] };
         let mut out = Image::new(1, h, w);
         for y in 0..h {
             for x in 0..w {

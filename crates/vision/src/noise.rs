@@ -101,7 +101,8 @@ pub fn add_value_noise_texture<R: Rng + ?Sized>(
     let (c, h, w) = img.shape();
     for y in 0..h {
         for x in 0..w {
-            let t = amplitude * vn.fbm(y as f32 / h as f32, x as f32 / w as f32, base_freq, octaves);
+            let t =
+                amplitude * vn.fbm(y as f32 / h as f32, x as f32 / w as f32, base_freq, octaves);
             for ch in 0..c {
                 let cur = img.get(ch, y, x);
                 img.set(ch, y, x, cur + t);
@@ -156,13 +157,8 @@ mod tests {
         add_gaussian_noise(&mut img, &mut rng, 0.1);
         let m = img.mean();
         assert!((m - 0.5).abs() < 0.01, "mean drifted: {m}");
-        let var: f32 = img
-            .tensor()
-            .channel(0)
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f32>()
-            / 1024.0;
+        let var: f32 =
+            img.tensor().channel(0).iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 1024.0;
         assert!((var - 0.01).abs() < 0.004, "variance = {var}");
     }
 
@@ -209,12 +205,7 @@ mod tests {
         let mut img = Image::filled(1, 16, 16, 0.5);
         let mut rng = std_rng(4);
         add_value_noise_texture(&mut img, &mut rng, 4.0, 3, 0.2);
-        let distinct = img
-            .tensor()
-            .channel(0)
-            .iter()
-            .filter(|&&v| (v - 0.5).abs() > 1e-4)
-            .count();
+        let distinct = img.tensor().channel(0).iter().filter(|&&v| (v - 0.5).abs() > 1e-4).count();
         assert!(distinct > 128, "texture had little effect: {distinct}");
     }
 
@@ -223,12 +214,7 @@ mod tests {
         let mut img = Image::filled(1, 32, 32, 0.5);
         let mut rng = std_rng(5);
         add_scratches(&mut img, &mut rng, 8, 0.0, 0.2, 0.4);
-        let extremes = img
-            .tensor()
-            .channel(0)
-            .iter()
-            .filter(|&&v| (v - 0.5).abs() > 0.2)
-            .count();
+        let extremes = img.tensor().channel(0).iter().filter(|&&v| (v - 0.5).abs() > 0.2).count();
         assert!(extremes > 20, "no scratch pixels: {extremes}");
     }
 }

@@ -33,7 +33,10 @@ fn main() {
     // DP vs exhaustive enumeration — the §4.4 complexity claim, verified.
     let dp = theory::p_class_correct(0.8, 3, 6);
     let brute = theory::p_class_correct_brute_force(0.8, 3, 6);
-    println!("\nDP {dp:.10} vs brute force {brute:.10} (K=3, d=6) — agree: {}", (dp - brute).abs() < 1e-9);
+    println!(
+        "\nDP {dp:.10} vs brute force {brute:.10} (K=3, d=6) — agree: {}",
+        (dp - brute).abs() < 1e-9
+    );
 
     // --- empirical counterpart on a real pipeline (Figure 8 mechanism) ---
     println!("\nempirical mapping success on a CUB task (100 dev resamples per size):");
@@ -42,15 +45,15 @@ fn main() {
     let goggles = Goggles::new(GogglesConfig::fast());
     let affinity = goggles.build_affinity_matrix(&dataset.train_images());
     // Fit once (unsupervised), then resample dev sets of each size.
-    let (_, _, model) = goggles
-        .infer_from_affinity(&affinity, &DevSet::empty())
-        .expect("unsupervised fit");
+    let (_, _, model) =
+        goggles.infer_from_affinity(&affinity, &DevSet::empty()).expect("unsupervised fit");
     let truth = dataset.train_labels();
     // The "correct" mapping is whichever maximizes accuracy.
     let acc_of = |g: &[usize]| {
         let mapped = apply_mapping(&model.responsibilities, g);
-        let hard: Vec<usize> =
-            (0..mapped.rows()).map(|i| if mapped[(i, 0)] >= mapped[(i, 1)] { 0 } else { 1 }).collect();
+        let hard: Vec<usize> = (0..mapped.rows())
+            .map(|i| if mapped[(i, 0)] >= mapped[(i, 1)] { 0 } else { 1 })
+            .collect();
         hard.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
     };
     let correct_mapping = if acc_of(&[0, 1]) >= acc_of(&[1, 0]) { vec![0, 1] } else { vec![1, 0] };

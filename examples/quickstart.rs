@@ -46,10 +46,7 @@ fn main() {
     // Optional: dump a few generated images as PPM for visual inspection.
     let out_dir = std::path::Path::new("results/samples");
     for (i, &idx) in dataset.train_indices.iter().take(4).enumerate() {
-        let path = out_dir.join(format!(
-            "surface_{i}_class{}.ppm",
-            dataset.labels[idx]
-        ));
+        let path = out_dir.join(format!("surface_{i}_class{}.ppm", dataset.labels[idx]));
         if goggles::vision::write_pnm(&dataset.images[idx], &path).is_ok() {
             println!("wrote {}", path.display());
         }

@@ -1,0 +1,129 @@
+//! End-to-end serving demo: fit GOGGLES once, freeze it into a snapshot,
+//! reload from bytes, and label held-out images **online** through the
+//! micro-batching [`LabelService`] — per-request cost is O(image): no
+//! training-matrix rebuild, no mixture-model refit.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! The demo also runs the paper's batch (transductive) pipeline over the
+//! same held-out images and checks the served accuracy lands within
+//! 2 points of it.
+
+use goggles::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let seed = 7u64;
+    // 30 train + 25 held-out images per class (binary task → 50 held out).
+    let mut task = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 30, 25, seed);
+    task.image_size = 32;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(5, seed);
+    let config = GogglesConfig { seed, ..GogglesConfig::fast() };
+
+    // ---- 1. fit once (batch) and freeze -------------------------------
+    let t0 = Instant::now();
+    let (labeler, fit_result) = FittedLabeler::fit(&config, &ds, &dev).expect("fitting failed");
+    let fit_time = t0.elapsed();
+    println!(
+        "fitted on {} images in {:.2?} (train accuracy {:.1}%)",
+        ds.train_indices.len(),
+        fit_time,
+        100.0 * fit_result.accuracy_excluding_dev(&ds, &dev),
+    );
+
+    // ---- 2. snapshot to bytes and reload ------------------------------
+    let bytes = labeler.save();
+    println!("snapshot: {} KiB", bytes.len() / 1024);
+    let reloaded = FittedLabeler::load(&bytes).expect("snapshot reload failed");
+
+    // ---- 3. serve the held-out images through the micro-batcher -------
+    let held_out = ds.test_images();
+    let truth = ds.test_labels();
+    assert!(held_out.len() >= 50, "need ≥ 50 held-out images");
+    let service = Arc::new(LabelService::spawn(
+        reloaded,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    ));
+    let t1 = Instant::now();
+    let handles: Vec<_> = held_out
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let service = Arc::clone(&service);
+            let img = (*img).clone();
+            std::thread::spawn(move || (i, service.label(&img).expect("service closed")))
+        })
+        .collect();
+    let mut served_labels = vec![0usize; held_out.len()];
+    for h in handles {
+        let (i, resp) = h.join().expect("client thread");
+        served_labels[i] = resp.label;
+    }
+    let serve_time = t1.elapsed();
+    let stats = service.stats();
+    let served_acc = served_labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
+        / truth.len() as f64;
+    println!(
+        "served {} held-out images in {:.2?} ({:.0} img/s, {} batches, mean batch {:.1}, mean latency {:.1} ms)",
+        stats.requests,
+        serve_time,
+        stats.requests as f64 / serve_time.as_secs_f64(),
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.mean_latency_us() / 1000.0,
+    );
+    println!("served accuracy on held-out images: {:.1}%", 100.0 * served_acc);
+
+    // ---- 4. reference: the paper's batch pipeline over the same images -
+    // The batch system can only label images inside its affinity matrix, so
+    // it must refit on train + held-out (transductive) — exactly the cost
+    // the serving path avoids.
+    let t2 = Instant::now();
+    let all: Vec<(Image, usize)> = ds
+        .train_indices
+        .iter()
+        .chain(&ds.test_indices)
+        .map(|&i| (ds.images[i].clone(), ds.labels[i]))
+        .collect();
+    let transductive = Dataset::from_parts(ds.name.clone(), ds.kind, ds.num_classes, all, vec![]);
+    let dev_t = DevSet {
+        // dev indices keep their positions: train block order is unchanged.
+        indices: dev
+            .indices
+            .iter()
+            .map(|&g| ds.train_indices.iter().position(|&t| t == g).unwrap())
+            .collect(),
+        labels: dev.labels.clone(),
+    };
+    let batch_result =
+        Goggles::new(config).label_dataset(&transductive, &dev_t).expect("batch pipeline failed");
+    let batch_time = t2.elapsed();
+    let batch_hard = batch_result.labels.hard_labels();
+    let n_train = ds.train_indices.len();
+    let batch_acc = (0..held_out.len()).filter(|&i| batch_hard[n_train + i] == truth[i]).count()
+        as f64
+        / truth.len() as f64;
+    println!(
+        "batch (refit) pipeline on the same images: {:.1}% in {:.2?}",
+        100.0 * batch_acc,
+        batch_time
+    );
+
+    let gap = (served_acc - batch_acc).abs();
+    println!("accuracy gap: {:.1} points", 100.0 * gap);
+    assert!(
+        gap <= 0.02 + 1e-9,
+        "served accuracy must be within 2 points of the batch pipeline (gap {:.3})",
+        gap
+    );
+    println!("OK: online serving matches the batch pipeline within 2 points.");
+}

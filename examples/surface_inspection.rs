@@ -34,7 +34,8 @@ fn main() {
         ctx.affinity.n
     );
 
-    let methods: Vec<(&str, Box<dyn Fn() -> goggles::experiments::methods::MethodOutput>)> = vec![
+    type MethodRunner<'a> = Box<dyn Fn() -> goggles::experiments::methods::MethodOutput + 'a>;
+    let methods: Vec<(&str, MethodRunner)> = vec![
         ("GOGGLES", Box::new(|| run_goggles(&ctx))),
         ("Snuba", Box::new(|| run_snuba(&ctx))),
         ("HoG affinity", Box::new(|| run_hog(&ctx))),
@@ -55,8 +56,7 @@ fn main() {
     }
 
     let goggles_acc = results[0].1;
-    let best_baseline =
-        results[1..].iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+    let best_baseline = results[1..].iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
     println!(
         "\nGOGGLES {} the best baseline ({:+.1} points)",
         if goggles_acc >= best_baseline { "matches or beats" } else { "trails" },

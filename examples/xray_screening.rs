@@ -32,8 +32,7 @@ fn main() {
     );
 
     // --- Step 2: train the downstream screening model ---
-    let to_f64 =
-        |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
+    let to_f64 = |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
     let train_imgs: Vec<Image> = dataset.train_images().iter().map(|&i| i.clone()).collect();
     let test_imgs: Vec<Image> = dataset.test_images().iter().map(|&i| i.clone()).collect();
     let train_feats_raw = to_f64(&goggles.backbone().logits_batch(&train_imgs));

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion API the workspace's micro-benchmarks
+//! use — [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock timer: each
+//! benchmark is warmed up, then timed over `sample_size` samples, and the
+//! per-iteration mean/min are printed to stdout. No statistical analysis,
+//! plots, or baselines; the numbers are indicative, which is all the offline
+//! environment supports.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times every batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// (total measured time, iterations) accumulated by the closure.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one call outside the measurement.
+        let _ = routine();
+        let iters = self.samples as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = routine();
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        let iters = self.samples as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            total += start.elapsed();
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+/// Benchmark registry + runner (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be ≥ 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark immediately and report its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, measured: None };
+        f(&mut b);
+        match b.measured {
+            Some((total, iters)) if iters > 0 => {
+                let per = total.as_secs_f64() / iters as f64;
+                println!("bench: {id:<40} {:>12} /iter ({iters} iters)", format_time(per));
+            }
+            _ => println!("bench: {id:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| std::hint::black_box(7u64).pow(2)));
+        c.bench_function("square_batched", |b| {
+            b.iter_batched(|| 7u64, |x| x.pow(2), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(group_short, bench_square);
+
+    #[test]
+    fn group_runs_all_targets() {
+        group_short();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2e-3), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 µs");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

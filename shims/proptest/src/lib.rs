@@ -1,0 +1,205 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest surface this workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! range strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Semantics: each test body runs `cases` times with inputs drawn from the
+//! strategies using a deterministic per-test RNG (seeded from the test name
+//! and case index). There is no shrinking — a failing case panics with the
+//! drawn inputs' debug representation via the standard assert message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// FNV-1a hash of a string — stable seed derivation for test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic RNG for one (test, case) pair.
+pub fn case_rng(test_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(test_seed ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+pub mod strategy {
+    //! Value-generation strategies (subset of `proptest::strategy`).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f64, f32);
+
+    /// Strategy over `Vec<S::Value>` with random length.
+    pub struct VecStrategy<S: Strategy> {
+        pub(crate) element: S,
+        pub(crate) len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Constant strategy (the `Just` combinator).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Vectors of `element` values with lengths drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Assert inside a property (panics with the formatted message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declare property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::case_rng(seed, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -2.0f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        /// Vec strategy respects the length range.
+        #[test]
+        fn vec_lengths(xs in crate::collection::vec(0.0f64..1.0, 1..12)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn default_case_count() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+    }
+}

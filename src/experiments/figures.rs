@@ -60,7 +60,8 @@ impl Figure2 {
         );
         let w = (self.hi - self.lo) / self.bins as f64;
         for b in 0..self.bins {
-            let mut row = vec![format!("{:.2}..{:.2}", self.lo + b as f64 * w, self.lo + (b + 1) as f64 * w)];
+            let mut row =
+                vec![format!("{:.2}..{:.2}", self.lo + b as f64 * w, self.lo + (b + 1) as f64 * w)];
             for (same, cross) in &self.histograms {
                 row.push(same[b].to_string());
                 row.push(cross[b].to_string());
@@ -133,8 +134,7 @@ pub fn figure8(ctx: &TrialContext, sizes_per_class: &[usize], seed: u64) -> Vec<
     let max_size = sizes_per_class.iter().copied().max().unwrap_or(0);
     let max_dev = if max_size > 0 {
         let dev_global = ctx.dataset.sample_dev_set(
-            max_size.min(ctx.dataset.train_indices.len() / ctx.dataset.num_classes / 2)
-                .max(1),
+            max_size.min(ctx.dataset.train_indices.len() / ctx.dataset.num_classes / 2).max(1),
             seed,
         );
         DevSet {
@@ -233,7 +233,7 @@ fn heap_permute(perm: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(perm, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             perm.swap(i, k - 1);
         } else {
             perm.swap(0, k - 1);

@@ -67,8 +67,7 @@ pub fn run_snorkel(ctx: &TrialContext) -> Option<MethodOutput> {
 /// Snuba on automatically extracted primitives: PCA-10 of the backbone
 /// logits (§5.1.2), synthesized stump LFs, generative aggregation.
 pub fn run_snuba(ctx: &TrialContext) -> MethodOutput {
-    let prim = primitives::extract_primitives(&ctx.train_logits, 10)
-        .expect("primitive extraction");
+    let prim = primitives::extract_primitives(&ctx.train_logits, 10).expect("primitive extraction");
     let snuba = Snuba::fit(
         &prim.values,
         &ctx.dev_rows.indices,
@@ -83,21 +82,14 @@ pub fn run_snuba(ctx: &TrialContext) -> MethodOutput {
 /// descriptors, then the GOGGLES inference module.
 pub fn run_hog(ctx: &TrialContext) -> MethodOutput {
     let params = HogParams::default();
-    let feats: Vec<Vec<f32>> = ctx
-        .dataset
-        .train_images()
-        .iter()
-        .map(|img| hog_descriptor(img, &params))
-        .collect();
+    let feats: Vec<Vec<f32>> =
+        ctx.dataset.train_images().iter().map(|img| hog_descriptor(img, &params)).collect();
     let d = feats[0].len().max(1);
-    let features = Matrix::from_fn(feats.len(), d, |i, j| {
-        feats[i].get(j).copied().unwrap_or(0.0) as f64
-    });
+    let features =
+        Matrix::from_fn(feats.len(), d, |i, j| feats[i].get(j).copied().unwrap_or(0.0) as f64);
     let affinity = AffinityMatrix::from_feature_vectors(&features);
-    let (labels, _, _) = ctx
-        .goggles
-        .infer_from_affinity(&affinity, &ctx.dev_rows)
-        .expect("HOG inference failed");
+    let (labels, _, _) =
+        ctx.goggles.infer_from_affinity(&affinity, &ctx.dev_rows).expect("HOG inference failed");
     MethodOutput::mapped(labels.hard_labels(), labels.probs)
 }
 
@@ -105,18 +97,16 @@ pub fn run_hog(ctx: &TrialContext) -> MethodOutput {
 /// the backbone logits, then the GOGGLES inference module.
 pub fn run_logits(ctx: &TrialContext) -> MethodOutput {
     let affinity = AffinityMatrix::from_feature_vectors(&ctx.train_logits);
-    let (labels, _, _) = ctx
-        .goggles
-        .infer_from_affinity(&affinity, &ctx.dev_rows)
-        .expect("logits inference failed");
+    let (labels, _, _) =
+        ctx.goggles.infer_from_affinity(&affinity, &ctx.dev_rows).expect("logits inference failed");
     MethodOutput::mapped(labels.hard_labels(), labels.probs)
 }
 
 /// K-Means baseline on the rows of the full affinity matrix (§5.1.6: "we
 /// simply concatenate all affinity functions to create the feature set").
 pub fn run_kmeans(ctx: &TrialContext) -> MethodOutput {
-    let km = KMeans::fit(&ctx.affinity.data, ctx.dataset.num_classes, 3, 0x4B)
-        .expect("k-means failed");
+    let km =
+        KMeans::fit(&ctx.affinity.data, ctx.dataset.num_classes, 3, 0x4B).expect("k-means failed");
     MethodOutput::clusters(km.labels)
 }
 
@@ -168,7 +158,7 @@ mod tests {
         let task = params.tasks_for_trial(0)[0]; // CUB so Snorkel also runs
         let ctx = TrialContext::build(&params, &task, 0);
         let n = ctx.dataset.train_indices.len();
-        let outputs = vec![
+        let outputs = [
             run_goggles(&ctx),
             run_snorkel(&ctx).expect("CUB has attributes"),
             run_snuba(&ctx),

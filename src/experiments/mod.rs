@@ -11,6 +11,7 @@
 //! | Figure 7 (dev-set size theory) | [`figures::figure7`] |
 //! | Figure 8 (accuracy vs dev size) | [`figures::figure8`] |
 //! | Figure 9 (accuracy vs #functions) | [`figures::figure9`] |
+//! | Serving latency/throughput (not in the paper) | [`serving::run`] |
 //!
 //! Every run is deterministic given the [`Scale`]; `Scale::from_env()`
 //! honours `GOGGLES_SCALE=quick|standard|paper` so CI and laptops can dial
@@ -19,6 +20,7 @@
 pub mod figures;
 pub mod methods;
 pub mod report;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 
@@ -192,9 +194,7 @@ impl TrialContext {
                 .collect(),
             labels: dev.labels.clone(),
         };
-        let to_f64 = |m: &Matrix<f32>| {
-            Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64)
-        };
+        let to_f64 = |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
         let train_imgs: Vec<_> = dataset.train_images().iter().map(|&i| i.clone()).collect();
         let test_imgs: Vec<_> = dataset.test_images().iter().map(|&i| i.clone()).collect();
         let train_logits = to_f64(&goggles.backbone().logits_batch(&train_imgs));

@@ -41,10 +41,7 @@ impl Table {
 
     /// Render as an aligned monospace table.
     pub fn render(&self) -> String {
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let cols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }

@@ -1,0 +1,259 @@
+//! Serving benchmark: single-image latency and micro-batched throughput of
+//! the `goggles-serve` path versus a full batch (`label_dataset`) refit.
+//!
+//! Not a paper artifact — the paper's system is batch-only — but the
+//! direct quantification of what the snapshot/fold-in subsystem buys: a
+//! per-request cost that is O(image) instead of O(dataset).
+
+use super::report::Table;
+use super::RunParams;
+use goggles_core::Goggles;
+use goggles_datasets::{generate, Dataset, DevSet, TaskKind};
+use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
+use goggles_vision::Image;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything one serving-benchmark run measured.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Training images the labeler was fit on.
+    pub n_train: usize,
+    /// Held-out images served.
+    pub n_held_out: usize,
+    /// Wall-clock seconds of the one-time fit.
+    pub fit_seconds: f64,
+    /// Size of the serialized snapshot in bytes.
+    pub snapshot_bytes: usize,
+    /// p50 of single-image `label_one` latency, milliseconds.
+    pub single_p50_ms: f64,
+    /// Mean single-image `label_one` latency, milliseconds.
+    pub single_mean_ms: f64,
+    /// Images/second through the micro-batching service under concurrent
+    /// clients.
+    pub service_throughput_ips: f64,
+    /// Mean micro-batch size the service assembled.
+    pub service_mean_batch: f64,
+    /// Mean request latency through the service, milliseconds.
+    pub service_mean_latency_ms: f64,
+    /// Wall-clock seconds of a full transductive `label_dataset` refit over
+    /// train + held-out (the only way the batch system can label new
+    /// images).
+    pub refit_seconds: f64,
+    /// Served accuracy on the held-out images.
+    pub served_accuracy: f64,
+    /// Transductive batch-refit accuracy on the same images.
+    pub batch_accuracy: f64,
+}
+
+impl ServingReport {
+    /// Amortized per-image serving time vs one refit labeling the same
+    /// held-out set (> 1 means serving is cheaper per image).
+    pub fn speedup_vs_refit(&self) -> f64 {
+        if self.service_throughput_ips <= 0.0 {
+            return 0.0;
+        }
+        let serve_per_image = 1.0 / self.service_throughput_ips;
+        let refit_per_image = self.refit_seconds / self.n_held_out.max(1) as f64;
+        refit_per_image / serve_per_image
+    }
+
+    /// Text table for the bench harness.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new("Serving: snapshot inference vs batch refit", &["metric", "value"]);
+        let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+        row("train images (N)", format!("{}", self.n_train));
+        row("held-out images served", format!("{}", self.n_held_out));
+        row("one-time fit", format!("{:.3} s", self.fit_seconds));
+        row("snapshot size", format!("{:.1} KiB", self.snapshot_bytes as f64 / 1024.0));
+        row("single-image p50 latency", format!("{:.2} ms", self.single_p50_ms));
+        row("single-image mean latency", format!("{:.2} ms", self.single_mean_ms));
+        row("service throughput", format!("{:.0} img/s", self.service_throughput_ips));
+        row("service mean batch size", format!("{:.2}", self.service_mean_batch));
+        row("service mean latency", format!("{:.2} ms", self.service_mean_latency_ms));
+        row("batch refit (train+held-out)", format!("{:.3} s", self.refit_seconds));
+        row("per-image speedup vs refit", format!("{:.1}×", self.speedup_vs_refit()));
+        row("served accuracy", format!("{:.1}%", 100.0 * self.served_accuracy));
+        row("batch-refit accuracy", format!("{:.1}%", 100.0 * self.batch_accuracy));
+        t
+    }
+
+    /// Hand-rolled JSON summary (the `BENCH_serving.json` artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"n_train\": {},\n  \"n_held_out\": {},\n  \"fit_seconds\": {:.6},\n  \
+             \"snapshot_bytes\": {},\n  \"single_p50_ms\": {:.4},\n  \"single_mean_ms\": {:.4},\n  \
+             \"service_throughput_ips\": {:.2},\n  \"service_mean_batch\": {:.3},\n  \
+             \"service_mean_latency_ms\": {:.4},\n  \"refit_seconds\": {:.6},\n  \
+             \"speedup_vs_refit\": {:.2},\n  \"served_accuracy\": {:.4},\n  \
+             \"batch_accuracy\": {:.4}\n}}\n",
+            self.n_train,
+            self.n_held_out,
+            self.fit_seconds,
+            self.snapshot_bytes,
+            self.single_p50_ms,
+            self.single_mean_ms,
+            self.service_throughput_ips,
+            self.service_mean_batch,
+            self.service_mean_latency_ms,
+            self.refit_seconds,
+            self.speedup_vs_refit(),
+            self.served_accuracy,
+            self.batch_accuracy,
+        )
+    }
+
+    /// Write the JSON artifact.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Run the serving benchmark at the given scale parameters.
+pub fn run(params: &RunParams) -> ServingReport {
+    let seed = 7u64;
+    let mut task = goggles_datasets::TaskConfig::new(
+        TaskKind::Cub { class_a: 0, class_b: 1 },
+        params.n_train_per_class,
+        params.n_test_per_class.max(8),
+        seed,
+    );
+    task.image_size = params.image_size;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(params.dev_per_class, seed);
+    let config = params.goggles_config(seed);
+
+    // one-time fit + freeze
+    let t0 = Instant::now();
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).expect("fit failed");
+    let fit_seconds = t0.elapsed().as_secs_f64();
+    let snapshot_bytes = labeler.save().len();
+
+    let held_out = ds.test_images();
+    let truth = ds.test_labels();
+
+    // single-image latency distribution (direct, no queueing)
+    let mut singles: Vec<f64> = Vec::with_capacity(held_out.len());
+    for img in &held_out {
+        let t = Instant::now();
+        let _ = labeler.label_one(img);
+        singles.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    singles.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let single_p50_ms = singles[singles.len() / 2];
+    let single_mean_ms = singles.iter().sum::<f64>() / singles.len() as f64;
+
+    // micro-batched throughput with concurrent clients
+    let served = labeler.label_batch(&held_out, 2);
+    let served_accuracy = served.accuracy(&truth);
+    let service = Arc::new(LabelService::spawn(
+        labeler,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(4),
+            ..ServeConfig::default()
+        },
+    ));
+    let t1 = Instant::now();
+    let handles: Vec<_> = held_out
+        .iter()
+        .map(|img| {
+            let service = Arc::clone(&service);
+            let img = (*img).clone();
+            std::thread::spawn(move || service.label(&img).expect("service closed"))
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().expect("client thread");
+    }
+    let service_seconds = t1.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let service_throughput_ips = stats.requests as f64 / service_seconds;
+    let service_mean_batch = stats.mean_batch_size();
+    let service_mean_latency_ms = stats.mean_latency_us() / 1e3;
+
+    // the batch system's only path to new labels: transductive refit
+    let all: Vec<(Image, usize)> = ds
+        .train_indices
+        .iter()
+        .chain(&ds.test_indices)
+        .map(|&i| (ds.images[i].clone(), ds.labels[i]))
+        .collect();
+    let transductive = Dataset::from_parts(ds.name.clone(), ds.kind, ds.num_classes, all, vec![]);
+    let dev_rows = DevSet {
+        indices: dev
+            .indices
+            .iter()
+            .map(|&g| {
+                ds.train_indices.iter().position(|&t| t == g).expect("dev index in training block")
+            })
+            .collect(),
+        labels: dev.labels.clone(),
+    };
+    let t2 = Instant::now();
+    let batch_result =
+        Goggles::new(config).label_dataset(&transductive, &dev_rows).expect("batch refit failed");
+    let refit_seconds = t2.elapsed().as_secs_f64();
+    let hard = batch_result.labels.hard_labels();
+    let n_train = ds.train_indices.len();
+    let batch_accuracy = (0..truth.len()).filter(|&i| hard[n_train + i] == truth[i]).count() as f64
+        / truth.len().max(1) as f64;
+
+    ServingReport {
+        n_train,
+        n_held_out: held_out.len(),
+        fit_seconds,
+        snapshot_bytes,
+        single_p50_ms,
+        single_mean_ms,
+        service_throughput_ips,
+        service_mean_batch,
+        service_mean_latency_ms,
+        refit_seconds,
+        served_accuracy,
+        batch_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_by_eye_and_balanced() {
+        let report = ServingReport {
+            n_train: 10,
+            n_held_out: 5,
+            fit_seconds: 0.5,
+            snapshot_bytes: 1024,
+            single_p50_ms: 1.5,
+            single_mean_ms: 2.0,
+            service_throughput_ips: 100.0,
+            service_mean_batch: 3.5,
+            service_mean_latency_ms: 4.0,
+            refit_seconds: 1.0,
+            served_accuracy: 0.96,
+            batch_accuracy: 0.95,
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "n_train",
+            "single_p50_ms",
+            "service_throughput_ips",
+            "speedup_vs_refit",
+            "served_accuracy",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        // refit labels 5 images in 1 s → 0.2 s/img; serving at 100 img/s →
+        // 0.01 s/img → 20× speedup.
+        assert!((report.speedup_vs_refit() - 20.0).abs() < 1e-9);
+        let table = report.to_table();
+        assert!(table.render().contains("img/s"));
+    }
+}

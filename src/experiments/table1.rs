@@ -29,8 +29,7 @@ impl Table1Results {
     pub fn averages(&self) -> Vec<Option<f64>> {
         (0..METHOD_NAMES.len())
             .map(|m| {
-                let vals: Vec<f64> =
-                    self.accuracy.iter().filter_map(|row| row[m]).collect();
+                let vals: Vec<f64> = self.accuracy.iter().filter_map(|row| row[m]).collect();
                 if vals.is_empty() {
                     None
                 } else {

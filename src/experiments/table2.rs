@@ -29,8 +29,7 @@ impl Table2Results {
     pub fn averages(&self) -> Vec<Option<f64>> {
         (0..METHOD_NAMES.len())
             .map(|m| {
-                let vals: Vec<f64> =
-                    self.accuracy.iter().filter_map(|row| row[m]).collect();
+                let vals: Vec<f64> = self.accuracy.iter().filter_map(|row| row[m]).collect();
                 if vals.is_empty() {
                     None
                 } else {
@@ -58,11 +57,7 @@ impl Table2Results {
 }
 
 /// Train an MLP head on probabilistic labels and evaluate on the test set.
-fn end_model_accuracy(
-    ctx: &TrialContext,
-    soft_labels: &Matrix<f64>,
-    seed: u64,
-) -> f64 {
+fn end_model_accuracy(ctx: &TrialContext, soft_labels: &Matrix<f64>, seed: u64) -> f64 {
     let standardizer = standardize_fit(&ctx.train_logits);
     let train = standardizer.transform(&ctx.train_logits);
     let test = standardizer.transform(&ctx.test_logits);
@@ -77,13 +72,8 @@ fn fsl_accuracy(ctx: &TrialContext, seed: u64) -> f64 {
     let train = standardizer.transform(&ctx.train_logits);
     let test = standardizer.transform(&ctx.test_logits);
     let support = train.select_rows(&ctx.dev_rows.indices);
-    let clf = CosineClassifier::train(
-        &support,
-        &ctx.dev_rows.labels,
-        ctx.dataset.num_classes,
-        150,
-        seed,
-    );
+    let clf =
+        CosineClassifier::train(&support, &ctx.dev_rows.labels, ctx.dataset.num_classes, 150, seed);
     accuracy(&clf.predict(&test), &ctx.dataset.test_labels())
 }
 
@@ -108,8 +98,7 @@ pub fn run(params: &RunParams) -> Table2Results {
             }
             // Snuba
             let snuba = run_snuba(&ctx);
-            sums[d][2] +=
-                end_model_accuracy(&ctx, &snuba.probs.expect("snuba probs"), seed);
+            sums[d][2] += end_model_accuracy(&ctx, &snuba.probs.expect("snuba probs"), seed);
             counts[d][2] += 1;
             // GOGGLES
             let gg = run_goggles(&ctx);

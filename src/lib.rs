@@ -20,6 +20,10 @@
 //! println!("labeling accuracy = {:.1}%", 100.0 * result.accuracy_excluding_dev(&ds, &dev));
 //! ```
 //!
+//! For **online** labeling — fit once, snapshot, then answer single-image
+//! requests without refitting — see [`serve`] ([`goggles_serve`]) and the
+//! `examples/serving.rs` demo.
+//!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the table/figure reproduction harness.
 
@@ -29,6 +33,7 @@ pub use goggles_datasets as datasets;
 pub use goggles_endmodel as endmodel;
 pub use goggles_labelmodels as labelmodels;
 pub use goggles_models as models;
+pub use goggles_serve as serve;
 pub use goggles_tensor as tensor;
 pub use goggles_vision as vision;
 
@@ -46,5 +51,6 @@ pub mod prelude {
     pub use goggles_models::{
         BernoulliMixture, DiagonalGmm, EmOptions, FullGmm, KMeans, SpectralCoclustering,
     };
+    pub use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
     pub use goggles_vision::Image;
 }

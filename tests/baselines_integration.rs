@@ -30,10 +30,7 @@ fn goggles_beats_snuba_on_easy_cub() {
     let snuba_acc = run_snuba(&ctx).labeling_accuracy(&ctx);
     // Paper headline: 21-23 point average gap. On one tiny trial just
     // require GOGGLES not to lose.
-    assert!(
-        goggles_acc >= snuba_acc - 0.05,
-        "goggles {goggles_acc} vs snuba {snuba_acc}"
-    );
+    assert!(goggles_acc >= snuba_acc - 0.05, "goggles {goggles_acc} vs snuba {snuba_acc}");
 }
 
 #[test]
@@ -84,8 +81,8 @@ fn representation_ablations_reuse_inference_module() {
 
 #[test]
 fn snuba_committee_is_nonempty_and_votes() {
-    use goggles::labelmodels::{Snuba, SnubaConfig};
     use goggles::labelmodels::primitives::extract_primitives;
+    use goggles::labelmodels::{Snuba, SnubaConfig};
 
     let p = params();
     let task = p.tasks_for_trial(0)[0];

@@ -60,10 +60,7 @@ fn full_pipeline_is_deterministic() {
     let b = fast_goggles(9).label_dataset(&ds, &dev).expect("run b");
     assert_eq!(a.labels.hard_labels(), b.labels.hard_labels());
     assert_eq!(a.mapping, b.mapping);
-    assert_eq!(
-        a.model.ensemble.stats.log_likelihood,
-        b.model.ensemble.stats.log_likelihood
-    );
+    assert_eq!(a.model.ensemble.stats.log_likelihood, b.model.ensemble.stats.log_likelihood);
 }
 
 #[test]
@@ -106,10 +103,7 @@ fn more_dev_labels_never_flip_a_good_mapping() {
     let dev6 = ds.sample_dev_set(6, 13);
     let r6 = goggles.label_dataset(&ds, &dev6).expect("dev6");
     let acc6 = r6.accuracy(&ds);
-    assert!(
-        acc6 >= acc5 - 0.1,
-        "larger dev set should not collapse accuracy: {acc5} → {acc6}"
-    );
+    assert!(acc6 >= acc5 - 0.1, "larger dev set should not collapse accuracy: {acc5} → {acc6}");
 }
 
 #[test]
@@ -128,8 +122,7 @@ fn probabilistic_labels_feed_downstream_training() {
     let goggles = Goggles::new(GogglesConfig { seed: 4, top_z: 4, ..GogglesConfig::default() });
     let result = goggles.label_dataset(&ds, &dev).expect("labels");
 
-    let to_f64 =
-        |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
+    let to_f64 = |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
     let train_imgs: Vec<Image> = ds.train_images().iter().map(|&i| i.clone()).collect();
     let test_imgs: Vec<Image> = ds.test_images().iter().map(|&i| i.clone()).collect();
     let train_raw = to_f64(&goggles.backbone().logits_batch(&train_imgs));

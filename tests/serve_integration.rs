@@ -1,0 +1,110 @@
+//! Integration tests of the serving subsystem: snapshot round-tripping and
+//! out-of-sample agreement with the batch pipeline (the guarantees
+//! `goggles-serve` is sold on).
+
+use goggles::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn task(train_per_class: usize, test_per_class: usize, seed: u64) -> (Dataset, DevSet) {
+    let mut cfg = TaskConfig::new(
+        TaskKind::Cub { class_a: 0, class_b: 1 },
+        train_per_class,
+        test_per_class,
+        seed,
+    );
+    cfg.image_size = 32;
+    let ds = generate(&cfg);
+    let dev = ds.sample_dev_set(4, seed);
+    (ds, dev)
+}
+
+#[test]
+fn snapshot_round_trip_is_byte_deterministic_and_label_stable() {
+    let (ds, dev) = task(10, 8, 21);
+    let config = GogglesConfig { seed: 21, ..GogglesConfig::fast() };
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).unwrap();
+
+    // save is deterministic, and save→load→save is byte-for-byte stable
+    let bytes = labeler.save();
+    assert_eq!(bytes, labeler.save());
+    let reloaded = FittedLabeler::load(&bytes).unwrap();
+    assert_eq!(reloaded.save(), bytes);
+
+    // label_batch is identical before and after reload
+    let held_out = ds.test_images();
+    let before = labeler.label_batch(&held_out, 2);
+    let after = reloaded.label_batch(&held_out, 2);
+    assert_eq!(before.probs, after.probs);
+}
+
+#[test]
+fn out_of_sample_labels_agree_with_batch_pipeline() {
+    // Serve held-out images from a snapshot, then refit the batch pipeline
+    // transductively over train + held-out and compare accuracy on exactly
+    // those images: the gap must be within 2 points.
+    let (ds, dev) = task(20, 15, 7);
+    let config = GogglesConfig { seed: 7, ..GogglesConfig::fast() };
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).unwrap();
+
+    let held_out = ds.test_images();
+    let truth = ds.test_labels();
+    let served = labeler.label_batch(&held_out, 2);
+    let served_acc = served.accuracy(&truth);
+
+    let all: Vec<(Image, usize)> = ds
+        .train_indices
+        .iter()
+        .chain(&ds.test_indices)
+        .map(|&i| (ds.images[i].clone(), ds.labels[i]))
+        .collect();
+    let transductive = Dataset::from_parts(ds.name.clone(), ds.kind, ds.num_classes, all, vec![]);
+    let batch = Goggles::new(config).label_dataset(&transductive, &dev).unwrap();
+    let hard = batch.labels.hard_labels();
+    let n_train = ds.train_indices.len();
+    let batch_acc = (0..truth.len()).filter(|&i| hard[n_train + i] == truth[i]).count() as f64
+        / truth.len() as f64;
+
+    // One-sided: the snapshot fold-in must not *degrade* accuracy by more
+    // than 2 points relative to a full refit (beating it is fine — the
+    // frozen models were fit on a cleaner, train-only affinity matrix).
+    assert!(
+        served_acc + 0.02 + 1e-9 >= batch_acc,
+        "served {served_acc:.3} trails batch {batch_acc:.3} by more than 2 points"
+    );
+}
+
+#[test]
+fn service_answers_match_direct_inference_and_count_requests() {
+    let (ds, dev) = task(8, 6, 33);
+    let config = GogglesConfig { seed: 33, ..GogglesConfig::fast() };
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).unwrap();
+    let expected = labeler.label_batch(&ds.test_images(), 1);
+
+    let service = Arc::new(LabelService::spawn(
+        FittedLabeler::load(&labeler.save()).unwrap(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+    ));
+    let handles: Vec<_> = ds
+        .test_images()
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let service = Arc::clone(&service);
+            let img = (*img).clone();
+            std::thread::spawn(move || (i, service.label(&img).unwrap()))
+        })
+        .collect();
+    for h in handles {
+        let (i, resp) = h.join().unwrap();
+        assert_eq!(resp.probs, expected.probs.row(i), "request {i}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, ds.test_indices.len() as u64);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+}
