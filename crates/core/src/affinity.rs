@@ -20,16 +20,20 @@ use goggles_tensor::Matrix;
 /// Identifier of one affinity function: `(layer L, prototype rank z)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AffinityFunction {
-    /// Max-pool layer index, `0..5` shallow → deep.
+    /// Max-pool layer index, shallow → deep (`0..5` for the VGG backbone).
     pub layer: usize,
     /// Prototype rank within the layer, `0..Z`.
     pub z: usize,
 }
 
 impl AffinityFunction {
-    /// All `5·z_per_layer` functions in canonical order (layer-major).
-    pub fn library(z_per_layer: usize) -> Vec<AffinityFunction> {
-        (0..5)
+    /// All `n_layers · z_per_layer` functions in canonical order
+    /// (layer-major). `n_layers` must match the backbone the affinity matrix
+    /// was built with — deriving it here (instead of hardcoding the VGG-16
+    /// count of 5) keeps flat indices in sync with
+    /// [`PrototypeBank::alpha`] for any backbone depth.
+    pub fn library(n_layers: usize, z_per_layer: usize) -> Vec<AffinityFunction> {
+        (0..n_layers)
             .flat_map(|layer| (0..z_per_layer).map(move |z| AffinityFunction { layer, z }))
             .collect()
     }
@@ -80,11 +84,44 @@ pub struct PrototypeBank {
 
 impl PrototypeBank {
     /// Stack the prototypes of a training corpus.
+    ///
+    /// All embeddings must share one backbone geometry (same layer count,
+    /// same prototypes-per-layer `Z`, same channel width per layer); the
+    /// bank's shape is taken from it. A mismatch panics loudly — an
+    /// embedding with *more* prototypes would otherwise be silently
+    /// truncated to `Z`, and one with a different layer count would index
+    /// out of bounds.
     pub fn from_embeddings(embeddings: &[ImageEmbedding]) -> Self {
         let n = embeddings.len();
         assert!(n > 0, "need at least one embedding");
         let n_layers = embeddings[0].layers.len();
         let z = embeddings[0].layers[0].prototypes.rows();
+        for (i, emb) in embeddings.iter().enumerate() {
+            assert_eq!(
+                emb.layers.len(),
+                n_layers,
+                "PrototypeBank::from_embeddings: embedding {i} has {} layers but embedding 0 \
+                 has {n_layers} — all embeddings must come from the same backbone config",
+                emb.layers.len()
+            );
+            for (l, layer) in emb.layers.iter().enumerate() {
+                assert_eq!(
+                    layer.prototypes.rows(),
+                    z,
+                    "PrototypeBank::from_embeddings: embedding {i} layer {l} has {} prototypes \
+                     but embedding 0 has Z = {z} — was it extracted with a different top_z?",
+                    layer.prototypes.rows()
+                );
+                assert_eq!(
+                    layer.prototypes.cols(),
+                    embeddings[0].layers[l].prototypes.cols(),
+                    "PrototypeBank::from_embeddings: embedding {i} layer {l} has prototype dim \
+                     {} but embedding 0 has {} — mixed backbone channel widths",
+                    layer.prototypes.cols(),
+                    embeddings[0].layers[l].prototypes.cols()
+                );
+            }
+        }
         let stacked: Vec<Matrix<f32>> = (0..n_layers)
             .map(|layer| {
                 let c = embeddings[0].layers[layer].prototypes.cols();
@@ -109,6 +146,14 @@ impl PrototypeBank {
     /// `m × αN` matrix laid out exactly like [`AffinityMatrix::data`]
     /// (`row q, column f·N + j = f(query_q, train_j)`). Cost is
     /// `O(m · N)` affinity evaluations — independent of `N²`.
+    ///
+    /// Parallelism adapts to the request shape: with `m ≥ threads` queries
+    /// the rows are fanned out across the pool (batch builds), while with
+    /// `m < threads` — the online serving case, typically `m = 1` — each
+    /// row's stacked `n·z` prototype axis is sharded across the pool
+    /// instead, so a single request saturates every core. Both paths run
+    /// the blocked [`goggles_tensor::colmax_matmul_f32`] kernel and produce
+    /// bit-identical output for every thread count.
     pub fn affinity_rows(&self, queries: &[ImageEmbedding], threads: usize) -> Matrix<f64> {
         let m = queries.len();
         let row_len = self.alpha() * self.n;
@@ -116,9 +161,63 @@ impl PrototypeBank {
         if m == 0 {
             return data;
         }
-        // Fail loudly (also in release) on geometry mismatches — a query
-        // embedded with a different backbone config would otherwise produce
-        // silently truncated dot products in `fill_row`.
+        self.validate_queries(queries);
+        let threads = threads.max(1);
+        let (n, z) = (self.n, self.z_per_layer);
+        if threads == 1 {
+            let mut scratch = RowScratch::default();
+            for (q, row) in data.as_mut_slice().chunks_mut(row_len).enumerate() {
+                fill_row(row, &queries[q], &self.stacked, n, z, &mut scratch);
+            }
+        } else if m >= threads {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, rows_chunk) in data.as_mut_slice().chunks_mut(chunk * row_len).enumerate() {
+                    let start = t * chunk;
+                    let stacked = &self.stacked;
+                    scope.spawn(move || {
+                        // One workspace per worker, reused across every row
+                        // and layer it fills.
+                        let mut scratch = RowScratch::default();
+                        for (local, row) in rows_chunk.chunks_mut(row_len).enumerate() {
+                            fill_row(row, &queries[start + local], stacked, n, z, &mut scratch);
+                        }
+                    });
+                }
+            });
+        } else {
+            // Maxima buffer shared across rows (each pass overwrites it).
+            let mut best = Vec::new();
+            for (q, row) in data.as_mut_slice().chunks_mut(row_len).enumerate() {
+                fill_row_sharded(row, &queries[q], &self.stacked, n, z, threads, &mut best);
+            }
+        }
+        data
+    }
+
+    /// The pre-blocking scalar reference path: the same `m × αN` rows via
+    /// plain per-prototype dot-product loops on one thread, allocating its
+    /// maxima buffer per row like the original hot path did. Retained so
+    /// tests can cross-check the blocked kernel end-to-end and
+    /// `repro -- affinity` can measure the speedup against it.
+    pub fn affinity_rows_reference(&self, queries: &[ImageEmbedding]) -> Matrix<f64> {
+        let m = queries.len();
+        let row_len = self.alpha() * self.n;
+        let mut data = Matrix::<f64>::zeros(m, row_len);
+        if m == 0 {
+            return data;
+        }
+        self.validate_queries(queries);
+        for (q, row) in data.as_mut_slice().chunks_mut(row_len).enumerate() {
+            fill_row_reference(row, &queries[q], &self.stacked, self.n, self.z_per_layer);
+        }
+        data
+    }
+
+    /// Fail loudly (also in release) on geometry mismatches — a query
+    /// embedded with a different backbone config would otherwise produce
+    /// silently truncated dot products in the kernel.
+    fn validate_queries(&self, queries: &[ImageEmbedding]) {
         for (q, emb) in queries.iter().enumerate() {
             assert_eq!(
                 emb.layers.len(),
@@ -138,21 +237,6 @@ impl PrototypeBank {
                 );
             }
         }
-        let threads = threads.max(1).min(m);
-        let chunk = m.div_ceil(threads);
-        let (n, z) = (self.n, self.z_per_layer);
-        std::thread::scope(|scope| {
-            for (t, rows_chunk) in data.as_mut_slice().chunks_mut(chunk * row_len).enumerate() {
-                let start = t * chunk;
-                let stacked = &self.stacked;
-                scope.spawn(move || {
-                    for (local, row) in rows_chunk.chunks_mut(row_len).enumerate() {
-                        fill_row(row, &queries[start + local], stacked, n, z);
-                    }
-                });
-            }
-        });
-        data
     }
 }
 
@@ -171,10 +255,18 @@ impl AffinityMatrix {
         self.data.col_block(f * self.n, (f + 1) * self.n)
     }
 
-    /// A copy restricted to the first `keep` affinity functions (used by the
-    /// Figure 9 sweep over the number of affinity functions).
+    /// A copy restricted to the affinity functions selected by `keep` —
+    /// arbitrary **flat** function indices, required to be strictly
+    /// increasing (used by the Figure 9 sweep over the number of affinity
+    /// functions). Duplicate or out-of-order indices would silently
+    /// desynchronize the `z_per_layer` bookkeeping of the copy, so they are
+    /// rejected.
     pub fn restrict_functions(&self, keep: &[usize]) -> AffinityMatrix {
         assert!(!keep.is_empty());
+        assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "restrict_functions: indices must be strictly increasing (no duplicates), got {keep:?}"
+        );
         let mut blocks: Vec<Matrix<f64>> = Vec::with_capacity(keep.len());
         for &f in keep {
             blocks.push(self.function_block(f));
@@ -264,10 +356,126 @@ pub struct ScoreDistribution {
     pub auc: f64,
 }
 
-/// Fill row `i` of the affinity matrix: for every layer, multiply the
-/// image's patch table against the stacked prototype table and take column
-/// maxima (Equation 2 vectorized over all (j, z) pairs at once).
+/// Per-thread workspace of the row-filling hot path: the kernel scratch
+/// (transposed patch panel + accumulator column) plus the per-layer maxima
+/// buffer. Each buffer grows once to the largest layer geometry and is
+/// then reused across every layer and row the thread fills — the hot path
+/// never reallocates.
+#[derive(Default)]
+struct RowScratch {
+    kernel: goggles_tensor::ColmaxScratch,
+    best: Vec<f32>,
+}
+
+/// Fill row `i` of the affinity matrix: for every layer, run the blocked
+/// fused matmul + column-max kernel over the image's patch table and the
+/// stacked prototype table (Equation 2 vectorized over all (j, z) pairs at
+/// once), then scatter the maxima into the paper's `f·N + j` column layout.
 fn fill_row(
+    row: &mut [f64],
+    embedding: &ImageEmbedding,
+    stacked: &[Matrix<f32>],
+    n: usize,
+    z: usize,
+    scratch: &mut RowScratch,
+) {
+    for (layer, protos) in stacked.iter().enumerate() {
+        let patches = &embedding.layers[layer].patches; // HW × C
+        let nz = protos.rows(); // n·z
+        debug_assert_eq!(patches.cols(), protos.cols());
+        if scratch.best.len() < nz {
+            scratch.best.resize(nz, 0.0);
+        }
+        let best = &mut scratch.best[..nz];
+        goggles_tensor::colmax_matmul_scratch_f32(
+            &mut scratch.kernel,
+            patches.as_slice(),
+            protos.as_slice(),
+            protos.cols(),
+            best,
+        );
+        scatter_layer(row, best, layer, n, z);
+    }
+}
+
+/// Intra-request sharded fill of one affinity row: the concatenation of the
+/// per-layer stacked prototype axes (total length `Σ_layers n·z = αN`) is
+/// cut into `threads` contiguous chunks; each worker runs the blocked
+/// kernel over its sub-ranges (a shard may straddle layer boundaries —
+/// prototype rows are contiguous in memory, so a sub-range is just a
+/// sub-slice), and the maxima are scattered once at the end.
+///
+/// Bit-identical to [`fill_row`]: the kernel's output for a prototype row
+/// never depends on shard alignment.
+///
+/// Spawning the scoped workers costs tens of microseconds per row — the
+/// price of letting one online request use the whole pool. It amortizes as
+/// soon as a row outweighs it (any realistic bank size); for rows cheaper
+/// than the fan-out, callers should pass `threads = 1` and take the serial
+/// kernel. `best` is caller-owned so repeated rows reuse one allocation.
+fn fill_row_sharded(
+    row: &mut [f64],
+    embedding: &ImageEmbedding,
+    stacked: &[Matrix<f32>],
+    n: usize,
+    z: usize,
+    threads: usize,
+    best: &mut Vec<f32>,
+) {
+    let total: usize = stacked.iter().map(Matrix::rows).sum();
+    if best.len() < total {
+        best.resize(total, 0.0);
+    }
+    let best = &mut best[..total];
+    let chunk = total.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in best.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                let mut kernel = goggles_tensor::ColmaxScratch::default();
+                let mut offset = 0usize;
+                for (layer, protos) in stacked.iter().enumerate() {
+                    let nz = protos.rows();
+                    let lo = start.max(offset);
+                    let hi = (start + out_chunk.len()).min(offset + nz);
+                    if lo < hi {
+                        let patches = &embedding.layers[layer].patches;
+                        let c = protos.cols();
+                        goggles_tensor::colmax_matmul_scratch_f32(
+                            &mut kernel,
+                            patches.as_slice(),
+                            &protos.as_slice()[(lo - offset) * c..(hi - offset) * c],
+                            c,
+                            &mut out_chunk[lo - start..hi - start],
+                        );
+                    }
+                    offset += nz;
+                }
+            });
+        }
+    });
+    let mut offset = 0usize;
+    for (layer, protos) in stacked.iter().enumerate() {
+        scatter_layer(row, &best[offset..offset + protos.rows()], layer, n, z);
+        offset += protos.rows();
+    }
+}
+
+/// Scatter one layer's per-prototype maxima (`best[j·z + r]`) into the
+/// affinity row: function `layer·z + r` block, column `j`.
+fn scatter_layer(row: &mut [f64], best: &[f32], layer: usize, n: usize, z: usize) {
+    for j in 0..n {
+        for r in 0..z {
+            row[(layer * z + r) * n + j] = best[j * z + r] as f64;
+        }
+    }
+}
+
+/// The original scalar hot path, kept verbatim as the reference
+/// implementation: per-patch, per-prototype sequential dot products with a
+/// freshly allocated maxima buffer each call. See
+/// [`PrototypeBank::affinity_rows_reference`].
+fn fill_row_reference(
     row: &mut [f64],
     embedding: &ImageEmbedding,
     stacked: &[Matrix<f32>],
@@ -294,13 +502,7 @@ fn fill_row(
                 }
             }
         }
-        // Scatter into the row: function (layer·z + r) block, column j.
-        for j in 0..n {
-            for r in 0..z {
-                let f = layer * z + r;
-                row[f * n + j] = best[j * z + r] as f64;
-            }
-        }
+        scatter_layer(row, &best, layer, n, z);
     }
 }
 
@@ -450,11 +652,110 @@ mod tests {
 
     #[test]
     fn library_enumerates_layer_major() {
-        let lib = AffinityFunction::library(10);
+        let lib = AffinityFunction::library(5, 10);
         assert_eq!(lib.len(), 50);
         assert_eq!(lib[0], AffinityFunction { layer: 0, z: 0 });
         assert_eq!(lib[10], AffinityFunction { layer: 1, z: 0 });
         assert_eq!(lib[49].flat_index(10), 49);
         assert_eq!(format!("{}", lib[10]), "f[L2:z1]");
+    }
+
+    #[test]
+    fn library_tracks_bank_layer_count() {
+        // A non-5-layer geometry must stay in sync with the bank's α
+        // (regression: the layer count used to be hardcoded to 5).
+        let e0 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0], &[0.0, 1.0]]);
+        let bank = PrototypeBank::from_embeddings(&[e0]);
+        let lib = AffinityFunction::library(bank.stacked.len(), bank.z_per_layer);
+        assert_eq!(lib.len(), bank.alpha());
+        assert_eq!(lib.len(), 2);
+        for (f, func) in lib.iter().enumerate() {
+            assert_eq!(func.flat_index(bank.z_per_layer), f);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding 1 has 2 layers but embedding 0 has 1")]
+    fn from_embeddings_rejects_layer_count_mismatch() {
+        let e0 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0]]);
+        let mut e1 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0]]);
+        e1.layers.push(e1.layers[0].clone());
+        PrototypeBank::from_embeddings(&[e0, e1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding 1 layer 0 has 2 prototypes but embedding 0 has Z = 1")]
+    fn from_embeddings_rejects_prototype_count_mismatch() {
+        // The extra prototype used to be silently truncated to Z.
+        let e0 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0]]);
+        let e1 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0], &[0.0, 1.0]]);
+        PrototypeBank::from_embeddings(&[e0, e1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prototype dim 3 but embedding 0 has 2")]
+    fn from_embeddings_rejects_channel_width_mismatch() {
+        let e0 = toy_embedding(&[&[1.0, 0.0]], &[&[1.0, 0.0]]);
+        let e1 = toy_embedding(&[&[1.0, 0.0, 0.0]], &[&[1.0, 0.0, 0.0]]);
+        PrototypeBank::from_embeddings(&[e0, e1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn restrict_functions_rejects_duplicates() {
+        let mk = |a: f32, b: f32| toy_embedding(&[&[a, b]], &[&[a, b], &[b, a]]);
+        let am = AffinityMatrix::build(&[mk(1.0, 0.0), mk(0.0, 1.0)], 1);
+        am.restrict_functions(&[1, 1]);
+    }
+
+    #[test]
+    fn affinity_rows_bit_identical_across_thread_counts() {
+        // Covers all three paths: serial (threads = 1), row-parallel
+        // (m ≥ threads) and intra-request nz-sharding (m < threads). Every
+        // combination must produce bit-identical output.
+        let net = Vgg16::new(&VggConfig::tiny(), 7);
+        let images: Vec<Image> = (0..3)
+            .map(|i| {
+                let mut img = Image::filled(3, 32, 32, 0.3);
+                draw::fill_disc(&mut img, 7.0 + 4.0 * i as f32, 15.0, 4.0, &[0.7, 0.2, 0.4]);
+                img
+            })
+            .collect();
+        let refs: Vec<&Image> = images.iter().collect();
+        let embs = embed_images(&net, &refs, 3, 1, false);
+        let bank = PrototypeBank::from_embeddings(&embs);
+        let serial = bank.affinity_rows(&embs[..2], 1);
+        for threads in [2, 3, 5, 8] {
+            let parallel = bank.affinity_rows(&embs[..2], threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // Single-query sharding (the online case) included.
+        let one = bank.affinity_rows(&embs[..1], 1);
+        for threads in [2, 4, 7] {
+            assert_eq!(one, bank.affinity_rows(&embs[..1], threads), "m=1 threads={threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_rows_match_scalar_reference() {
+        // End-to-end agreement of the blocked kernel path (all thread
+        // shapes) with the original scalar triple loop, within 1e-5.
+        let net = Vgg16::new(&VggConfig::tiny(), 9);
+        let images: Vec<Image> = (0..4)
+            .map(|i| {
+                let mut img = Image::filled(3, 32, 32, 0.22);
+                draw::fill_disc(&mut img, 9.0 + 3.0 * i as f32, 17.0, 5.0, &[0.3, 0.8, 0.2]);
+                img
+            })
+            .collect();
+        let refs: Vec<&Image> = images.iter().collect();
+        let embs = embed_images(&net, &refs, 4, 1, true);
+        let bank = PrototypeBank::from_embeddings(&embs);
+        let reference = bank.affinity_rows_reference(&embs);
+        for threads in [1, 2, 8] {
+            let blocked = bank.affinity_rows(&embs, threads);
+            let diff = blocked.max_abs_diff(&reference);
+            assert!(diff < 1e-5, "threads = {threads}: diff = {diff}");
+        }
     }
 }

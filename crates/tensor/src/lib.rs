@@ -2,8 +2,9 @@
 //!
 //! Dense numeric substrate for the GOGGLES reproduction: row-major matrices
 //! and small tensors, the linear algebra the paper's inference needs
-//! (symmetric eigendecomposition, Cholesky, PCA, truncated SVD), statistics
-//! helpers (log-sum-exp, histograms, AUC) and deterministic random sampling.
+//! (the fused matmul + column-max affinity kernel, symmetric
+//! eigendecomposition, Cholesky, PCA, truncated SVD), statistics helpers
+//! (log-sum-exp, histograms, AUC) and deterministic random sampling.
 //!
 //! Everything is implemented from scratch on top of `std` + `rand`; there is
 //! no BLAS/LAPACK dependency. The matrix kernels use the `ikj` loop order and
@@ -26,8 +27,8 @@ pub mod stats;
 pub mod tensor3;
 
 pub use linalg::{
-    cholesky, jacobi_eigh, log_det_psd, orthogonal_iteration, solve_lower_triangular, EighResult,
-    Pca,
+    cholesky, colmax_matmul_f32, colmax_matmul_naive_f32, colmax_matmul_scratch_f32, jacobi_eigh,
+    log_det_psd, orthogonal_iteration, solve_lower_triangular, ColmaxScratch, EighResult, Pca,
 };
 pub use matrix::Matrix;
 pub use rng::{

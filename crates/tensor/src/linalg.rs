@@ -1,5 +1,8 @@
 //! Linear algebra needed by the GOGGLES inference stack:
 //!
+//! * the fused matmul + column-max kernel behind every affinity function
+//!   (Equation 2 reduces `f_L^z` to a patch×prototype product followed by a
+//!   max over patches — [`colmax_matmul_f32`] is the serving hot path),
 //! * cyclic Jacobi symmetric eigendecomposition (exact, for moderate sizes),
 //! * Cholesky factorization + triangular solves + log-determinant
 //!   (full-covariance GMM baseline),
@@ -11,6 +14,226 @@
 use crate::matrix::Matrix;
 use crate::rng;
 use crate::{Result, TensorError};
+
+/// Prototype rows held as running maxima per register tile of
+/// [`colmax_matmul_f32`].
+const COLMAX_TILE: usize = 8;
+
+/// Independent accumulator lanes of the unrolled dot product inside
+/// [`colmax_matmul_f32`]. Eight f32 lanes map onto one AVX register (or two
+/// NEON registers); the per-lane sums are combined in a fixed tree so the
+/// result is deterministic.
+const DOT_LANES: usize = 8;
+
+/// Multi-lane dot product: `DOT_LANES` independent partial sums over the
+/// bulk (which the compiler vectorizes — no float reassociation is needed
+/// beyond the explicit lane split), a scalar tail, and a fixed reduction
+/// tree. Both inputs must have equal length.
+#[inline(always)]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let bulk = x.len() - x.len() % DOT_LANES;
+    let mut acc = [0.0f32; DOT_LANES];
+    for (xc, yc) in x[..bulk].chunks_exact(DOT_LANES).zip(y[..bulk].chunks_exact(DOT_LANES)) {
+        for l in 0..DOT_LANES {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&xv, &yv) in x[bulk..].iter().zip(&y[bulk..]) {
+        tail += xv * yv;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Reusable workspace of [`colmax_matmul_scratch_f32`]: the transposed
+/// patch panel and the per-patch accumulator column. Keep one per thread
+/// and it grows once to the largest layer geometry, after which the kernel
+/// never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct ColmaxScratch {
+    /// `cols × m` transposed copy of the `a` panel (patch axis contiguous).
+    a_t: Vec<f32>,
+    /// One running dot product per patch row.
+    acc: Vec<f32>,
+}
+
+/// Fused `A·Bᵀ` + column max over the rows of `A`:
+/// `out[j] = max_i Σ_c a[i·cols + c] · b[j·cols + c]`, with `a` an `m×cols`
+/// row-major panel (a patch table) and `b` a `(out.len())×cols` row-major
+/// table (stacked prototypes). When `m == 0` every output is
+/// `f32::NEG_INFINITY` (the max of an empty set).
+///
+/// This is the affinity hot path (Equation 2 of the paper vectorized over
+/// all prototypes at once). Two blocked code paths, picked by panel shape:
+///
+/// * **Tall panels** (`m ≥ 2·cols`, the shallow backbone layers: thousands
+///   of patches, few channels): the panel is transposed once into
+///   `scratch.a_t` so the kernel vectorizes along the *patch* axis — for
+///   each prototype row, every channel weight is broadcast against a
+///   contiguous patch column, accumulating all `m` dot products at once
+///   (`c` ascending, so each per-patch sum has exactly the naive order and
+///   the result is bit-identical to the scalar reference). The final max
+///   over patches runs on [`DOT_LANES`] lanes.
+/// * **Wide panels** (the deep layers: few patches, hundreds of channels):
+///   `b`'s rows are register-tiled — [`COLMAX_TILE`] running maxima in a
+///   stack array — while the patch panel streams through the tile, each
+///   dot product running on [`DOT_LANES`] independent accumulator lanes
+///   (see [`dot_lanes`]).
+///
+/// Deterministic and shard-stable: `out[j]` depends only on row `j` of `b`
+/// and on `a` (never on tile alignment), so computing a sub-range of `b`'s
+/// rows into a sub-slice of `out` is bit-identical to slicing the full
+/// result — which is what lets callers shard the prototype axis across
+/// threads.
+///
+/// # Panics
+/// Panics if `cols == 0`, `a.len()` is not a multiple of `cols`, or
+/// `b.len() != out.len() * cols`.
+pub fn colmax_matmul_scratch_f32(
+    scratch: &mut ColmaxScratch,
+    a: &[f32],
+    b: &[f32],
+    cols: usize,
+    out: &mut [f32],
+) {
+    assert!(cols > 0, "colmax_matmul_f32: cols must be ≥ 1");
+    assert_eq!(
+        a.len() % cols,
+        0,
+        "colmax_matmul_f32: a.len() {} not a multiple of cols {cols}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        out.len() * cols,
+        "colmax_matmul_f32: b.len() {} != out.len() {} * cols {cols}",
+        b.len(),
+        out.len()
+    );
+    out.fill(f32::NEG_INFINITY);
+    if a.is_empty() {
+        return;
+    }
+    let m = a.len() / cols;
+    if m >= 2 * cols {
+        colmax_tall(scratch, a, m, b, cols, out);
+    } else {
+        colmax_wide(a, b, cols, out);
+    }
+}
+
+/// [`colmax_matmul_scratch_f32`] with a throwaway scratch — convenient for
+/// tests and one-off calls; hot paths should hold a [`ColmaxScratch`].
+pub fn colmax_matmul_f32(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+    colmax_matmul_scratch_f32(&mut ColmaxScratch::default(), a, b, cols, out);
+}
+
+/// Tall-panel path: transpose `a` once, then accumulate all `m` dot
+/// products per prototype row along contiguous patch columns.
+fn colmax_tall(
+    scratch: &mut ColmaxScratch,
+    a: &[f32],
+    m: usize,
+    b: &[f32],
+    cols: usize,
+    out: &mut [f32],
+) {
+    if scratch.a_t.len() < a.len() {
+        scratch.a_t.resize(a.len(), 0.0);
+    }
+    if scratch.acc.len() < m {
+        scratch.acc.resize(m, 0.0);
+    }
+    let a_t = &mut scratch.a_t[..a.len()];
+    for (p, a_row) in a.chunks_exact(cols).enumerate() {
+        for (c, &v) in a_row.iter().enumerate() {
+            a_t[c * m + p] = v;
+        }
+    }
+    let acc = &mut scratch.acc[..m];
+    for (o, b_row) in out.iter_mut().zip(b.chunks_exact(cols)) {
+        let w0 = b_row[0];
+        for (av, &x) in acc.iter_mut().zip(&a_t[..m]) {
+            *av = w0 * x;
+        }
+        for (c, &w) in b_row.iter().enumerate().skip(1) {
+            for (av, &x) in acc.iter_mut().zip(&a_t[c * m..(c + 1) * m]) {
+                *av += w * x;
+            }
+        }
+        *o = max_lanes(acc);
+    }
+}
+
+/// Wide-panel path: register-tile `b`'s rows, stream the patch panel.
+fn colmax_wide(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+    for (tile, out_tile) in out.chunks_mut(COLMAX_TILE).enumerate() {
+        let b_tile = &b[tile * COLMAX_TILE * cols..][..out_tile.len() * cols];
+        let mut best = [f32::NEG_INFINITY; COLMAX_TILE];
+        for a_row in a.chunks_exact(cols) {
+            for (bv, b_row) in best.iter_mut().zip(b_tile.chunks_exact(cols)) {
+                let d = dot_lanes(a_row, b_row);
+                if d > *bv {
+                    *bv = d;
+                }
+            }
+        }
+        out_tile.copy_from_slice(&best[..out_tile.len()]);
+    }
+}
+
+/// Maximum of a slice on [`DOT_LANES`] running-max lanes (vectorizable;
+/// `max` is order-independent, so this is exact). The slice must be
+/// non-empty.
+#[inline(always)]
+fn max_lanes(xs: &[f32]) -> f32 {
+    debug_assert!(!xs.is_empty());
+    let bulk = xs.len() - xs.len() % DOT_LANES;
+    let mut mx = [f32::NEG_INFINITY; DOT_LANES];
+    for ch in xs[..bulk].chunks_exact(DOT_LANES) {
+        for l in 0..DOT_LANES {
+            if ch[l] > mx[l] {
+                mx[l] = ch[l];
+            }
+        }
+    }
+    let mut best = f32::NEG_INFINITY;
+    for l in 0..DOT_LANES {
+        if mx[l] > best {
+            best = mx[l];
+        }
+    }
+    for &v in &xs[bulk..] {
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Reference scalar implementation of [`colmax_matmul_f32`]: plain
+/// sequential dot products, one running maximum per output — the shape of
+/// the pre-blocking affinity hot path. Kept (and exported) so property
+/// tests can cross-check the blocked kernel and `repro -- affinity` can
+/// measure the speedup against the original semantics.
+pub fn colmax_matmul_naive_f32(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+    assert!(cols > 0, "colmax_matmul_naive_f32: cols must be ≥ 1");
+    assert_eq!(a.len() % cols, 0, "colmax_matmul_naive_f32: a.len() not a multiple of cols");
+    assert_eq!(b.len(), out.len() * cols, "colmax_matmul_naive_f32: b/out shape mismatch");
+    out.fill(f32::NEG_INFINITY);
+    for a_row in a.chunks_exact(cols) {
+        for (o, b_row) in out.iter_mut().zip(b.chunks_exact(cols)) {
+            let mut dot = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                dot += x * y;
+            }
+            if dot > *o {
+                *o = dot;
+            }
+        }
+    }
+}
 
 /// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ` with
 /// eigenvalues sorted in **descending** order and eigenvectors as columns of
@@ -326,6 +549,61 @@ mod tests {
     fn spd3() -> Matrix<f64> {
         // A known symmetric positive definite matrix.
         Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn colmax_matmul_small_exact() {
+        // 2 patches × 2 dims against 3 prototypes; maxima picked per column.
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [1.0f32, 0.0, 0.0, 1.0, 0.5, 0.5];
+        let mut out = [0.0f32; 3];
+        colmax_matmul_f32(&a, &b, 2, &mut out);
+        assert_eq!(out, [1.0, 1.0, 0.5]);
+        let mut naive = [0.0f32; 3];
+        colmax_matmul_naive_f32(&a, &b, 2, &mut naive);
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn colmax_matmul_empty_panel_is_neg_infinity() {
+        let mut out = [0.0f32; 2];
+        colmax_matmul_f32(&[], &[1.0, 2.0, 3.0, 4.0], 2, &mut out);
+        assert!(out.iter().all(|v| *v == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn colmax_matmul_matches_naive_on_awkward_shapes() {
+        // Shapes chosen to exercise tile and lane remainders: cols not a
+        // multiple of DOT_LANES, rows not a multiple of COLMAX_TILE.
+        let mut rng = rng::std_rng(42);
+        for &(m, n, cols) in &[(1usize, 1usize, 1usize), (3, 7, 5), (9, 17, 13), (16, 33, 8)] {
+            let a: Vec<f32> = (0..m * cols).map(|_| rng::normal(&mut rng) as f32).collect();
+            let b: Vec<f32> = (0..n * cols).map(|_| rng::normal(&mut rng) as f32).collect();
+            let mut blocked = vec![0.0f32; n];
+            let mut naive = vec![0.0f32; n];
+            colmax_matmul_f32(&a, &b, cols, &mut blocked);
+            colmax_matmul_naive_f32(&a, &b, cols, &mut naive);
+            for (x, y) in blocked.iter().zip(&naive) {
+                assert!((x - y).abs() < 1e-5, "m={m} n={n} cols={cols}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn colmax_matmul_is_shard_stable() {
+        // Computing a sub-range of b's rows must be bit-identical to the
+        // matching slice of the full result (the sharding contract).
+        let mut rng = rng::std_rng(7);
+        let (m, n, cols) = (5usize, 21usize, 11usize);
+        let a: Vec<f32> = (0..m * cols).map(|_| rng::normal(&mut rng) as f32).collect();
+        let b: Vec<f32> = (0..n * cols).map(|_| rng::normal(&mut rng) as f32).collect();
+        let mut full = vec![0.0f32; n];
+        colmax_matmul_f32(&a, &b, cols, &mut full);
+        for &(lo, hi) in &[(0usize, 4usize), (3, 17), (13, 21), (0, 21)] {
+            let mut part = vec![0.0f32; hi - lo];
+            colmax_matmul_f32(&a, &b[lo * cols..hi * cols], cols, &mut part);
+            assert_eq!(part, full[lo..hi], "shard [{lo}, {hi})");
+        }
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn main() {
     // Rank affinity functions by their class-separation AUC (Example 2 /
     // Figure 2 of the paper: some functions separate, many are noise).
     let truth = dataset.train_labels();
-    let lib = AffinityFunction::library(goggles.config().top_z);
+    let z = goggles.config().top_z;
+    let lib = AffinityFunction::library(affinity.alpha / z, z);
     let mut ranked: Vec<(usize, f64)> =
         (0..affinity.alpha).map(|f| (f, affinity.score_distribution(f, &truth).auc)).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

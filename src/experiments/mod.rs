@@ -12,11 +12,13 @@
 //! | Figure 8 (accuracy vs dev size) | [`figures::figure8`] |
 //! | Figure 9 (accuracy vs #functions) | [`figures::figure9`] |
 //! | Serving latency/throughput (not in the paper) | [`serving::run`] |
+//! | Affinity kernel: blocked vs scalar (not in the paper) | [`affinity_bench::run`] |
 //!
 //! Every run is deterministic given the [`Scale`]; `Scale::from_env()`
 //! honours `GOGGLES_SCALE=quick|standard|paper` so CI and laptops can dial
 //! the cost.
 
+pub mod affinity_bench;
 pub mod figures;
 pub mod methods;
 pub mod report;
