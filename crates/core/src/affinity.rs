@@ -137,6 +137,45 @@ impl PrototypeBank {
         Self { stacked, n, z_per_layer: z }
     }
 
+    /// Build a bank directly from already-stacked per-layer prototype
+    /// tables — the deserialization path (`goggles-serve` snapshots, any
+    /// future external bank source). Unlike a struct literal this validates
+    /// the geometry, so a corrupt or hand-built bank fails here instead of
+    /// panicking later inside the affinity kernel:
+    ///
+    /// * `n ≥ 1`, `z_per_layer ≥ 1`, at least one layer,
+    /// * every layer is `(n · z_per_layer) × C_l` with `C_l ≥ 1`.
+    pub fn from_stacked(
+        stacked: Vec<Matrix<f32>>,
+        n: usize,
+        z_per_layer: usize,
+    ) -> crate::Result<Self> {
+        if n == 0 || z_per_layer == 0 || stacked.is_empty() {
+            return Err(crate::GogglesError::InvalidInput(format!(
+                "prototype bank must be non-empty (N = {n}, Z = {z_per_layer}, layers = {})",
+                stacked.len()
+            )));
+        }
+        // Deserialized dimensions are untrusted: a corrupt N/Z pair must
+        // come back as an error, not an arithmetic-overflow panic.
+        let rows = n.checked_mul(z_per_layer).ok_or_else(|| {
+            crate::GogglesError::InvalidInput(format!(
+                "bank shape N·Z = {n}·{z_per_layer} overflows"
+            ))
+        })?;
+        for (l, layer) in stacked.iter().enumerate() {
+            if layer.rows() != rows || layer.cols() == 0 {
+                return Err(crate::GogglesError::InvalidInput(format!(
+                    "bank layer {l} is {}×{}; expected N·Z = {n}·{z_per_layer} = {rows} rows \
+                     and ≥ 1 channel",
+                    layer.rows(),
+                    layer.cols(),
+                )));
+            }
+        }
+        Ok(Self { stacked, n, z_per_layer })
+    }
+
     /// Number of affinity functions `α = layers · Z`.
     pub fn alpha(&self) -> usize {
         self.stacked.len() * self.z_per_layer
@@ -640,6 +679,20 @@ mod tests {
                 assert_eq!(sub[(q, c)], am.data[(i, c)]);
             }
         }
+    }
+
+    #[test]
+    fn from_stacked_validates_geometry() {
+        let layer = Matrix::<f32>::zeros(6, 4); // N·Z = 3·2
+        let bank = PrototypeBank::from_stacked(vec![layer.clone()], 3, 2).unwrap();
+        assert_eq!(bank.alpha(), 2);
+        assert_eq!(bank.n, 3);
+        // wrong row count, empty channel axis, and empty banks are rejected
+        assert!(PrototypeBank::from_stacked(vec![Matrix::<f32>::zeros(5, 4)], 3, 2).is_err());
+        assert!(PrototypeBank::from_stacked(vec![Matrix::<f32>::zeros(6, 0)], 3, 2).is_err());
+        assert!(PrototypeBank::from_stacked(vec![], 3, 2).is_err());
+        assert!(PrototypeBank::from_stacked(vec![layer.clone()], 0, 2).is_err());
+        assert!(PrototypeBank::from_stacked(vec![layer], 3, 0).is_err());
     }
 
     #[test]

@@ -192,6 +192,14 @@ fn fit_base_models(
     opts: &HierarchicalOptions,
 ) -> Result<Vec<DiagonalGmm>> {
     let alpha = affinity.alpha;
+    // An empty affinity matrix would otherwise reach `chunks_mut(0)` below
+    // and panic with an opaque slice error inside the worker fan-out.
+    if alpha == 0 || affinity.n == 0 {
+        return Err(crate::GogglesError::InvalidInput(format!(
+            "cannot fit base models on an empty affinity matrix (α = {alpha}, N = {})",
+            affinity.n
+        )));
+    }
     let k = opts.num_classes;
     let threads = opts.threads.max(1).min(alpha);
     let mut results: Vec<Option<Result<DiagonalGmm>>> = Vec::new();
@@ -370,6 +378,25 @@ mod tests {
         let rep = model.predict_proba(&am.data).unwrap();
         let diff = rep.max_abs_diff(&model.responsibilities);
         assert!(diff < 1e-8, "diff = {diff}");
+    }
+
+    #[test]
+    fn empty_affinity_matrix_is_invalid_input_not_a_panic() {
+        // Regression: α = 0 used to reach `alpha.div_ceil(threads)` with
+        // threads clamped to 0 and panic inside the worker fan-out.
+        let empty = AffinityMatrix { data: Matrix::zeros(0, 0), n: 0, alpha: 0, z_per_layer: 1 };
+        match HierarchicalModel::fit(&empty, &opts(0)) {
+            Err(crate::GogglesError::InvalidInput(msg)) => {
+                assert!(msg.contains("empty affinity matrix"), "unexpected message: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // α > 0 but N = 0 (no instances) is equally unfittable.
+        let no_rows = AffinityMatrix { data: Matrix::zeros(0, 0), n: 0, alpha: 3, z_per_layer: 1 };
+        assert!(matches!(
+            HierarchicalModel::fit(&no_rows, &opts(0)),
+            Err(crate::GogglesError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -8,6 +8,12 @@
 use crate::{ServeError, ServeResult};
 use goggles_tensor::Matrix;
 
+/// Sanity cap for decoded collection lengths (functions, layers, classes).
+/// Corrupt-but-plausibly-shaped snapshots must not trigger huge
+/// allocations; every variable-length decode path bounds itself by this or
+/// by the remaining payload size, whichever is smaller.
+pub const MAX_SMALL_LEN: usize = 1 << 20;
+
 /// FNV-1a over a byte slice (the checksum used by the snapshot trailer).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -50,6 +56,10 @@ impl Writer {
 
     pub fn put_bool(&mut self, v: bool) {
         self.put_u8(u8::from(v));
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_u32(&mut self, v: u32) {
@@ -105,6 +115,49 @@ impl Writer {
             self.put_f32(v);
         }
     }
+
+    /// Raw (no length prefix) `f32` payload — v2 snapshot fields whose
+    /// length the schema implies from the header.
+    pub fn put_f32_slice_raw(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Raw `f64` payload narrowed to `f32` — the v2 storage for GMM and
+    /// ensemble parameters (half the bytes of [`Writer::put_f64_slice`]).
+    /// Narrow → widen → narrow is idempotent, so v2 `save → load → save`
+    /// stays byte-stable.
+    pub fn put_f64_slice_as_f32_raw(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.put_f32(v as f32);
+        }
+    }
+
+    /// Raw `f32` payload quantized to `u16` on the fixed `[-1, 1]` grid
+    /// (see [`quantize_unit`]) — the v2 prototype-bank storage behind the
+    /// quantization flag. Values outside `[-1, 1]` saturate; prototype rows
+    /// are L2-normalized so none exist in practice.
+    pub fn put_quantized_slice_raw(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.put_u16(quantize_unit(v));
+        }
+    }
+}
+
+/// Quantize a value in `[-1, 1]` onto a fixed 16-bit grid (out-of-range
+/// values saturate). The grid is format-level (no per-tensor min/max), so
+/// re-encoding a dequantized value always returns the same code — quantized
+/// snapshots round-trip byte-stably.
+pub fn quantize_unit(v: f32) -> u16 {
+    let x = ((f64::from(v) + 1.0) / 2.0 * 65535.0).round();
+    // NaN saturates to 0 via the as-cast; prototypes are never NaN.
+    x.clamp(0.0, 65535.0) as u16
+}
+
+/// Inverse of [`quantize_unit`]: grid code → `f32` value in `[-1, 1]`.
+pub fn dequantize_unit(q: u16) -> f32 {
+    (f64::from(q) / 65535.0 * 2.0 - 1.0) as f32
 }
 
 /// Cursor over a byte slice with checked reads.
@@ -152,6 +205,10 @@ impl<'a> Reader<'a> {
             1 => Ok(true),
             v => Err(ServeError::Snapshot(format!("invalid bool byte {v}"))),
         }
+    }
+
+    pub fn get_u16(&mut self) -> ServeResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
     pub fn get_u32(&mut self) -> ServeResult<u32> {
@@ -235,6 +292,55 @@ impl<'a> Reader<'a> {
         Matrix::from_vec(rows, cols, data)
             .map_err(|e| ServeError::Snapshot(format!("matrix decode: {e}")))
     }
+
+    /// A `u32` length that is also sanity-bounded — the v2 counterpart of
+    /// [`Reader::get_len`] (v2 stores structural integers as `u32`).
+    pub fn get_len_u32(&mut self, max: usize) -> ServeResult<usize> {
+        let v = self.get_u32()? as usize;
+        if v > max {
+            return Err(ServeError::Snapshot(format!(
+                "implausible length {v} (cap {max}) at offset {}",
+                self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Exactly `len` raw `f32`s (no prefix; the v2 schema implies lengths).
+    /// Bounded by the remaining payload before any allocation.
+    pub fn get_f32_vec(&mut self, len: usize) -> ServeResult<Vec<f32>> {
+        if len > self.remaining() / 4 {
+            return Err(ServeError::Snapshot(format!(
+                "f32 payload of {len} values larger than remaining snapshot"
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(self.get_f32()?);
+        }
+        Ok(data)
+    }
+
+    /// Exactly `len` raw `f32`s widened to `f64` — inverse of
+    /// [`Writer::put_f64_slice_as_f32_raw`].
+    pub fn get_f32_vec_as_f64(&mut self, len: usize) -> ServeResult<Vec<f64>> {
+        Ok(self.get_f32_vec(len)?.into_iter().map(f64::from).collect())
+    }
+
+    /// Exactly `len` `u16` grid codes dequantized from the fixed `[-1, 1]`
+    /// grid — inverse of [`Writer::put_quantized_slice_raw`].
+    pub fn get_quantized_vec(&mut self, len: usize) -> ServeResult<Vec<f32>> {
+        if len > self.remaining() / 2 {
+            return Err(ServeError::Snapshot(format!(
+                "quantized payload of {len} values larger than remaining snapshot"
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(dequantize_unit(self.get_u16()?));
+        }
+        Ok(data)
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +402,69 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(r.get_usize_slice().is_err());
+    }
+
+    #[test]
+    fn unit_grid_quantization_is_idempotent_and_bounded() {
+        // Every grid code survives a dequantize → requantize round trip —
+        // the property that makes quantized v2 snapshots byte-stable.
+        for q in [0u16, 1, 2, 32767, 32768, 65534, 65535] {
+            assert_eq!(quantize_unit(dequantize_unit(q)), q, "code {q}");
+        }
+        for q in (0..=65535u16).step_by(17) {
+            assert_eq!(quantize_unit(dequantize_unit(q)), q, "code {q}");
+        }
+        // step size bounds the quantization error
+        let step = 2.0 / 65535.0;
+        for &v in &[-1.0f32, -0.731, -0.0001, 0.0, 0.5, 0.999, 1.0] {
+            let err = (f64::from(dequantize_unit(quantize_unit(v))) - f64::from(v)).abs();
+            assert!(err <= step / 2.0 + 1e-9, "v = {v}: err {err}");
+        }
+        // out-of-range values saturate
+        assert_eq!(quantize_unit(-2.0), 0);
+        assert_eq!(quantize_unit(7.5), 65535);
+    }
+
+    #[test]
+    fn raw_f32_and_quantized_payloads_round_trip() {
+        let xs64 = [0.125f64, -3.5, 1e-3, 0.75];
+        let xsf = [0.5f32, -0.25, 0.0, 1.0, -1.0, 0.333];
+        let mut w = Writer::new();
+        w.put_f64_slice_as_f32_raw(&xs64);
+        w.put_quantized_slice_raw(&xsf);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back64 = r.get_f32_vec_as_f64(xs64.len()).unwrap();
+        for (a, b) in back64.iter().zip(&xs64) {
+            assert_eq!(*a, f64::from(*b as f32), "widening must be exact");
+        }
+        let backf = r.get_quantized_vec(xsf.len()).unwrap();
+        for (a, b) in backf.iter().zip(&xsf) {
+            assert!((a - b).abs() <= 2.0 / 65535.0, "{a} vs {b}");
+        }
+        assert_eq!(r.remaining(), 0);
+        // truncated payloads are errors (bounded before allocation), not panics
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            if r.get_f32_vec_as_f64(xs64.len()).is_ok() {
+                assert!(r.get_quantized_vec(xsf.len()).is_err(), "cut {cut}");
+            }
+        }
+        // oversized requested lengths are rejected before allocating
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_f32_vec(usize::MAX / 8).is_err());
+        assert!(r.get_quantized_vec(usize::MAX / 8).is_err());
+    }
+
+    #[test]
+    fn u32_lengths_are_bounded() {
+        let mut w = Writer::new();
+        w.put_u32(10);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_len_u32(MAX_SMALL_LEN).unwrap(), 10);
+        assert!(r.get_len_u32(MAX_SMALL_LEN).is_err(), "cap must reject u32::MAX");
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //! 3. **Service front** — [`LabelService`] runs worker threads over a
 //!    bounded request queue with micro-batching (configurable batch size
 //!    and linger timeout) and throughput/latency counters.
+//! 4. **Model lifecycle** — a [`SnapshotRegistry`] of versioned
+//!    `Arc<FittedLabeler>`s behind every service: atomic
+//!    `publish`/`rollback` under live traffic (workers resolve the current
+//!    version per batch, no lock held across labeling),
+//!    [`LabelService::reload_from`] for hot-reloading snapshot files, and
+//!    per-version serve counters. Snapshots come in two formats
+//!    ([`SnapshotFormat`]): v1 (lossless `f64`, byte-exact reloads) and v2
+//!    (compact `f32` with optional u16-quantized prototype bank — under
+//!    half the bytes, argmax-preserving) — both validated at load/publish
+//!    time so corrupt artifacts are rejected before they can serve.
 //!
 //! ## Quickstart: fit → snapshot → serve
 //!
@@ -41,22 +51,34 @@
 //! ```
 
 pub mod codec;
+pub mod registry;
 pub mod service;
 pub mod snapshot;
 
+pub use registry::{PublishedSnapshot, SnapshotRegistry, VersionInfo};
 pub use service::{LabelResponse, LabelService, ServeConfig, ServiceStats};
-pub use snapshot::FittedLabeler;
+pub use snapshot::{FittedLabeler, SnapshotFormat};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]
 pub enum ServeError {
-    /// Snapshot encoding/decoding failure (bad magic, checksum, shapes…).
+    /// Snapshot encoding/decoding failure (bad magic, checksum, truncation,
+    /// implausible lengths…) — the byte stream itself is broken.
     Snapshot(String),
+    /// The snapshot decoded cleanly but its *content* is inconsistent (a
+    /// non-permutation mapping, mismatched model shapes…). A
+    /// corrupted-but-checksummed or hand-built artifact fails here at
+    /// load/publish time instead of panicking on the first request.
+    Corrupt(String),
     /// Filesystem failure while persisting/loading a snapshot.
     Io(String),
     /// The underlying pipeline failed while fitting.
     Pipeline(goggles_core::GogglesError),
-    /// The service is shutting down (or already shut down).
+    /// Invalid registry operation (e.g. rolling back past the first
+    /// published version).
+    Registry(String),
+    /// The service is shutting down (or already shut down), or the request
+    /// was dropped because the labeler panicked on it.
     Closed,
 }
 
@@ -64,8 +86,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             ServeError::Io(msg) => write!(f, "io error: {msg}"),
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
             ServeError::Closed => write!(f, "label service is closed"),
         }
     }

@@ -1,0 +1,299 @@
+//! Hot-swappable model lifecycle: the [`SnapshotRegistry`].
+//!
+//! A production labeler in the GOGGLES model is refit whenever the prototype
+//! corpus or dev set grows, so the serving layer must swap in a new
+//! [`FittedLabeler`] **under live traffic** — without dropping requests,
+//! without blocking the workers, and with an escape hatch back to the
+//! previous version. The registry owns the versioned `Arc<FittedLabeler>`s
+//! and hands out cheap leases:
+//!
+//! * [`SnapshotRegistry::publish`] validates a labeler
+//!   ([`FittedLabeler::validate`]) and atomically makes it the current
+//!   version (monotonically numbered from 1).
+//! * [`SnapshotRegistry::get`] resolves the *current* version as a
+//!   [`PublishedSnapshot`] lease — an `Arc` clone under a short lock, never
+//!   held across labeling. Callers that resolve once per batch get the
+//!   swap-consistency guarantee: an in-flight batch finishes on the version
+//!   it started with; the next batch picks up the swap.
+//! * [`SnapshotRegistry::rollback`] re-points "current" at the previously
+//!   published version (retired versions are kept, so rollback is O(1) and
+//!   in-flight leases stay valid).
+//! * Per-version serve counters ([`PublishedSnapshot::record_served`],
+//!   surfaced by [`SnapshotRegistry::versions`]) make a canary or a drain
+//!   observable: publish, then watch the old version's counter go quiet.
+
+use crate::snapshot::FittedLabeler;
+use crate::{ServeError, ServeResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A lease on one published snapshot version: the labeler, its version
+/// number, and the shared serve counter. Cloning is two `Arc` bumps.
+#[derive(Debug, Clone)]
+pub struct PublishedSnapshot {
+    version: u64,
+    labeler: Arc<FittedLabeler>,
+    served: Arc<AtomicU64>,
+}
+
+impl PublishedSnapshot {
+    /// The monotonically increasing version number (first publish = 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The frozen labeler of this version.
+    pub fn labeler(&self) -> &Arc<FittedLabeler> {
+        &self.labeler
+    }
+
+    /// Record `n` requests served on this version (reflected in
+    /// [`SnapshotRegistry::versions`]).
+    pub fn record_served(&self, n: u64) {
+        self.served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Requests served on this version so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+/// Observability row for one registered version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// Version number.
+    pub version: u64,
+    /// Requests served on this version.
+    pub served: u64,
+    /// Whether this is the version [`SnapshotRegistry::get`] resolves.
+    pub current: bool,
+}
+
+struct RegistryState {
+    /// Every published version in publish order (never shrinks — retired
+    /// versions stay resolvable for in-flight leases and for rollback).
+    versions: Vec<PublishedSnapshot>,
+    /// Index into `versions` of the currently served snapshot.
+    current: usize,
+}
+
+/// Owner of the versioned labelers behind a running [`crate::LabelService`].
+///
+/// All operations take a short internal lock; none holds it across labeling
+/// work, so `publish` under load never blocks traffic for longer than an
+/// `Arc` clone.
+pub struct SnapshotRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl SnapshotRegistry {
+    /// Start a registry with an initial labeler as version 1.
+    ///
+    /// The initial labeler is validated like any publish; a freshly fitted
+    /// labeler always passes.
+    pub fn new(initial: FittedLabeler) -> ServeResult<Self> {
+        initial.validate()?;
+        let state = RegistryState {
+            versions: vec![PublishedSnapshot {
+                version: 1,
+                labeler: Arc::new(initial),
+                served: Arc::new(AtomicU64::new(0)),
+            }],
+            current: 0,
+        };
+        Ok(Self { state: Mutex::new(state) })
+    }
+
+    /// Validate `labeler` and atomically make it the current version.
+    /// Returns the new version number. Corrupt or inconsistent labelers are
+    /// rejected with [`ServeError::Corrupt`] and the current version is
+    /// left untouched.
+    pub fn publish(&self, labeler: FittedLabeler) -> ServeResult<u64> {
+        labeler.validate()?;
+        let mut state = self.state.lock().expect("registry poisoned");
+        let version = state.versions.last().expect("registry never empty").version + 1;
+        state.versions.push(PublishedSnapshot {
+            version,
+            labeler: Arc::new(labeler),
+            served: Arc::new(AtomicU64::new(0)),
+        });
+        state.current = state.versions.len() - 1;
+        Ok(version)
+    }
+
+    /// Load, validate and publish a snapshot file — the hot-reload front
+    /// used by [`crate::LabelService::reload_from`]. Accepts any
+    /// [`crate::SnapshotFormat`].
+    pub fn publish_file(&self, path: &std::path::Path) -> ServeResult<u64> {
+        self.publish(FittedLabeler::load_from(path)?)
+    }
+
+    /// Re-point "current" at the version published immediately before the
+    /// current one. Errors with [`ServeError::Registry`] when already at
+    /// the oldest registered version.
+    pub fn rollback(&self) -> ServeResult<u64> {
+        let mut state = self.state.lock().expect("registry poisoned");
+        if state.current == 0 {
+            let v = state.versions[state.current].version;
+            return Err(ServeError::Registry(format!(
+                "cannot roll back: version {v} is the oldest registered snapshot"
+            )));
+        }
+        state.current -= 1;
+        Ok(state.versions[state.current].version)
+    }
+
+    /// Lease the current version: an `Arc` clone under a short lock.
+    pub fn get(&self) -> PublishedSnapshot {
+        let state = self.state.lock().expect("registry poisoned");
+        state.versions[state.current].clone()
+    }
+
+    /// Lease a specific registered version (current or retired).
+    pub fn get_version(&self, version: u64) -> ServeResult<PublishedSnapshot> {
+        let state = self.state.lock().expect("registry poisoned");
+        state
+            .versions
+            .iter()
+            .find(|s| s.version == version)
+            .cloned()
+            .ok_or_else(|| ServeError::Registry(format!("version {version} is not registered")))
+    }
+
+    /// The current version number.
+    pub fn current_version(&self) -> u64 {
+        let state = self.state.lock().expect("registry poisoned");
+        state.versions[state.current].version
+    }
+
+    /// Observability: every registered version with its serve counter, in
+    /// publish order.
+    pub fn versions(&self) -> Vec<VersionInfo> {
+        let state = self.state.lock().expect("registry poisoned");
+        state
+            .versions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| VersionInfo {
+                version: s.version,
+                served: s.served(),
+                current: i == state.current,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRegistry").field("versions", &self.versions()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goggles_core::GogglesConfig;
+    use goggles_datasets::{generate, Dataset, TaskConfig, TaskKind};
+
+    fn fitted(seed: u64) -> (FittedLabeler, Dataset) {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 4, seed);
+        cfg.image_size = 32;
+        let ds = generate(&cfg);
+        let dev = ds.sample_dev_set(3, seed);
+        let gcfg = GogglesConfig { seed, ..GogglesConfig::fast() };
+        let (labeler, _) = FittedLabeler::fit(&gcfg, &ds, &dev).unwrap();
+        (labeler, ds)
+    }
+
+    #[test]
+    fn publish_rollback_and_counters() {
+        let (a, _) = fitted(41);
+        let b = FittedLabeler::load(&a.save_v2(true)).unwrap();
+        let registry = SnapshotRegistry::new(a).unwrap();
+        assert_eq!(registry.current_version(), 1);
+
+        let lease1 = registry.get();
+        assert_eq!(lease1.version(), 1);
+        lease1.record_served(3);
+
+        let v2 = registry.publish(b).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(registry.current_version(), 2);
+        // the old lease stays valid and keeps counting against version 1
+        lease1.record_served(2);
+        let infos = registry.versions();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0], VersionInfo { version: 1, served: 5, current: false });
+        assert_eq!(infos[1], VersionInfo { version: 2, served: 0, current: true });
+
+        // rollback re-points current; retired version still leasable
+        assert_eq!(registry.rollback().unwrap(), 1);
+        assert_eq!(registry.current_version(), 1);
+        assert!(matches!(registry.rollback(), Err(ServeError::Registry(_))));
+        assert_eq!(registry.get_version(2).unwrap().version(), 2);
+        assert!(registry.get_version(99).is_err());
+    }
+
+    #[test]
+    fn publish_rejects_corrupt_labelers_and_keeps_current() {
+        let (a, _) = fitted(42);
+        let mut bad = a.clone();
+        // not a permutation — must be rejected at publish time
+        let registry = SnapshotRegistry::new(a).unwrap();
+        {
+            let bytes = {
+                // corrupt through the public surface: a v1 snapshot with a
+                // duplicated mapping entry re-checksummed would also do, but
+                // the clone path is simpler and equivalent here.
+                bad.set_mapping_for_tests(vec![0, 0]);
+                bad.save()
+            };
+            assert!(FittedLabeler::load(&bytes).is_err());
+        }
+        assert!(matches!(registry.publish(bad), Err(ServeError::Corrupt(_))));
+        assert_eq!(registry.current_version(), 1, "failed publish must not advance");
+        assert_eq!(registry.versions().len(), 1);
+    }
+
+    #[test]
+    fn get_is_consistent_under_concurrent_publish() {
+        // Hammer get() while another thread publishes; every lease must be
+        // a fully valid version, and the final current must be the last
+        // publish.
+        let (a, ds) = fitted(43);
+        let img = ds.test_images()[0].clone();
+        let b = FittedLabeler::load(&a.save_v2(false)).unwrap();
+        let registry = Arc::new(SnapshotRegistry::new(a).unwrap());
+        let publisher = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let next = FittedLabeler::load(&b.save()).unwrap();
+                    registry.publish(next).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let img = img.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let lease = registry.get();
+                        let (label, probs) = lease.labeler().label_one(&img);
+                        assert!(label < probs.len());
+                        lease.record_served(1);
+                    }
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(registry.current_version(), 5);
+        let total: u64 = registry.versions().iter().map(|v| v.served).sum();
+        assert_eq!(total, 60);
+    }
+}

@@ -1,5 +1,5 @@
 //! The service front: a bounded-queue micro-batching scheduler over a
-//! [`FittedLabeler`].
+//! [`SnapshotRegistry`] of [`FittedLabeler`] versions.
 //!
 //! Requests from any number of client threads land in one bounded queue.
 //! Worker threads pop a request, then linger up to
@@ -8,9 +8,17 @@
 //! embedding/fold-in pass — the classic latency/throughput trade of
 //! inference serving. Throughput and latency counters are kept on the side
 //! and can be snapshotted at any time with [`LabelService::stats`].
+//!
+//! Workers resolve the current labeler **per batch** through the registry:
+//! no lock is held across labeling, an in-flight batch finishes on the
+//! version it started with, and a [`LabelService::reload_from`] /
+//! [`SnapshotRegistry::publish`] swap is picked up by the very next batch —
+//! hot-reload without dropping or blocking a single request.
 
+use crate::registry::{PublishedSnapshot, SnapshotRegistry};
 use crate::snapshot::FittedLabeler;
 use crate::{ServeError, ServeResult};
+use goggles_core::ProbabilisticLabels;
 use goggles_vision::Image;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +92,9 @@ pub struct LabelResponse {
     pub probs: Vec<f64>,
     /// Size of the micro-batch this request was served in.
     pub batch_size: usize,
+    /// Registry version of the snapshot that answered (see
+    /// [`SnapshotRegistry::versions`]).
+    pub version: u64,
 }
 
 /// Monotonic counters captured by [`LabelService::stats`].
@@ -99,9 +110,15 @@ pub struct ServiceStats {
     pub total_latency_us: u64,
     /// Worst single-request latency, microseconds.
     pub max_latency_us: u64,
-    /// Batches dropped because the labeler panicked on them (their clients
-    /// received [`crate::ServeError::Closed`]).
+    /// Batches on which the labeler panicked. The batch's requests are then
+    /// retried individually (salvage), so a failed batch no longer implies
+    /// failed requests — see [`ServiceStats::failed_requests`].
     pub failed_batches: u64,
+    /// Requests dropped because the labeler panicked on them *individually*
+    /// (the true poison of a failed batch, or a poisoned singleton). Their
+    /// clients received [`crate::ServeError::Closed`]. Disjoint from
+    /// `requests`: a request is counted in exactly one of the two.
+    pub failed_requests: u64,
 }
 
 impl ServiceStats {
@@ -138,6 +155,7 @@ struct Counters {
     total_latency_us: AtomicU64,
     max_latency_us: AtomicU64,
     failed_batches: AtomicU64,
+    failed_requests: AtomicU64,
 }
 
 struct QueueState {
@@ -151,7 +169,8 @@ struct Shared {
     not_empty: Condvar,
     /// Signaled when the queue loses an item.
     not_full: Condvar,
-    labeler: FittedLabeler,
+    /// Versioned labelers; workers resolve the current one per batch.
+    registry: Arc<SnapshotRegistry>,
     config: ServeConfig,
     counters: Counters,
 }
@@ -165,8 +184,21 @@ pub struct LabelService {
 }
 
 impl LabelService {
-    /// Start the worker pool over a fitted labeler.
+    /// Start the worker pool over a fitted labeler (published as version 1
+    /// of a fresh [`SnapshotRegistry`]).
+    ///
+    /// # Panics
+    /// Panics if `labeler` fails [`FittedLabeler::validate`] — labelers
+    /// from [`FittedLabeler::fit`]/[`FittedLabeler::load`] always pass; use
+    /// [`LabelService::spawn_with_registry`] to handle validation errors.
     pub fn spawn(labeler: FittedLabeler, config: ServeConfig) -> Self {
+        let registry = SnapshotRegistry::new(labeler).expect("initial labeler failed validation");
+        Self::spawn_with_registry(Arc::new(registry), config)
+    }
+
+    /// Start the worker pool over an existing registry (e.g. one shared
+    /// with a control plane that publishes retrained snapshots).
+    pub fn spawn_with_registry(registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
@@ -174,7 +206,7 @@ impl LabelService {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            labeler,
+            registry,
             config: config.clone(),
             counters: Counters::default(),
         });
@@ -238,12 +270,28 @@ impl LabelService {
             total_latency_us: c.total_latency_us.load(Ordering::Relaxed),
             max_latency_us: c.max_latency_us.load(Ordering::Relaxed),
             failed_batches: c.failed_batches.load(Ordering::Relaxed),
+            failed_requests: c.failed_requests.load(Ordering::Relaxed),
         }
     }
 
-    /// The labeler being served.
-    pub fn labeler(&self) -> &FittedLabeler {
-        &self.shared.labeler
+    /// The registry behind the service: publish/rollback/inspect versions
+    /// while traffic keeps flowing.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.shared.registry
+    }
+
+    /// Lease the snapshot version new batches currently resolve.
+    pub fn current(&self) -> PublishedSnapshot {
+        self.shared.registry.get()
+    }
+
+    /// Hot-reload: load a snapshot file (any [`crate::SnapshotFormat`]),
+    /// validate it, and publish it behind the running service. In-flight
+    /// batches finish on their old version; the next batch serves the new
+    /// one. Returns the published version number; on any error the
+    /// previously current version keeps serving.
+    pub fn reload_from(&self, path: &std::path::Path) -> ServeResult<u64> {
+        self.shared.registry.publish_file(path)
     }
 
     /// Stop accepting new requests, drain the queue, and join the workers.
@@ -323,13 +371,18 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
 }
 
 fn run_batch(shared: &Shared, batch: Vec<Request>) {
+    // Resolve the current snapshot once per batch: the lease pins the
+    // version for this batch's whole lifetime (labeling + responses), while
+    // a concurrent publish/rollback is picked up by the next batch. No
+    // registry lock is held across the labeling call.
+    let lease = shared.registry.get();
     let images: Vec<&Image> = batch.iter().map(|r| &r.image).collect();
     // Isolate panics (e.g. a malformed image tripping a backbone assert):
-    // dropping the batch drops its responders, so the affected clients get
-    // `Closed` instead of hanging forever, and the worker stays alive for
-    // everyone else.
+    // the worker must stay alive for everyone else, and the innocent
+    // requests sharing the batch deserve answers — so a failed batch is
+    // salvaged by retrying its requests individually.
     let labels = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.labeler.label_batch(&images, shared.config.embed_threads)
+        lease.labeler().label_batch(&images, shared.config.embed_threads)
     })) {
         Ok(labels) => labels,
         Err(panic) => {
@@ -339,18 +392,53 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
             eprintln!(
-                "goggles-serve: dropping batch of {} after labeler panic: {msg}",
+                "goggles-serve: batch of {} hit a labeler panic ({msg}); salvaging",
                 batch.len()
             );
             shared.counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            salvage_batch(shared, &lease, batch);
             return;
         }
     };
-    let batch_size = batch.len();
+    respond(shared, &lease, &batch, &labels);
+}
+
+/// A poisoned batch panicked the labeler. Retry each member individually on
+/// the same version lease, so the innocent majority still gets answers and
+/// only the true poison(s) are dropped (their clients observe
+/// [`ServeError::Closed`] via the dropped responder) and counted in
+/// [`ServiceStats::failed_requests`]. A singleton batch *is* its own
+/// poison — no retry, it would only panic again.
+fn salvage_batch(shared: &Shared, lease: &PublishedSnapshot, batch: Vec<Request>) {
+    if batch.len() <= 1 {
+        shared.counters.failed_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        return;
+    }
+    for request in batch {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lease.labeler().label_batch(&[&request.image], shared.config.embed_threads)
+        }));
+        match outcome {
+            Ok(labels) => respond(shared, lease, std::slice::from_ref(&request), &labels),
+            Err(_) => {
+                shared.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Bump the counters and send the answers for a successfully labeled set of
+/// requests (`labels` row `i` answers `batch[i]`).
+fn respond(
+    shared: &Shared,
+    lease: &PublishedSnapshot,
+    batch: &[Request],
+    labels: &ProbabilisticLabels,
+) {
     let done = Instant::now();
     let mut total_us = 0u64;
     let mut max_us = 0u64;
-    for request in &batch {
+    for request in batch {
         let us = done.duration_since(request.enqueued).as_micros() as u64;
         total_us += us;
         max_us = max_us.max(us);
@@ -358,16 +446,22 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
     // Counters are bumped *before* the responses go out, so a client that
     // observed its answer also observes its request in `stats()`.
     let c = &shared.counters;
-    c.requests.fetch_add(batch_size as u64, Ordering::Relaxed);
-    c.images.fetch_add(batch_size as u64, Ordering::Relaxed);
+    c.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    c.images.fetch_add(batch.len() as u64, Ordering::Relaxed);
     c.batches.fetch_add(1, Ordering::Relaxed);
     c.total_latency_us.fetch_add(total_us, Ordering::Relaxed);
     c.max_latency_us.fetch_max(max_us, Ordering::Relaxed);
+    lease.record_served(batch.len() as u64);
     for (i, request) in batch.iter().enumerate() {
         let probs = labels.probs.row(i).to_vec();
         let label = goggles_tensor::argmax(&probs);
         // The receiver may have given up; ignore send failures.
-        let _ = request.respond.send(LabelResponse { label, probs, batch_size });
+        let _ = request.respond.send(LabelResponse {
+            label,
+            probs,
+            batch_size: batch.len(),
+            version: lease.version(),
+        });
     }
 }
 
@@ -530,6 +624,107 @@ mod tests {
         assert_eq!(resp.probs, expected.probs.row(0));
         let stats = service.stats();
         assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.failed_requests, 1, "the poison is accounted for");
         assert_eq!(stats.requests, 1, "poisoned request is not counted as served");
+    }
+
+    #[test]
+    fn good_request_co_batched_with_poison_still_gets_its_answer() {
+        // A poisoned image shares a micro-batch with an innocent one. The
+        // batch panics, the salvage pass retries individually: the innocent
+        // client gets its exact answer, only the poison is dropped.
+        let (labeler, ds) = fitted(17);
+        let good = ds.test_images()[0].clone();
+        let expected = labeler.label_batch(&[&good], 1);
+        let service = Arc::new(LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                max_batch: 2,
+                // long linger so the two submissions below co-batch
+                batch_timeout: Duration::from_millis(500),
+                ..ServeConfig::default()
+            },
+        ));
+        let bad = goggles_vision::Image::filled(4, 32, 32, 0.5);
+        let bad_client = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.label(&bad))
+        };
+        let good_client = {
+            let service = Arc::clone(&service);
+            let good = good.clone();
+            std::thread::spawn(move || service.label(&good))
+        };
+        match bad_client.join().unwrap() {
+            Err(ServeError::Closed) => {}
+            other => panic!("poisoned request should be Closed, got {other:?}"),
+        }
+        let resp = good_client.join().unwrap().expect("innocent co-batched request must succeed");
+        assert_eq!(resp.probs, expected.probs.row(0));
+        assert_eq!(resp.batch_size, 1, "salvaged answers come from singleton retries");
+        let stats = service.stats();
+        assert_eq!(stats.failed_batches, 1, "exactly one poisoned batch");
+        assert_eq!(stats.failed_requests, 1, "exactly the poison failed");
+        assert_eq!(stats.requests, 1, "exactly the innocent request served");
+    }
+
+    #[test]
+    fn publish_swaps_version_for_the_next_batch() {
+        // Serve with v1, hot-publish a v2-compressed reload: answers carry
+        // the version they were computed on, and post-swap answers match
+        // the new labeler's direct output exactly.
+        let (labeler, ds) = fitted(18);
+        let imgs = ds.test_images();
+        let swapped = FittedLabeler::load(&labeler.save_v2(true)).unwrap();
+        let expected_v1 = labeler.label_batch(&imgs, 1);
+        let expected_v2 = swapped.label_batch(&imgs, 1);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+        );
+        let before = service.label(imgs[0]).unwrap();
+        assert_eq!(before.version, 1);
+        assert_eq!(before.probs, expected_v1.probs.row(0));
+        let v = service.registry().publish(swapped).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(service.current().version(), 2);
+        for (i, img) in imgs.iter().enumerate() {
+            let resp = service.label(img).unwrap();
+            assert_eq!(resp.version, 2, "post-swap batches must resolve the new version");
+            assert_eq!(resp.probs, expected_v2.probs.row(i), "request {i}");
+        }
+        // per-version serve counters add up
+        let versions = service.registry().versions();
+        assert_eq!(versions[0].served, 1);
+        assert_eq!(versions[1].served, imgs.len() as u64);
+        // rollback: the next batch serves v1 again
+        service.registry().rollback().unwrap();
+        let back = service.label(imgs[0]).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.probs, expected_v1.probs.row(0));
+    }
+
+    #[test]
+    fn reload_from_validates_and_publishes_behind_running_service() {
+        let (labeler, ds) = fitted(19);
+        let img = ds.test_images()[0].clone();
+        let dir = std::env::temp_dir().join("goggles_serve_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot_v2.ggl");
+        std::fs::write(&path, labeler.save_v2(false)).unwrap();
+        let service = LabelService::spawn(labeler, ServeConfig::default());
+        assert!(service.label(&img).is_ok());
+        let v = service.reload_from(&path).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(service.label(&img).unwrap().version, 2);
+        // a garbage file must be rejected and must not disturb serving
+        let bad_path = dir.join("garbage.ggl");
+        std::fs::write(&bad_path, b"not a snapshot at all").unwrap();
+        assert!(service.reload_from(&bad_path).is_err());
+        assert_eq!(service.current().version(), 2, "failed reload keeps current");
+        assert!(service.label(&img).is_ok());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad_path).ok();
     }
 }

@@ -74,12 +74,12 @@ pub struct ColmaxScratch {
 ///   contiguous patch column, accumulating all `m` dot products at once
 ///   (`c` ascending, so each per-patch sum has exactly the naive order and
 ///   the result is bit-identical to the scalar reference). The final max
-///   over patches runs on [`DOT_LANES`] lanes.
+///   over patches runs on `DOT_LANES` lanes.
 /// * **Wide panels** (the deep layers: few patches, hundreds of channels):
-///   `b`'s rows are register-tiled — [`COLMAX_TILE`] running maxima in a
+///   `b`'s rows are register-tiled — `COLMAX_TILE` running maxima in a
 ///   stack array — while the patch panel streams through the tile, each
-///   dot product running on [`DOT_LANES`] independent accumulator lanes
-///   (see [`dot_lanes`]).
+///   dot product running on `DOT_LANES` independent accumulator lanes
+///   (see `dot_lanes`).
 ///
 /// Deterministic and shard-stable: `out[j]` depends only on row `j` of `b`
 /// and on `a` (never on tile alignment), so computing a sub-range of `b`'s

@@ -1,7 +1,9 @@
 //! End-to-end serving demo: fit GOGGLES once, freeze it into a snapshot,
 //! reload from bytes, and label held-out images **online** through the
 //! micro-batching [`LabelService`] — per-request cost is O(image): no
-//! training-matrix rebuild, no mixture-model refit.
+//! training-matrix rebuild, no mixture-model refit. The demo then
+//! **hot-reloads** a quantized v2 snapshot behind the running service
+//! (publish → new version, rollback → old version) without stopping it.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -83,7 +85,31 @@ fn main() {
     );
     println!("served accuracy on held-out images: {:.1}%", 100.0 * served_acc);
 
-    // ---- 4. reference: the paper's batch pipeline over the same images -
+    // ---- 4. hot-reload a compressed v2 snapshot behind the service ----
+    // A production labeler is refit as the corpus grows; the registry
+    // publishes the new version under live traffic — in-flight batches
+    // finish on the old version, the next batch serves the new one.
+    let v2_bytes = labeler.save_v2(true);
+    println!(
+        "v2 (quantized) snapshot: {} KiB ({:.1}% of v1)",
+        v2_bytes.len() / 1024,
+        100.0 * v2_bytes.len() as f64 / bytes.len() as f64,
+    );
+    let snap_path = std::env::temp_dir().join("goggles_serving_demo_v2.ggl");
+    std::fs::write(&snap_path, &v2_bytes).expect("write v2 snapshot");
+    let version = service.reload_from(&snap_path).expect("hot-reload failed");
+    let resp = service.label(held_out[0]).expect("service closed");
+    assert_eq!(resp.version, version, "post-swap requests serve the new version");
+    println!(
+        "hot-reloaded v2 as version {version}; next answer came from version {} (class {})",
+        resp.version, resp.label
+    );
+    let rolled_back = service.registry().rollback().expect("rollback failed");
+    assert_eq!(service.label(held_out[0]).expect("service closed").version, rolled_back);
+    println!("rolled back to version {rolled_back}; registry: {:?}", service.registry().versions());
+    std::fs::remove_file(&snap_path).ok();
+
+    // ---- 5. reference: the paper's batch pipeline over the same images -
     // The batch system can only label images inside its affinity matrix, so
     // it must refit on train + held-out (transductive) — exactly the cost
     // the serving path avoids.

@@ -1,9 +1,13 @@
 //! Serving benchmark: single-image latency and micro-batched throughput of
-//! the `goggles-serve` path versus a full batch (`label_dataset`) refit.
+//! the `goggles-serve` path versus a full batch (`label_dataset`) refit,
+//! plus the model-lifecycle measurements: v2 snapshot compression
+//! (size ratio, probability deviation, argmax agreement) and a hot-swap
+//! segment that publishes a new version under concurrent load.
 //!
 //! Not a paper artifact — the paper's system is batch-only — but the
 //! direct quantification of what the snapshot/fold-in subsystem buys: a
-//! per-request cost that is O(image) instead of O(dataset).
+//! per-request cost that is O(image) instead of O(dataset), and a
+//! retrain-and-republish path that never drops a request.
 
 use super::report::Table;
 use super::RunParams;
@@ -11,6 +15,7 @@ use goggles_core::Goggles;
 use goggles_datasets::{generate, Dataset, DevSet, TaskKind};
 use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
 use goggles_vision::Image;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +49,29 @@ pub struct ServingReport {
     pub served_accuracy: f64,
     /// Transductive batch-refit accuracy on the same images.
     pub batch_accuracy: f64,
+    /// Size of the quantized v2 snapshot in bytes.
+    pub snapshot_v2_bytes: usize,
+    /// `snapshot_v2_bytes / snapshot_bytes` (acceptance: ≤ 0.5).
+    pub v2_size_ratio: f64,
+    /// Max per-class probability deviation of the v2-reloaded labeler vs
+    /// the exact one, over the held-out split (acceptance: < 1e-3).
+    pub v2_max_prob_dev: f64,
+    /// Fraction of held-out images whose argmax label is unchanged under
+    /// the v2 reload (acceptance: 1.0).
+    pub v2_argmax_agreement: f64,
+    /// Requests answered during the hot-swap segment (concurrent clients
+    /// running while `publish` lands).
+    pub swap_requests: u64,
+    /// Responses during the swap that errored or matched neither published
+    /// version bit-exactly (acceptance: 0).
+    pub swap_errors: u64,
+    /// Wall-clock milliseconds the `publish` call took under load.
+    pub swap_publish_ms: f64,
+    /// Requests served on the old version during the swap segment.
+    pub swap_served_v1: u64,
+    /// Requests served on the newly published version during the swap
+    /// segment.
+    pub swap_served_v2: u64,
 }
 
 impl ServingReport {
@@ -75,6 +103,14 @@ impl ServingReport {
         row("per-image speedup vs refit", format!("{:.1}×", self.speedup_vs_refit()));
         row("served accuracy", format!("{:.1}%", 100.0 * self.served_accuracy));
         row("batch-refit accuracy", format!("{:.1}%", 100.0 * self.batch_accuracy));
+        row("v2 snapshot size", format!("{:.1} KiB", self.snapshot_v2_bytes as f64 / 1024.0));
+        row("v2 / v1 size ratio", format!("{:.1}%", 100.0 * self.v2_size_ratio));
+        row("v2 max probability deviation", format!("{:.2e}", self.v2_max_prob_dev));
+        row("v2 argmax agreement", format!("{:.1}%", 100.0 * self.v2_argmax_agreement));
+        row("swap segment requests", format!("{}", self.swap_requests));
+        row("swap segment errors", format!("{}", self.swap_errors));
+        row("publish latency under load", format!("{:.2} ms", self.swap_publish_ms));
+        row("swap served on v1 / v2", format!("{} / {}", self.swap_served_v1, self.swap_served_v2));
         t
     }
 
@@ -86,7 +122,11 @@ impl ServingReport {
              \"service_throughput_ips\": {:.2},\n  \"service_mean_batch\": {:.3},\n  \
              \"service_mean_latency_ms\": {:.4},\n  \"refit_seconds\": {:.6},\n  \
              \"speedup_vs_refit\": {:.2},\n  \"served_accuracy\": {:.4},\n  \
-             \"batch_accuracy\": {:.4}\n}}\n",
+             \"batch_accuracy\": {:.4},\n  \"snapshot_v2_bytes\": {},\n  \
+             \"v2_size_ratio\": {:.4},\n  \"v2_max_prob_dev\": {:.3e},\n  \
+             \"v2_argmax_agreement\": {:.4},\n  \"swap_requests\": {},\n  \
+             \"swap_errors\": {},\n  \"swap_publish_ms\": {:.4},\n  \
+             \"swap_served_v1\": {},\n  \"swap_served_v2\": {}\n}}\n",
             self.n_train,
             self.n_held_out,
             self.fit_seconds,
@@ -100,6 +140,15 @@ impl ServingReport {
             self.speedup_vs_refit(),
             self.served_accuracy,
             self.batch_accuracy,
+            self.snapshot_v2_bytes,
+            self.v2_size_ratio,
+            self.v2_max_prob_dev,
+            self.v2_argmax_agreement,
+            self.swap_requests,
+            self.swap_errors,
+            self.swap_publish_ms,
+            self.swap_served_v1,
+            self.swap_served_v2,
         )
     }
 
@@ -149,11 +198,23 @@ pub fn run(params: &RunParams) -> ServingReport {
     let single_p50_ms = singles[singles.len() / 2];
     let single_mean_ms = singles.iter().sum::<f64>() / singles.len() as f64;
 
-    // micro-batched throughput with concurrent clients
+    // v2 compression: quantized snapshot size + bounded accuracy delta
+    let v2_bytes = labeler.save_v2(true);
+    let snapshot_v2_bytes = v2_bytes.len();
+    let v2_size_ratio = snapshot_v2_bytes as f64 / snapshot_bytes.max(1) as f64;
+    let swapped = FittedLabeler::load(&v2_bytes).expect("v2 snapshot reload failed");
     let served = labeler.label_batch(&held_out, 2);
     let served_accuracy = served.accuracy(&truth);
+    let served_v2 = swapped.label_batch(&held_out, 2);
+    let v2_max_prob_dev = served_v2.probs.max_abs_diff(&served.probs);
+    let v2_argmax_agreement =
+        served.hard_labels().iter().zip(served_v2.hard_labels()).filter(|(a, b)| **a == *b).count()
+            as f64
+            / held_out.len().max(1) as f64;
+
+    // micro-batched throughput with concurrent clients
     let service = Arc::new(LabelService::spawn(
-        labeler,
+        labeler.clone(),
         ServeConfig {
             workers: 2,
             max_batch: 8,
@@ -178,6 +239,69 @@ pub fn run(params: &RunParams) -> ServingReport {
     let service_throughput_ips = stats.requests as f64 / service_seconds;
     let service_mean_batch = stats.mean_batch_size();
     let service_mean_latency_ms = stats.mean_latency_us() / 1e3;
+    drop(service);
+
+    // hot-swap under load: concurrent clients hammer a fresh service while
+    // the quantized v2 snapshot is published behind it. Every response must
+    // match one of the two published versions bit-exactly; anything else
+    // (including an error) counts as a swap error.
+    let swap_service = Arc::new(LabelService::spawn(
+        labeler,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    ));
+    let swap_errors = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let service = Arc::clone(&swap_service);
+            let errors = Arc::clone(&swap_errors);
+            let images: Vec<Image> = held_out.iter().map(|img| (*img).clone()).collect();
+            let expected_v1 = served.probs.clone();
+            let expected_v2 = served_v2.probs.clone();
+            std::thread::spawn(move || {
+                for _round in 0..3 {
+                    for (i, img) in images.iter().enumerate() {
+                        match service.label(img) {
+                            Ok(resp)
+                                if resp.probs.as_slice() == expected_v1.row(i)
+                                    || resp.probs.as_slice() == expected_v2.row(i) => {}
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(25));
+    let t_pub = Instant::now();
+    swap_service.registry().publish(swapped).expect("publish under load failed");
+    let swap_publish_ms = t_pub.elapsed().as_secs_f64() * 1e3;
+    for c in clients {
+        c.join().expect("swap client");
+    }
+    // post-swap verification round: every answer must now be the new
+    // version's direct label_batch output
+    for (i, img) in held_out.iter().enumerate() {
+        match swap_service.label(img) {
+            Ok(resp) if resp.probs.as_slice() == served_v2.probs.row(i) && resp.version == 2 => {}
+            _ => {
+                swap_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let swap_stats = swap_service.stats();
+    let versions = swap_service.registry().versions();
+    let swap_served_v1 = versions.first().map_or(0, |v| v.served);
+    let swap_served_v2 = versions.get(1).map_or(0, |v| v.served);
+    let swap_requests = swap_stats.requests;
+    let swap_errors = swap_errors.load(Ordering::Relaxed);
+    drop(swap_service);
 
     // the batch system's only path to new labels: transductive refit
     let all: Vec<(Image, usize)> = ds
@@ -219,6 +343,15 @@ pub fn run(params: &RunParams) -> ServingReport {
         refit_seconds,
         served_accuracy,
         batch_accuracy,
+        snapshot_v2_bytes,
+        v2_size_ratio,
+        v2_max_prob_dev,
+        v2_argmax_agreement,
+        swap_requests,
+        swap_errors,
+        swap_publish_ms,
+        swap_served_v1,
+        swap_served_v2,
     }
 }
 
@@ -241,6 +374,15 @@ mod tests {
             refit_seconds: 1.0,
             served_accuracy: 0.96,
             batch_accuracy: 0.95,
+            snapshot_v2_bytes: 500,
+            v2_size_ratio: 0.488,
+            v2_max_prob_dev: 3.2e-5,
+            v2_argmax_agreement: 1.0,
+            swap_requests: 180,
+            swap_errors: 0,
+            swap_publish_ms: 0.4,
+            swap_served_v1: 100,
+            swap_served_v2: 80,
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -250,6 +392,12 @@ mod tests {
             "service_throughput_ips",
             "speedup_vs_refit",
             "served_accuracy",
+            "snapshot_v2_bytes",
+            "v2_size_ratio",
+            "v2_max_prob_dev",
+            "swap_requests",
+            "swap_errors",
+            "swap_publish_ms",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }

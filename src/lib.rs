@@ -51,6 +51,8 @@ pub mod prelude {
     pub use goggles_models::{
         BernoulliMixture, DiagonalGmm, EmOptions, FullGmm, KMeans, SpectralCoclustering,
     };
-    pub use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
+    pub use goggles_serve::{
+        FittedLabeler, LabelService, ServeConfig, SnapshotFormat, SnapshotRegistry,
+    };
     pub use goggles_vision::Image;
 }
