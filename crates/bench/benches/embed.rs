@@ -1,0 +1,41 @@
+//! Embedding benchmark: single-image latency of the im2col + blocked-GEMM
+//! backbone versus the retained scalar convolution reference, plus the
+//! embed-vs-affinity per-stage split of one online request.
+//!
+//! ```text
+//! GOGGLES_SCALE=quick|standard|paper cargo bench -p goggles-bench --bench embed
+//! ```
+//!
+//! Also drops `BENCH_embed.json` in the results dir (see
+//! `goggles::experiments::report::results_dir`).
+
+use goggles::experiments::report::results_dir;
+use goggles::experiments::{embed_bench, Scale};
+use goggles_bench::timed;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.params();
+    println!("scale: {scale:?} → {params:?}\n");
+    let report = timed("Embedding backbone", || embed_bench::run(&params));
+    println!("{}", report.to_table().render());
+    let path = results_dir().join("BENCH_embed.json");
+    match report.write_json(&path) {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),
+    }
+    // Acceptance guardrails of the GEMM backbone: the fast trunk must agree
+    // with the scalar reference within the 1e-5 tolerance on every tap
+    // value, and a full single-image embedding must be at least 2.5× faster
+    // than the retained naive path.
+    assert!(
+        report.max_abs_dev < 1e-5,
+        "GEMM trunk disagrees with the scalar reference: {:.3e}",
+        report.max_abs_dev
+    );
+    assert!(
+        report.embed_speedup() >= 2.5,
+        "single-image embedding speedup {:.2}× below the 2.5× bar",
+        report.embed_speedup()
+    );
+}

@@ -2,10 +2,65 @@
 //! and a dense layer. Inference only — the backbone is frozen in every
 //! experiment of the paper (and in the end-model protocol only FC heads are
 //! trained, which `goggles-endmodel` implements separately).
+//!
+//! # The im2col lowering
+//!
+//! [`Conv2d::forward`] does not loop over pixels. A stride-1 zero-padded
+//! convolution is a matrix product in disguise (conv layers are just big
+//! GEMMs — Gong et al.'s observation): lower the `C×H×W` input into the
+//! `(C·k²) × (H·W)` patch panel whose column `y·W + x` stacks the receptive
+//! field of output position `(y, x)`
+//! ([`goggles_tensor::im2col_3x3`]), and the layer's whole arithmetic
+//! collapses to
+//!
+//! ```text
+//! out[out_c × H·W] = relu(weights[out_c × C·k²] · panel + bias)
+//! ```
+//!
+//! which [`goggles_tensor::gemm_bias_relu_f32`] computes with register
+//! tiling, panel packing and the bias+ReLU epilogue fused into the output
+//! write. 1×1 kernels skip the lowering entirely (the input *is* the
+//! panel); kernels other than 1 and 3 fall back to the scalar reference.
+//! The scalar path is retained as [`Conv2d::forward_naive`] — it is the
+//! semantic ground truth the property tests compare against (agreement
+//! within `1e-5`; the two paths group the same `k` additions differently).
+//!
+//! # The scratch-arena contract
+//!
+//! Every buffer the fast path needs lives in one caller-owned
+//! [`ConvScratch`]: the im2col panel, the GEMM packing buffer and a pair
+//! of ping-pong activation planes. The arena grows to the largest layer it
+//! has seen and is never shrunk or cleared — feeding it through a whole
+//! network (`Vgg16::forward_pool_taps_into`) performs **zero per-layer
+//! allocations** after warm-up, and reusing one arena across calls is
+//! bit-deterministic (outputs never depend on previous contents: every
+//! scratch byte consumed is written first). Hold one arena per worker
+//! thread; they are cheap when idle and must not be shared concurrently.
 
 use goggles_tensor::rng::normal;
-use goggles_tensor::{Matrix, Tensor3};
+use goggles_tensor::{gemm_bias_relu_f32, im2col_3x3, GemmScratch, Matrix, Tensor3};
 use rand::Rng;
+
+/// Reusable workspace of the im2col convolution path: the patch panel, the
+/// GEMM packing buffer and two ping-pong activation buffers (used by
+/// `Vgg16` to chain layers without allocating). See the module docs for
+/// the arena contract.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    /// `(C·9) × (H·W)` im2col patch panel of the current layer.
+    pub(crate) col: Vec<f32>,
+    /// Packed-`A` workspace of the blocked GEMM.
+    pub(crate) gemm: GemmScratch,
+    /// Ping-pong activation buffers for chained forward passes.
+    pub(crate) act: [Vec<f32>; 2],
+}
+
+impl ConvScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// 2-D convolution with stride 1 and zero same-padding.
 ///
@@ -63,9 +118,108 @@ impl Conv2d {
         self.in_channels
     }
 
-    /// Forward pass; `input` must have `in_channels` channels. Output has the
-    /// same spatial size (stride 1, zero padding `k/2`).
+    /// Forward pass; `input` must have `in_channels` channels. Output has
+    /// the same spatial size (stride 1, zero padding `k/2`). Runs the
+    /// im2col + blocked-GEMM fast path with a throwaway scratch — hot loops
+    /// should hold a [`ConvScratch`] and call [`Conv2d::forward_into`].
     pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        let (_, h, w) = input.shape();
+        let mut out = Tensor3::zeros(self.out_channels, h, w);
+        self.forward_into(
+            input.as_slice(),
+            h,
+            w,
+            &mut ConvScratch::default(),
+            false,
+            out.as_mut_slice(),
+        );
+        out
+    }
+
+    /// Im2col + blocked-GEMM forward pass into a caller-owned output slice,
+    /// with the bias (and, when `relu` is set, the ReLU) fused into the
+    /// output write. `input` is a `in_channels × h × w` channel-major
+    /// slice; `out` must hold `out_channels · h · w` values and is fully
+    /// overwritten. All buffers come from `scratch` (see the module docs
+    /// for the arena contract).
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        h: usize,
+        w: usize,
+        scratch: &mut ConvScratch,
+        relu: bool,
+        out: &mut [f32],
+    ) {
+        self.forward_cols(input, h, w, &mut scratch.col, &mut scratch.gemm, relu, out);
+    }
+
+    /// [`Conv2d::forward_into`] against explicitly split scratch parts, so
+    /// `Vgg16` can read the input from the same arena's activation buffers
+    /// while lowering into `col`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_cols(
+        &self,
+        input: &[f32],
+        h: usize,
+        w: usize,
+        col: &mut Vec<f32>,
+        gemm: &mut GemmScratch,
+        relu: bool,
+        out: &mut [f32],
+    ) {
+        assert_eq!(input.len(), self.in_channels * h * w, "Conv2d: input shape mismatch");
+        assert_eq!(out.len(), self.out_channels * h * w, "Conv2d: output shape mismatch");
+        let n = h * w;
+        match self.kernel {
+            1 => {
+                // A 1×1 convolution needs no lowering: the input already is
+                // the `C × H·W` panel.
+                gemm_bias_relu_f32(
+                    gemm,
+                    &self.weight,
+                    input,
+                    self.out_channels,
+                    self.in_channels,
+                    n,
+                    &self.bias,
+                    relu,
+                    out,
+                );
+            }
+            3 => {
+                im2col_3x3(input, self.in_channels, h, w, col);
+                gemm_bias_relu_f32(
+                    gemm,
+                    &self.weight,
+                    col,
+                    self.out_channels,
+                    self.in_channels * 9,
+                    n,
+                    &self.bias,
+                    relu,
+                    out,
+                );
+            }
+            _ => {
+                // Odd kernels other than 1 and 3 are not on any hot path;
+                // run the scalar reference and fuse the epilogue manually.
+                let input = Tensor3::from_vec(self.in_channels, h, w, input.to_vec())
+                    .expect("shape checked above");
+                let res = self.forward_naive(&input);
+                for (d, &v) in out.iter_mut().zip(res.as_slice()) {
+                    *d = if relu && v < 0.0 { 0.0 } else { v };
+                }
+            }
+        }
+    }
+
+    /// Scalar reference forward pass — the original 6-deep loop nest with
+    /// per-pixel bounds checks, kept as the semantic ground truth for the
+    /// property tests and the `repro -- embed` baseline. Same contract as
+    /// [`Conv2d::forward`]; the two agree within `1e-5` (they group the
+    /// per-output additions differently).
+    pub fn forward_naive(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
         assert_eq!(input.channels(), self.in_channels, "Conv2d: channel mismatch");
         let (_, h, w) = input.shape();
         let k = self.kernel;
@@ -133,9 +287,23 @@ impl MaxPool2d {
         let ow = w / 2;
         assert!(oh > 0 && ow > 0, "MaxPool2d: input {h}x{w} too small");
         let mut out = Tensor3::zeros(c, oh, ow);
+        self.forward_into(input.as_slice(), c, h, w, out.as_mut_slice());
+        out
+    }
+
+    /// Pool a `c × h × w` channel-major slice directly into a caller-owned
+    /// `c × (h/2) × (w/2)` output slice — this is how `Vgg16` writes each
+    /// block's pool output straight into its tap tensor without an
+    /// intermediate clone.
+    pub fn forward_into(&self, input: &[f32], c: usize, h: usize, w: usize, out: &mut [f32]) {
+        let oh = h / 2;
+        let ow = w / 2;
+        assert!(oh > 0 && ow > 0, "MaxPool2d: input {h}x{w} too small");
+        assert_eq!(input.len(), c * h * w, "MaxPool2d: input shape mismatch");
+        assert_eq!(out.len(), c * oh * ow, "MaxPool2d: output shape mismatch");
         for ch in 0..c {
-            let plane = input.channel(ch);
-            let out_plane = out.channel_mut(ch);
+            let plane = &input[ch * h * w..(ch + 1) * h * w];
+            let out_plane = &mut out[ch * oh * ow..(ch + 1) * oh * ow];
             for y in 0..oh {
                 let r0 = &plane[(2 * y) * w..(2 * y) * w + w];
                 let r1 = &plane[(2 * y + 1) * w..(2 * y + 1) * w + w];
@@ -145,7 +313,6 @@ impl MaxPool2d {
                 }
             }
         }
-        out
     }
 }
 
@@ -256,6 +423,58 @@ mod tests {
         let expect = 2.0 / (16.0 * 9.0);
         assert!(mean.abs() < 0.005, "mean = {mean}");
         assert!((var - expect).abs() / expect < 0.15, "var = {var}, expect = {expect}");
+    }
+
+    #[test]
+    fn gemm_path_matches_naive_reference() {
+        let mut rng = std_rng(11);
+        for &(in_c, out_c, h, w) in &[(1usize, 1usize, 4usize, 4usize), (3, 5, 6, 7), (8, 4, 5, 3)]
+        {
+            let conv = Conv2d::new_he_init(&mut rng, in_c, out_c, 3);
+            let input = Tensor3::from_vec(
+                in_c,
+                h,
+                w,
+                (0..in_c * h * w).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1).collect(),
+            )
+            .unwrap();
+            let fast = conv.forward(&input);
+            let naive = conv.forward_naive(&input);
+            for (a, b) in fast.as_slice().iter().zip(naive.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{in_c}x{out_c} {h}x{w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_into_fuses_relu() {
+        let mut rng = std_rng(3);
+        let conv = Conv2d::new_he_init(&mut rng, 2, 3, 3);
+        let input: Vec<f32> = (0..2 * 4 * 4).map(|i| (i as f32 - 16.0) * 0.3).collect();
+        let mut scratch = ConvScratch::new();
+        let mut fused = vec![0.0f32; 3 * 4 * 4];
+        conv.forward_into(&input, 4, 4, &mut scratch, true, &mut fused);
+        let mut plain = vec![0.0f32; 3 * 4 * 4];
+        conv.forward_into(&input, 4, 4, &mut scratch, false, &mut plain);
+        assert!(plain.iter().any(|&v| v < 0.0), "test input should produce negatives");
+        for (f, p) in fused.iter().zip(&plain) {
+            assert_eq!(*f, p.max(0.0));
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_into_matches_forward() {
+        let input = Tensor3::from_vec(
+            2,
+            4,
+            6,
+            (0..2 * 4 * 6).map(|i| ((i * 13 % 7) as f32) - 3.0).collect(),
+        )
+        .unwrap();
+        let owned = MaxPool2d.forward(&input);
+        let mut flat = vec![0.0f32; 2 * 2 * 3];
+        MaxPool2d.forward_into(input.as_slice(), 2, 4, 6, &mut flat);
+        assert_eq!(owned.as_slice(), &flat[..]);
     }
 
     #[test]

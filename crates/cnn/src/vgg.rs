@@ -3,7 +3,7 @@
 //! affinity functions consume — plus the "logits" feature head the
 //! Snuba/Logits baselines use (§5.1.2, §5.1.5).
 
-use crate::layers::{relu_in_place, Conv2d, Linear, MaxPool2d};
+use crate::layers::{relu_in_place, Conv2d, ConvScratch, Linear, MaxPool2d};
 use goggles_tensor::rng::std_rng;
 use goggles_tensor::Tensor3;
 use goggles_vision::Image;
@@ -118,36 +118,136 @@ impl Vgg16 {
     /// (Per-image standardization would erase cross-image color statistics,
     /// which are a primary class signal on color datasets.)
     pub fn prepare_input(&self, img: &Image) -> Tensor3<f32> {
-        let img = if img.channels() == 1 && self.config.input_channels > 1 {
-            img.broadcast_channels(self.config.input_channels)
-        } else {
-            img.clone()
-        };
-        assert_eq!(
-            img.channels(),
-            self.config.input_channels,
+        let mut buf = Vec::new();
+        self.prepare_input_into(img, &mut buf);
+        let s = self.config.input_size;
+        Tensor3::from_vec(self.config.input_channels, s, s, buf)
+            .expect("prepare_input: geometry invariant")
+    }
+
+    /// [`Vgg16::prepare_input`] into a caller-owned buffer (resized to
+    /// `input_channels · s²`). The image is only borrowed until a copy is
+    /// genuinely needed: a matching-geometry image is normalized in one
+    /// pass straight into `out`, a mismatched spatial size goes through one
+    /// bilinear resize (on the *source* channel count — a grayscale image
+    /// is resized once, not three times), and channel broadcast happens
+    /// during the final write.
+    pub fn prepare_input_into(&self, img: &Image, out: &mut Vec<f32>) {
+        let s = self.config.input_size;
+        let cin = self.config.input_channels;
+        assert!(
+            img.channels() == cin || img.channels() == 1,
             "prepare_input: channel count mismatch"
         );
-        let s = self.config.input_size;
-        let mut resized = if img.height() != s || img.width() != s {
-            goggles_vision::filter::resize_bilinear(&img, s, s)
+        let resized_storage;
+        let src: &Tensor3<f32> = if img.height() != s || img.width() != s {
+            resized_storage = goggles_vision::filter::resize_bilinear(img, s, s);
+            resized_storage.tensor()
         } else {
-            img
+            img.tensor()
         };
+        out.resize(cin * s * s, 0.0);
         // Fixed affine normalization: mean 0.45, std 0.25 (≈ ImageNet
         // statistics in [0,1] units).
-        resized.tensor_mut().map_in_place(|v| (v - 0.45) * 4.0);
-        resized.into_tensor()
+        let norm = |v: f32| (v - 0.45) * 4.0;
+        if src.channels() == cin {
+            for (d, &v) in out.iter_mut().zip(src.as_slice()) {
+                *d = norm(v);
+            }
+        } else {
+            // Broadcast the single grayscale plane to every input channel.
+            let plane = s * s;
+            let (first, rest) = out.split_at_mut(plane);
+            for (d, &v) in first.iter_mut().zip(src.as_slice()) {
+                *d = norm(v);
+            }
+            for chunk in rest.chunks_exact_mut(plane) {
+                chunk.copy_from_slice(first);
+            }
+        }
     }
 
     /// Run the convolutional trunk and return the filter map after **each**
     /// of the five max-pool layers (the paper's Algorithm 1, line 1).
+    ///
+    /// Runs the im2col + blocked-GEMM fast path with a throwaway arena —
+    /// hot loops should hold a [`ConvScratch`] and call
+    /// [`Vgg16::forward_pool_taps_into`]. The pre-GEMM scalar path is
+    /// retained as [`Vgg16::forward_pool_taps_naive`].
     pub fn forward_pool_taps(&self, img: &Image) -> Vec<Tensor3<f32>> {
+        self.forward_pool_taps_into(&mut ConvScratch::new(), img)
+    }
+
+    /// [`Vgg16::forward_pool_taps`] against a caller-owned scratch arena:
+    /// the 13 convolutions ping-pong between the arena's two activation
+    /// buffers (im2col panel and GEMM packing reused layer to layer, bias +
+    /// ReLU fused into each GEMM's output write), and each block's 2×2 pool
+    /// writes **directly into the returned tap tensor** — the five taps are
+    /// the only per-call allocations once the arena has warmed up.
+    ///
+    /// Bit-deterministic: the same `(network, image)` pair produces
+    /// bit-identical taps for any arena history and any thread's arena.
+    pub fn forward_pool_taps_into(
+        &self,
+        scratch: &mut ConvScratch,
+        img: &Image,
+    ) -> Vec<Tensor3<f32>> {
+        let ConvScratch { col, gemm, act } = scratch;
+        let [ping, pong] = act;
+        self.prepare_input_into(img, ping);
+        let mut c = self.config.input_channels;
+        let mut h = self.config.input_size;
+        let mut w = h;
+        // `flip == false` ⇒ the current activation lives in `ping`.
+        let mut flip = false;
+        let mut taps = Vec::with_capacity(5);
+        for block in &self.blocks {
+            for conv in block {
+                let out_c = conv.out_channels();
+                let (src, dst) = if flip { (&*pong, &mut *ping) } else { (&*ping, &mut *pong) };
+                if dst.len() < out_c * h * w {
+                    dst.resize(out_c * h * w, 0.0);
+                }
+                conv.forward_cols(
+                    &src[..c * h * w],
+                    h,
+                    w,
+                    col,
+                    gemm,
+                    true,
+                    &mut dst[..out_c * h * w],
+                );
+                c = out_c;
+                flip = !flip;
+            }
+            let (oh, ow) = (h / 2, w / 2);
+            let mut tap = Tensor3::zeros(c, oh, ow);
+            let src = if flip { &*pong } else { &*ping };
+            MaxPool2d.forward_into(&src[..c * h * w], c, h, w, tap.as_mut_slice());
+            // Stage the pooled map back into the current buffer as the next
+            // block's input (a ~KiB memcpy; the taps Vec may reallocate, so
+            // the next conv cannot borrow the tap directly while later taps
+            // are pushed).
+            let dst = if flip { &mut *pong } else { &mut *ping };
+            dst[..c * oh * ow].copy_from_slice(tap.as_slice());
+            taps.push(tap);
+            h = oh;
+            w = ow;
+        }
+        taps
+    }
+
+    /// Scalar reference trunk — the original per-pixel convolution loop
+    /// ([`Conv2d::forward_naive`]) with per-layer tensor allocation. Kept
+    /// as the semantic ground truth for the property tests and the
+    /// `repro -- embed` baseline; agrees with the fast path within `1e-5`
+    /// per tap value.
+    pub fn forward_pool_taps_naive(&self, img: &Image) -> Vec<Tensor3<f32>> {
         let mut x = self.prepare_input(img);
         let mut taps = Vec::with_capacity(5);
         for block in &self.blocks {
             for conv in block {
-                x = conv.forward(&x);
+                x = conv.forward_naive(&x);
                 relu_in_place(&mut x);
             }
             x = MaxPool2d.forward(&x);
@@ -159,7 +259,13 @@ impl Vgg16 {
     /// Full forward pass to the logits feature vector (the representation
     /// the Snuba-primitives and "Logits" baselines consume).
     pub fn logits(&self, img: &Image) -> Vec<f32> {
-        let taps = self.forward_pool_taps(img);
+        self.logits_with(&mut ConvScratch::new(), img)
+    }
+
+    /// [`Vgg16::logits`] against a caller-owned scratch arena (see
+    /// [`Vgg16::forward_pool_taps_into`]).
+    pub fn logits_with(&self, scratch: &mut ConvScratch, img: &Image) -> Vec<f32> {
+        let taps = self.forward_pool_taps_into(scratch, img);
         let last = taps.last().expect("five taps");
         let mut x: Vec<f32> = last.as_slice().to_vec();
         for (i, layer) in self.fc.iter().enumerate() {
@@ -177,13 +283,48 @@ impl Vgg16 {
     }
 
     /// Convenience: logits for a batch of images as an `n × logits_dim`
-    /// row-major matrix.
+    /// row-major matrix, fanned out across the machine's available
+    /// parallelism (see [`Vgg16::logits_batch_threaded`] for an explicit
+    /// budget).
     pub fn logits_batch(&self, imgs: &[Image]) -> goggles_tensor::Matrix<f32> {
-        let mut out = goggles_tensor::Matrix::zeros(imgs.len(), self.config.logits_dim);
-        for (i, img) in imgs.iter().enumerate() {
-            let l = self.logits(img);
-            out.row_mut(i).copy_from_slice(&l);
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.logits_batch_threaded(imgs, threads)
+    }
+
+    /// Batch logits across an explicit thread budget. Images are
+    /// independent, each worker owns one scratch arena and writes disjoint
+    /// output rows, so the result is identical for every thread count.
+    pub fn logits_batch_threaded(
+        &self,
+        imgs: &[Image],
+        threads: usize,
+    ) -> goggles_tensor::Matrix<f32> {
+        let ld = self.config.logits_dim;
+        let mut out = goggles_tensor::Matrix::zeros(imgs.len(), ld);
+        if imgs.is_empty() || ld == 0 {
+            return out;
         }
+        let threads = threads.max(1).min(imgs.len());
+        if threads <= 1 || imgs.len() < 4 {
+            let mut scratch = ConvScratch::new();
+            for (i, img) in imgs.iter().enumerate() {
+                out.row_mut(i).copy_from_slice(&self.logits_with(&mut scratch, img));
+            }
+            return out;
+        }
+        let chunk = imgs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (rows, chunk_imgs) in
+                out.as_mut_slice().chunks_mut(chunk * ld).zip(imgs.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    let mut scratch = ConvScratch::new();
+                    for (row, img) in rows.chunks_mut(ld).zip(chunk_imgs) {
+                        row.copy_from_slice(&self.logits_with(&mut scratch, img));
+                    }
+                });
+            }
+        });
         out
     }
 }

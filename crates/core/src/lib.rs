@@ -42,7 +42,7 @@ pub use affinity::{AffinityFunction, AffinityMatrix, PrototypeBank, ScoreDistrib
 pub use hierarchical::{fold_in_rows, HierarchicalModel, HierarchicalOptions};
 pub use mapping::{apply_mapping, map_clusters_via_dev_set};
 pub use pipeline::{Goggles, GogglesConfig, LabelingResult, ProbabilisticLabels};
-pub use prototypes::{ImageEmbedding, LayerEmbedding};
+pub use prototypes::{EmbedScratch, ImageEmbedding, LayerEmbedding};
 
 /// Errors surfaced by the GOGGLES pipeline.
 #[derive(Debug)]

@@ -10,9 +10,34 @@
 //!   by location as the paper prescribes and re-padded to exactly Z rows so
 //!   the affinity-function count is a stable `α = 5Z`.
 
-use goggles_cnn::Vgg16;
+use goggles_cnn::{ConvScratch, Vgg16};
 use goggles_tensor::{Matrix, Tensor3};
 use goggles_vision::Image;
+
+/// Per-worker scratch arenas for [`embed_images_with`]: one backbone
+/// [`ConvScratch`] per embedding thread, grown lazily to the thread budget
+/// and reused across calls. A long-lived worker (e.g. a `goggles-serve`
+/// labeling thread) holds one of these so embedding a request performs no
+/// backbone allocations beyond the five returned tap tensors per image.
+#[derive(Debug, Default)]
+pub struct EmbedScratch {
+    per_thread: Vec<ConvScratch>,
+}
+
+impl EmbedScratch {
+    /// An empty scratch; arenas are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure at least `threads` arenas exist and borrow them.
+    fn arenas(&mut self, threads: usize) -> &mut [ConvScratch] {
+        if self.per_thread.len() < threads {
+            self.per_thread.resize_with(threads, ConvScratch::new);
+        }
+        &mut self.per_thread[..threads]
+    }
+}
 
 /// Per-layer embedding of one image.
 #[derive(Debug, Clone)]
@@ -57,15 +82,35 @@ fn extract_top_z_prototypes_raw(
     z: usize,
 ) -> (Matrix<f32>, Vec<(usize, usize)>) {
     assert!(z > 0, "need z ≥ 1 prototypes");
-    let activations = map.global_max_pool();
+    // One pass per channel computing (max, argmax) together — the map is
+    // scanned exactly once, instead of a global-max sweep followed by a
+    // re-scan of every selected channel. First occurrence wins on ties,
+    // matching `Tensor3::channel_argmax`.
+    let (_, _, width) = map.shape();
+    let per_channel: Vec<(f32, usize)> = (0..map.channels())
+        .map(|c| {
+            let plane = map.channel(c);
+            let mut best = 0usize;
+            let mut best_v = plane[0];
+            for (idx, &v) in plane.iter().enumerate().skip(1) {
+                if v > best_v {
+                    best = idx;
+                    best_v = v;
+                }
+            }
+            (best_v, best)
+        })
+        .collect();
     let mut order: Vec<usize> = (0..map.channels()).collect();
-    order.sort_by(|&a, &b| activations[b].partial_cmp(&activations[a]).expect("NaN activation"));
+    order
+        .sort_by(|&a, &b| per_channel[b].0.partial_cmp(&per_channel[a].0).expect("NaN activation"));
     let z_eff = z.min(map.channels());
     let mut locations: Vec<(usize, usize)> = Vec::with_capacity(z);
+    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::with_capacity(z);
     for &c in order.iter().take(z_eff) {
-        let loc = map.channel_argmax(c);
-        if !locations.contains(&loc) {
-            locations.push(loc);
+        let flat = per_channel[c].1;
+        if seen.insert(flat) {
+            locations.push((flat / width, flat % width));
         }
     }
     // Pad to exactly z by cycling (keeps α fixed across images).
@@ -94,7 +139,29 @@ fn extract_top_z_prototypes_raw(
 /// discriminative geometry the paper's affinity functions rely on
 /// (substitution recorded in DESIGN.md §5).
 pub fn embed_image(net: &Vgg16, img: &Image, z: usize, center_patches: bool) -> ImageEmbedding {
-    let taps = net.forward_pool_taps(img);
+    embed_image_with(net, &mut ConvScratch::new(), img, z, center_patches)
+}
+
+/// [`embed_image`] against a caller-owned backbone scratch arena, so a
+/// long-lived worker embeds every image through the same buffers (see
+/// [`goggles_cnn::ConvScratch`] for the arena contract).
+pub fn embed_image_with(
+    net: &Vgg16,
+    scratch: &mut ConvScratch,
+    img: &Image,
+    z: usize,
+    center_patches: bool,
+) -> ImageEmbedding {
+    let taps = net.forward_pool_taps_into(scratch, img);
+    embed_from_taps(&taps, z, center_patches)
+}
+
+/// Algorithm 1 lines 2–4 without the backbone pass: build the per-layer
+/// patch tables and top-`z` prototypes from already-computed pool taps.
+/// Exposed so alternative backbone paths (e.g. the retained naive
+/// reference the `repro -- embed` baseline drives) share the exact same
+/// extraction code.
+pub fn embed_from_taps(taps: &[Tensor3<f32>], z: usize, center_patches: bool) -> ImageEmbedding {
     let layers = taps
         .iter()
         .map(|map| {
@@ -133,19 +200,41 @@ pub fn embed_images(
     threads: usize,
     center_patches: bool,
 ) -> Vec<ImageEmbedding> {
+    embed_images_with(net, &mut EmbedScratch::new(), images, z, threads, center_patches)
+}
+
+/// [`embed_images`] against a caller-owned [`EmbedScratch`]: each worker
+/// thread embeds its image chunk through its own arena, so across a batch
+/// (and across calls, when the scratch outlives them) the backbone performs
+/// no per-image allocations beyond the returned embeddings. Results are
+/// identical for every thread count.
+pub fn embed_images_with(
+    net: &Vgg16,
+    scratch: &mut EmbedScratch,
+    images: &[&Image],
+    z: usize,
+    threads: usize,
+    center_patches: bool,
+) -> Vec<ImageEmbedding> {
     let threads = threads.max(1).min(images.len().max(1));
     if threads <= 1 || images.len() < 4 {
-        return images.iter().map(|img| embed_image(net, img, z, center_patches)).collect();
+        let arena = &mut scratch.arenas(1)[0];
+        return images
+            .iter()
+            .map(|img| embed_image_with(net, arena, img, z, center_patches))
+            .collect();
     }
     let mut results: Vec<Option<ImageEmbedding>> = vec![None; images.len()];
     let chunk = images.len().div_ceil(threads);
+    let arenas = scratch.arenas(threads);
     std::thread::scope(|scope| {
-        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+        for ((t, out_chunk), arena) in results.chunks_mut(chunk).enumerate().zip(arenas.iter_mut())
+        {
             let start = t * chunk;
             let imgs = &images[start..(start + out_chunk.len())];
             scope.spawn(move || {
                 for (slot, img) in out_chunk.iter_mut().zip(imgs) {
-                    *slot = Some(embed_image(net, img, z, center_patches));
+                    *slot = Some(embed_image_with(net, arena, img, z, center_patches));
                 }
             });
         }
@@ -226,6 +315,26 @@ mod tests {
         let (protos, locs) = extract_top_z_prototypes(&map, 5);
         assert_eq!(protos.rows(), 5);
         assert_eq!(locs.len(), 5);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_embedding() {
+        let net = Vgg16::new(&VggConfig::tiny(), 5);
+        let images: Vec<Image> = (0..5).map(|i| sample_image(i as f32)).collect();
+        let refs: Vec<&Image> = images.iter().collect();
+        let fresh = embed_images(&net, &refs, 3, 2, true);
+        let mut scratch = EmbedScratch::new();
+        // Same scratch across two passes and across thread budgets.
+        for threads in [1usize, 2, 4] {
+            let reused = embed_images_with(&net, &mut scratch, &refs, 3, threads, true);
+            for (a, b) in fresh.iter().zip(&reused) {
+                for (la, lb) in a.layers.iter().zip(&b.layers) {
+                    assert_eq!(la.patches, lb.patches, "threads = {threads}");
+                    assert_eq!(la.prototypes, lb.prototypes, "threads = {threads}");
+                    assert_eq!(la.locations, lb.locations, "threads = {threads}");
+                }
+            }
+        }
     }
 
     #[test]

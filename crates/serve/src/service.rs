@@ -18,7 +18,7 @@
 use crate::registry::{PublishedSnapshot, SnapshotRegistry};
 use crate::snapshot::FittedLabeler;
 use crate::{ServeError, ServeResult};
-use goggles_core::ProbabilisticLabels;
+use goggles_core::{EmbedScratch, ProbabilisticLabels};
 use goggles_vision::Image;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -316,12 +316,16 @@ impl Drop for LabelService {
 }
 
 fn worker_loop(shared: &Shared) {
+    // One embedding scratch arena per worker, held across requests: the
+    // backbone's im2col/GEMM/activation buffers grow once and every
+    // subsequent batch embeds allocation-free (outputs aside).
+    let mut scratch = EmbedScratch::new();
     loop {
         let batch = match next_batch(shared) {
             Some(batch) => batch,
             None => return,
         };
-        run_batch(shared, batch);
+        run_batch(shared, &mut scratch, batch);
     }
 }
 
@@ -370,7 +374,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
-fn run_batch(shared: &Shared, batch: Vec<Request>) {
+fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
     // Resolve the current snapshot once per batch: the lease pins the
     // version for this batch's whole lifetime (labeling + responses), while
     // a concurrent publish/rollback is picked up by the next batch. No
@@ -382,7 +386,7 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
     // requests sharing the batch deserve answers — so a failed batch is
     // salvaged by retrying its requests individually.
     let labels = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        lease.labeler().label_batch(&images, shared.config.embed_threads)
+        lease.labeler().label_batch_with(scratch, &images, shared.config.embed_threads)
     })) {
         Ok(labels) => labels,
         Err(panic) => {
@@ -396,6 +400,10 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
                 batch.len()
             );
             shared.counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            // A panicked embed may have left the arena buffers at any size;
+            // they stay valid (growth-only), but retry with a fresh scratch
+            // out of caution.
+            *scratch = EmbedScratch::new();
             salvage_batch(shared, &lease, batch);
             return;
         }

@@ -19,7 +19,7 @@ use crate::{ServeError, ServeResult};
 use goggles_cnn::{Vgg16, VggConfig};
 use goggles_core::hierarchical::fold_in_rows;
 use goggles_core::mapping::apply_mapping;
-use goggles_core::prototypes::embed_images;
+use goggles_core::prototypes::{embed_images, embed_images_with, EmbedScratch};
 use goggles_core::{
     Goggles, GogglesConfig, HierarchicalModel, LabelingResult, ProbabilisticLabels, PrototypeBank,
 };
@@ -215,10 +215,26 @@ impl FittedLabeler {
     /// through the stored models — no training-matrix rebuild, no refit.
     /// Returns class-aligned probabilistic labels (mapping applied).
     pub fn label_batch(&self, images: &[&Image], threads: usize) -> ProbabilisticLabels {
+        self.label_batch_with(&mut EmbedScratch::new(), images, threads)
+    }
+
+    /// [`FittedLabeler::label_batch`] against a caller-owned
+    /// [`EmbedScratch`]: a long-lived worker (each [`crate::LabelService`]
+    /// thread holds one) reuses the backbone's im2col/GEMM/activation
+    /// arenas across requests, so steady-state labeling allocates nothing
+    /// on the embedding side beyond the per-image tap tensors. Output is
+    /// identical to [`FittedLabeler::label_batch`] for any scratch history.
+    pub fn label_batch_with(
+        &self,
+        scratch: &mut EmbedScratch,
+        images: &[&Image],
+        threads: usize,
+    ) -> ProbabilisticLabels {
         if images.is_empty() {
             return ProbabilisticLabels { probs: Matrix::zeros(0, self.num_classes) };
         }
-        let embeddings = embed_images(&self.net, images, self.top_z, threads, self.center_patches);
+        let embeddings =
+            embed_images_with(&self.net, scratch, images, self.top_z, threads, self.center_patches);
         let rows = self.bank.affinity_rows(&embeddings, threads);
         let cluster_probs = self.fold_in(&rows);
         ProbabilisticLabels { probs: apply_mapping(&cluster_probs, &self.mapping) }

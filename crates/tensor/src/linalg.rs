@@ -212,6 +212,230 @@ fn max_lanes(xs: &[f32]) -> f32 {
     best
 }
 
+/// Output rows per register tile of [`gemm_f32`] (the `MR` of a classic
+/// BLIS-style micro-kernel).
+const GEMM_MR: usize = 4;
+
+/// Output columns per register tile of [`gemm_f32`]. `GEMM_MR × GEMM_NB`
+/// f32 accumulators live in registers across the whole `k` loop —
+/// 4×8 = 32 lanes fits the 16 SSE registers of the baseline x86-64 target
+/// with room for the broadcast/load operands (and vectorizes wider when
+/// AVX is enabled).
+const GEMM_NB: usize = 8;
+
+/// Reusable workspace of [`gemm_f32`]: the `A` panel re-packed so each
+/// register tile reads its `GEMM_MR` operands contiguously. Keep one per
+/// thread; it grows once to the largest layer geometry, after which the
+/// kernel never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    /// `ceil(m / GEMM_MR) · GEMM_MR × k` packed copy of `a`, tile-major:
+    /// block `i` holds rows `[i·MR, (i+1)·MR)` interleaved as `[kk][mr]`
+    /// (tail rows zero-filled).
+    a_pack: Vec<f32>,
+}
+
+/// Blocked row-major single-precision GEMM: `out = a · b` with
+/// `a: m×k`, `b: k×n`, `out: m×n`, all row-major.
+///
+/// This is the embedding-side sibling of [`colmax_matmul_f32`]: a 3×3
+/// convolution lowered through [`im2col_3x3`] is exactly this product with
+/// `a` the `[out_c][in_c·9]` weight table and `b` the patch panel, so one
+/// kernel serves every layer of the backbone. Design:
+///
+/// * **Panel packing** — `a` is re-packed once per call into
+///   [`GemmScratch`] so the micro-kernel's `GEMM_MR` row operands sit
+///   contiguously (`[kk][mr]` order), turning the strided weight reads
+///   into sequential loads.
+/// * **Register tiling** — the inner loop computes a `GEMM_MR × GEMM_NB`
+///   output tile with all accumulators in registers, streaming `b` row by
+///   row; each accumulator sums its `k` terms in ascending-`kk` order, so
+///   the result is bit-deterministic (same inputs ⇒ same bits, any call
+///   pattern).
+///
+/// For the fused bias + ReLU epilogue the convolution path wants, see
+/// [`gemm_bias_relu_f32`]; both share this implementation.
+///
+/// # Panics
+/// Panics if `a.len() != m·k`, `b.len() != k·n`, or `out.len() != m·n`.
+pub fn gemm_f32(
+    scratch: &mut GemmScratch,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    gemm_impl(scratch, a, b, m, k, n, None, false, out);
+}
+
+/// [`gemm_f32`] with a fused epilogue: `out = relu?(a·b + bias)`, where
+/// `bias` (length `m`) is broadcast along each output row and `relu`
+/// clamps negatives to zero in the same pass. This is the whole per-layer
+/// arithmetic of a padded 3×3 convolution once [`im2col_3x3`] has built
+/// the patch panel — no second sweep over the output.
+///
+/// # Panics
+/// As [`gemm_f32`], plus `bias.len() != m`.
+// A GEMM-with-epilogue signature is inherently wide: three panels, three
+// dimensions, and the epilogue operands.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_relu_f32(
+    scratch: &mut GemmScratch,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: &[f32],
+    relu: bool,
+    out: &mut [f32],
+) {
+    assert_eq!(bias.len(), m, "gemm_bias_relu_f32: bias.len() != m");
+    gemm_impl(scratch, a, b, m, k, n, Some(bias), relu, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_impl(
+    scratch: &mut GemmScratch,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    relu: bool,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_f32: a.len() != m*k");
+    assert_eq!(b.len(), k * n, "gemm_f32: b.len() != k*n");
+    assert_eq!(out.len(), m * n, "gemm_f32: out.len() != m*n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let m_blocks = m.div_ceil(GEMM_MR);
+    let packed = m_blocks * GEMM_MR * k;
+    if scratch.a_pack.len() < packed {
+        scratch.a_pack.resize(packed, 0.0);
+    }
+    let a_pack = &mut scratch.a_pack[..packed];
+    // Pack: block i, layout [kk * GEMM_MR + mr] = a[(i*MR + mr) * k + kk].
+    for i in 0..m_blocks {
+        let block = &mut a_pack[i * GEMM_MR * k..(i + 1) * GEMM_MR * k];
+        for mr in 0..GEMM_MR {
+            let row = i * GEMM_MR + mr;
+            if row < m {
+                for (kk, &v) in a[row * k..(row + 1) * k].iter().enumerate() {
+                    block[kk * GEMM_MR + mr] = v;
+                }
+            } else {
+                for kk in 0..k {
+                    block[kk * GEMM_MR + mr] = 0.0;
+                }
+            }
+        }
+    }
+    for i in 0..m_blocks {
+        let block = &a_pack[i * GEMM_MR * k..(i + 1) * GEMM_MR * k];
+        let rows = GEMM_MR.min(m - i * GEMM_MR);
+        let mut j0 = 0;
+        while j0 < n {
+            let nb = GEMM_NB.min(n - j0);
+            let mut acc = [[0.0f32; GEMM_NB]; GEMM_MR];
+            if nb == GEMM_NB {
+                // Full-width tile: fixed trip counts so the accumulators
+                // stay in registers across the k loop.
+                for kk in 0..k {
+                    let a_col = &block[kk * GEMM_MR..(kk + 1) * GEMM_MR];
+                    let b_row = &b[kk * n + j0..kk * n + j0 + GEMM_NB];
+                    for mr in 0..GEMM_MR {
+                        let av = a_col[mr];
+                        for jj in 0..GEMM_NB {
+                            acc[mr][jj] += av * b_row[jj];
+                        }
+                    }
+                }
+            } else {
+                for kk in 0..k {
+                    let a_col = &block[kk * GEMM_MR..(kk + 1) * GEMM_MR];
+                    let b_row = &b[kk * n + j0..kk * n + j0 + nb];
+                    for mr in 0..GEMM_MR {
+                        let av = a_col[mr];
+                        for (jj, &bv) in b_row.iter().enumerate() {
+                            acc[mr][jj] += av * bv;
+                        }
+                    }
+                }
+            }
+            for mr in 0..rows {
+                let row = i * GEMM_MR + mr;
+                let add = bias.map_or(0.0, |bs| bs[row]);
+                let dst = &mut out[row * n + j0..row * n + j0 + nb];
+                for (d, &v) in dst.iter_mut().zip(&acc[mr][..nb]) {
+                    let y = v + add;
+                    *d = if relu && y < 0.0 { 0.0 } else { y };
+                }
+            }
+            j0 += nb;
+        }
+    }
+}
+
+/// Lower a `C×H×W` channel-major map into the **same-padded 3×3 patch
+/// panel**: a `(C·9) × (H·W)` row-major matrix whose row `ic·9 + ky·3 + kx`
+/// holds, for every output position `(y, x)` (column `y·W + x`), the input
+/// value at `(ic, y + ky - 1, x + kx - 1)` — or `0` where that falls
+/// outside the map. A stride-1 zero-padded 3×3 convolution is then exactly
+/// `weights · panel` (see [`gemm_f32`]), with the weight table's
+/// `[out_c][in_c][ky][kx]` layout matching the panel's row order.
+///
+/// The panel is written into the caller-owned `out` buffer (resized to
+/// `C·9·H·W`; contents fully overwritten), so per-layer lowering costs no
+/// allocation once the buffer has grown to the largest layer. Every row is
+/// a shifted copy of a channel plane row, so the lowering is pure
+/// `memcpy`-speed traffic — `9·C·H·W` writes against the `2·9·C·H·W·out_c`
+/// flops of the product it feeds.
+///
+/// # Panics
+/// Panics if `input.len() != channels·height·width` or any dimension is 0.
+pub fn im2col_3x3(input: &[f32], channels: usize, height: usize, width: usize, out: &mut Vec<f32>) {
+    assert!(channels > 0 && height > 0 && width > 0, "im2col_3x3: empty input");
+    assert_eq!(input.len(), channels * height * width, "im2col_3x3: input shape mismatch");
+    let plane = height * width;
+    out.resize(channels * 9 * plane, 0.0);
+    for ic in 0..channels {
+        let src = &input[ic * plane..(ic + 1) * plane];
+        for ky in 0..3 {
+            for kx in 0..3 {
+                let dst = &mut out[(ic * 9 + ky * 3 + kx) * plane..][..plane];
+                for y in 0..height {
+                    let drow = &mut dst[y * width..(y + 1) * width];
+                    // Source row index is y + ky - 1; `sy` is that plus one
+                    // so the bounds check stays in unsigned arithmetic.
+                    let sy = y + ky;
+                    if sy < 1 || sy > height {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let srow = &src[(sy - 1) * width..sy * width];
+                    match kx {
+                        0 => {
+                            drow[0] = 0.0;
+                            drow[1..].copy_from_slice(&srow[..width - 1]);
+                        }
+                        1 => drow.copy_from_slice(srow),
+                        _ => {
+                            drow[width - 1] = 0.0;
+                            drow[..width - 1].copy_from_slice(&srow[1..]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Reference scalar implementation of [`colmax_matmul_f32`]: plain
 /// sequential dot products, one running maximum per output — the shape of
 /// the pre-blocking affinity hot path. Kept (and exported) so property
@@ -604,6 +828,141 @@ mod tests {
             colmax_matmul_f32(&a, &b[lo * cols..hi * cols], cols, &mut part);
             assert_eq!(part, full[lo..hi], "shard [{lo}, {hi})");
         }
+    }
+
+    /// Plain triple-loop reference for the GEMM tests.
+    fn gemm_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    c[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_small_exact() {
+        // 2×3 · 3×2 with integer values: exact in f32.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0f32, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut out = [0.0f32; 4];
+        gemm_f32(&mut GemmScratch::default(), &a, &b, 2, 3, 2, &mut out);
+        assert_eq!(out, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_awkward_shapes() {
+        // Shapes exercising the MR and NB tails and k = 0.
+        let mut rng = rng::std_rng(99);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 9, 8),
+            (5, 27, 13),
+            (6, 1, 20),
+            (8, 72, 33),
+            (2, 0, 5),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng::normal(&mut rng) as f32).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng::normal(&mut rng) as f32).collect();
+            let mut out = vec![f32::NAN; m * n];
+            gemm_f32(&mut GemmScratch::default(), &a, &b, m, k, n, &mut out);
+            let reference = gemm_reference(&a, &b, m, k, n);
+            for (i, (x, y)) in out.iter().zip(&reference).enumerate() {
+                assert!((x - y).abs() < 1e-5, "m={m} k={k} n={n} i={i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_scratch_reuse_is_bit_identical() {
+        let mut rng = rng::std_rng(5);
+        let (m, k, n) = (7usize, 20usize, 19usize);
+        let a: Vec<f32> = (0..m * k).map(|_| rng::normal(&mut rng) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng::normal(&mut rng) as f32).collect();
+        let mut scratch = GemmScratch::default();
+        // Grow the scratch on a larger problem first, then reuse.
+        let big: Vec<f32> = (0..16 * 40).map(|_| rng::normal(&mut rng) as f32).collect();
+        let bigb: Vec<f32> = (0..40 * 24).map(|_| rng::normal(&mut rng) as f32).collect();
+        let mut sink = vec![0.0f32; 16 * 24];
+        gemm_f32(&mut scratch, &big, &bigb, 16, 40, 24, &mut sink);
+        let mut first = vec![0.0f32; m * n];
+        let mut second = vec![0.0f32; m * n];
+        gemm_f32(&mut scratch, &a, &b, m, k, n, &mut first);
+        gemm_f32(&mut scratch, &a, &b, m, k, n, &mut second);
+        let fresh = {
+            let mut out = vec![0.0f32; m * n];
+            gemm_f32(&mut GemmScratch::default(), &a, &b, m, k, n, &mut out);
+            out
+        };
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&first), bits(&second));
+        assert_eq!(bits(&first), bits(&fresh));
+    }
+
+    #[test]
+    fn gemm_bias_relu_epilogue() {
+        // 1×2 · 2×3 = [5, 7, 9]; bias -6 then ReLU clamps two entries.
+        let a = [1.0f32, 1.0];
+        let b = [2.0f32, 3.0, 4.0, 3.0, 4.0, 5.0];
+        let mut out = [0.0f32; 3];
+        gemm_bias_relu_f32(&mut GemmScratch::default(), &a, &b, 1, 2, 3, &[-6.0], true, &mut out);
+        assert_eq!(out, [0.0, 1.0, 3.0]);
+        // Without relu the negatives pass through.
+        gemm_bias_relu_f32(&mut GemmScratch::default(), &a, &b, 1, 2, 3, &[-6.0], false, &mut out);
+        assert_eq!(out, [-1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn im2col_3x3_center_and_borders() {
+        // One 2×2 channel [[1,2],[3,4]]: check the center row (ky=1,kx=1)
+        // is the identity and a corner-shift row zero-pads correctly.
+        let input = [1.0f32, 2.0, 3.0, 4.0];
+        let mut panel = Vec::new();
+        im2col_3x3(&input, 1, 2, 2, &mut panel);
+        assert_eq!(panel.len(), 9 * 4);
+        // Row 4 = (ky=1, kx=1): the untouched plane.
+        assert_eq!(&panel[4 * 4..5 * 4], &input);
+        // Row 0 = (ky=0, kx=0): input shifted down-right, top row and left
+        // column zero.
+        assert_eq!(&panel[0..4], &[0.0, 0.0, 0.0, 1.0]);
+        // Row 8 = (ky=2, kx=2): shifted up-left, bottom row and right
+        // column zero.
+        assert_eq!(&panel[8 * 4..9 * 4], &[4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_conv_sum() {
+        // 3×3 all-ones kernel over a delta image via im2col+gemm spreads
+        // the delta over its 3×3 neighbourhood (cf. the Conv2d box test).
+        let mut input = vec![0.0f32; 25];
+        input[2 * 5 + 2] = 1.0;
+        let mut panel = Vec::new();
+        im2col_3x3(&input, 1, 5, 5, &mut panel);
+        let weights = [1.0f32; 9];
+        let mut out = vec![0.0f32; 25];
+        gemm_f32(&mut GemmScratch::default(), &weights, &panel, 1, 9, 25, &mut out);
+        for y in 0..5 {
+            for x in 0..5 {
+                let expect = if (1..=3).contains(&y) && (1..=3).contains(&x) { 1.0 } else { 0.0 };
+                assert_eq!(out[y * 5 + x], expect, "at ({y},{x})");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_handles_width_one() {
+        let input = [1.0f32, 2.0, 3.0];
+        let mut panel = Vec::new();
+        im2col_3x3(&input, 1, 3, 1, &mut panel);
+        // kx=0 and kx=2 rows are entirely zero-padded at width 1.
+        assert_eq!(&panel[3 * 3..4 * 3], &[0.0, 0.0, 0.0]); // ky=1, kx=0
+        assert_eq!(&panel[4 * 3..5 * 3], &[1.0, 2.0, 3.0]); // ky=1, kx=1 (identity)
+        assert_eq!(&panel[3..2 * 3], &[0.0, 1.0, 2.0]); // ky=0, kx=1 (shift down)
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Embedding benchmark: single-image backbone + embedding latency of the
+//! im2col + blocked-GEMM fast path (`Vgg16::forward_pool_taps_into` with a
+//! reused [`goggles_cnn::ConvScratch`] arena) versus the retained scalar
+//! convolution reference (`Vgg16::forward_pool_taps_naive`), plus the
+//! per-stage split of one online labeling request (embed vs affinity).
+//!
+//! Not a paper artifact — the backbone math is unchanged — but the direct
+//! quantification of the paper's own cost observation (§5.3: CNN inference
+//! dominates end-to-end cost): after the PR 2 affinity kernel, the conv
+//! trunk was the serving bottleneck, and this reports exactly what the
+//! GEMM lowering buys on it (latency, conv GFLOP/s, and how the embed
+//! stage now compares to the affinity stage it feeds).
+
+use super::report::Table;
+use super::RunParams;
+use goggles_cnn::{ConvScratch, Vgg16};
+use goggles_core::prototypes::{embed_from_taps, embed_image_with, embed_images};
+use goggles_core::{Goggles, PrototypeBank};
+use goggles_datasets::{generate, TaskConfig, TaskKind};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Everything one embedding-benchmark run measured.
+#[derive(Debug, Clone)]
+pub struct EmbedBenchReport {
+    /// Backbone input size (square side).
+    pub input_size: usize,
+    /// Prototypes per layer `Z` (α = 5Z affinity functions).
+    pub top_z: usize,
+    /// Conv-trunk arithmetic per image, GFLOP (2·Σ Cout·Cin·9·H·W).
+    pub conv_gflops_per_image: f64,
+    /// Median latency of the scalar-reference trunk, ms.
+    pub backbone_naive_ms: f64,
+    /// Median latency of the im2col+GEMM trunk with a reused arena, ms.
+    pub backbone_fast_ms: f64,
+    /// Median latency of a full embedding (naive trunk + extraction), ms.
+    pub embed_naive_ms: f64,
+    /// Median latency of a full embedding (fast trunk + extraction), ms.
+    pub embed_fast_ms: f64,
+    /// Median latency of one `1 × αN` affinity row against the stored
+    /// bank (the stage the embedding feeds), ms.
+    pub affinity_row_ms: f64,
+    /// Stored training images `N` behind the affinity-row measurement.
+    pub n_train: usize,
+    /// Largest elementwise disagreement between fast and naive pool taps
+    /// over the sample images (must stay within 1e-5).
+    pub max_abs_dev: f64,
+}
+
+impl EmbedBenchReport {
+    /// Trunk-only speedup of the GEMM path over the scalar reference.
+    pub fn backbone_speedup(&self) -> f64 {
+        if self.backbone_fast_ms <= 0.0 {
+            return 0.0;
+        }
+        self.backbone_naive_ms / self.backbone_fast_ms
+    }
+
+    /// Full single-image embedding speedup — the acceptance number
+    /// (≥ 2.5× at default scale).
+    pub fn embed_speedup(&self) -> f64 {
+        if self.embed_fast_ms <= 0.0 {
+            return 0.0;
+        }
+        self.embed_naive_ms / self.embed_fast_ms
+    }
+
+    /// Sustained conv throughput of the fast trunk, GFLOP/s.
+    pub fn conv_gflops_per_s(&self) -> f64 {
+        if self.backbone_fast_ms <= 0.0 {
+            return 0.0;
+        }
+        self.conv_gflops_per_image / (self.backbone_fast_ms / 1e3)
+    }
+
+    /// Embed-stage cost per affinity-stage cost of one online request
+    /// (the balance the tentpole targets: ≈ 1 means the backbone keeps up
+    /// with the affinity kernel).
+    pub fn embed_vs_affinity_ratio(&self) -> f64 {
+        if self.affinity_row_ms <= 0.0 {
+            return 0.0;
+        }
+        self.embed_fast_ms / self.affinity_row_ms
+    }
+
+    /// Text table for the bench harness.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Embedding hot path: im2col+GEMM trunk vs scalar reference",
+            &["metric", "value"],
+        );
+        let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+        row("input size", format!("{0}×{0}", self.input_size));
+        row("prototypes per layer (Z)", format!("{}", self.top_z));
+        row("conv arithmetic per image", format!("{:.3} GFLOP", self.conv_gflops_per_image));
+        row("trunk, scalar reference", format!("{:.3} ms", self.backbone_naive_ms));
+        row("trunk, im2col+GEMM", format!("{:.3} ms", self.backbone_fast_ms));
+        row("trunk speedup", format!("{:.1}×", self.backbone_speedup()));
+        row("trunk throughput", format!("{:.2} GFLOP/s", self.conv_gflops_per_s()));
+        row("embed, scalar reference", format!("{:.3} ms", self.embed_naive_ms));
+        row("embed, im2col+GEMM", format!("{:.3} ms", self.embed_fast_ms));
+        row("embed speedup", format!("{:.1}×", self.embed_speedup()));
+        row(
+            "affinity row (bank N)",
+            format!("{:.3} ms (N={})", self.affinity_row_ms, self.n_train),
+        );
+        row("embed / affinity stage ratio", format!("{:.2}", self.embed_vs_affinity_ratio()));
+        row("max |fast - naive| over taps", format!("{:.2e}", self.max_abs_dev));
+        t
+    }
+
+    /// Hand-rolled JSON summary (the `BENCH_embed.json` artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"input_size\": {},\n  \"top_z\": {},\n  \"n_train\": {},\n  \
+             \"conv_gflops_per_image\": {:.5},\n  \"backbone_naive_ms\": {:.4},\n  \
+             \"backbone_fast_ms\": {:.4},\n  \"backbone_speedup\": {:.2},\n  \
+             \"conv_gflops_per_s\": {:.3},\n  \"embed_naive_ms\": {:.4},\n  \
+             \"embed_fast_ms\": {:.4},\n  \"embed_speedup\": {:.2},\n  \
+             \"affinity_row_ms\": {:.4},\n  \"embed_vs_affinity_ratio\": {:.3},\n  \
+             \"max_abs_dev\": {:.3e}\n}}\n",
+            self.input_size,
+            self.top_z,
+            self.n_train,
+            self.conv_gflops_per_image,
+            self.backbone_naive_ms,
+            self.backbone_fast_ms,
+            self.backbone_speedup(),
+            self.conv_gflops_per_s(),
+            self.embed_naive_ms,
+            self.embed_fast_ms,
+            self.embed_speedup(),
+            self.affinity_row_ms,
+            self.embed_vs_affinity_ratio(),
+            self.max_abs_dev,
+        )
+    }
+
+    /// Write the JSON artifact.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Conv-trunk flops per image for a backbone config: every 3×3 layer costs
+/// `2 · out_c · in_c · 9 · H · W` fused multiply-adds counted as 2 flops.
+pub fn conv_gflops(config: &goggles_cnn::VggConfig) -> f64 {
+    let mut flops = 0f64;
+    let mut in_c = config.input_channels;
+    let mut s = config.input_size;
+    for (b, &out_c) in config.block_channels.iter().enumerate() {
+        for _ in 0..goggles_cnn::VggConfig::CONVS_PER_BLOCK[b] {
+            flops += 2.0 * (out_c * in_c * 9 * s * s) as f64;
+            in_c = out_c;
+        }
+        s /= 2;
+    }
+    flops / 1e9
+}
+
+/// Median wall-clock of `reps` calls to `f`, in milliseconds (one warmup
+/// call excluded).
+fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    times[times.len() / 2]
+}
+
+/// Run the embedding benchmark at the given scale parameters.
+pub fn run(params: &RunParams) -> EmbedBenchReport {
+    let seed = 23u64;
+    let mut task = TaskConfig::new(
+        TaskKind::Cub { class_a: 0, class_b: 1 },
+        params.n_train_per_class,
+        params.n_test_per_class.max(4),
+        seed,
+    );
+    task.image_size = params.image_size;
+    let ds = generate(&task);
+    let config = params.goggles_config(seed);
+    let goggles = Goggles::new(config.clone());
+    let net: &Vgg16 = goggles.backbone();
+
+    // Equivalence check across a handful of images before timing anything.
+    let check_imgs = ds.test_images();
+    let mut max_abs_dev = 0f64;
+    for img in check_imgs.iter().take(4) {
+        let fast = net.forward_pool_taps(img);
+        let naive = net.forward_pool_taps_naive(img);
+        for (f, n) in fast.iter().zip(&naive) {
+            for (a, b) in f.as_slice().iter().zip(n.as_slice()) {
+                max_abs_dev = max_abs_dev.max((a - b).abs() as f64);
+            }
+        }
+    }
+
+    let query = check_imgs[0];
+    let reps = 15;
+    let mut arena = ConvScratch::new();
+    let backbone_fast_ms = median_ms(reps, || net.forward_pool_taps_into(&mut arena, query));
+    let backbone_naive_ms = median_ms(reps.min(7), || net.forward_pool_taps_naive(query));
+    let embed_fast_ms = median_ms(reps, || {
+        embed_image_with(net, &mut arena, query, config.top_z, config.center_patches)
+    });
+    let embed_naive_ms = median_ms(reps.min(7), || {
+        embed_from_taps(&net.forward_pool_taps_naive(query), config.top_z, config.center_patches)
+    });
+
+    // Per-stage split of one online request: the affinity row against a
+    // bank of the training corpus (what `FittedLabeler::label_one` runs
+    // right after embedding).
+    let train = ds.train_images();
+    let embeddings = embed_images(net, &train, config.top_z, config.threads, config.center_patches);
+    let bank = PrototypeBank::from_embeddings(&embeddings);
+    let one = &embeddings[..1];
+    let affinity_row_ms = median_ms(reps, || bank.affinity_rows(one, 1));
+
+    EmbedBenchReport {
+        input_size: config.vgg.input_size,
+        top_z: config.top_z,
+        conv_gflops_per_image: conv_gflops(&config.vgg),
+        backbone_naive_ms,
+        backbone_fast_ms,
+        embed_naive_ms,
+        embed_fast_ms,
+        affinity_row_ms,
+        n_train: bank.n,
+        max_abs_dev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_balanced_and_complete() {
+        let report = EmbedBenchReport {
+            input_size: 64,
+            top_z: 6,
+            conv_gflops_per_image: 0.157,
+            backbone_naive_ms: 4.0,
+            backbone_fast_ms: 1.0,
+            embed_naive_ms: 4.5,
+            embed_fast_ms: 1.5,
+            affinity_row_ms: 0.6,
+            n_train: 48,
+            max_abs_dev: 2.0e-6,
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "input_size",
+            "top_z",
+            "n_train",
+            "conv_gflops_per_image",
+            "backbone_naive_ms",
+            "backbone_fast_ms",
+            "backbone_speedup",
+            "conv_gflops_per_s",
+            "embed_naive_ms",
+            "embed_fast_ms",
+            "embed_speedup",
+            "affinity_row_ms",
+            "embed_vs_affinity_ratio",
+            "max_abs_dev",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!((report.backbone_speedup() - 4.0).abs() < 1e-9);
+        assert!((report.embed_speedup() - 3.0).abs() < 1e-9);
+        assert!((report.conv_gflops_per_s() - 157.0).abs() < 1e-9);
+        assert!((report.embed_vs_affinity_ratio() - 2.5).abs() < 1e-9);
+        assert!(report.to_table().render().contains("GFLOP/s"));
+    }
+
+    #[test]
+    fn degenerate_timings_do_not_divide_by_zero() {
+        let report = EmbedBenchReport {
+            input_size: 32,
+            top_z: 4,
+            conv_gflops_per_image: 0.0,
+            backbone_naive_ms: 0.0,
+            backbone_fast_ms: 0.0,
+            embed_naive_ms: 0.0,
+            embed_fast_ms: 0.0,
+            affinity_row_ms: 0.0,
+            n_train: 0,
+            max_abs_dev: 0.0,
+        };
+        assert_eq!(report.backbone_speedup(), 0.0);
+        assert_eq!(report.embed_speedup(), 0.0);
+        assert_eq!(report.conv_gflops_per_s(), 0.0);
+        assert_eq!(report.embed_vs_affinity_ratio(), 0.0);
+    }
+
+    #[test]
+    fn conv_gflops_counts_the_vgg_trunk() {
+        // Tiny config, by hand for the first block: 3→4 and 4→4 at 32².
+        let cfg = goggles_cnn::VggConfig::tiny();
+        let g = conv_gflops(&cfg);
+        assert!(g > 0.0);
+        let first_two = 2.0 * ((4 * 3 * 9 * 32 * 32) as f64 + (4 * 4 * 9 * 32 * 32) as f64) / 1e9;
+        assert!(g > first_two, "total {g} must exceed the first block {first_two}");
+    }
+}

@@ -13,12 +13,14 @@
 //! | Figure 9 (accuracy vs #functions) | [`figures::figure9`] |
 //! | Serving latency/throughput (not in the paper) | [`serving::run`] |
 //! | Affinity kernel: blocked vs scalar (not in the paper) | [`affinity_bench::run`] |
+//! | Embedding: im2col+GEMM trunk vs scalar (not in the paper) | [`embed_bench::run`] |
 //!
 //! Every run is deterministic given the [`Scale`]; `Scale::from_env()`
 //! honours `GOGGLES_SCALE=quick|standard|paper` so CI and laptops can dial
 //! the cost.
 
 pub mod affinity_bench;
+pub mod embed_bench;
 pub mod figures;
 pub mod methods;
 pub mod report;
@@ -199,8 +201,9 @@ impl TrialContext {
         let to_f64 = |m: &Matrix<f32>| Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64);
         let train_imgs: Vec<_> = dataset.train_images().iter().map(|&i| i.clone()).collect();
         let test_imgs: Vec<_> = dataset.test_images().iter().map(|&i| i.clone()).collect();
-        let train_logits = to_f64(&goggles.backbone().logits_batch(&train_imgs));
-        let test_logits = to_f64(&goggles.backbone().logits_batch(&test_imgs));
+        let threads = goggles.config().threads;
+        let train_logits = to_f64(&goggles.backbone().logits_batch_threaded(&train_imgs, threads));
+        let test_logits = to_f64(&goggles.backbone().logits_batch_threaded(&test_imgs, threads));
         Self { dataset, dev, goggles, affinity, dev_rows, train_logits, test_logits }
     }
 
