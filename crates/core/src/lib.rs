@@ -45,7 +45,7 @@ pub use pipeline::{Goggles, GogglesConfig, LabelingResult, ProbabilisticLabels};
 pub use prototypes::{EmbedScratch, ImageEmbedding, LayerEmbedding};
 
 /// Errors surfaced by the GOGGLES pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GogglesError {
     /// Underlying model-fitting failure.
     Model(goggles_models::ModelError),

@@ -1,0 +1,156 @@
+//! `goggles-served` — the std-only TCP labeling server.
+//!
+//! Loads a [`FittedLabeler`] snapshot (any format), spawns the
+//! micro-batching [`LabelService`], and serves the wire protocol on a
+//! `TcpListener` through [`WireServer`]. No async runtime, no registry
+//! dependencies — plain std threads end to end.
+//!
+//! ```text
+//! goggles-served --snapshot model.ggl --addr 127.0.0.1:7878 --workers 2
+//! goggles-served --demo-fit --addr 127.0.0.1:0     # self-contained demo
+//! ```
+//!
+//! The resolved listen address is printed as the first stdout line
+//! (`listening on <addr>`), so callers binding port 0 can parse the
+//! ephemeral port. The process exits cleanly (status 0) when a client
+//! sends the wire shutdown op — the listener stops accepting, in-flight
+//! requests drain, and the service joins its workers.
+
+use goggles_serve::{FittedLabeler, LabelService, ServeConfig, WireServer};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: goggles-served (--snapshot FILE | --demo-fit) [options]
+
+options:
+  --snapshot FILE     serve this FittedLabeler snapshot (v1 or v2)
+  --demo-fit          fit a small synthetic labeler instead of loading one
+  --addr ADDR         listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N         micro-batch worker threads (default 2)
+  --conn-threads N    concurrent connections served (default 4)
+  --max-batch N       largest micro-batch (default 8)
+  --linger-ms N       batch linger timeout in ms (default 2)
+";
+
+struct Args {
+    snapshot: Option<String>,
+    demo_fit: bool,
+    addr: String,
+    workers: usize,
+    conn_threads: usize,
+    max_batch: usize,
+    linger_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        snapshot: None,
+        demo_fit: false,
+        addr: "127.0.0.1:7878".into(),
+        workers: 2,
+        conn_threads: 4,
+        max_batch: 8,
+        linger_ms: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--demo-fit" => args.demo_fit = true,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--conn-threads" => {
+                args.conn_threads = parse_num(&value("--conn-threads")?, "--conn-threads")?
+            }
+            "--max-batch" => args.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?,
+            "--linger-ms" => {
+                args.linger_ms = parse_num(&value("--linger-ms")?, "--linger-ms")? as u64
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.snapshot.is_none() && !args.demo_fit {
+        return Err("need --snapshot FILE or --demo-fit".into());
+    }
+    if args.snapshot.is_some() && args.demo_fit {
+        return Err("--snapshot and --demo-fit are mutually exclusive".into());
+    }
+    if args.workers == 0 || args.conn_threads == 0 || args.max_batch == 0 {
+        return Err("--workers, --conn-threads and --max-batch must be ≥ 1".into());
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str, name: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{name}: {s:?} is not a number"))
+}
+
+/// Fit a small synthetic labeler so the server can be tried without any
+/// artifact on disk (mirrors the quick-scale test fixture).
+fn demo_labeler() -> Result<FittedLabeler, String> {
+    use goggles_core::GogglesConfig;
+    use goggles_datasets::{generate, TaskConfig, TaskKind};
+    let seed = 7u64;
+    let mut task = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 4, seed);
+    task.image_size = 32;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(3, seed);
+    let config = GogglesConfig { seed, ..GogglesConfig::fast() };
+    let (labeler, _) =
+        FittedLabeler::fit(&config, &ds, &dev).map_err(|e| format!("demo fit failed: {e}"))?;
+    Ok(labeler)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("goggles-served: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let labeler = if args.demo_fit {
+        eprintln!("goggles-served: fitting the demo labeler…");
+        match demo_labeler() {
+            Ok(l) => l,
+            Err(msg) => {
+                eprintln!("goggles-served: {msg}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let path = args.snapshot.as_deref().expect("checked in parse_args");
+        match FittedLabeler::load_from(std::path::Path::new(path)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("goggles-served: loading {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let config = ServeConfig {
+        max_batch: args.max_batch,
+        batch_timeout: Duration::from_millis(args.linger_ms),
+        ..ServeConfig::with_workers(args.workers)
+    };
+    let service = Arc::new(LabelService::spawn(labeler, config));
+    let server = match WireServer::bind(args.addr.as_str(), service, args.conn_threads) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("goggles-served: binding {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // First stdout line is machine-readable: callers binding port 0 parse
+    // the resolved ephemeral address from it.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+    server.wait();
+    println!("shutdown complete");
+}

@@ -1,0 +1,289 @@
+//! [`RemoteLabeler`]: the `TcpStream` client of the wire protocol.
+//!
+//! One connection, any number of requests in flight: `submit` writes a
+//! frame and returns immediately with a [`Ticket`]; a background reader
+//! thread demultiplexes replies to their tickets by request id. The
+//! blocking [`Labeler::label_all`] therefore *pipelines* — every request is
+//! on the wire before the first reply is awaited, so a batch pays one
+//! round trip of latency, not one per image, and the server's micro-batcher
+//! sees the whole burst at once.
+//!
+//! Beyond labeling, the client drives the serving control plane remotely:
+//! [`RemoteLabeler::stats`] (full counter snapshot + current version),
+//! [`RemoteLabeler::reload`] (hot-swap a server-side snapshot file behind
+//! live traffic) and [`RemoteLabeler::shutdown_server`].
+
+use crate::api::{Labeler, Ticket};
+use crate::service::LabelResponse;
+use crate::wire::{
+    self, decode_error_reply, decode_label_reply, decode_reload_reply, decode_stats_reply,
+    encode_label_request, encode_reload_request, Frame, Opcode, RemoteStats,
+};
+use crate::{ServeError, ServeResult};
+use goggles_vision::Image;
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// A reply waiter, keyed by request id in [`ClientShared::pending`].
+enum Pending {
+    Label(mpsc::Sender<ServeResult<LabelResponse>>),
+    Stats(mpsc::Sender<ServeResult<RemoteStats>>),
+    Reload(mpsc::Sender<ServeResult<u64>>),
+    Shutdown(mpsc::Sender<ServeResult<()>>),
+}
+
+impl Pending {
+    /// Resolve this waiter with an error, whatever its reply type.
+    fn fail(self, err: ServeError) {
+        match self {
+            Pending::Label(tx) => drop(tx.send(Err(err))),
+            Pending::Stats(tx) => drop(tx.send(Err(err))),
+            Pending::Reload(tx) => drop(tx.send(Err(err))),
+            Pending::Shutdown(tx) => drop(tx.send(Err(err))),
+        }
+    }
+}
+
+struct ClientShared {
+    /// Write half; frames are written whole under this lock so concurrent
+    /// submitters never interleave bytes.
+    writer: Mutex<TcpStream>,
+    /// In-flight requests awaiting their reply.
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_id: AtomicU64,
+    /// Set once the connection is unusable (peer closed, protocol error).
+    closed: AtomicBool,
+}
+
+impl ClientShared {
+    /// Register a waiter and write its request frame; on a write failure
+    /// the waiter is deregistered and the connection marked closed.
+    fn send(&self, opcode: Opcode, payload: &[u8], pending: Pending) -> ServeResult<u64> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Closed);
+        }
+        // Writing an oversized frame would get the whole connection
+        // dropped by the server's framing layer (failing every pipelined
+        // request with an opaque `Closed`); fail just this request, with a
+        // cause, before anything hits the wire.
+        if payload.len() > wire::MAX_PAYLOAD_LEN {
+            return Err(ServeError::Wire(format!(
+                "request payload of {} bytes exceeds the {}-byte frame cap",
+                payload.len(),
+                wire::MAX_PAYLOAD_LEN
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().expect("pending poisoned").insert(id, pending);
+        let outcome = {
+            let mut writer = self.writer.lock().expect("writer poisoned");
+            wire::write_frame(&mut *writer, opcode, id, payload)
+        };
+        if let Err(e) = outcome {
+            self.pending.lock().expect("pending poisoned").remove(&id);
+            self.closed.store(true, Ordering::Release);
+            return Err(e);
+        }
+        // Re-check after registering: if the reader thread died between the
+        // entry check and our insert, it may have already drained `pending`
+        // and our waiter would never resolve. Only an entry *still in the
+        // map* is unresolvable — a missing one was either dispatched (the
+        // reply is on the channel; e.g. a shutdown ack racing the server's
+        // close) or drained (the dropped sender resolves the wait to
+        // `Closed`). The reader sets `closed` *before* clearing, so one of
+        // the paths always fires.
+        if self.closed.load(Ordering::Acquire)
+            && self.pending.lock().expect("pending poisoned").remove(&id).is_some()
+        {
+            return Err(ServeError::Closed);
+        }
+        Ok(id)
+    }
+
+    /// Route one reply frame to its waiter. Unknown ids are tolerated (the
+    /// waiter may have given up); malformed payloads resolve the waiter
+    /// with a wire error.
+    fn dispatch(&self, frame: Frame) {
+        let Some(pending) =
+            self.pending.lock().expect("pending poisoned").remove(&frame.request_id)
+        else {
+            return;
+        };
+        match (frame.opcode, pending) {
+            (Opcode::ErrorReply, waiter) => {
+                let err = decode_error_reply(&frame.payload)
+                    .unwrap_or_else(|e| ServeError::Wire(format!("undecodable error reply: {e}")));
+                waiter.fail(err);
+            }
+            (Opcode::LabelReply, Pending::Label(tx)) => {
+                let _ = tx.send(decode_label_reply(&frame.payload));
+            }
+            (Opcode::StatsReply, Pending::Stats(tx)) => {
+                let _ = tx.send(decode_stats_reply(&frame.payload));
+            }
+            (Opcode::ReloadReply, Pending::Reload(tx)) => {
+                let _ = tx.send(decode_reload_reply(&frame.payload));
+            }
+            (Opcode::ShutdownReply, Pending::Shutdown(tx)) => {
+                let _ = tx.send(Ok(()));
+            }
+            (op, waiter) => {
+                waiter.fail(ServeError::Wire(format!("mismatched reply opcode {op:?}")));
+            }
+        }
+    }
+}
+
+/// A [`Labeler`] on the far side of a TCP connection — the client half of
+/// the wire protocol, speaking to a [`crate::WireServer`] (usually the
+/// `goggles-served` binary).
+pub struct RemoteLabeler {
+    shared: Arc<ClientShared>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RemoteLabeler {
+    /// Connect to a serving endpoint (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Self> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Io(format!("connecting to server: {e}")))?;
+        // Frames are whole messages; latency matters more than packing.
+        let _ = stream.set_nodelay(true);
+        let mut read_half =
+            stream.try_clone().map_err(|e| ServeError::Io(format!("cloning connection: {e}")))?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("goggles-remote-reader".into())
+                .spawn(move || {
+                    // Reply pump: demultiplex until the peer closes or the
+                    // stream breaks, then fail everything still in flight
+                    // (dropping a waiter's sender resolves it to `Closed`).
+                    while let Ok(Some(frame)) = wire::read_frame(&mut read_half) {
+                        shared.dispatch(frame);
+                    }
+                    shared.closed.store(true, Ordering::Release);
+                    shared.pending.lock().expect("pending poisoned").clear();
+                })
+                .expect("spawn reader thread")
+        };
+        Ok(Self { shared, reader: Some(reader) })
+    }
+
+    /// Full counter snapshot of the remote service, plus the snapshot
+    /// version currently serving.
+    pub fn stats(&self) -> ServeResult<RemoteStats> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.send(Opcode::StatsRequest, &[], Pending::Stats(tx))?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Hot-reload a snapshot file **on the server's filesystem** behind the
+    /// running service; returns the published version. In-flight batches
+    /// finish on their old version — same semantics as
+    /// [`crate::LabelService::reload_from`], driven over the wire.
+    pub fn reload(&self, server_path: &str) -> ServeResult<u64> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.send(
+            Opcode::ReloadRequest,
+            &encode_reload_request(server_path),
+            Pending::Reload(tx),
+        )?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Ask the server to shut down cleanly (stop accepting, drain, exit).
+    /// Returns once the server acknowledged.
+    pub fn shutdown_server(&self) -> ServeResult<()> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.send(Opcode::ShutdownRequest, &[], Pending::Shutdown(tx))?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Whether the connection has failed (or the peer closed it).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Encode and send one label request straight from a borrowed image —
+    /// the wire frame is the only copy made, so the blocking wrappers
+    /// below never clone pixel buffers into throwaway `Arc`s.
+    fn submit_borrowed(&self, image: &Image, deadline: Option<Instant>) -> ServeResult<Ticket> {
+        let deadline_us = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Ok(Ticket::ready(Err(ServeError::Deadline)));
+                }
+                // max(1): a sub-microsecond budget must still travel as a
+                // deadline (0 means "none" on the wire).
+                (d - now).as_micros().min(u128::from(u64::MAX)).max(1) as u64
+            }
+            None => 0,
+        };
+        let payload = encode_label_request(image, deadline_us);
+        let (tx, rx) = mpsc::channel();
+        self.shared.send(Opcode::LabelRequest, &payload, Pending::Label(tx))?;
+        Ok(Ticket::pending(rx, None))
+    }
+}
+
+impl Labeler for RemoteLabeler {
+    /// Submission writes one frame and returns immediately; the ticket
+    /// resolves when the reply frame arrives. The deadline is shipped as a
+    /// *relative* budget (the hosts share no clock) and enforced by the
+    /// server's micro-batcher; an already-expired deadline short-circuits
+    /// locally without a wire trip.
+    fn submit_with_deadline(
+        &self,
+        image: Arc<Image>,
+        deadline: Option<Instant>,
+    ) -> ServeResult<Ticket> {
+        self.submit_borrowed(&image, deadline)
+    }
+
+    /// Overrides the default to encode straight from the borrowed image —
+    /// no pixel-buffer clone into a throwaway `Arc`.
+    fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
+        self.submit_borrowed(image, None)?.wait()
+    }
+
+    /// Overrides the default for the same reason as [`Labeler::label`];
+    /// still submits everything before awaiting anything (pipelining).
+    fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
+        let tickets: Vec<Ticket> =
+            images.iter().map(|img| self.submit_borrowed(img, None)).collect::<ServeResult<_>>()?;
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for RemoteLabeler {
+    fn drop(&mut self) {
+        // Closing the socket unblocks the reader thread, which then fails
+        // any still-pending waiters before exiting.
+        if let Ok(writer) = self.shared.writer.lock() {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteLabeler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteLabeler")
+            .field("closed", &self.is_closed())
+            .field("in_flight", &self.shared.pending.lock().expect("pending poisoned").len())
+            .finish()
+    }
+}

@@ -29,6 +29,16 @@
 //!    (compact `f32` with optional u16-quantized prototype bank — under
 //!    half the bytes, argmax-preserving) — both validated at load/publish
 //!    time so corrupt artifacts are rejected before they can serve.
+//! 5. **Transport-agnostic API + network front** — the [`Labeler`] trait
+//!    (`submit`/`label`/`label_all`) is implemented by the in-process
+//!    [`FittedLabeler`], the [`LabelService`], and the TCP client
+//!    [`RemoteLabeler`], so callers are written once against the trait.
+//!    Submission is **ticket-based** ([`Ticket`]: `poll`/`wait`/
+//!    `wait_timeout`, drop-to-cancel, per-request deadlines answered with
+//!    [`ServeError::Deadline`]); the blocking `label`/`label_all` calls are
+//!    thin wrappers over tickets. [`wire`] defines the length-framed,
+//!    checksummed binary protocol; [`WireServer`] (and the `goggles-served`
+//!    binary) put a std-only `TcpListener` front on a running service.
 //!
 //! ## Quickstart: fit → snapshot → serve
 //!
@@ -50,17 +60,28 @@
 //! println!("class {} with p = {:?}", response.label, response.probs);
 //! ```
 
+pub mod api;
+pub mod client;
 pub mod codec;
 pub mod registry;
+pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod wire;
 
+pub use api::{Labeler, Ticket};
+pub use client::RemoteLabeler;
 pub use registry::{PublishedSnapshot, SnapshotRegistry, VersionInfo};
-pub use service::{LabelResponse, LabelService, ServeConfig, ServiceStats};
+pub use server::WireServer;
+pub use service::{LabelResponse, LabelService, LatencyHistogram, ServeConfig, ServiceStats};
 pub use snapshot::{FittedLabeler, SnapshotFormat};
+pub use wire::RemoteStats;
 
 /// Errors surfaced by the serving layer.
-#[derive(Debug)]
+///
+/// `Clone` so a [`Ticket`] outcome can be observed more than once and a
+/// wire reply can be both logged and returned.
+#[derive(Debug, Clone)]
 pub enum ServeError {
     /// Snapshot encoding/decoding failure (bad magic, checksum, truncation,
     /// implausible lengths…) — the byte stream itself is broken.
@@ -80,6 +101,13 @@ pub enum ServeError {
     /// The service is shutting down (or already shut down), or the request
     /// was dropped because the labeler panicked on it.
     Closed,
+    /// The request's deadline expired before a worker labeled it. The
+    /// micro-batcher answers expired requests with this instead of letting
+    /// them occupy a batch slot.
+    Deadline,
+    /// Wire-protocol damage (bad magic, checksum mismatch, truncated frame,
+    /// implausible lengths, unknown opcode…) on the network path.
+    Wire(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,6 +119,8 @@ impl std::fmt::Display for ServeError {
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
             ServeError::Closed => write!(f, "label service is closed"),
+            ServeError::Deadline => write!(f, "request deadline expired before labeling"),
+            ServeError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
         }
     }
 }

@@ -21,6 +21,9 @@
 //! * Per-version serve counters ([`PublishedSnapshot::record_served`],
 //!   surfaced by [`SnapshotRegistry::versions`]) make a canary or a drain
 //!   observable: publish, then watch the old version's counter go quiet.
+//! * [`SnapshotRegistry::prune_retired`] expires old retired versions
+//!   (keeping leased ones and the most recent `keep_last`), so a service
+//!   that republishes periodically holds O(1) snapshots in memory.
 
 use crate::snapshot::FittedLabeler;
 use crate::{ServeError, ServeResult};
@@ -71,8 +74,11 @@ pub struct VersionInfo {
 }
 
 struct RegistryState {
-    /// Every published version in publish order (never shrinks — retired
-    /// versions stay resolvable for in-flight leases and for rollback).
+    /// Every registered version in publish order. Retired versions stay
+    /// resolvable for in-flight leases and for rollback until explicitly
+    /// expired with [`SnapshotRegistry::prune_retired`] (which
+    /// [`crate::LabelService::reload_from`] does after each successful
+    /// publish), so registry memory is bounded even under periodic reloads.
     versions: Vec<PublishedSnapshot>,
     /// Index into `versions` of the currently served snapshot.
     current: usize,
@@ -167,6 +173,50 @@ impl SnapshotRegistry {
         state.versions[state.current].version
     }
 
+    /// Expire retired versions to bound registry memory: drop every
+    /// *unleased* retired version older than the `keep_last` most recently
+    /// published retired ones. Returns how many were dropped.
+    ///
+    /// The current version is never dropped. A retired version still held
+    /// by an in-flight lease ([`SnapshotRegistry::get`] clone outside the
+    /// registry) is kept — its `Arc` strong count proves a batch may still
+    /// be labeling on it — so pruning under live traffic is always safe.
+    /// `keep_last ≥ 1` preserves the [`SnapshotRegistry::rollback`] target.
+    ///
+    /// Note that pruning forgets the dropped versions' serve counters
+    /// ([`SnapshotRegistry::versions`] observability), which is the point:
+    /// a service that republishes periodically holds O(keep_last) snapshots
+    /// instead of one per publish ever made.
+    pub fn prune_retired(&self, keep_last: usize) -> usize {
+        let mut state = self.state.lock().expect("registry poisoned");
+        let n = state.versions.len();
+        let retired: Vec<usize> = (0..n).filter(|&i| i != state.current).collect();
+        let prunable = retired.len().saturating_sub(keep_last);
+        let mut drop_marks = vec![false; n];
+        for &i in &retired[..prunable] {
+            // strong count 1 == only the registry's own Arc — no lease out.
+            if Arc::strong_count(&state.versions[i].labeler) == 1 {
+                drop_marks[i] = true;
+            }
+        }
+        let dropped = drop_marks.iter().filter(|&&d| d).count();
+        if dropped > 0 {
+            let current_version = state.versions[state.current].version;
+            let mut kept = Vec::with_capacity(n - dropped);
+            for (i, snap) in state.versions.drain(..).enumerate() {
+                if !drop_marks[i] {
+                    kept.push(snap);
+                }
+            }
+            state.current = kept
+                .iter()
+                .position(|s| s.version == current_version)
+                .expect("current version is never pruned");
+            state.versions = kept;
+        }
+        dropped
+    }
+
     /// Observability: every registered version with its serve counter, in
     /// publish order.
     pub fn versions(&self) -> Vec<VersionInfo> {
@@ -254,6 +304,52 @@ mod tests {
         assert!(matches!(registry.publish(bad), Err(ServeError::Corrupt(_))));
         assert_eq!(registry.current_version(), 1, "failed publish must not advance");
         assert_eq!(registry.versions().len(), 1);
+    }
+
+    #[test]
+    fn prune_retired_drops_old_unleased_versions_only() {
+        let (a, _) = fitted(44);
+        let registry = SnapshotRegistry::new(a.clone()).unwrap();
+        for _ in 0..4 {
+            registry.publish(a.clone()).unwrap(); // versions 2..=5
+        }
+        assert_eq!(registry.versions().len(), 5);
+
+        // Lease version 2 (retired): it must survive pruning.
+        let lease2 = registry.get_version(2).unwrap();
+        // keep_last = 1 → retired {1,2,3,4}, prunable {1,2,3}; 2 is leased.
+        let dropped = registry.prune_retired(1);
+        assert_eq!(dropped, 2, "versions 1 and 3 are old, retired and unleased");
+        let left: Vec<u64> = registry.versions().iter().map(|v| v.version).collect();
+        assert_eq!(left, vec![2, 4, 5]);
+        assert_eq!(registry.current_version(), 5, "current is never pruned");
+        // The lease keeps working after the prune.
+        assert_eq!(lease2.version(), 2);
+
+        // Release the lease: now 2 and 4 are prunable (keeping none).
+        drop(lease2);
+        assert_eq!(registry.prune_retired(0), 2);
+        let left: Vec<u64> = registry.versions().iter().map(|v| v.version).collect();
+        assert_eq!(left, vec![5]);
+        // Nothing retired left: rollback correctly refuses, pruning is a
+        // no-op, and serving continues on the current version.
+        assert!(matches!(registry.rollback(), Err(ServeError::Registry(_))));
+        assert_eq!(registry.prune_retired(0), 0);
+        assert_eq!(registry.get().version(), 5);
+    }
+
+    #[test]
+    fn prune_keeps_rollback_target_and_rollback_still_works() {
+        let (a, _) = fitted(45);
+        let registry = SnapshotRegistry::new(a.clone()).unwrap();
+        registry.publish(a.clone()).unwrap();
+        registry.publish(a).unwrap(); // current = 3
+        assert_eq!(registry.prune_retired(1), 1, "version 1 expires, version 2 kept");
+        assert_eq!(registry.rollback().unwrap(), 2, "rollback target survived the prune");
+        // With current re-pointed at 2, version 3 is now retired; pruning
+        // with keep_last = 1 keeps it (most recent retired).
+        assert_eq!(registry.prune_retired(1), 0);
+        assert_eq!(registry.versions().len(), 2);
     }
 
     #[test]

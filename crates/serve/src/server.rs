@@ -1,0 +1,370 @@
+//! [`WireServer`]: the std-only `TcpListener` front of the wire protocol.
+//!
+//! A fixed pool of connection threads shares one listener; each thread
+//! accepts a connection and speaks the [`crate::wire`] protocol over it
+//! until the peer disconnects, then goes back to accepting. Label requests
+//! are fed to the existing micro-batcher through tickets
+//! ([`crate::LabelService::submit_with_deadline`]): the connection's reader
+//! keeps parsing frames while a per-connection writer thread awaits tickets
+//! in submission order, so one pipelined client fills whole micro-batches
+//! and slow labeling never stops request intake.
+//!
+//! The server is deliberately dependency-free (std `TcpListener`/threads
+//! only — no async runtime, per the offline-build constraint); the
+//! `goggles-served` binary is a thin argument-parsing wrapper around this
+//! type.
+
+use crate::service::LabelService;
+use crate::wire::{
+    self, decode_label_request, decode_reload_request, encode_error_reply, encode_label_reply,
+    encode_reload_reply, encode_stats_reply, Opcode, RemoteStats,
+};
+use crate::{ServeError, ServeResult, Ticket};
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// State shared by every connection thread of one server.
+struct ServerShared {
+    service: Arc<LabelService>,
+    shutdown: AtomicBool,
+    /// Read halves of the currently open connections, so shutdown can
+    /// close them and unblock readers parked in `read_frame` — without
+    /// this, joining the pool would hang until every client disconnected
+    /// on its own.
+    open_conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    local: SocketAddr,
+    pool: usize,
+}
+
+impl ServerShared {
+    /// Flip the shutdown flag and unblock every parked thread: acceptors
+    /// via throwaway connects, connection readers via socket shutdown.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for stream in self.open_conns.lock().expect("conn registry poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        wake_acceptors(self.local, self.pool);
+    }
+}
+
+/// A running TCP front over a [`LabelService`]. Bind with
+/// [`WireServer::bind`], then either [`WireServer::wait`] (serve until a
+/// client sends the shutdown op) or keep it alongside other work and let
+/// drop (or [`WireServer::shutdown`]) stop it.
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    service: Option<Arc<LabelService>>,
+}
+
+impl WireServer {
+    /// Bind a listener (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start `conn_threads` connection threads over `service`. At most
+    /// `conn_threads` connections are served concurrently; further clients
+    /// queue in the OS accept backlog.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<LabelService>,
+        conn_threads: usize,
+    ) -> ServeResult<Self> {
+        assert!(conn_threads >= 1, "need at least one connection thread");
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Io(format!("binding listener: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("resolving bound address: {e}")))?;
+        let listener = Arc::new(listener);
+        let shared = Arc::new(ServerShared {
+            service: Arc::clone(&service),
+            shutdown: AtomicBool::new(false),
+            open_conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            local,
+            pool: conn_threads,
+        });
+        let threads = (0..conn_threads)
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("goggles-served-conn-{i}"))
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .expect("spawn connection thread")
+            })
+            .collect();
+        Ok(Self { addr: local, shared, threads, service: Some(service) })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until shutdown is requested (by a [`Opcode::ShutdownRequest`]
+    /// over the wire, or a concurrent [`WireServer::shutdown`]), then drain
+    /// the label service and return. Consumes the server; used by the
+    /// `goggles-served` binary as its main loop.
+    pub fn wait(mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Dropping our service handle drains the queue and joins the
+        // workers (unless another owner still holds a clone).
+        self.service.take();
+    }
+
+    /// Stop accepting, close every open connection (unblocking readers
+    /// mid-`read_frame`), and join the connection threads. Idempotent; also
+    /// invoked on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.initiate_shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.service.take();
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Unblock acceptor threads parked in `accept()` by connecting (and
+/// immediately dropping) throwaway sockets. A wildcard bind address
+/// (`0.0.0.0` / `::`) is not connectable on every platform, so the wake
+/// targets the matching loopback instead.
+fn wake_acceptors(addr: SocketAddr, n: usize) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    for _ in 0..n {
+        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return; // woken for shutdown, not a real client
+                }
+                // Register the connection (a cheap fd clone) so shutdown
+                // can close it out from under a parked reader; always
+                // deregister afterwards.
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .open_conns
+                        .lock()
+                        .expect("conn registry poisoned")
+                        .insert(conn_id, clone);
+                }
+                handle_connection(stream, shared);
+                shared.open_conns.lock().expect("conn registry poisoned").remove(&conn_id);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Persistent accept failures (EMFILE…) must not busy-spin
+                // the pool; transient ones barely notice the pause.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Per-connection reply jobs, written strictly in submission order.
+enum Reply {
+    /// Already-encoded frame (stats, reload, errors, shutdown ack).
+    Raw { id: u64, opcode: Opcode, payload: Vec<u8> },
+    /// A labeling ticket to await; resolves to a label reply or an error
+    /// reply.
+    Label { id: u64, ticket: Ticket },
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let service = &shared.service;
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (jobs, job_rx) = mpsc::channel::<Reply>();
+    // Writer: awaits tickets in submission order and streams replies while
+    // the reader keeps accepting frames — this is what makes one
+    // connection's pipeline fill micro-batches.
+    let writer = std::thread::Builder::new()
+        .name("goggles-served-writer".into())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            while let Ok(job) = job_rx.recv() {
+                let (id, opcode, payload) = match job {
+                    Reply::Raw { id, opcode, payload } => (id, opcode, payload),
+                    Reply::Label { id, ticket } => match ticket.wait() {
+                        Ok(resp) => (id, Opcode::LabelReply, encode_label_reply(&resp)),
+                        Err(e) => (id, Opcode::ErrorReply, encode_error_reply(&e)),
+                    },
+                };
+                if wire::write_frame(&mut out, opcode, id, &payload).is_err() {
+                    return; // peer gone; replies have nowhere to go
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut read_half = stream;
+    // Reading stops on clean disconnect, stream desync or I/O failure —
+    // after a framing error the byte stream is unrecoverable; replies
+    // already queued still flush below.
+    while let Ok(Some(frame)) = wire::read_frame(&mut read_half) {
+        let id = frame.request_id;
+        match frame.opcode {
+            Opcode::LabelRequest => {
+                let job = match decode_label_request(&frame.payload) {
+                    Ok(req) => {
+                        let deadline = (req.deadline_us > 0)
+                            .then(|| Instant::now() + Duration::from_micros(req.deadline_us));
+                        // Decoded straight into one allocation; the queue
+                        // shares it — no pixel copy anywhere on the path.
+                        match service.submit_with_deadline(Arc::new(req.image), deadline) {
+                            Ok(ticket) => Reply::Label { id, ticket },
+                            Err(e) => error_reply(id, &e),
+                        }
+                    }
+                    Err(e) => error_reply(id, &e),
+                };
+                if jobs.send(job).is_err() {
+                    break;
+                }
+            }
+            Opcode::StatsRequest => {
+                let remote = RemoteStats {
+                    stats: service.stats(),
+                    version: service.registry().current_version(),
+                };
+                let raw = Reply::Raw {
+                    id,
+                    opcode: Opcode::StatsReply,
+                    payload: encode_stats_reply(&remote),
+                };
+                if jobs.send(raw).is_err() {
+                    break;
+                }
+            }
+            Opcode::ReloadRequest => {
+                let job = match decode_reload_request(&frame.payload) {
+                    Ok(path) => match service.reload_from(std::path::Path::new(&path)) {
+                        Ok(version) => Reply::Raw {
+                            id,
+                            opcode: Opcode::ReloadReply,
+                            payload: encode_reload_reply(version),
+                        },
+                        Err(e) => error_reply(id, &e),
+                    },
+                    Err(e) => error_reply(id, &e),
+                };
+                if jobs.send(job).is_err() {
+                    break;
+                }
+            }
+            Opcode::ShutdownRequest => {
+                let _ = jobs.send(Reply::Raw {
+                    id,
+                    opcode: Opcode::ShutdownReply,
+                    payload: Vec::new(),
+                });
+                // Flush the ack before the global shutdown closes this
+                // connection along with every other one.
+                drop(jobs);
+                let _ = writer.join();
+                shared.initiate_shutdown();
+                return;
+            }
+            // A client must never send reply opcodes; answer with a
+            // protocol error and drop the connection (state is suspect).
+            op => {
+                let e = ServeError::Wire(format!("unexpected client opcode {op:?}"));
+                let _ = jobs.send(error_reply(id, &e));
+                break;
+            }
+        }
+    }
+    // Let the writer drain every queued reply, then close.
+    drop(jobs);
+    let _ = writer.join();
+}
+
+fn error_reply(id: u64, e: &ServeError) -> Reply {
+    Reply::Raw { id, opcode: Opcode::ErrorReply, payload: encode_error_reply(e) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Labeler;
+    use crate::client::RemoteLabeler;
+    use crate::service::ServeConfig;
+    use crate::snapshot::FittedLabeler;
+    use goggles_core::GogglesConfig;
+    use goggles_datasets::{generate, Dataset, TaskConfig, TaskKind};
+
+    fn fitted(seed: u64) -> (FittedLabeler, Dataset) {
+        let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 4, seed);
+        cfg.image_size = 32;
+        let ds = generate(&cfg);
+        let dev = ds.sample_dev_set(3, seed);
+        let gcfg = GogglesConfig { seed, ..GogglesConfig::fast() };
+        let (labeler, _) = FittedLabeler::fit(&gcfg, &ds, &dev).unwrap();
+        (labeler, ds)
+    }
+
+    #[test]
+    fn bind_resolves_ephemeral_port_and_shuts_down_cleanly() {
+        let (labeler, ds) = fitted(61);
+        let service = Arc::new(LabelService::spawn(labeler, ServeConfig::default()));
+        let server = WireServer::bind("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "port 0 must resolve to a real port");
+        // a quick round trip proves the pool is accepting
+        let client = RemoteLabeler::connect(addr).unwrap();
+        let resp = client.label(ds.test_images()[0]).unwrap();
+        assert_eq!(resp.version, 1);
+        drop(client);
+        drop(server); // shutdown via drop must not hang
+                      // the service is still usable by its other owner
+        assert!(service.label(ds.test_images()[0]).is_ok());
+    }
+
+    #[test]
+    fn wire_level_garbage_gets_the_connection_dropped_not_the_server() {
+        use std::io::{Read as _, Write as _};
+        let (labeler, ds) = fitted(62);
+        let service = Arc::new(LabelService::spawn(labeler, ServeConfig::default()));
+        let server = WireServer::bind("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
+        let addr = server.local_addr();
+        // raw garbage: the server must close this connection…
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"this is definitely not a GWP1 frame").unwrap();
+        let mut sink = Vec::new();
+        let _ = raw.read_to_end(&mut sink); // unblocks when the server closes
+        drop(raw);
+        // …and keep serving well-formed clients.
+        let client = RemoteLabeler::connect(addr).unwrap();
+        assert!(client.label(ds.test_images()[0]).is_ok());
+    }
+}

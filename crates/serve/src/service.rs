@@ -6,8 +6,19 @@
 //! [`ServeConfig::batch_timeout`] for more to arrive (capped at
 //! [`ServeConfig::max_batch`]) so concurrent traffic is labeled in one
 //! embedding/fold-in pass — the classic latency/throughput trade of
-//! inference serving. Throughput and latency counters are kept on the side
-//! and can be snapshotted at any time with [`LabelService::stats`].
+//! inference serving. Throughput and latency counters (including a
+//! fixed-bucket [`LatencyHistogram`] for p50/p99) are kept on the side and
+//! can be snapshotted at any time with [`LabelService::stats`].
+//!
+//! Submission is **ticket-based** ([`LabelService::submit`] →
+//! [`Ticket`]): the caller gets a handle it can `poll`, `wait`, or
+//! `wait_timeout`; dropping the ticket cancels a still-queued request, and
+//! a per-request deadline ([`LabelService::submit_with_deadline`]) is
+//! enforced by the batcher — expired requests are answered with
+//! [`ServeError::Deadline`] instead of occupying a batch slot. The
+//! blocking [`LabelService::label`]/[`LabelService::label_all`] calls are
+//! thin wrappers over tickets, and the service implements the
+//! transport-agnostic [`Labeler`] trait.
 //!
 //! Workers resolve the current labeler **per batch** through the registry:
 //! no lock is held across labeling, an in-flight batch finishes on the
@@ -15,16 +26,25 @@
 //! [`SnapshotRegistry::publish`] swap is picked up by the very next batch —
 //! hot-reload without dropping or blocking a single request.
 
+use crate::api::{Labeler, Ticket};
 use crate::registry::{PublishedSnapshot, SnapshotRegistry};
 use crate::snapshot::FittedLabeler;
 use crate::{ServeError, ServeResult};
 use goggles_core::{EmbedScratch, ProbabilisticLabels};
 use goggles_vision::Image;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Retired versions [`LabelService::reload_from`] keeps around after a
+/// successful publish (beyond the current one): one, so a bad reload can
+/// still be [`SnapshotRegistry::rollback`]ed. Older unleased retired
+/// versions are pruned ([`SnapshotRegistry::prune_retired`]) so a
+/// long-running service that reloads periodically holds O(1) snapshots
+/// instead of growing without bound.
+const RELOAD_KEEP_RETIRED: usize = 1;
 
 /// Tuning knobs of the micro-batching scheduler.
 #[derive(Debug, Clone)]
@@ -97,6 +117,72 @@ pub struct LabelResponse {
     pub version: u64,
 }
 
+/// Number of power-of-two latency buckets in [`LatencyHistogram`]. Bucket
+/// `i` counts requests whose latency fell in `[2^i, 2^(i+1))` microseconds
+/// (bucket 0 also absorbs 0), so 32 buckets cover 1 µs to ~71 minutes.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Fixed-bucket (power-of-two) latency histogram, microsecond domain.
+///
+/// Mean and max alone hide tail latency — the metric that matters for a
+/// network front — so the service counts every request into one of
+/// [`LATENCY_BUCKETS`] log-scale buckets and derives percentiles from the
+/// counts. Percentiles are conservative: a bucket's *upper* bound is
+/// reported, so the true pXX is never understated by more than the 2×
+/// bucket resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Request count per bucket.
+    pub counts: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a latency in microseconds: `floor(log2(us))`,
+    /// clamped to the top bucket (0 µs lands in bucket 0).
+    pub fn bucket_index(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Upper bound (exclusive) of bucket `i` in microseconds; the top
+    /// bucket is unbounded.
+    pub fn bucket_upper_us(i: usize) -> u64 {
+        if i >= LATENCY_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// Count one observation (test/bench-side helper; the service records
+    /// through its atomic counters).
+    pub fn record(&mut self, us: u64) {
+        self.counts[Self::bucket_index(us)] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The latency (µs, bucket upper bound) below which fraction `q` of
+    /// requests completed; 0 when empty. `q` is clamped to `(0, 1]`.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper_us(i);
+            }
+        }
+        Self::bucket_upper_us(LATENCY_BUCKETS - 1)
+    }
+}
+
 /// Monotonic counters captured by [`LabelService::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServiceStats {
@@ -119,6 +205,16 @@ pub struct ServiceStats {
     /// clients received [`crate::ServeError::Closed`]. Disjoint from
     /// `requests`: a request is counted in exactly one of the two.
     pub failed_requests: u64,
+    /// Requests answered with [`crate::ServeError::Deadline`] because their
+    /// deadline expired before (or at) submission, or while queued. Never
+    /// labeled, never counted in `requests`.
+    pub deadline_expired: u64,
+    /// Requests skipped because their [`Ticket`] was dropped while they
+    /// were still queued (drop-to-cancel). Never labeled, never counted in
+    /// `requests`.
+    pub cancelled: u64,
+    /// Per-request latency distribution of answered requests.
+    pub latency: LatencyHistogram,
 }
 
 impl ServiceStats {
@@ -139,12 +235,30 @@ impl ServiceStats {
             self.total_latency_us as f64 / self.requests as f64
         }
     }
+
+    /// Median request latency in microseconds (bucket upper bound).
+    pub fn p50_latency_us(&self) -> u64 {
+        self.latency.percentile_us(0.50)
+    }
+
+    /// 99th-percentile request latency in microseconds (bucket upper bound).
+    pub fn p99_latency_us(&self) -> u64 {
+        self.latency.percentile_us(0.99)
+    }
 }
 
 struct Request {
-    image: Image,
+    /// Shared, not cloned: `submit` takes `Arc<Image>`, so queueing an
+    /// image never copies pixel data (the wire server decodes straight
+    /// into the `Arc`).
+    image: Arc<Image>,
     enqueued: Instant,
-    respond: mpsc::Sender<LabelResponse>,
+    /// Absolute deadline; an expired request is answered with
+    /// [`ServeError::Deadline`] instead of occupying a batch slot.
+    deadline: Option<Instant>,
+    /// Set when the request's [`Ticket`] is dropped (drop-to-cancel).
+    cancel: Arc<AtomicBool>,
+    respond: mpsc::Sender<ServeResult<LabelResponse>>,
 }
 
 #[derive(Default)]
@@ -156,6 +270,9 @@ struct Counters {
     max_latency_us: AtomicU64,
     failed_batches: AtomicU64,
     failed_requests: AtomicU64,
+    deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
 struct QueueState {
@@ -222,10 +339,31 @@ impl LabelService {
         Self { shared, workers }
     }
 
-    /// Enqueue one image and return the channel its answer will arrive on.
+    /// Enqueue one image (no deadline) and return its [`Ticket`]. The
+    /// image travels as `Arc<Image>` — pass an `Arc` (or an owned `Image`,
+    /// converted without copying pixels) and the hot path is copy-free.
     /// Applies backpressure (blocks) while the queue is at capacity.
-    fn submit(&self, image: &Image) -> ServeResult<mpsc::Receiver<LabelResponse>> {
+    pub fn submit(&self, image: impl Into<Arc<Image>>) -> ServeResult<Ticket> {
+        self.submit_with_deadline(image, None)
+    }
+
+    /// [`LabelService::submit`] with an optional absolute deadline. A
+    /// deadline that is already expired resolves to
+    /// [`ServeError::Deadline`] immediately — the request never takes a
+    /// queue slot; one that expires while queued is answered with the same
+    /// error by the micro-batcher instead of occupying a batch slot.
+    pub fn submit_with_deadline(
+        &self,
+        image: impl Into<Arc<Image>>,
+        deadline: Option<Instant>,
+    ) -> ServeResult<Ticket> {
+        let image = image.into();
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ticket::ready(Err(ServeError::Deadline)));
+        }
         let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
         let mut state = self.shared.state.lock().expect("queue poisoned");
         while state.queue.len() >= self.shared.config.queue_capacity {
             if state.shutting_down {
@@ -237,17 +375,20 @@ impl LabelService {
             return Err(ServeError::Closed);
         }
         state.queue.push_back(Request {
-            image: image.clone(),
+            image,
             enqueued: Instant::now(),
+            deadline,
+            cancel: Arc::clone(&cancel),
             respond: tx,
         });
         self.shared.not_empty.notify_one();
-        Ok(rx)
+        Ok(Ticket::pending(rx, Some(cancel)))
     }
 
-    /// Label one image, blocking until a worker answers.
+    /// Label one image, blocking until a worker answers — a thin wrapper
+    /// over [`LabelService::submit`] + [`Ticket::wait`].
     pub fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
-        self.submit(image)?.recv().map_err(|_| ServeError::Closed)
+        self.submit(image.clone())?.wait()
     }
 
     /// Label several images; answers come back in input order. All images
@@ -255,14 +396,18 @@ impl LabelService {
     /// caller still feeds the micro-batcher full batches instead of paying
     /// one linger timeout per image.
     pub fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
-        let receivers: Vec<_> =
-            images.iter().map(|img| self.submit(img)).collect::<ServeResult<_>>()?;
-        receivers.into_iter().map(|rx| rx.recv().map_err(|_| ServeError::Closed)).collect()
+        let tickets: Vec<Ticket> =
+            images.iter().map(|img| self.submit((*img).clone())).collect::<ServeResult<_>>()?;
+        tickets.into_iter().map(Ticket::wait).collect()
     }
 
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
+        let mut latency = LatencyHistogram::default();
+        for (i, b) in c.latency_buckets.iter().enumerate() {
+            latency.counts[i] = b.load(Ordering::Relaxed);
+        }
         ServiceStats {
             requests: c.requests.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
@@ -271,6 +416,9 @@ impl LabelService {
             max_latency_us: c.max_latency_us.load(Ordering::Relaxed),
             failed_batches: c.failed_batches.load(Ordering::Relaxed),
             failed_requests: c.failed_requests.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            latency,
         }
     }
 
@@ -290,8 +438,15 @@ impl LabelService {
     /// batches finish on their old version; the next batch serves the new
     /// one. Returns the published version number; on any error the
     /// previously current version keeps serving.
+    ///
+    /// After a successful publish, retired versions older than the most
+    /// recent one are pruned (if unleased) so a service that reloads
+    /// periodically holds O(1) snapshots — rollback to the immediately
+    /// previous version always stays possible.
     pub fn reload_from(&self, path: &std::path::Path) -> ServeResult<u64> {
-        self.shared.registry.publish_file(path)
+        let version = self.shared.registry.publish_file(path)?;
+        self.shared.registry.prune_retired(RELOAD_KEEP_RETIRED);
+        Ok(version)
     }
 
     /// Stop accepting new requests, drain the queue, and join the workers.
@@ -315,6 +470,24 @@ impl Drop for LabelService {
     }
 }
 
+impl Labeler for LabelService {
+    fn submit_with_deadline(
+        &self,
+        image: Arc<Image>,
+        deadline: Option<Instant>,
+    ) -> ServeResult<Ticket> {
+        LabelService::submit_with_deadline(self, image, deadline)
+    }
+
+    fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
+        LabelService::label(self, image)
+    }
+
+    fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
+        LabelService::label_all(self, images)
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     // One embedding scratch arena per worker, held across requests: the
     // backbone's im2col/GEMM/activation buffers grow once and every
@@ -330,8 +503,11 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Pop the next micro-batch: wait for a first request, then linger up to
-/// `batch_timeout` for the batch to fill. Returns `None` when the service
-/// is shutting down *and* the queue is fully drained.
+/// `batch_timeout` for the batch to fill. Cancelled requests (dropped
+/// tickets) are skipped and expired ones answered with
+/// [`ServeError::Deadline`] at drain time — neither occupies a batch slot.
+/// Returns `None` when the service is shutting down *and* the queue is
+/// fully drained.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     let mut state = shared.state.lock().expect("queue poisoned");
     loop {
@@ -363,13 +539,41 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
         if take == 0 {
             continue;
         }
-        let batch: Vec<Request> = state.queue.drain(..take).collect();
+        // Drain, then triage: doomed requests (cancelled / past deadline)
+        // must not occupy batch slots that live requests could use.
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(take);
+        let mut expired = Vec::new();
+        let mut cancelled = 0u64;
+        for request in state.queue.drain(..take) {
+            if request.cancel.load(Ordering::Relaxed) {
+                cancelled += 1;
+            } else if request.deadline.is_some_and(|d| now >= d) {
+                expired.push(request);
+            } else {
+                batch.push(request);
+            }
+        }
         shared.not_full.notify_all();
         // Other workers may still have work to do.
         if !state.queue.is_empty() {
             shared.not_empty.notify_one();
         }
         drop(state);
+        if cancelled > 0 {
+            shared.counters.cancelled.fetch_add(cancelled, Ordering::Relaxed);
+        }
+        if !expired.is_empty() {
+            shared.counters.deadline_expired.fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for request in expired {
+                let _ = request.respond.send(Err(ServeError::Deadline));
+            }
+        }
+        if batch.is_empty() {
+            // Everything drained was doomed; go back to waiting.
+            state = shared.state.lock().expect("queue poisoned");
+            continue;
+        }
         return Some(batch);
     }
 }
@@ -380,7 +584,7 @@ fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
     // a concurrent publish/rollback is picked up by the next batch. No
     // registry lock is held across the labeling call.
     let lease = shared.registry.get();
-    let images: Vec<&Image> = batch.iter().map(|r| &r.image).collect();
+    let images: Vec<&Image> = batch.iter().map(|r| r.image.as_ref()).collect();
     // Isolate panics (e.g. a malformed image tripping a backbone assert):
     // the worker must stay alive for everyone else, and the innocent
     // requests sharing the batch deserve answers — so a failed batch is
@@ -413,23 +617,27 @@ fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
 
 /// A poisoned batch panicked the labeler. Retry each member individually on
 /// the same version lease, so the innocent majority still gets answers and
-/// only the true poison(s) are dropped (their clients observe
-/// [`ServeError::Closed`] via the dropped responder) and counted in
+/// only the true poison(s) are dropped (their clients are answered with
+/// [`ServeError::Closed`]) and counted in
 /// [`ServiceStats::failed_requests`]. A singleton batch *is* its own
 /// poison — no retry, it would only panic again.
 fn salvage_batch(shared: &Shared, lease: &PublishedSnapshot, batch: Vec<Request>) {
     if batch.len() <= 1 {
         shared.counters.failed_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for request in batch {
+            let _ = request.respond.send(Err(ServeError::Closed));
+        }
         return;
     }
     for request in batch {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            lease.labeler().label_batch(&[&request.image], shared.config.embed_threads)
+            lease.labeler().label_batch(&[request.image.as_ref()], shared.config.embed_threads)
         }));
         match outcome {
             Ok(labels) => respond(shared, lease, std::slice::from_ref(&request), &labels),
             Err(_) => {
                 shared.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = request.respond.send(Err(ServeError::Closed));
             }
         }
     }
@@ -446,14 +654,15 @@ fn respond(
     let done = Instant::now();
     let mut total_us = 0u64;
     let mut max_us = 0u64;
+    let c = &shared.counters;
     for request in batch {
         let us = done.duration_since(request.enqueued).as_micros() as u64;
         total_us += us;
         max_us = max_us.max(us);
+        c.latency_buckets[LatencyHistogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
     }
     // Counters are bumped *before* the responses go out, so a client that
     // observed its answer also observes its request in `stats()`.
-    let c = &shared.counters;
     c.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
     c.images.fetch_add(batch.len() as u64, Ordering::Relaxed);
     c.batches.fetch_add(1, Ordering::Relaxed);
@@ -464,12 +673,12 @@ fn respond(
         let probs = labels.probs.row(i).to_vec();
         let label = goggles_tensor::argmax(&probs);
         // The receiver may have given up; ignore send failures.
-        let _ = request.respond.send(LabelResponse {
+        let _ = request.respond.send(Ok(LabelResponse {
             label,
             probs,
             batch_size: batch.len(),
             version: lease.version(),
-        });
+        }));
     }
 }
 
@@ -734,5 +943,136 @@ mod tests {
         assert!(service.label(&img).is_ok());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_upper_us(0), 2);
+        assert_eq!(LatencyHistogram::bucket_upper_us(10), 2048);
+        assert_eq!(LatencyHistogram::bucket_upper_us(LATENCY_BUCKETS - 1), u64::MAX);
+
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.5), 0, "empty histogram");
+        // 98 fast requests (~100 µs), 2 slow ones (~100 ms): p50 must stay
+        // in the fast bucket, p99 must reach the slow one.
+        for _ in 0..98 {
+            h.record(100);
+        }
+        h.record(100_000);
+        h.record(100_000);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.percentile_us(0.50), 128);
+        assert_eq!(h.percentile_us(0.98), 128);
+        assert_eq!(h.percentile_us(0.99), 131_072);
+        assert_eq!(h.percentile_us(1.0), 131_072);
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_labeling() {
+        // Already-expired at submission: resolved immediately, no queue
+        // slot, no labeling — `requests` stays 0, `deadline_expired` counts.
+        let (labeler, ds) = fitted(22);
+        let service = LabelService::spawn(labeler, ServeConfig::default());
+        let img = ds.test_images()[0].clone();
+        let past = Instant::now() - Duration::from_millis(5);
+        let outcome = service.submit_with_deadline(img.clone(), Some(past)).unwrap().wait();
+        assert!(matches!(outcome, Err(ServeError::Deadline)), "got {outcome:?}");
+        let stats = service.stats();
+        assert_eq!(stats.requests, 0, "expired request must never be labeled");
+        assert_eq!(stats.deadline_expired, 1);
+        // sanity: the same service still serves normal traffic
+        assert!(service.label(&img).is_ok());
+    }
+
+    #[test]
+    fn queued_requests_expire_and_cancel_without_occupying_batch_slots() {
+        // One worker, a long linger and a large max_batch: everything
+        // submitted below sits in the queue until the linger deadline, so
+        // the cancellations/expiries land deterministically before drain.
+        let (labeler, ds) = fitted(23);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                max_batch: 32,
+                batch_timeout: Duration::from_millis(400),
+                ..ServeConfig::default()
+            },
+        );
+        let img = ds.test_images()[0].clone();
+        // the request that will actually be labeled
+        let keep = service.submit(img.clone()).unwrap();
+        // three tickets dropped while queued → cancelled, never labeled
+        for _ in 0..3 {
+            drop(service.submit(img.clone()).unwrap());
+        }
+        // two requests whose deadline expires inside the linger window
+        let d = Instant::now() + Duration::from_millis(20);
+        let t1 = service.submit_with_deadline(img.clone(), Some(d)).unwrap();
+        let t2 = service.submit_with_deadline(img.clone(), Some(d)).unwrap();
+        assert!(matches!(t1.wait(), Err(ServeError::Deadline)));
+        assert!(matches!(t2.wait(), Err(ServeError::Deadline)));
+        let resp = keep.wait().expect("the live request must be answered");
+        assert_eq!(resp.batch_size, 1, "doomed requests must not occupy batch slots");
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.cancelled, 3);
+        assert_eq!(stats.deadline_expired, 2);
+        assert_eq!(stats.latency.total(), 1, "histogram counts answered requests only");
+    }
+
+    #[test]
+    fn ticket_poll_and_wait_timeout_lifecycle() {
+        let (labeler, ds) = fitted(24);
+        let expected = labeler.label_batch(&[ds.test_images()[0]], 1);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+        );
+        let mut ticket = service.submit(ds.test_images()[0].clone()).unwrap();
+        // poll until resolved (bounded spin; the answer takes ~ms)
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let outcome = loop {
+            if let Some(outcome) = ticket.poll() {
+                break outcome;
+            }
+            assert!(Instant::now() < deadline, "ticket never resolved");
+            std::thread::yield_now();
+        };
+        assert_eq!(outcome.unwrap().probs, expected.probs.row(0));
+        // a second ticket resolved through wait_timeout
+        let mut t = service.submit(ds.test_images()[0].clone()).unwrap();
+        let r = loop {
+            if let Some(r) = t.wait_timeout(Duration::from_millis(100)) {
+                break r;
+            }
+            assert!(Instant::now() < deadline, "wait_timeout never resolved");
+        };
+        assert_eq!(r.unwrap().probs, expected.probs.row(0));
+    }
+
+    #[test]
+    fn labeler_trait_objects_serve_fitted_and_service_identically() {
+        // The transport-agnostic promise: code written against `dyn
+        // Labeler` gets identical answers from the bare labeler and the
+        // micro-batching service (modulo version/batch metadata).
+        let (labeler, ds) = fitted(25);
+        let service = LabelService::spawn(labeler.clone(), ServeConfig::default());
+        let front: Vec<(&str, &dyn Labeler)> = vec![("fitted", &labeler), ("service", &service)];
+        let imgs = ds.test_images();
+        let expected = labeler.label_batch(&imgs, 1);
+        for (name, l) in front {
+            let responses = l.label_all(&imgs).unwrap();
+            for (i, resp) in responses.iter().enumerate() {
+                assert_eq!(resp.probs, expected.probs.row(i), "{name} request {i}");
+                assert_eq!(resp.label, goggles_tensor::argmax(expected.probs.row(i)));
+            }
+        }
     }
 }

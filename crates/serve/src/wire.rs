@@ -1,0 +1,625 @@
+//! The length-framed, checksummed binary wire protocol of the network
+//! front.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! ┌────────────┬──────────┬────────┬───────────┬─────────┬──────────────┐
+//! │ magic GWP1 │ len u32  │ op u8  │ req id u64│ payload │ fnv1a u64    │
+//! │  4 bytes   │ LE       │        │ LE        │ op-dep. │ over op..pay │
+//! └────────────┴──────────┴────────┴───────────┴─────────┴──────────────┘
+//! ```
+//!
+//! `len` counts everything after itself (opcode + id + payload + checksum),
+//! is bounded by [`MAX_FRAME_LEN`] before any allocation, and the trailing
+//! FNV-1a checksum (same as the snapshot container) covers opcode, request
+//! id and payload — truncation, bit rot and garbage are all rejected at the
+//! framing layer. Payload encodings reuse the [`crate::codec`] conventions:
+//! little-endian, length-prefixed, bounded lengths.
+//!
+//! Request ids are chosen by the client and echoed verbatim in the
+//! matching reply (or [`Opcode::ErrorReply`]), which is what makes
+//! pipelining possible: a client may have any number of requests in flight
+//! on one connection and match replies by id.
+//!
+//! The operation set mirrors the serving control plane: label (image +
+//! optional deadline budget), stats, hot-reload, shutdown.
+
+use crate::codec::{fnv1a, Reader, Writer};
+use crate::service::{LabelResponse, LatencyHistogram, ServiceStats, LATENCY_BUCKETS};
+use crate::{ServeError, ServeResult};
+use goggles_tensor::Tensor3;
+use goggles_vision::Image;
+use std::io::{Read, Write as IoWrite};
+
+/// Magic bytes opening every frame ("GoggleS Wire Protocol v1").
+pub const WIRE_MAGIC: [u8; 4] = *b"GWP1";
+/// Hard cap on `len` (bytes after the length field). A 64 MiB frame fits a
+/// 3 × 2048 × 2048 float image plus headers; anything larger is garbage and
+/// must not trigger a huge allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+/// Fixed non-payload bytes inside `len`: opcode (1) + request id (8) +
+/// checksum (8).
+const FRAME_OVERHEAD: usize = 1 + 8 + 8;
+/// Largest payload a frame can carry ([`MAX_FRAME_LEN`] minus the frame
+/// overhead). Senders must check against this **before** encoding — an
+/// oversized frame would be rejected by the peer's framing layer, killing
+/// the whole pipelined connection instead of just the one request.
+pub const MAX_PAYLOAD_LEN: usize = MAX_FRAME_LEN - FRAME_OVERHEAD;
+/// Largest image edge the protocol accepts.
+pub const MAX_IMAGE_DIM: usize = 1 << 14;
+/// Largest channel count the protocol accepts.
+pub const MAX_IMAGE_CHANNELS: usize = 64;
+
+/// Frame opcodes. Requests flow client → server, replies server → client;
+/// [`Opcode::ErrorReply`] answers any request that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Image + deadline budget → [`Opcode::LabelReply`].
+    LabelRequest = 1,
+    /// Label, probability row, serving version, batch size.
+    LabelReply = 2,
+    /// Error code + message, echoing the failed request's id.
+    ErrorReply = 3,
+    /// Ask for the service counters → [`Opcode::StatsReply`].
+    StatsRequest = 4,
+    /// Full [`ServiceStats`] (histogram included) + current version.
+    StatsReply = 5,
+    /// Server-side snapshot path to hot-reload → [`Opcode::ReloadReply`].
+    ReloadRequest = 6,
+    /// Version number the reload published.
+    ReloadReply = 7,
+    /// Ask the server to shut down cleanly → [`Opcode::ShutdownReply`].
+    ShutdownRequest = 8,
+    /// Acknowledged; the server stops accepting and drains.
+    ShutdownReply = 9,
+}
+
+impl Opcode {
+    /// Parse a wire byte; unknown opcodes are a protocol error (garbage
+    /// must never be dispatched).
+    pub fn from_u8(b: u8) -> ServeResult<Self> {
+        Ok(match b {
+            1 => Opcode::LabelRequest,
+            2 => Opcode::LabelReply,
+            3 => Opcode::ErrorReply,
+            4 => Opcode::StatsRequest,
+            5 => Opcode::StatsReply,
+            6 => Opcode::ReloadRequest,
+            7 => Opcode::ReloadReply,
+            8 => Opcode::ShutdownRequest,
+            9 => Opcode::ShutdownReply,
+            b => return Err(ServeError::Wire(format!("unknown opcode {b:#04x}"))),
+        })
+    }
+}
+
+/// One decoded frame: opcode, the client-chosen request id, and the
+/// opcode-specific payload bytes (still encoded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What this frame asks for / answers.
+    pub opcode: Opcode,
+    /// Client-chosen id echoed in the reply; pipelining key.
+    pub request_id: u64,
+    /// Opcode-specific payload (see the `encode_*`/`decode_*` pairs).
+    pub payload: Vec<u8>,
+}
+
+/// Encode one frame to bytes (magic + length + checksummed body).
+pub fn encode_frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let len = FRAME_OVERHEAD + payload.len();
+    let mut out = Vec::with_capacity(8 + len);
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    let body_start = out.len();
+    out.push(opcode as u8);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a(&out[body_start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode one frame from the front of `bytes`; returns the frame and the
+/// number of bytes consumed. Truncation, bad magic, implausible lengths,
+/// checksum mismatches and unknown opcodes all come back as
+/// [`ServeError::Wire`] — never a panic, never an unbounded allocation.
+pub fn decode_frame(bytes: &[u8]) -> ServeResult<(Frame, usize)> {
+    if bytes.len() < 8 {
+        return Err(ServeError::Wire(format!("frame header truncated ({} bytes)", bytes.len())));
+    }
+    if bytes[..4] != WIRE_MAGIC {
+        return Err(ServeError::Wire("bad frame magic".into()));
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
+        return Err(ServeError::Wire(format!(
+            "implausible frame length {len} (bounds {FRAME_OVERHEAD}..={MAX_FRAME_LEN})"
+        )));
+    }
+    if bytes.len() < 8 + len {
+        return Err(ServeError::Wire(format!(
+            "frame truncated: header promises {len} bytes, {} available",
+            bytes.len() - 8
+        )));
+    }
+    let body = &bytes[8..8 + len];
+    let (checked, trailer) = body.split_at(len - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let actual = fnv1a(checked);
+    if stored != actual {
+        return Err(ServeError::Wire(format!(
+            "frame checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let opcode = Opcode::from_u8(checked[0])?;
+    let request_id = u64::from_le_bytes(checked[1..9].try_into().expect("8 bytes"));
+    Ok((Frame { opcode, request_id, payload: checked[9..].to_vec() }, 8 + len))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(
+    w: &mut impl IoWrite,
+    opcode: Opcode,
+    request_id: u64,
+    payload: &[u8],
+) -> ServeResult<()> {
+    let bytes = encode_frame(opcode, request_id, payload);
+    w.write_all(&bytes).map_err(|e| ServeError::Io(format!("writing frame: {e}")))?;
+    w.flush().map_err(|e| ServeError::Io(format!("flushing frame: {e}")))
+}
+
+/// Read one frame from a stream. `Ok(None)` is a clean end-of-stream (the
+/// peer closed between frames); closing *inside* a frame, and every other
+/// protocol violation, is an error.
+pub fn read_frame(r: &mut impl Read) -> ServeResult<Option<Frame>> {
+    // First byte read separately so a clean close (0 bytes) is not an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServeError::Io(format!("reading frame: {e}"))),
+        }
+    }
+    let mut header = [0u8; 8];
+    header[0] = first[0];
+    read_exact(r, &mut header[1..])?;
+    if header[..4] != WIRE_MAGIC {
+        return Err(ServeError::Wire("bad frame magic".into()));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
+        return Err(ServeError::Wire(format!(
+            "implausible frame length {len} (bounds {FRAME_OVERHEAD}..={MAX_FRAME_LEN})"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    read_exact(r, &mut body)?;
+    let mut framed = Vec::with_capacity(8 + len);
+    framed.extend_from_slice(&header);
+    framed.extend_from_slice(&body);
+    decode_frame(&framed).map(|(frame, _)| Some(frame))
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> ServeResult<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Wire("connection closed mid-frame".into())
+        } else {
+            ServeError::Io(format!("reading frame: {e}"))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// payload encodings
+// ---------------------------------------------------------------------
+
+/// Decoded [`Opcode::LabelRequest`] payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelRequest {
+    /// The image to label (decoded straight into its final buffer; the
+    /// server wraps it in an `Arc` without copying).
+    pub image: Image,
+    /// Deadline *budget* in microseconds relative to receipt; 0 = none.
+    /// Relative, not absolute: the two hosts do not share a clock.
+    pub deadline_us: u64,
+}
+
+/// Encode an image + deadline budget for [`Opcode::LabelRequest`].
+pub fn encode_label_request(image: &Image, deadline_us: u64) -> Vec<u8> {
+    let (c, h, w) = image.shape();
+    let mut wr = Writer::new();
+    wr.put_u64(deadline_us);
+    wr.put_u32(c as u32);
+    wr.put_u32(h as u32);
+    wr.put_u32(w as u32);
+    wr.put_f32_slice_raw(image.tensor().as_slice());
+    wr.into_bytes()
+}
+
+/// Decode an [`Opcode::LabelRequest`] payload. Dimensions are bounded
+/// ([`MAX_IMAGE_CHANNELS`], [`MAX_IMAGE_DIM`]) and the pixel count must
+/// exactly match the remaining payload, so a corrupt frame can neither
+/// over-allocate nor smuggle in trailing garbage.
+pub fn decode_label_request(payload: &[u8]) -> ServeResult<LabelRequest> {
+    let mut r = Reader::new(payload);
+    let deadline_us = r.get_u64().map_err(wire_err)?;
+    let c = r.get_len_u32(MAX_IMAGE_CHANNELS).map_err(wire_err)?;
+    let h = r.get_len_u32(MAX_IMAGE_DIM).map_err(wire_err)?;
+    let w = r.get_len_u32(MAX_IMAGE_DIM).map_err(wire_err)?;
+    if c == 0 || h == 0 || w == 0 {
+        return Err(ServeError::Wire(format!("image with zero dimension ({c}×{h}×{w})")));
+    }
+    let pixels = c
+        .checked_mul(h)
+        .and_then(|p| p.checked_mul(w))
+        .ok_or_else(|| ServeError::Wire(format!("image shape {c}×{h}×{w} overflows")))?;
+    if r.remaining() != pixels * 4 {
+        return Err(ServeError::Wire(format!(
+            "image payload is {} bytes, shape {c}×{h}×{w} needs {}",
+            r.remaining(),
+            pixels * 4
+        )));
+    }
+    let data = r.get_f32_vec(pixels).map_err(wire_err)?;
+    let tensor = Tensor3::from_vec(c, h, w, data)
+        .map_err(|e| ServeError::Wire(format!("image decode: {e}")))?;
+    Ok(LabelRequest { image: Image::from_tensor(tensor), deadline_us })
+}
+
+/// Encode a [`LabelResponse`] for [`Opcode::LabelReply`]. Probabilities are
+/// bit-exact `f64`s, so a remote answer is bit-identical to the in-process
+/// one.
+pub fn encode_label_reply(resp: &LabelResponse) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(resp.label as u32);
+    w.put_u64(resp.version);
+    w.put_u32(resp.batch_size as u32);
+    w.put_f64_slice(&resp.probs);
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::LabelReply`] payload.
+pub fn decode_label_reply(payload: &[u8]) -> ServeResult<LabelResponse> {
+    let mut r = Reader::new(payload);
+    let label = r.get_u32().map_err(wire_err)? as usize;
+    let version = r.get_u64().map_err(wire_err)?;
+    let batch_size = r.get_u32().map_err(wire_err)? as usize;
+    let probs = r.get_f64_slice().map_err(wire_err)?;
+    if probs.is_empty() || label >= probs.len() {
+        return Err(ServeError::Wire(format!(
+            "label {label} out of range for {} probabilities",
+            probs.len()
+        )));
+    }
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after label reply".into()));
+    }
+    Ok(LabelResponse { label, probs, batch_size, version })
+}
+
+/// Error codes carried by [`Opcode::ErrorReply`] — the wire image of
+/// [`ServeError`].
+fn error_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::Snapshot(_) => 1,
+        ServeError::Corrupt(_) => 2,
+        ServeError::Io(_) => 3,
+        ServeError::Pipeline(_) => 4,
+        ServeError::Registry(_) => 5,
+        ServeError::Closed => 6,
+        ServeError::Deadline => 7,
+        ServeError::Wire(_) => 8,
+    }
+}
+
+/// Encode a [`ServeError`] for [`Opcode::ErrorReply`].
+pub fn encode_error_reply(e: &ServeError) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(error_code(e));
+    put_string(&mut w, &e.to_string());
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::ErrorReply`] payload back into the native error.
+/// Variants that carry structured inner errors ([`ServeError::Pipeline`])
+/// come back with their display string.
+pub fn decode_error_reply(payload: &[u8]) -> ServeResult<ServeError> {
+    let mut r = Reader::new(payload);
+    let code = r.get_u8().map_err(wire_err)?;
+    let msg = get_string(&mut r)?;
+    Ok(match code {
+        1 => ServeError::Snapshot(msg),
+        2 => ServeError::Corrupt(msg),
+        3 => ServeError::Io(msg),
+        4 => ServeError::Pipeline(goggles_core::GogglesError::InvalidInput(msg)),
+        5 => ServeError::Registry(msg),
+        6 => ServeError::Closed,
+        7 => ServeError::Deadline,
+        8 => ServeError::Wire(msg),
+        c => return Err(ServeError::Wire(format!("unknown error code {c}"))),
+    })
+}
+
+/// What [`Opcode::StatsReply`] carries: the server's full counter snapshot
+/// (histogram included, so the client can derive any percentile) plus the
+/// registry version currently serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteStats {
+    /// Counter snapshot of the remote service.
+    pub stats: ServiceStats,
+    /// Version new batches currently resolve on the server.
+    pub version: u64,
+}
+
+/// Encode a [`RemoteStats`] for [`Opcode::StatsReply`].
+pub fn encode_stats_reply(remote: &RemoteStats) -> Vec<u8> {
+    let s = &remote.stats;
+    let mut w = Writer::new();
+    w.put_u64(remote.version);
+    w.put_u64(s.requests);
+    w.put_u64(s.batches);
+    w.put_u64(s.images);
+    w.put_u64(s.total_latency_us);
+    w.put_u64(s.max_latency_us);
+    w.put_u64(s.failed_batches);
+    w.put_u64(s.failed_requests);
+    w.put_u64(s.deadline_expired);
+    w.put_u64(s.cancelled);
+    for &count in &s.latency.counts {
+        w.put_u64(count);
+    }
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::StatsReply`] payload.
+pub fn decode_stats_reply(payload: &[u8]) -> ServeResult<RemoteStats> {
+    let mut r = Reader::new(payload);
+    let version = r.get_u64().map_err(wire_err)?;
+    let mut stats = ServiceStats {
+        requests: r.get_u64().map_err(wire_err)?,
+        batches: r.get_u64().map_err(wire_err)?,
+        images: r.get_u64().map_err(wire_err)?,
+        total_latency_us: r.get_u64().map_err(wire_err)?,
+        max_latency_us: r.get_u64().map_err(wire_err)?,
+        failed_batches: r.get_u64().map_err(wire_err)?,
+        failed_requests: r.get_u64().map_err(wire_err)?,
+        deadline_expired: r.get_u64().map_err(wire_err)?,
+        cancelled: r.get_u64().map_err(wire_err)?,
+        latency: LatencyHistogram::default(),
+    };
+    for i in 0..LATENCY_BUCKETS {
+        stats.latency.counts[i] = r.get_u64().map_err(wire_err)?;
+    }
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after stats reply".into()));
+    }
+    Ok(RemoteStats { stats, version })
+}
+
+/// Encode a server-side snapshot path for [`Opcode::ReloadRequest`].
+pub fn encode_reload_request(path: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_string(&mut w, path);
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::ReloadRequest`] payload.
+pub fn decode_reload_request(payload: &[u8]) -> ServeResult<String> {
+    let mut r = Reader::new(payload);
+    let path = get_string(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after reload request".into()));
+    }
+    Ok(path)
+}
+
+/// Encode the published version for [`Opcode::ReloadReply`].
+pub fn encode_reload_reply(version: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(version);
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::ReloadReply`] payload.
+pub fn decode_reload_reply(payload: &[u8]) -> ServeResult<u64> {
+    let mut r = Reader::new(payload);
+    let version = r.get_u64().map_err(wire_err)?;
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after reload reply".into()));
+    }
+    Ok(version)
+}
+
+/// Length-prefixed UTF-8 string (u32 length, bounded by the remaining
+/// payload before allocation).
+fn put_string(w: &mut Writer, s: &str) {
+    w.put_u32(s.len() as u32);
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> ServeResult<String> {
+    let len = r.get_len_u32(r.remaining()).map_err(wire_err)?;
+    let bytes = r.take(len).map_err(wire_err)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| ServeError::Wire("string payload is not UTF-8".into()))
+}
+
+/// Re-brand a codec-level error ([`ServeError::Snapshot`]) as a wire error:
+/// the payload readers reuse the snapshot codec, but the failure domain is
+/// the network frame.
+fn wire_err(e: ServeError) -> ServeError {
+    match e {
+        ServeError::Snapshot(msg) => ServeError::Wire(msg),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_and_stream_read() {
+        let payload = b"hello wire".to_vec();
+        let bytes = encode_frame(Opcode::LabelRequest, 42, &payload);
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame.opcode, Opcode::LabelRequest);
+        assert_eq!(frame.request_id, 42);
+        assert_eq!(frame.payload, payload);
+
+        // the same bytes through the streaming reader, twice in a row
+        let mut doubled = bytes.clone();
+        doubled.extend_from_slice(&encode_frame(Opcode::StatsRequest, 7, &[]));
+        let mut cursor = std::io::Cursor::new(doubled);
+        let a = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(a.request_id, 42);
+        let b = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(b.opcode, Opcode::StatsRequest);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn truncation_bitflips_and_garbage_opcodes_are_errors() {
+        let bytes = encode_frame(Opcode::LabelReply, 3, b"payload");
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut {cut}");
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            if cut == 0 {
+                assert!(read_frame(&mut cursor).unwrap().is_none());
+            } else {
+                assert!(read_frame(&mut cursor).is_err(), "stream cut {cut}");
+            }
+        }
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(decode_frame(&bad).is_err(), "flip at {pos}");
+        }
+        // garbage opcode, re-checksummed so it reaches the opcode check
+        let mut garbage = bytes.clone();
+        garbage[8] = 0xEE;
+        let len = garbage.len();
+        let c = fnv1a(&garbage[8..len - 8]);
+        garbage[len - 8..].copy_from_slice(&c.to_le_bytes());
+        match decode_frame(&garbage) {
+            Err(ServeError::Wire(msg)) => assert!(msg.contains("opcode"), "{msg}"),
+            other => panic!("expected Wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        let mut bytes = encode_frame(Opcode::StatsRequest, 1, &[]);
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(ServeError::Wire(msg)) => assert!(msg.contains("implausible"), "{msg}"),
+            other => panic!("expected Wire error, got {other:?}"),
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn label_request_round_trip_is_bit_exact() {
+        let mut image = Image::new(3, 4, 5);
+        for (i, v) in image.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 - 20.0) * 0.37;
+        }
+        let payload = encode_label_request(&image, 12_345);
+        let decoded = decode_label_request(&payload).unwrap();
+        assert_eq!(decoded.deadline_us, 12_345);
+        assert_eq!(decoded.image, image);
+    }
+
+    #[test]
+    fn label_request_rejects_bad_shapes_and_sizes() {
+        let image = Image::filled(1, 2, 2, 0.5);
+        let good = encode_label_request(&image, 0);
+        // truncated pixels
+        assert!(decode_label_request(&good[..good.len() - 2]).is_err());
+        // trailing garbage
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 4]);
+        assert!(decode_label_request(&padded).is_err());
+        // zero dimension
+        let mut w = Writer::new();
+        w.put_u64(0);
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_u32(2);
+        assert!(decode_label_request(&w.into_bytes()).is_err());
+        // implausible dimension
+        let mut w = Writer::new();
+        w.put_u64(0);
+        w.put_u32(3);
+        w.put_u32(u32::MAX);
+        w.put_u32(u32::MAX);
+        assert!(decode_label_request(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn label_reply_round_trip_and_validation() {
+        let resp = LabelResponse { label: 1, probs: vec![0.25, 0.75], batch_size: 4, version: 9 };
+        let payload = encode_label_reply(&resp);
+        assert_eq!(decode_label_reply(&payload).unwrap(), resp);
+        // out-of-range label rejected
+        let bad = LabelResponse { label: 2, ..resp.clone() };
+        assert!(decode_label_reply(&encode_label_reply(&bad)).is_err());
+        for cut in 0..payload.len() {
+            assert!(decode_label_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn error_reply_round_trips_every_variant() {
+        let errors = [
+            ServeError::Snapshot("s".into()),
+            ServeError::Corrupt("c".into()),
+            ServeError::Io("i".into()),
+            ServeError::Pipeline(goggles_core::GogglesError::InvalidInput("p".into())),
+            ServeError::Registry("r".into()),
+            ServeError::Closed,
+            ServeError::Deadline,
+            ServeError::Wire("w".into()),
+        ];
+        for e in errors {
+            let decoded = decode_error_reply(&encode_error_reply(&e)).unwrap();
+            assert_eq!(error_code(&decoded), error_code(&e), "{e}");
+        }
+        assert!(decode_error_reply(&[0xFF, 0, 0, 0, 0]).is_err(), "unknown code");
+    }
+
+    #[test]
+    fn stats_reply_round_trips_with_histogram() {
+        let mut stats = ServiceStats { requests: 10, batches: 3, images: 10, ..Default::default() };
+        stats.latency.record(100);
+        stats.latency.record(90_000);
+        let remote = RemoteStats { stats, version: 4 };
+        let decoded = decode_stats_reply(&encode_stats_reply(&remote)).unwrap();
+        assert_eq!(decoded, remote);
+        assert_eq!(decoded.stats.latency.total(), 2);
+        let payload = encode_stats_reply(&remote);
+        for cut in 0..payload.len() {
+            assert!(decode_stats_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn reload_round_trips_and_rejects_non_utf8() {
+        let payload = encode_reload_request("/tmp/snap_v2.ggl");
+        assert_eq!(decode_reload_request(&payload).unwrap(), "/tmp/snap_v2.ggl");
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        assert!(decode_reload_request(&w.into_bytes()).is_err());
+        assert_eq!(decode_reload_reply(&encode_reload_reply(7)).unwrap(), 7);
+        assert!(decode_reload_reply(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end test of the actual `goggles-served` binary: spawn it on an
+//! ephemeral loopback port with a snapshot written to disk, label a batch
+//! through [`RemoteLabeler`], assert bit-exact agreement with in-process
+//! inference, and verify the wire shutdown op produces a clean exit.
+
+use goggles_core::GogglesConfig;
+use goggles_datasets::{generate, TaskConfig, TaskKind};
+use goggles_serve::{FittedLabeler, Labeler, RemoteLabeler};
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kill the child on drop so a failing assert never leaks a server process.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
+    // --- fixture: fit, snapshot to disk ------------------------------
+    let seed = 91u64;
+    let mut task = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 6, seed);
+    task.image_size = 32;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(3, seed);
+    let config = GogglesConfig { seed, ..GogglesConfig::fast() };
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).expect("fixture fit");
+    let dir = std::env::temp_dir().join("goggles_served_binary_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("snapshot.ggl");
+    labeler.save_to(&snap_path).unwrap();
+
+    // --- spawn the real binary on an ephemeral port ------------------
+    let child = Command::new(env!("CARGO_BIN_EXE_goggles-served"))
+        .args([
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--conn-threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn goggles-served");
+    let mut child = Reaper(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+
+    // First stdout line carries the resolved address; read it with a
+    // timeout guard so a broken server fails the test instead of hanging.
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines.next().and_then(Result::ok).unwrap_or_default();
+        let _ = addr_tx.send(first);
+        // Drain the rest so the child never blocks on a full pipe.
+        for _ in lines.by_ref() {}
+    });
+    let banner =
+        addr_rx.recv_timeout(Duration::from_secs(120)).expect("server never printed its address");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // --- label a batch remotely, compare with in-process answers -----
+    let client = RemoteLabeler::connect(addr.as_str()).expect("connect to served binary");
+    let images = ds.test_images();
+    let responses = client.label_all(&images).expect("remote labeling");
+    for (i, (resp, img)) in responses.iter().zip(&images).enumerate() {
+        let (expected_label, expected_probs) = labeler.label_one(img);
+        assert_eq!(resp.label, expected_label, "image {i}");
+        assert_eq!(resp.probs, expected_probs, "image {i}: must be bit-identical");
+        assert_eq!(resp.version, 1, "image {i}");
+    }
+    let stats = client.stats().expect("remote stats");
+    assert_eq!(stats.stats.requests, images.len() as u64);
+    assert_eq!(stats.version, 1);
+
+    // --- clean shutdown over the wire --------------------------------
+    client.shutdown_server().expect("shutdown op");
+    drop(client);
+    let status = wait_with_timeout(&mut child.0, Duration::from_secs(60))
+        .expect("server did not exit after the shutdown op");
+    assert!(status.success(), "server exited with {status:?}");
+    reader.join().expect("stdout reader");
+    std::fs::remove_file(&snap_path).ok();
+}
+
+/// `Child::wait` with a crude polling timeout (std has no native one).
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<std::process::ExitStatus> {
+    let start = std::time::Instant::now();
+    loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Some(status);
+        }
+        if start.elapsed() > timeout {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,8 +1,12 @@
 //! Serving benchmark: single-image latency and micro-batched throughput of
 //! the `goggles-serve` path versus a full batch (`label_dataset`) refit,
 //! plus the model-lifecycle measurements: v2 snapshot compression
-//! (size ratio, probability deviation, argmax agreement) and a hot-swap
-//! segment that publishes a new version under concurrent load.
+//! (size ratio, probability deviation, argmax agreement), a hot-swap
+//! segment that publishes a new version under concurrent load, and a
+//! **network segment** that round-trips the held-out set through the wire
+//! protocol (`WireServer` + `RemoteLabeler` over loopback TCP): round-trip
+//! p50/p99, pipelined throughput, and a bit-identity check against the
+//! in-process path.
 //!
 //! Not a paper artifact — the paper's system is batch-only — but the
 //! direct quantification of what the snapshot/fold-in subsystem buys: a
@@ -13,7 +17,7 @@ use super::report::Table;
 use super::RunParams;
 use goggles_core::Goggles;
 use goggles_datasets::{generate, Dataset, DevSet, TaskKind};
-use goggles_serve::{FittedLabeler, LabelService, ServeConfig};
+use goggles_serve::{FittedLabeler, LabelService, Labeler, ServeConfig};
 use goggles_vision::Image;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +45,12 @@ pub struct ServingReport {
     pub service_mean_batch: f64,
     /// Mean request latency through the service, milliseconds.
     pub service_mean_latency_ms: f64,
+    /// p50 request latency through the service, milliseconds (histogram
+    /// bucket upper bound).
+    pub service_p50_latency_ms: f64,
+    /// p99 request latency through the service, milliseconds (histogram
+    /// bucket upper bound) — the tail the mean hides.
+    pub service_p99_latency_ms: f64,
     /// Wall-clock seconds of a full transductive `label_dataset` refit over
     /// train + held-out (the only way the batch system can label new
     /// images).
@@ -72,6 +82,21 @@ pub struct ServingReport {
     /// Requests served on the newly published version during the swap
     /// segment.
     pub swap_served_v2: u64,
+    /// Held-out images round-tripped through `goggles-served`'s wire
+    /// protocol (loopback TCP) one at a time.
+    pub net_requests: u64,
+    /// p50 of the sequential network round trip (client-measured),
+    /// milliseconds.
+    pub net_roundtrip_p50_ms: f64,
+    /// p99 of the sequential network round trip (client-measured),
+    /// milliseconds.
+    pub net_roundtrip_p99_ms: f64,
+    /// Images/second through one pipelined `RemoteLabeler` connection
+    /// (every request on the wire before the first reply is awaited).
+    pub net_throughput_ips: f64,
+    /// Remote responses that were not bit-identical (label, probs, version)
+    /// to in-process `label_one` (acceptance: 0).
+    pub net_mismatches: u64,
 }
 
 impl ServingReport {
@@ -99,6 +124,8 @@ impl ServingReport {
         row("service throughput", format!("{:.0} img/s", self.service_throughput_ips));
         row("service mean batch size", format!("{:.2}", self.service_mean_batch));
         row("service mean latency", format!("{:.2} ms", self.service_mean_latency_ms));
+        row("service p50 latency", format!("{:.2} ms", self.service_p50_latency_ms));
+        row("service p99 latency", format!("{:.2} ms", self.service_p99_latency_ms));
         row("batch refit (train+held-out)", format!("{:.3} s", self.refit_seconds));
         row("per-image speedup vs refit", format!("{:.1}×", self.speedup_vs_refit()));
         row("served accuracy", format!("{:.1}%", 100.0 * self.served_accuracy));
@@ -111,6 +138,11 @@ impl ServingReport {
         row("swap segment errors", format!("{}", self.swap_errors));
         row("publish latency under load", format!("{:.2} ms", self.swap_publish_ms));
         row("swap served on v1 / v2", format!("{} / {}", self.swap_served_v1, self.swap_served_v2));
+        row("network round trips", format!("{}", self.net_requests));
+        row("network round-trip p50", format!("{:.2} ms", self.net_roundtrip_p50_ms));
+        row("network round-trip p99", format!("{:.2} ms", self.net_roundtrip_p99_ms));
+        row("network throughput (pipelined)", format!("{:.0} img/s", self.net_throughput_ips));
+        row("network answer mismatches", format!("{}", self.net_mismatches));
         t
     }
 
@@ -120,13 +152,17 @@ impl ServingReport {
             "{{\n  \"n_train\": {},\n  \"n_held_out\": {},\n  \"fit_seconds\": {:.6},\n  \
              \"snapshot_bytes\": {},\n  \"single_p50_ms\": {:.4},\n  \"single_mean_ms\": {:.4},\n  \
              \"service_throughput_ips\": {:.2},\n  \"service_mean_batch\": {:.3},\n  \
-             \"service_mean_latency_ms\": {:.4},\n  \"refit_seconds\": {:.6},\n  \
+             \"service_mean_latency_ms\": {:.4},\n  \"service_p50_latency_ms\": {:.4},\n  \
+             \"service_p99_latency_ms\": {:.4},\n  \"refit_seconds\": {:.6},\n  \
              \"speedup_vs_refit\": {:.2},\n  \"served_accuracy\": {:.4},\n  \
              \"batch_accuracy\": {:.4},\n  \"snapshot_v2_bytes\": {},\n  \
              \"v2_size_ratio\": {:.4},\n  \"v2_max_prob_dev\": {:.3e},\n  \
              \"v2_argmax_agreement\": {:.4},\n  \"swap_requests\": {},\n  \
              \"swap_errors\": {},\n  \"swap_publish_ms\": {:.4},\n  \
-             \"swap_served_v1\": {},\n  \"swap_served_v2\": {}\n}}\n",
+             \"swap_served_v1\": {},\n  \"swap_served_v2\": {},\n  \
+             \"net_requests\": {},\n  \"net_roundtrip_p50_ms\": {:.4},\n  \
+             \"net_roundtrip_p99_ms\": {:.4},\n  \"net_throughput_ips\": {:.2},\n  \
+             \"net_mismatches\": {}\n}}\n",
             self.n_train,
             self.n_held_out,
             self.fit_seconds,
@@ -136,6 +172,8 @@ impl ServingReport {
             self.service_throughput_ips,
             self.service_mean_batch,
             self.service_mean_latency_ms,
+            self.service_p50_latency_ms,
+            self.service_p99_latency_ms,
             self.refit_seconds,
             self.speedup_vs_refit(),
             self.served_accuracy,
@@ -149,6 +187,11 @@ impl ServingReport {
             self.swap_publish_ms,
             self.swap_served_v1,
             self.swap_served_v2,
+            self.net_requests,
+            self.net_roundtrip_p50_ms,
+            self.net_roundtrip_p99_ms,
+            self.net_throughput_ips,
+            self.net_mismatches,
         )
     }
 
@@ -239,7 +282,53 @@ pub fn run(params: &RunParams) -> ServingReport {
     let service_throughput_ips = stats.requests as f64 / service_seconds;
     let service_mean_batch = stats.mean_batch_size();
     let service_mean_latency_ms = stats.mean_latency_us() / 1e3;
+    let service_p50_latency_ms = stats.p50_latency_us() as f64 / 1e3;
+    let service_p99_latency_ms = stats.p99_latency_us() as f64 / 1e3;
     drop(service);
+
+    // network front: the same labeler behind goggles-served's wire
+    // protocol on a loopback TCP connection. Sequential round trips give
+    // the latency distribution; a pipelined label_all gives throughput.
+    // Every remote answer must be bit-identical (label, probs, version) to
+    // the in-process label_one path.
+    // Zero linger: sequential round trips would otherwise pay the full
+    // batch timeout per request (there is no concurrent traffic to share a
+    // batch with); pipelined throughput still batches from queue backlog.
+    let net_service = Arc::new(LabelService::spawn(
+        labeler.clone(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    ));
+    let net_server = goggles_serve::WireServer::bind("127.0.0.1:0", Arc::clone(&net_service), 2)
+        .expect("bind wire server");
+    let client =
+        goggles_serve::RemoteLabeler::connect(net_server.local_addr()).expect("connect client");
+    let _ = client.label(held_out[0]); // connection + scratch warm-up
+    let mut net_mismatches = 0u64;
+    let mut round_trips: Vec<f64> = Vec::with_capacity(held_out.len());
+    for img in &held_out {
+        let (expected_label, expected_probs) = labeler.label_one(img);
+        let t = Instant::now();
+        let resp = client.label(img).expect("network label");
+        round_trips.push(t.elapsed().as_secs_f64() * 1e3);
+        if resp.label != expected_label || resp.probs != expected_probs || resp.version != 1 {
+            net_mismatches += 1;
+        }
+    }
+    round_trips.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let net_roundtrip_p50_ms = round_trips[round_trips.len() / 2];
+    let net_roundtrip_p99_ms = round_trips[(round_trips.len() * 99) / 100];
+    let net_requests = round_trips.len() as u64;
+    let t_net = Instant::now();
+    let piped = client.label_all(&held_out).expect("pipelined network labeling");
+    let net_throughput_ips = piped.len() as f64 / t_net.elapsed().as_secs_f64();
+    drop(client);
+    drop(net_server);
+    drop(net_service);
 
     // hot-swap under load: concurrent clients hammer a fresh service while
     // the quantized v2 snapshot is published behind it. Every response must
@@ -340,6 +429,8 @@ pub fn run(params: &RunParams) -> ServingReport {
         service_throughput_ips,
         service_mean_batch,
         service_mean_latency_ms,
+        service_p50_latency_ms,
+        service_p99_latency_ms,
         refit_seconds,
         served_accuracy,
         batch_accuracy,
@@ -352,6 +443,11 @@ pub fn run(params: &RunParams) -> ServingReport {
         swap_publish_ms,
         swap_served_v1,
         swap_served_v2,
+        net_requests,
+        net_roundtrip_p50_ms,
+        net_roundtrip_p99_ms,
+        net_throughput_ips,
+        net_mismatches,
     }
 }
 
@@ -371,6 +467,8 @@ mod tests {
             service_throughput_ips: 100.0,
             service_mean_batch: 3.5,
             service_mean_latency_ms: 4.0,
+            service_p50_latency_ms: 3.0,
+            service_p99_latency_ms: 9.0,
             refit_seconds: 1.0,
             served_accuracy: 0.96,
             batch_accuracy: 0.95,
@@ -383,6 +481,11 @@ mod tests {
             swap_publish_ms: 0.4,
             swap_served_v1: 100,
             swap_served_v2: 80,
+            net_requests: 5,
+            net_roundtrip_p50_ms: 0.8,
+            net_roundtrip_p99_ms: 2.5,
+            net_throughput_ips: 900.0,
+            net_mismatches: 0,
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -390,6 +493,8 @@ mod tests {
             "n_train",
             "single_p50_ms",
             "service_throughput_ips",
+            "service_p50_latency_ms",
+            "service_p99_latency_ms",
             "speedup_vs_refit",
             "served_accuracy",
             "snapshot_v2_bytes",
@@ -398,6 +503,11 @@ mod tests {
             "swap_requests",
             "swap_errors",
             "swap_publish_ms",
+            "net_requests",
+            "net_roundtrip_p50_ms",
+            "net_roundtrip_p99_ms",
+            "net_throughput_ips",
+            "net_mismatches",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }

@@ -22,7 +22,9 @@
 //!
 //! For **online** labeling — fit once, snapshot, then answer single-image
 //! requests without refitting — see [`serve`] ([`goggles_serve`]) and the
-//! `examples/serving.rs` demo.
+//! `examples/serving.rs` demo. For labeling **over the network** (the
+//! `goggles-served` TCP server, the `RemoteLabeler` client and the
+//! transport-agnostic `Labeler` trait) see `examples/network.rs`.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the table/figure reproduction harness.
@@ -52,7 +54,8 @@ pub mod prelude {
         BernoulliMixture, DiagonalGmm, EmOptions, FullGmm, KMeans, SpectralCoclustering,
     };
     pub use goggles_serve::{
-        FittedLabeler, LabelService, ServeConfig, SnapshotFormat, SnapshotRegistry,
+        FittedLabeler, LabelResponse, LabelService, Labeler, RemoteLabeler, ServeConfig,
+        SnapshotFormat, SnapshotRegistry, Ticket, WireServer,
     };
     pub use goggles_vision::Image;
 }

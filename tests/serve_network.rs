@@ -1,0 +1,295 @@
+//! Integration tests of the network front: loopback round trips through
+//! `WireServer` + `RemoteLabeler` must be bit-identical to in-process
+//! inference, remote hot-reload must swap versions under live load, and
+//! the ticket lifecycle (deadlines, cancellation, non-blocking polls) must
+//! behave the same across the wire as in-process.
+
+use goggles::prelude::*;
+use goggles::serve::ServeError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fixture(seed: u64) -> (FittedLabeler, Dataset) {
+    let mut cfg = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 6, seed);
+    cfg.image_size = 32;
+    let ds = generate(&cfg);
+    let dev = ds.sample_dev_set(3, seed);
+    let config = GogglesConfig { seed, ..GogglesConfig::fast() };
+    let (labeler, _) = FittedLabeler::fit(&config, &ds, &dev).unwrap();
+    (labeler, ds)
+}
+
+fn spawn_stack(
+    labeler: FittedLabeler,
+    config: ServeConfig,
+) -> (Arc<LabelService>, WireServer, RemoteLabeler) {
+    let service = Arc::new(LabelService::spawn(labeler, config));
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
+    let client = RemoteLabeler::connect(server.local_addr()).unwrap();
+    (service, server, client)
+}
+
+#[test]
+fn loopback_answers_are_bit_identical_to_in_process_label_one() {
+    let (labeler, ds) = fixture(71);
+    let (_service, _server, client) = spawn_stack(labeler.clone(), ServeConfig::default());
+    for (i, img) in ds.test_images().iter().enumerate() {
+        let (expected_label, expected_probs) = labeler.label_one(img);
+        let resp = client.label(img).unwrap();
+        assert_eq!(resp.label, expected_label, "image {i}");
+        assert_eq!(resp.probs, expected_probs, "image {i}: probs must be bit-identical");
+        assert_eq!(resp.version, 1, "image {i}: served by the initial version");
+    }
+}
+
+#[test]
+fn pipelined_label_all_matches_and_batches() {
+    let (labeler, ds) = fixture(72);
+    let expected = labeler.label_batch(&ds.test_images(), 1);
+    let (service, _server, client) = spawn_stack(
+        labeler,
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+    );
+    let responses = client.label_all(&ds.test_images()).unwrap();
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.probs, expected.probs.row(i), "request {i}");
+    }
+    // All requests were on the wire before the first reply was awaited, so
+    // the single connection must have fed the micro-batcher real batches.
+    let stats = service.stats();
+    assert_eq!(stats.requests, ds.test_indices.len() as u64);
+    assert!(
+        stats.batches < stats.requests,
+        "pipelining produced only singleton batches ({} batches / {} requests)",
+        stats.batches,
+        stats.requests
+    );
+    // The remote stats op reports the same counters (plus the histogram).
+    let remote = client.stats().unwrap();
+    assert_eq!(remote.version, 1);
+    assert_eq!(remote.stats.requests, stats.requests);
+    assert_eq!(remote.stats.latency.total(), stats.requests);
+    assert!(remote.stats.p99_latency_us() >= remote.stats.p50_latency_us());
+}
+
+#[test]
+fn remote_reload_swaps_versions_under_load_and_prunes_the_registry() {
+    let (labeler, ds) = fixture(73);
+    let swapped = FittedLabeler::load(&labeler.save_v2(true)).unwrap();
+    let images: Vec<Image> = ds.test_images().iter().map(|img| (*img).clone()).collect();
+    let expected_v1 = labeler.label_batch(&ds.test_images(), 1);
+    let expected_v2 = swapped.label_batch(&ds.test_images(), 1);
+
+    let dir = std::env::temp_dir().join("goggles_remote_reload_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("snapshot_v2.ggl");
+    std::fs::write(&snap_path, labeler.save_v2(true)).unwrap();
+
+    let (service, server, client) = spawn_stack(
+        labeler,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    // Concurrent remote clients hammer the server while the reload lands.
+    let keep_running = Arc::new(AtomicBool::new(true));
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            let addr = server.local_addr();
+            let keep_running = Arc::clone(&keep_running);
+            let images = images.clone();
+            let expected_v1 = expected_v1.probs.clone();
+            let expected_v2 = expected_v2.probs.clone();
+            std::thread::spawn(move || {
+                let client = RemoteLabeler::connect(addr).unwrap();
+                let mut rounds = 0u64;
+                while keep_running.load(Ordering::Relaxed) || rounds < 2 {
+                    for (i, img) in images.iter().enumerate() {
+                        let resp = client
+                            .label(img)
+                            .unwrap_or_else(|e| panic!("client {c} request {i} errored: {e}"));
+                        match resp.version {
+                            1 => assert_eq!(resp.probs, expected_v1.row(i), "req {i} on v1"),
+                            2 => assert_eq!(resp.probs, expected_v2.row(i), "req {i} on v2"),
+                            v => panic!("response from unpublished version {v}"),
+                        }
+                    }
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(20));
+    // The swap, driven over the wire.
+    let version = client.reload(snap_path.to_str().unwrap()).unwrap();
+    assert_eq!(version, 2);
+    std::thread::sleep(Duration::from_millis(20));
+    keep_running.store(false, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("load client must not panic");
+    }
+    // Post-swap answers serve version 2 bit-exactly.
+    for (i, img) in images.iter().enumerate() {
+        let resp = client.label(img).unwrap();
+        assert_eq!(resp.version, 2, "post-swap request {i}");
+        assert_eq!(resp.probs, expected_v2.probs.row(i), "post-swap request {i}");
+    }
+    assert_eq!(service.stats().failed_requests, 0, "the swap must not drop requests");
+
+    // Reload twice more: `reload_from` prunes retired versions (keeping
+    // the rollback target), so the registry stays bounded.
+    assert_eq!(client.reload(snap_path.to_str().unwrap()).unwrap(), 3);
+    assert_eq!(client.reload(snap_path.to_str().unwrap()).unwrap(), 4);
+    let versions = service.registry().versions();
+    assert!(
+        versions.len() <= 3,
+        "registry must stay bounded under repeated reloads, got {versions:?}"
+    );
+    // A reload of a garbage file errs remotely and leaves serving intact.
+    let bad_path = dir.join("garbage.ggl");
+    std::fs::write(&bad_path, b"junk").unwrap();
+    assert!(client.reload(bad_path.to_str().unwrap()).is_err());
+    assert_eq!(client.label(&images[0]).unwrap().version, 4);
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&bad_path).ok();
+}
+
+#[test]
+fn remote_deadlines_resolve_to_deadline_error_without_labeling() {
+    let (labeler, ds) = fixture(74);
+    let (service, _server, client) = spawn_stack(labeler, ServeConfig::default());
+    let img = ds.test_images()[0];
+    // Client-side expiry: resolved locally.
+    let expired = client
+        .submit_with_deadline(
+            Arc::new(img.clone()),
+            Some(Instant::now() - Duration::from_millis(1)),
+        )
+        .unwrap()
+        .wait();
+    assert!(matches!(expired, Err(ServeError::Deadline)), "got {expired:?}");
+    // Server-side expiry: the budget survives the wire but dies in the
+    // queue (tiny budget, real image) — the batcher answers Deadline.
+    let outcome = client
+        .submit_with_deadline(
+            Arc::new(img.clone()),
+            Some(Instant::now() + Duration::from_micros(30)),
+        )
+        .unwrap()
+        .wait();
+    assert!(matches!(outcome, Err(ServeError::Deadline)), "got {outcome:?}");
+    assert_eq!(service.stats().requests, 0, "expired requests must never be labeled");
+    assert!(service.stats().deadline_expired >= 1);
+    // A sane deadline still gets labeled.
+    let ok = client
+        .submit_with_deadline(Arc::new(img.clone()), Some(Instant::now() + Duration::from_secs(30)))
+        .unwrap()
+        .wait();
+    assert!(ok.is_ok(), "got {ok:?}");
+}
+
+#[test]
+fn remote_tickets_poll_and_server_survives_client_disconnect() {
+    let (labeler, ds) = fixture(75);
+    let (_service, server, client) = spawn_stack(labeler.clone(), ServeConfig::default());
+    let img = ds.test_images()[0];
+    // Non-blocking poll loop over the wire.
+    let mut ticket = client.submit(Arc::new(img.clone())).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let outcome = loop {
+        if let Some(outcome) = ticket.poll() {
+            break outcome;
+        }
+        assert!(Instant::now() < deadline, "remote ticket never resolved");
+        std::thread::yield_now();
+    };
+    let (expected_label, expected_probs) = labeler.label_one(img);
+    let resp = outcome.unwrap();
+    assert_eq!((resp.label, resp.probs), (expected_label, expected_probs));
+    // Abrupt client disconnect with a request possibly in flight: the
+    // server must keep serving new connections.
+    let rude = RemoteLabeler::connect(server.local_addr()).unwrap();
+    let _ = rude.submit(Arc::new(img.clone())).unwrap();
+    drop(rude);
+    let again = RemoteLabeler::connect(server.local_addr()).unwrap();
+    assert!(again.label(img).is_ok(), "server must survive a rude disconnect");
+}
+
+#[test]
+fn shutdown_op_completes_while_other_clients_stay_connected() {
+    // Regression: a second, idle client keeps its connection open across
+    // the shutdown op. The server must close it and wind down anyway —
+    // it used to park in read_frame on the idle connection and never join.
+    let (labeler, ds) = fixture(77);
+    let (_service, server, client) = spawn_stack(labeler, ServeConfig::default());
+    let idle = RemoteLabeler::connect(server.local_addr()).unwrap();
+    assert!(idle.label(ds.test_images()[0]).is_ok());
+    client.shutdown_server().unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        server.wait();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server.wait() hung on the idle client's open connection");
+    waiter.join().unwrap();
+    // The idle client observes the closed connection as an error, not a hang.
+    assert!(idle.label(ds.test_images()[0]).is_err());
+}
+
+#[test]
+fn server_drop_completes_while_a_client_is_still_connected() {
+    // Regression companion: dropping the server (e.g. unwinding) with a
+    // live client connected must also not hang the join.
+    let (labeler, ds) = fixture(78);
+    let (_service, server, client) = spawn_stack(labeler, ServeConfig::default());
+    assert!(client.label(ds.test_images()[0]).is_ok());
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let dropper = std::thread::spawn(move || {
+        drop(server); // client intentionally still connected
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("drop(WireServer) hung on the live connection");
+    dropper.join().unwrap();
+    assert!(client.label(ds.test_images()[0]).is_err());
+}
+
+#[test]
+fn oversized_image_fails_its_request_but_not_the_connection() {
+    // An image whose wire payload exceeds the 64 MiB frame cap must be
+    // rejected client-side with a descriptive error — writing it would get
+    // the whole pipelined connection dropped by the server's framing layer.
+    let (labeler, ds) = fixture(79);
+    let (_service, _server, client) = spawn_stack(labeler, ServeConfig::default());
+    let huge = Image::filled(64, 600, 600, 0.1); // 64·600·600·4 B ≈ 92 MB payload
+    match client.label(&huge) {
+        Err(ServeError::Wire(msg)) => assert!(msg.contains("frame cap"), "{msg}"),
+        other => panic!("expected a Wire error for the oversized image, got {other:?}"),
+    }
+    assert!(client.label(ds.test_images()[0]).is_ok(), "connection must stay usable");
+}
+
+#[test]
+fn client_errs_cleanly_when_server_goes_away() {
+    let (labeler, ds) = fixture(76);
+    let (_service, server, client) = spawn_stack(labeler, ServeConfig::default());
+    let img = ds.test_images()[0];
+    assert!(client.label(img).is_ok());
+    client.shutdown_server().unwrap();
+    server.wait();
+    // Subsequent calls must error (Closed / Io), never hang or panic.
+    let outcome = client.label(img);
+    assert!(outcome.is_err(), "labeling after server shutdown must fail, got {outcome:?}");
+}

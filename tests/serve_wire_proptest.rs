@@ -1,0 +1,141 @@
+//! Property tests over the network wire protocol, mirroring what
+//! `serve_codec_proptest.rs` does for snapshots: truncated frames,
+//! bit-flips, oversized length fields and garbage opcodes must always come
+//! back as `Err` — never a panic, never a hang, never an unbounded
+//! allocation — at both the framing layer and the payload decoders.
+
+use goggles::serve::service::LabelResponse;
+use goggles::serve::wire::{
+    decode_error_reply, decode_frame, decode_label_reply, decode_label_request,
+    decode_reload_reply, decode_reload_request, decode_stats_reply, encode_frame,
+    encode_label_request, encode_reload_request, read_frame, Opcode, MAX_FRAME_LEN,
+};
+use goggles::serve::ServeError;
+use goggles_vision::Image;
+use proptest::prelude::*;
+
+/// A deterministic well-formed frame to mutate (label request with a real
+/// image payload — the largest and most structured request).
+fn reference_frame() -> Vec<u8> {
+    let mut image = Image::new(3, 8, 8);
+    for (i, v) in image.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+        *v = (i as f32).sin();
+    }
+    encode_frame(Opcode::LabelRequest, 77, &encode_label_request(&image, 1_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every truncated prefix fails cleanly in both the slice decoder and
+    /// the streaming reader (except the empty prefix, which is a clean
+    /// end-of-stream for the streaming reader).
+    #[test]
+    fn truncated_frames_always_err(cut in 0usize..1_000_000) {
+        let bytes = reference_frame();
+        let cut = cut % bytes.len();
+        prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut {cut}");
+        let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+        if cut == 0 {
+            prop_assert!(matches!(read_frame(&mut cursor), Ok(None)));
+        } else {
+            prop_assert!(read_frame(&mut cursor).is_err(), "stream cut {cut}");
+        }
+    }
+
+    /// Any single bit flip anywhere in the frame is rejected (magic, length
+    /// bounds, or checksum — something always catches it).
+    #[test]
+    fn bit_flips_always_err(pos in 0usize..1_000_000, bit in 0usize..8) {
+        let bytes = reference_frame();
+        let mut bad = bytes.clone();
+        let pos = pos % bad.len();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(decode_frame(&bad).is_err(), "flip at {pos} bit {bit}");
+    }
+
+    /// Oversized length fields are rejected before any allocation.
+    #[test]
+    fn oversized_frame_lengths_always_err(huge in (MAX_FRAME_LEN as u32 + 1)..u32::MAX) {
+        let mut bytes = reference_frame();
+        bytes[4..8].copy_from_slice(&huge.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(ServeError::Wire(msg)) => prop_assert!(msg.contains("implausible"), "{msg}"),
+            other => panic!("expected Wire error, got {other:?}"),
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Garbage opcode bytes (re-checksummed so they reach the opcode
+    /// check) are rejected, never dispatched.
+    #[test]
+    fn garbage_opcodes_always_err(op in 10u16..256) {
+        use goggles::serve::codec::fnv1a;
+        let mut bytes = reference_frame();
+        bytes[8] = op as u8;
+        let n = bytes.len();
+        let c = fnv1a(&bytes[8..n - 8]);
+        bytes[n - 8..].copy_from_slice(&c.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(ServeError::Wire(msg)) => prop_assert!(msg.contains("opcode"), "{msg}"),
+            other => panic!("expected Wire error, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary byte soup never panics any payload decoder, and whatever
+    /// decodes as a label request has exactly the advertised shape.
+    #[test]
+    fn payload_decoders_never_panic_on_byte_soup(
+        bytes in proptest::collection::vec(0u16..256, 0..128),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        if let Ok(req) = decode_label_request(&bytes) {
+            let (c, h, w) = req.image.shape();
+            prop_assert!(c > 0 && h > 0 && w > 0);
+        }
+        if let Ok(resp) = decode_label_reply(&bytes) {
+            prop_assert!(resp.label < resp.probs.len());
+        }
+        let _ = decode_error_reply(&bytes);
+        let _ = decode_stats_reply(&bytes);
+        let _ = decode_reload_request(&bytes);
+        let _ = decode_reload_reply(&bytes);
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Round trip: every encodable (opcode, id, payload) decodes back
+    /// identically, including through the streaming reader.
+    #[test]
+    fn frames_round_trip(id in 0u64..u64::MAX, payload in proptest::collection::vec(0u16..256, 0..64)) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let bytes = encode_frame(Opcode::StatsReply, id, &payload);
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(frame.opcode, Opcode::StatsReply);
+        prop_assert_eq!(frame.request_id, id);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    /// Label replies round trip bit-exactly for arbitrary probability rows
+    /// — the property the "remote ≡ in-process" guarantee rests on.
+    #[test]
+    fn label_replies_round_trip_bit_exactly(
+        probs in proptest::collection::vec(0u16..1000, 1..12),
+        version in 0u64..1000,
+    ) {
+        let probs: Vec<f64> = probs.into_iter().map(|p| f64::from(p) / 999.0).collect();
+        let label = goggles_tensor::argmax(&probs);
+        let resp = LabelResponse { label, probs, batch_size: 3, version };
+        let payload = goggles::serve::wire::encode_label_reply(&resp);
+        prop_assert_eq!(decode_label_reply(&payload).unwrap(), resp);
+    }
+
+    /// Reload paths with arbitrary (valid-UTF-8) content round trip.
+    #[test]
+    fn reload_requests_round_trip(chars in proptest::collection::vec(32u16..127, 0..64)) {
+        let path: String = chars.into_iter().map(|c| c as u8 as char).collect();
+        let payload = encode_reload_request(&path);
+        prop_assert_eq!(decode_reload_request(&payload).unwrap(), path);
+    }
+}
