@@ -64,6 +64,36 @@ impl VggConfig {
         let s = self.pool_size(4);
         self.block_channels[4] * s * s
     }
+
+    /// Estimated flops of one forward pass (2 flops per multiply-add),
+    /// counting the 13 3×3 convolutions at their block resolutions plus the
+    /// three dense layers. Pooling, bias and ReLU sweeps are omitted — they
+    /// are linear in the activation count and vanish next to the products.
+    /// The observability layer divides GEMM throughput by this to report
+    /// effective GFLOP/s per image.
+    pub fn forward_flops_per_image(&self) -> u64 {
+        let mut flops = 0u64;
+        let mut in_c = self.input_channels as u64;
+        for (b, &out_c) in self.block_channels.iter().enumerate() {
+            // Convolutions run at the block's input resolution; the 2× pool
+            // comes after the block.
+            let s = (self.input_size >> b) as u64;
+            for _ in 0..Self::CONVS_PER_BLOCK[b] {
+                flops += 2 * 9 * in_c * (out_c as u64) * s * s;
+                in_c = out_c as u64;
+            }
+        }
+        let dims = [
+            self.flattened_len() as u64,
+            self.fc_dims[0] as u64,
+            self.fc_dims[1] as u64,
+            self.logits_dim as u64,
+        ];
+        for pair in dims.windows(2) {
+            flops += 2 * pair[0] * pair[1];
+        }
+        flops
+    }
 }
 
 /// The VGG-16 network: 13 convolutions in 5 max-pooled blocks + 3 dense
@@ -109,6 +139,12 @@ impl Vgg16 {
     /// The configuration this network was built with.
     pub fn config(&self) -> &VggConfig {
         &self.config
+    }
+
+    /// Estimated flops of one forward pass — see
+    /// [`VggConfig::forward_flops_per_image`].
+    pub fn forward_flops_per_image(&self) -> u64 {
+        self.config.forward_flops_per_image()
     }
 
     /// Normalize an arbitrary image into the network's input tensor:
@@ -336,6 +372,25 @@ mod tests {
 
     fn test_net() -> Vgg16 {
         Vgg16::new(&VggConfig::tiny(), 7)
+    }
+
+    #[test]
+    fn forward_flops_match_hand_count_on_tiny_config() {
+        let cfg = VggConfig::tiny();
+        // Block 0 at 32×32: 3→4 then 4→4.
+        let mut expected = 2 * 9 * (3 * 4 + 4 * 4) * 32 * 32;
+        // Block 1 at 16×16: 4→8, 8→8.
+        expected += 2 * 9 * (4 * 8 + 8 * 8) * 16 * 16;
+        // Block 2 at 8×8: 8→8 ×3.
+        expected += 2 * 9 * (3 * 8 * 8) * 8 * 8;
+        // Block 3 at 4×4: 8→16, then 16→16 ×2.
+        expected += 2 * 9 * (8 * 16 + 2 * 16 * 16) * 4 * 4;
+        // Block 4 at 2×2: 16→16 ×3.
+        expected += 2 * 9 * (3 * 16 * 16) * 2 * 2;
+        // FC: flattened(16·1·1=16)→32→32→16.
+        expected += 2 * (16 * 32 + 32 * 32 + 32 * 16);
+        assert_eq!(cfg.forward_flops_per_image(), expected as u64);
+        assert_eq!(test_net().forward_flops_per_image(), expected as u64);
     }
 
     fn textured_image(seed_shift: f32) -> Image {

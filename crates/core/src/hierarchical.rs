@@ -67,17 +67,34 @@ pub struct HierarchicalModel {
 
 impl HierarchicalModel {
     /// Fit the full hierarchy on an affinity matrix.
+    ///
+    /// Timing of the two EM phases (base-layer fan-out, ensemble fit) and
+    /// their iteration counts are recorded into the process-wide
+    /// [`goggles_obs::global`] registry as `goggles_fit_stage_latency_us`
+    /// and `goggles_fit_em_iterations` — observation only, no effect on the
+    /// fitted parameters.
     pub fn fit(affinity: &AffinityMatrix, opts: &HierarchicalOptions) -> Result<Self> {
+        let obs = fit_metrics();
         let k = opts.num_classes;
-        let base_models = fit_base_models(affinity, opts)?;
+        let base_models = {
+            let _span = goggles_obs::Span::enter(&obs.em_base);
+            fit_base_models(affinity, opts)?
+        };
+        for gmm in &base_models {
+            obs.base_iterations.observe(gmm.stats.iterations as u64);
+        }
         let lp: Vec<&Matrix<f64>> = base_models.iter().map(|g| &g.responsibilities).collect();
         let ensemble_input = concat_label_predictions(&lp, opts.one_hot);
         // The ensemble fit is cheap (binary N × αK input) but decides the
         // final labels, so it gets extra restarts regardless of the base
         // models' budget: EM local optima here directly cost accuracy.
         let ensemble_em = EmOptions { restarts: opts.em.restarts.max(5), ..opts.em };
-        let ensemble =
-            BernoulliMixture::fit(&ensemble_input, k, &ensemble_em, opts.seed ^ 0xE45E_3B1E)?;
+        let ensemble = {
+            let _span = goggles_obs::Span::enter(&obs.em_ensemble);
+            BernoulliMixture::fit(&ensemble_input, k, &ensemble_em, opts.seed ^ 0xE45E_3B1E)?
+        };
+        obs.ensemble_iterations.observe(ensemble.stats.iterations as u64);
+        obs.fits_total.inc();
         let responsibilities = ensemble.responsibilities.clone();
         let log_likelihood = ensemble.stats.log_likelihood;
         Ok(Self {
@@ -184,6 +201,48 @@ pub fn fold_in_rows(
         .collect();
     let input = concat_label_predictions(&lp, one_hot);
     ensemble.predict_proba(&input)
+}
+
+/// Cached handles into the process-wide observability registry for the fit
+/// path. Resolved once; afterwards recording is lock-free atomics.
+struct FitMetrics {
+    em_base: goggles_obs::Histogram,
+    em_ensemble: goggles_obs::Histogram,
+    base_iterations: goggles_obs::Histogram,
+    ensemble_iterations: goggles_obs::Histogram,
+    fits_total: goggles_obs::Counter,
+}
+
+fn fit_metrics() -> &'static FitMetrics {
+    static METRICS: std::sync::OnceLock<FitMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = goggles_obs::global();
+        let stage_help = "Wall time of hierarchical-fit phases in microseconds";
+        let iter_help = "EM iterations consumed by the winning restart";
+        FitMetrics {
+            em_base: reg.histogram(
+                "goggles_fit_stage_latency_us",
+                stage_help,
+                &[("stage", "em_base")],
+            ),
+            em_ensemble: reg.histogram(
+                "goggles_fit_stage_latency_us",
+                stage_help,
+                &[("stage", "em_ensemble")],
+            ),
+            base_iterations: reg.histogram(
+                "goggles_fit_em_iterations",
+                iter_help,
+                &[("layer", "base")],
+            ),
+            ensemble_iterations: reg.histogram(
+                "goggles_fit_em_iterations",
+                iter_help,
+                &[("layer", "ensemble")],
+            ),
+            fits_total: reg.counter("goggles_fits_total", "Completed hierarchical model fits", &[]),
+        }
+    })
 }
 
 /// Fit one diagonal GMM per affinity-function block, in parallel.

@@ -12,10 +12,13 @@
 //!
 //! The resolved listen address is printed as the first stdout line
 //! (`listening on <addr>`), so callers binding port 0 can parse the
-//! ephemeral port. The process exits cleanly (status 0) when a client
-//! sends the wire shutdown op — the listener stops accepting, in-flight
-//! requests drain, and the service joins its workers.
+//! ephemeral port. With `--metrics-addr`, a second machine-readable line
+//! (`metrics listening on <addr>`) reports the HTTP scrape endpoint. The
+//! process exits cleanly (status 0) when a client sends the wire shutdown
+//! op — the listener stops accepting, in-flight requests drain, and the
+//! service joins its workers.
 
+use goggles_obs::{log, MetricsServer, Value};
 use goggles_serve::{FittedLabeler, LabelService, ServeConfig, WireServer};
 use std::io::Write as _;
 use std::sync::Arc;
@@ -31,6 +34,9 @@ options:
   --conn-threads N    concurrent connections served (default 4)
   --max-batch N       largest micro-batch (default 8)
   --linger-ms N       batch linger timeout in ms (default 2)
+  --metrics-addr ADDR also serve HTTP GET /metrics on ADDR (Prometheus text)
+  --log-level LEVEL   stderr log threshold: error|warn|info|debug (default info)
+  --log-json          emit logs as JSONL instead of text
 ";
 
 struct Args {
@@ -41,6 +47,9 @@ struct Args {
     conn_threads: usize,
     max_batch: usize,
     linger_ms: u64,
+    metrics_addr: Option<String>,
+    log_level: log::Level,
+    log_json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +61,9 @@ fn parse_args() -> Result<Args, String> {
         conn_threads: 4,
         max_batch: 8,
         linger_ms: 2,
+        metrics_addr: None,
+        log_level: log::Level::Info,
+        log_json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +80,13 @@ fn parse_args() -> Result<Args, String> {
             "--linger-ms" => {
                 args.linger_ms = parse_num(&value("--linger-ms")?, "--linger-ms")? as u64
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--log-level" => {
+                let s = value("--log-level")?;
+                args.log_level = log::Level::parse(&s)
+                    .map_err(|_| format!("--log-level: {s:?} is not error|warn|info|debug"))?;
+            }
+            "--log-json" => args.log_json = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -115,12 +134,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    log::set_level(args.log_level);
+    log::set_json(args.log_json);
     let labeler = if args.demo_fit {
-        eprintln!("goggles-served: fitting the demo labeler…");
+        log::info("served", "fitting the demo labeler", &[]);
         match demo_labeler() {
             Ok(l) => l,
             Err(msg) => {
-                eprintln!("goggles-served: {msg}");
+                log::error("served", "demo fit failed", &[("err", Value::from(msg))]);
                 std::process::exit(1);
             }
         }
@@ -129,7 +150,11 @@ fn main() {
         match FittedLabeler::load_from(std::path::Path::new(path)) {
             Ok(l) => l,
             Err(e) => {
-                eprintln!("goggles-served: loading {path}: {e}");
+                log::error(
+                    "served",
+                    "loading snapshot failed",
+                    &[("path", Value::from(path)), ("err", Value::from(e.to_string()))],
+                );
                 std::process::exit(1);
             }
         }
@@ -140,17 +165,54 @@ fn main() {
         ..ServeConfig::with_workers(args.workers)
     };
     let service = Arc::new(LabelService::spawn(labeler, config));
-    let server = match WireServer::bind(args.addr.as_str(), service, args.conn_threads) {
+    let server = match WireServer::bind(args.addr.as_str(), Arc::clone(&service), args.conn_threads)
+    {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("goggles-served: binding {}: {e}", args.addr);
+            log::error(
+                "served",
+                "binding listener failed",
+                &[("addr", Value::from(args.addr.as_str())), ("err", Value::from(e.to_string()))],
+            );
             std::process::exit(1);
         }
     };
+    // The HTTP scrape front renders the service registry (plus the global
+    // fit-path registry) on every GET /metrics. Held until shutdown.
+    let _metrics_server = match args.metrics_addr.as_deref() {
+        Some(addr) => {
+            let render_service = Arc::clone(&service);
+            match MetricsServer::bind(addr, Arc::new(move || render_service.render_metrics())) {
+                Ok(ms) => Some(ms),
+                Err(e) => {
+                    log::error(
+                        "served",
+                        "binding metrics listener failed",
+                        &[("addr", Value::from(addr)), ("err", Value::from(e.to_string()))],
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
     // First stdout line is machine-readable: callers binding port 0 parse
-    // the resolved ephemeral address from it.
+    // the resolved ephemeral address from it. The metrics line follows the
+    // same contract.
     println!("listening on {}", server.local_addr());
+    if let Some(ms) = _metrics_server.as_ref() {
+        println!("metrics listening on {}", ms.local_addr());
+    }
     std::io::stdout().flush().expect("flush stdout");
+    log::info(
+        "served",
+        "serving",
+        &[
+            ("addr", Value::from(server.local_addr().to_string())),
+            ("workers", Value::from(args.workers)),
+            ("conn_threads", Value::from(args.conn_threads)),
+        ],
+    );
     server.wait();
     println!("shutdown complete");
 }

@@ -16,8 +16,8 @@
 use crate::api::{Labeler, Ticket};
 use crate::service::LabelResponse;
 use crate::wire::{
-    self, decode_error_reply, decode_label_reply, decode_reload_reply, decode_stats_reply,
-    encode_label_request, encode_reload_request, Frame, Opcode, RemoteStats,
+    self, decode_error_reply, decode_label_reply, decode_metrics_reply, decode_reload_reply,
+    decode_stats_reply, encode_label_request, encode_reload_request, Frame, Opcode, RemoteStats,
 };
 use crate::{ServeError, ServeResult};
 use goggles_vision::Image;
@@ -31,6 +31,7 @@ use std::time::Instant;
 enum Pending {
     Label(mpsc::Sender<ServeResult<LabelResponse>>),
     Stats(mpsc::Sender<ServeResult<RemoteStats>>),
+    Metrics(mpsc::Sender<ServeResult<String>>),
     Reload(mpsc::Sender<ServeResult<u64>>),
     Shutdown(mpsc::Sender<ServeResult<()>>),
 }
@@ -41,6 +42,7 @@ impl Pending {
         match self {
             Pending::Label(tx) => drop(tx.send(Err(err))),
             Pending::Stats(tx) => drop(tx.send(Err(err))),
+            Pending::Metrics(tx) => drop(tx.send(Err(err))),
             Pending::Reload(tx) => drop(tx.send(Err(err))),
             Pending::Shutdown(tx) => drop(tx.send(Err(err))),
         }
@@ -124,6 +126,9 @@ impl ClientShared {
             (Opcode::StatsReply, Pending::Stats(tx)) => {
                 let _ = tx.send(decode_stats_reply(&frame.payload));
             }
+            (Opcode::MetricsReply, Pending::Metrics(tx)) => {
+                let _ = tx.send(decode_metrics_reply(&frame.payload));
+            }
             (Opcode::ReloadReply, Pending::Reload(tx)) => {
                 let _ = tx.send(decode_reload_reply(&frame.payload));
             }
@@ -184,6 +189,16 @@ impl RemoteLabeler {
     pub fn stats(&self) -> ServeResult<RemoteStats> {
         let (tx, rx) = mpsc::channel();
         self.shared.send(Opcode::StatsRequest, &[], Pending::Stats(tx))?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Scrape the remote service's metrics registry: the same Prometheus
+    /// text exposition that the server's `GET /metrics` HTTP front renders
+    /// ([`crate::LabelService::render_metrics`]), shipped over the wire
+    /// protocol instead of HTTP.
+    pub fn metrics(&self) -> ServeResult<String> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.send(Opcode::MetricsRequest, &[], Pending::Metrics(tx))?;
         rx.recv().unwrap_or(Err(ServeError::Closed))
     }
 

@@ -73,8 +73,10 @@ pub use api::{Labeler, Ticket};
 pub use client::RemoteLabeler;
 pub use registry::{PublishedSnapshot, SnapshotRegistry, VersionInfo};
 pub use server::WireServer;
-pub use service::{LabelResponse, LabelService, LatencyHistogram, ServeConfig, ServiceStats};
-pub use snapshot::{FittedLabeler, SnapshotFormat};
+pub use service::{
+    LabelResponse, LabelService, LatencyHistogram, ServeConfig, ServiceStats, StageStats,
+};
+pub use snapshot::{FittedLabeler, SnapshotFormat, StageTiming};
 pub use wire::RemoteStats;
 
 /// Errors surfaced by the serving layer.

@@ -71,6 +71,10 @@ pub struct VersionInfo {
     pub served: u64,
     /// Whether this is the version [`SnapshotRegistry::get`] resolves.
     pub current: bool,
+    /// Outstanding leases on this version: `Arc` clones of the labeler held
+    /// outside the registry (in-flight batches, retained handles). 0 means
+    /// only the registry itself references the version.
+    pub leases: u64,
 }
 
 struct RegistryState {
@@ -229,6 +233,7 @@ impl SnapshotRegistry {
                 version: s.version,
                 served: s.served(),
                 current: i == state.current,
+                leases: (Arc::strong_count(&s.labeler) - 1) as u64,
             })
             .collect()
     }
@@ -274,8 +279,8 @@ mod tests {
         lease1.record_served(2);
         let infos = registry.versions();
         assert_eq!(infos.len(), 2);
-        assert_eq!(infos[0], VersionInfo { version: 1, served: 5, current: false });
-        assert_eq!(infos[1], VersionInfo { version: 2, served: 0, current: true });
+        assert_eq!(infos[0], VersionInfo { version: 1, served: 5, current: false, leases: 1 });
+        assert_eq!(infos[1], VersionInfo { version: 2, served: 0, current: true, leases: 0 });
 
         // rollback re-points current; retired version still leasable
         assert_eq!(registry.rollback().unwrap(), 1);

@@ -17,7 +17,7 @@
 use crate::service::LabelService;
 use crate::wire::{
     self, decode_label_request, decode_reload_request, encode_error_reply, encode_label_reply,
-    encode_reload_reply, encode_stats_reply, Opcode, RemoteStats,
+    encode_metrics_reply, encode_reload_reply, encode_stats_reply, Opcode, RemoteStats,
 };
 use crate::{ServeError, ServeResult, Ticket};
 use std::collections::HashMap;
@@ -199,6 +199,8 @@ enum Reply {
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let service = &shared.service;
+    let metrics = Arc::clone(service.serve_metrics());
+    let writer_metrics = Arc::clone(&metrics);
     let _ = stream.set_nodelay(true);
     let write_half = match stream.try_clone() {
         Ok(s) => s,
@@ -216,7 +218,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                 let (id, opcode, payload) = match job {
                     Reply::Raw { id, opcode, payload } => (id, opcode, payload),
                     Reply::Label { id, ticket } => match ticket.wait() {
-                        Ok(resp) => (id, Opcode::LabelReply, encode_label_reply(&resp)),
+                        Ok(resp) => {
+                            let _span = goggles_obs::Span::enter(&writer_metrics.stage_wire_encode);
+                            (id, Opcode::LabelReply, encode_label_reply(&resp))
+                        }
                         Err(e) => (id, Opcode::ErrorReply, encode_error_reply(&e)),
                     },
                 };
@@ -235,7 +240,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         let id = frame.request_id;
         match frame.opcode {
             Opcode::LabelRequest => {
-                let job = match decode_label_request(&frame.payload) {
+                let decoded = {
+                    let _span = goggles_obs::Span::enter(&metrics.stage_wire_decode);
+                    decode_label_request(&frame.payload)
+                };
+                let job = match decoded {
                     Ok(req) => {
                         let deadline = (req.deadline_us > 0)
                             .then(|| Instant::now() + Duration::from_micros(req.deadline_us));
@@ -261,6 +270,16 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                     id,
                     opcode: Opcode::StatsReply,
                     payload: encode_stats_reply(&remote),
+                };
+                if jobs.send(raw).is_err() {
+                    break;
+                }
+            }
+            Opcode::MetricsRequest => {
+                let raw = Reply::Raw {
+                    id,
+                    opcode: Opcode::MetricsReply,
+                    payload: encode_metrics_reply(&service.render_metrics()),
                 };
                 if jobs.send(raw).is_err() {
                     break;

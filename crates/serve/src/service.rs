@@ -70,6 +70,11 @@ pub struct ServeConfig {
     /// [`ServeConfig::with_workers`] (or set this field too) so the budget
     /// is recomputed instead of inherited from the 2-worker default.
     pub embed_threads: usize,
+    /// Capacity of the per-service ring buffer of recent stage trace
+    /// events ([`LabelService::recent_traces`]). `0` disables trace
+    /// recording entirely; stage histograms are always kept either way.
+    /// Tracing only reads clocks — labels are bit-identical at any value.
+    pub trace_capacity: usize,
 }
 
 impl ServeConfig {
@@ -92,6 +97,7 @@ impl Default for ServeConfig {
             batch_timeout: Duration::from_millis(2),
             queue_capacity: 1024,
             embed_threads: default_embed_threads(workers),
+            trace_capacity: 256,
         }
     }
 }
@@ -159,6 +165,15 @@ impl LatencyHistogram {
         self.counts[Self::bucket_index(us)] += 1;
     }
 
+    /// Add `other`'s counts into `self`, bucket by bucket — how
+    /// [`LabelService::stats`] folds the per-worker histogram shards into
+    /// one service-wide distribution.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -213,8 +228,14 @@ pub struct ServiceStats {
     /// were still queued (drop-to-cancel). Never labeled, never counted in
     /// `requests`.
     pub cancelled: u64,
+    /// Requests sitting in the queue at snapshot time (a live gauge, not a
+    /// monotonic counter: the one non-cumulative field here).
+    pub queue_depth: u64,
     /// Per-request latency distribution of answered requests.
     pub latency: LatencyHistogram,
+    /// Distribution of executed micro-batch sizes (same power-of-two
+    /// buckets as `latency`; sizes are small, so the low buckets carry it).
+    pub batch_size: LatencyHistogram,
 }
 
 impl ServiceStats {
@@ -247,6 +268,30 @@ impl ServiceStats {
     }
 }
 
+/// Per-stage latency distributions of the serving path, captured from the
+/// observability registry by [`LabelService::stage_stats`]. Embed,
+/// affinity and endmodel are **whole-batch** durations (one observation per
+/// batch); queue wait is per-request; batch assembly is per-drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Time requests sat queued before being drained into a batch.
+    pub queue_wait: LatencyHistogram,
+    /// Linger + drain time spent assembling each batch.
+    pub batch_assembly: LatencyHistogram,
+    /// Backbone forward (im2col/GEMM trunk), per batch.
+    pub embed: LatencyHistogram,
+    /// Affinity rows against the prototype bank (colmax), per batch.
+    pub affinity: LatencyHistogram,
+    /// Base-GMM posteriors + ensemble fold-in + mapping, per batch.
+    pub endmodel: LatencyHistogram,
+}
+
+/// Copy an obs histogram snapshot into the serving crate's histogram type —
+/// both use the same 32 power-of-two buckets, so this is bucket-for-bucket.
+fn latency_from_obs(snap: &goggles_obs::HistogramSnapshot) -> LatencyHistogram {
+    LatencyHistogram { counts: snap.counts }
+}
+
 struct Request {
     /// Shared, not cloned: `submit` takes `Arc<Image>`, so queueing an
     /// image never copies pixel data (the wire server decodes straight
@@ -272,7 +317,161 @@ struct Counters {
     failed_requests: AtomicU64,
     deadline_expired: AtomicU64,
     cancelled: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// Histogram buckets owned by one worker thread. Each worker bumps only its
+/// own shard (no cross-worker cache-line ping-pong on the latency path);
+/// [`LabelService::stats`] merges the shards with
+/// [`LatencyHistogram::merge`].
+#[derive(Default)]
+struct WorkerShard {
     latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    batch_size_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl WorkerShard {
+    fn latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for (i, b) in self.latency_buckets.iter().enumerate() {
+            h.counts[i] = b.load(Ordering::Relaxed);
+        }
+        h
+    }
+
+    fn batch_size(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for (i, b) in self.batch_size_buckets.iter().enumerate() {
+            h.counts[i] = b.load(Ordering::Relaxed);
+        }
+        h
+    }
+}
+
+/// Cached handles into this service's observability registry, resolved once
+/// at spawn so every hot-path recording is a relaxed atomic add — no lock,
+/// no lookup, no allocation.
+pub(crate) struct ServeMetrics {
+    registry: Arc<goggles_obs::Registry>,
+    stage_queue_wait: goggles_obs::Histogram,
+    stage_batch_assembly: goggles_obs::Histogram,
+    stage_embed: goggles_obs::Histogram,
+    stage_affinity: goggles_obs::Histogram,
+    stage_endmodel: goggles_obs::Histogram,
+    pub(crate) stage_wire_decode: goggles_obs::Histogram,
+    pub(crate) stage_wire_encode: goggles_obs::Histogram,
+    requests_ok: goggles_obs::Counter,
+    requests_failed: goggles_obs::Counter,
+    requests_deadline: goggles_obs::Counter,
+    requests_cancelled: goggles_obs::Counter,
+    batches_total: goggles_obs::Counter,
+    batches_failed: goggles_obs::Counter,
+    queue_depth: goggles_obs::Gauge,
+    batch_size: goggles_obs::Histogram,
+    trace: goggles_obs::TraceRing,
+}
+
+impl ServeMetrics {
+    fn new(snapshots: &Arc<SnapshotRegistry>, trace_capacity: usize) -> Self {
+        let registry = Arc::new(goggles_obs::Registry::new());
+        let stage_help = "Wall time of serving-path stages in microseconds \
+                          (batch-level for embed/affinity/endmodel, per-request for queue_wait)";
+        let stage = |name: &str| {
+            registry.histogram("goggles_stage_latency_us", stage_help, &[("stage", name)])
+        };
+        let requests_help = "Requests by terminal outcome";
+        let result = |name: &str| {
+            registry.counter("goggles_requests_total", requests_help, &[("result", name)])
+        };
+        let metrics = ServeMetrics {
+            stage_queue_wait: stage("queue_wait"),
+            stage_batch_assembly: stage("batch_assembly"),
+            stage_embed: stage("embed"),
+            stage_affinity: stage("affinity"),
+            stage_endmodel: stage("endmodel"),
+            stage_wire_decode: stage("wire_decode"),
+            stage_wire_encode: stage("wire_encode"),
+            requests_ok: result("ok"),
+            requests_failed: result("failed"),
+            requests_deadline: result("deadline"),
+            requests_cancelled: result("cancelled"),
+            batches_total: registry.counter("goggles_batches_total", "Micro-batches executed", &[]),
+            batches_failed: registry.counter(
+                "goggles_batches_failed_total",
+                "Micro-batches on which the labeler panicked (then salvaged)",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "goggles_queue_depth",
+                "Requests currently queued (not yet drained into a batch)",
+                &[],
+            ),
+            batch_size: registry.histogram("goggles_batch_size", "Executed micro-batch sizes", &[]),
+            trace: goggles_obs::TraceRing::new(trace_capacity),
+            registry: Arc::clone(&registry),
+        };
+        // Per-version snapshot gauges are sampled from the live registry at
+        // scrape time rather than double-booked on the serving path.
+        let snaps = Arc::clone(snapshots);
+        registry.register_collector(move |out| {
+            out.push_str(
+                "# HELP goggles_snapshot_version Registry version new batches resolve\n\
+                 # TYPE goggles_snapshot_version gauge\n",
+            );
+            let versions = snaps.versions();
+            let current = versions.iter().find(|v| v.current).map_or(0, |v| v.version);
+            out.push_str(&format!("goggles_snapshot_version {current}\n"));
+            out.push_str(
+                "# HELP goggles_snapshot_served_total Images served per snapshot version\n\
+                 # TYPE goggles_snapshot_served_total counter\n",
+            );
+            for v in &versions {
+                out.push_str(&format!(
+                    "goggles_snapshot_served_total{{version=\"{}\"}} {}\n",
+                    v.version, v.served
+                ));
+            }
+            out.push_str(
+                "# HELP goggles_snapshot_leases Outstanding leases per snapshot version \
+                 (in-flight batches pinning it)\n\
+                 # TYPE goggles_snapshot_leases gauge\n",
+            );
+            for v in &versions {
+                out.push_str(&format!(
+                    "goggles_snapshot_leases{{version=\"{}\"}} {}\n",
+                    v.version, v.leases
+                ));
+            }
+        });
+        // GEMM kernel counters are process-global (the tensor crate has no
+        // registry dependency); surface them here as a sampled collector.
+        registry.register_collector(|out| {
+            out.push_str(
+                "# HELP goggles_gemm_calls_total GEMM kernel invocations (process-wide)\n\
+                 # TYPE goggles_gemm_calls_total counter\n",
+            );
+            out.push_str(&format!(
+                "goggles_gemm_calls_total {}\n",
+                goggles_tensor::gemm_call_count()
+            ));
+            out.push_str(
+                "# HELP goggles_gemm_flops_total Flops through the GEMM kernel (process-wide)\n\
+                 # TYPE goggles_gemm_flops_total counter\n",
+            );
+            out.push_str(&format!(
+                "goggles_gemm_flops_total {}\n",
+                goggles_tensor::gemm_flop_count()
+            ));
+        });
+        registry
+            .gauge(
+                "goggles_backbone_flops_per_image",
+                "Estimated backbone flops per labeled image (current snapshot)",
+                &[],
+            )
+            .set(snapshots.get().labeler().backbone_flops_per_image() as i64);
+        metrics
+    }
 }
 
 struct QueueState {
@@ -290,6 +489,11 @@ struct Shared {
     registry: Arc<SnapshotRegistry>,
     config: ServeConfig,
     counters: Counters,
+    /// Per-worker histogram shards, indexed by worker id.
+    shards: Vec<WorkerShard>,
+    /// Cached observability handles (shared with the wire server's
+    /// encode/decode spans).
+    metrics: Arc<ServeMetrics>,
 }
 
 /// A running labeling service: spawn with [`LabelService::spawn`], submit
@@ -319,6 +523,8 @@ impl LabelService {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
+        let metrics = Arc::new(ServeMetrics::new(&registry, config.trace_capacity));
+        let shards = (0..config.workers).map(|_| WorkerShard::default()).collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false }),
             not_empty: Condvar::new(),
@@ -326,13 +532,15 @@ impl LabelService {
             registry,
             config: config.clone(),
             counters: Counters::default(),
+            shards,
+            metrics,
         });
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("goggles-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -360,6 +568,7 @@ impl LabelService {
         let image = image.into();
         if deadline.is_some_and(|d| Instant::now() >= d) {
             self.shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.requests_deadline.inc();
             return Ok(Ticket::ready(Err(ServeError::Deadline)));
         }
         let (tx, rx) = mpsc::channel();
@@ -381,6 +590,8 @@ impl LabelService {
             cancel: Arc::clone(&cancel),
             respond: tx,
         });
+        self.shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.queue_depth.add(1);
         self.shared.not_empty.notify_one();
         Ok(Ticket::pending(rx, Some(cancel)))
     }
@@ -401,12 +612,15 @@ impl LabelService {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
-    /// Snapshot of the service counters.
+    /// Snapshot of the service counters. Histograms are merged from the
+    /// per-worker shards bucket-by-bucket ([`LatencyHistogram::merge`]).
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
         let mut latency = LatencyHistogram::default();
-        for (i, b) in c.latency_buckets.iter().enumerate() {
-            latency.counts[i] = b.load(Ordering::Relaxed);
+        let mut batch_size = LatencyHistogram::default();
+        for shard in &self.shared.shards {
+            latency.merge(&shard.latency());
+            batch_size.merge(&shard.batch_size());
         }
         ServiceStats {
             requests: c.requests.load(Ordering::Relaxed),
@@ -418,8 +632,54 @@ impl LabelService {
             failed_requests: c.failed_requests.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
             latency,
+            batch_size,
         }
+    }
+
+    /// Per-stage latency distributions of the serving path (whole-batch
+    /// durations for embed/affinity/endmodel, per-request for queue wait,
+    /// per-drain for batch assembly). Converted from the observability
+    /// registry's histograms — the bucket schemes are identical.
+    pub fn stage_stats(&self) -> StageStats {
+        let m = &self.shared.metrics;
+        StageStats {
+            queue_wait: latency_from_obs(&m.stage_queue_wait.snapshot()),
+            batch_assembly: latency_from_obs(&m.stage_batch_assembly.snapshot()),
+            embed: latency_from_obs(&m.stage_embed.snapshot()),
+            affinity: latency_from_obs(&m.stage_affinity.snapshot()),
+            endmodel: latency_from_obs(&m.stage_endmodel.snapshot()),
+        }
+    }
+
+    /// This service's observability registry (counters, gauges, stage
+    /// histograms). Each service owns its own registry; process-wide
+    /// instrumentation (fit path, GEMM counters) lives in
+    /// [`goggles_obs::global`] and is appended by
+    /// [`LabelService::render_metrics`].
+    pub fn metrics_registry(&self) -> &Arc<goggles_obs::Registry> {
+        &self.shared.metrics.registry
+    }
+
+    /// Render this service's metrics — plus the process-global registry —
+    /// as one Prometheus text page. This is the payload of both export
+    /// fronts (`Opcode::Metrics` on the wire, `GET /metrics` over HTTP).
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.shared.metrics.registry.render();
+        goggles_obs::global().render_into(&mut out);
+        out
+    }
+
+    /// The most recent per-stage trace events (oldest first; empty when
+    /// [`ServeConfig::trace_capacity`] is 0). Event tags carry the batch
+    /// size the stage ran over.
+    pub fn recent_traces(&self) -> Vec<goggles_obs::TraceEvent> {
+        self.shared.metrics.trace.recent()
+    }
+
+    pub(crate) fn serve_metrics(&self) -> &Arc<ServeMetrics> {
+        &self.shared.metrics
     }
 
     /// The registry behind the service: publish/rollback/inspect versions
@@ -488,7 +748,7 @@ impl Labeler for LabelService {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     // One embedding scratch arena per worker, held across requests: the
     // backbone's im2col/GEMM/activation buffers grow once and every
     // subsequent batch embeds allocation-free (outputs aside).
@@ -498,7 +758,7 @@ fn worker_loop(shared: &Shared) {
             Some(batch) => batch,
             None => return,
         };
-        run_batch(shared, &mut scratch, batch);
+        run_batch(shared, &shared.shards[worker], &mut scratch, batch);
     }
 }
 
@@ -518,7 +778,8 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             state = shared.not_empty.wait(state).expect("queue poisoned");
         }
         let max_batch = shared.config.max_batch;
-        let deadline = Instant::now() + shared.config.batch_timeout;
+        let assembly_start = Instant::now();
+        let deadline = assembly_start + shared.config.batch_timeout;
         // Linger: give concurrent producers a short window to fill the batch.
         while state.queue.len() < max_batch && !state.shutting_down {
             let now = Instant::now();
@@ -560,11 +821,26 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             shared.not_empty.notify_one();
         }
         drop(state);
+        let m = &shared.metrics;
+        shared.counters.queue_depth.fetch_sub(take as u64, Ordering::Relaxed);
+        m.queue_depth.sub(take as i64);
+        // Queue wait of every request that made it into the batch, plus the
+        // assembly (linger + drain) cost of the batch itself.
+        for request in &batch {
+            m.stage_queue_wait.observe(now.duration_since(request.enqueued).as_micros() as u64);
+        }
+        if !batch.is_empty() {
+            let assembly_us = now.duration_since(assembly_start).as_micros() as u64;
+            m.stage_batch_assembly.observe(assembly_us);
+            m.trace.push("batch_assembly", assembly_us, batch.len() as u64);
+        }
         if cancelled > 0 {
             shared.counters.cancelled.fetch_add(cancelled, Ordering::Relaxed);
+            m.requests_cancelled.add(cancelled);
         }
         if !expired.is_empty() {
             shared.counters.deadline_expired.fetch_add(expired.len() as u64, Ordering::Relaxed);
+            m.requests_deadline.add(expired.len() as u64);
             for request in expired {
                 let _ = request.respond.send(Err(ServeError::Deadline));
             }
@@ -578,7 +854,12 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
-fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
+fn run_batch(
+    shared: &Shared,
+    shard: &WorkerShard,
+    scratch: &mut EmbedScratch,
+    batch: Vec<Request>,
+) {
     // Resolve the current snapshot once per batch: the lease pins the
     // version for this batch's whole lifetime (labeling + responses), while
     // a concurrent publish/rollback is picked up by the next batch. No
@@ -589,30 +870,47 @@ fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
     // the worker must stay alive for everyone else, and the innocent
     // requests sharing the batch deserve answers — so a failed batch is
     // salvaged by retrying its requests individually.
-    let labels = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        lease.labeler().label_batch_with(scratch, &images, shared.config.embed_threads)
-    })) {
-        Ok(labels) => labels,
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lease.labeler().label_batch_traced(scratch, &images, shared.config.embed_threads)
+    }));
+    let (labels, timing) = match outcome {
+        Ok(traced) => traced,
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
-            eprintln!(
-                "goggles-serve: batch of {} hit a labeler panic ({msg}); salvaging",
-                batch.len()
+            goggles_obs::log::warn(
+                "serve",
+                "batch hit a labeler panic; salvaging individually",
+                &[
+                    ("batch", goggles_obs::Value::from(batch.len())),
+                    ("version", goggles_obs::Value::from(lease.version())),
+                    ("panic", goggles_obs::Value::from(msg)),
+                ],
             );
             shared.counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.batches_failed.inc();
             // A panicked embed may have left the arena buffers at any size;
             // they stay valid (growth-only), but retry with a fresh scratch
             // out of caution.
             *scratch = EmbedScratch::new();
-            salvage_batch(shared, &lease, batch);
+            salvage_batch(shared, shard, &lease, batch);
             return;
         }
     };
-    respond(shared, &lease, &batch, &labels);
+    let m = &shared.metrics;
+    let n = batch.len() as u64;
+    m.stage_embed.observe(timing.embed_us);
+    m.stage_affinity.observe(timing.affinity_us);
+    m.stage_endmodel.observe(timing.endmodel_us);
+    if m.trace.is_enabled() {
+        m.trace.push("embed", timing.embed_us, n);
+        m.trace.push("affinity", timing.affinity_us, n);
+        m.trace.push("endmodel", timing.endmodel_us, n);
+    }
+    respond(shared, shard, &lease, &batch, &labels);
 }
 
 /// A poisoned batch panicked the labeler. Retry each member individually on
@@ -621,9 +919,15 @@ fn run_batch(shared: &Shared, scratch: &mut EmbedScratch, batch: Vec<Request>) {
 /// [`ServeError::Closed`]) and counted in
 /// [`ServiceStats::failed_requests`]. A singleton batch *is* its own
 /// poison — no retry, it would only panic again.
-fn salvage_batch(shared: &Shared, lease: &PublishedSnapshot, batch: Vec<Request>) {
+fn salvage_batch(
+    shared: &Shared,
+    shard: &WorkerShard,
+    lease: &PublishedSnapshot,
+    batch: Vec<Request>,
+) {
     if batch.len() <= 1 {
         shared.counters.failed_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.metrics.requests_failed.add(batch.len() as u64);
         for request in batch {
             let _ = request.respond.send(Err(ServeError::Closed));
         }
@@ -634,9 +938,10 @@ fn salvage_batch(shared: &Shared, lease: &PublishedSnapshot, batch: Vec<Request>
             lease.labeler().label_batch(&[request.image.as_ref()], shared.config.embed_threads)
         }));
         match outcome {
-            Ok(labels) => respond(shared, lease, std::slice::from_ref(&request), &labels),
+            Ok(labels) => respond(shared, shard, lease, std::slice::from_ref(&request), &labels),
             Err(_) => {
                 shared.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests_failed.inc();
                 let _ = request.respond.send(Err(ServeError::Closed));
             }
         }
@@ -647,6 +952,7 @@ fn salvage_batch(shared: &Shared, lease: &PublishedSnapshot, batch: Vec<Request>
 /// requests (`labels` row `i` answers `batch[i]`).
 fn respond(
     shared: &Shared,
+    shard: &WorkerShard,
     lease: &PublishedSnapshot,
     batch: &[Request],
     labels: &ProbabilisticLabels,
@@ -655,12 +961,18 @@ fn respond(
     let mut total_us = 0u64;
     let mut max_us = 0u64;
     let c = &shared.counters;
+    let m = &shared.metrics;
     for request in batch {
         let us = done.duration_since(request.enqueued).as_micros() as u64;
         total_us += us;
         max_us = max_us.max(us);
-        c.latency_buckets[LatencyHistogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        shard.latency_buckets[LatencyHistogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
     }
+    shard.batch_size_buckets[LatencyHistogram::bucket_index(batch.len() as u64)]
+        .fetch_add(1, Ordering::Relaxed);
+    m.batch_size.observe(batch.len() as u64);
+    m.requests_ok.add(batch.len() as u64);
+    m.batches_total.inc();
     // Counters are bumped *before* the responses go out, so a client that
     // observed its answer also observes its request in `stats()`.
     c.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -1074,5 +1386,142 @@ mod tests {
                 assert_eq!(resp.label, goggles_tensor::argmax(expected.probs.row(i)));
             }
         }
+    }
+
+    #[test]
+    fn latency_histogram_merge_is_bucket_exact() {
+        // stats() folds the per-worker shards with merge(); every bucket of
+        // the merged histogram must be the exact sum of the inputs.
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for us in [0, 1, 2, 3, 100, 100, 1024, 1_000_000] {
+            a.record(us);
+        }
+        for us in [1, 2, 100, 65_536, u64::MAX] {
+            b.record(us);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        for i in 0..LATENCY_BUCKETS {
+            assert_eq!(merged.counts[i], a.counts[i] + b.counts[i], "bucket {i}");
+        }
+        assert_eq!(merged.total(), a.total() + b.total());
+        // merging an empty histogram is the identity
+        let mut unchanged = merged;
+        unchanged.merge(&LatencyHistogram::default());
+        assert_eq!(unchanged, merged);
+    }
+
+    #[test]
+    fn stats_expose_queue_depth_and_batch_size_distribution() {
+        // One worker and a long linger: submissions sit in the queue, so
+        // the live depth gauge is observable before the drain.
+        let (labeler, ds) = fitted(26);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(300),
+                ..ServeConfig::default()
+            },
+        );
+        let img = ds.test_images()[0].clone();
+        let t1 = service.submit(img.clone()).unwrap();
+        let t2 = service.submit(img).unwrap();
+        assert_eq!(service.stats().queue_depth, 2, "both requests still queued");
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.queue_depth, 0, "queue drained");
+        assert_eq!(stats.requests, 2);
+        assert_eq!(
+            stats.batch_size.total(),
+            stats.batches,
+            "one batch-size sample per executed batch"
+        );
+        // both requests shared one batch of 2 → bucket_index(2) = 1
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_size.counts[LatencyHistogram::bucket_index(2)], 1);
+    }
+
+    #[test]
+    fn metrics_render_exposes_families_and_stage_stats() {
+        let (labeler, ds) = fitted(27);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+        );
+        for img in ds.test_images().iter().take(3) {
+            service.label(img).unwrap();
+        }
+        let text = service.render_metrics();
+        for family in [
+            "goggles_requests_total",
+            "goggles_stage_latency_us",
+            "goggles_snapshot_version",
+            "goggles_snapshot_served_total",
+            "goggles_snapshot_leases",
+            "goggles_queue_depth",
+            "goggles_batch_size",
+            "goggles_batches_total",
+            "goggles_gemm_calls_total",
+            "goggles_backbone_flops_per_image",
+        ] {
+            assert!(text.contains(family), "missing family {family} in:\n{text}");
+        }
+        assert!(
+            text.contains("goggles_requests_total{result=\"ok\"} 3"),
+            "ok-request counter wrong in:\n{text}"
+        );
+        assert!(text.contains("goggles_snapshot_version 1"));
+        // the per-stage histograms saw every batch
+        let stages = service.stage_stats();
+        assert_eq!(stages.queue_wait.total(), 3, "one queue_wait sample per request");
+        assert_eq!(stages.embed.total(), stages.affinity.total());
+        assert_eq!(stages.embed.total(), stages.endmodel.total());
+        assert!(stages.embed.total() >= 1);
+        assert!(stages.embed.percentile_us(0.5) > 0);
+    }
+
+    #[test]
+    fn trace_ring_records_stage_events_and_zero_capacity_disables() {
+        let (labeler, ds) = fitted(28);
+        let img = ds.test_images()[0].clone();
+        let service = LabelService::spawn(
+            labeler.clone(),
+            ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+        );
+        service.label(&img).unwrap();
+        let traces = service.recent_traces();
+        for stage in ["batch_assembly", "embed", "affinity", "endmodel"] {
+            assert!(traces.iter().any(|e| e.stage == stage), "no {stage} trace in {traces:?}");
+        }
+        // tracing disabled: same serving behavior, no events retained
+        let quiet = LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                batch_timeout: Duration::ZERO,
+                trace_capacity: 0,
+                ..ServeConfig::default()
+            },
+        );
+        quiet.label(&img).unwrap();
+        assert!(quiet.recent_traces().is_empty());
+    }
+
+    #[test]
+    fn instrumentation_keeps_labels_bit_identical() {
+        // The traced path must return exactly what the untraced labeler
+        // computes — instrumentation reads clocks, never touches numerics.
+        let (labeler, ds) = fitted(29);
+        let imgs = ds.test_images();
+        let direct = labeler.label_batch(&imgs, 1);
+        let mut scratch = EmbedScratch::new();
+        let (traced, timing) = labeler.label_batch_traced(&mut scratch, &imgs, 1);
+        assert_eq!(direct.probs, traced.probs);
+        // embed dominates; all three stages must have been timed
+        let _ = timing.embed_us + timing.affinity_us + timing.endmodel_us;
     }
 }

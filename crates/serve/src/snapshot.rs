@@ -86,6 +86,20 @@ fn frozen_ensemble(weights: Vec<f64>, probs: Matrix<f64>) -> BernoulliMixture {
     }
 }
 
+/// Per-stage wall-clock breakdown of one labeling call, reported by
+/// [`FittedLabeler::label_batch_traced`]. Durations are whole-batch, in
+/// microseconds; they are measurements only and never feed back into the
+/// computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Backbone forward passes + max-pool tap extraction (im2col/GEMM).
+    pub embed_us: u64,
+    /// Affinity rows against the frozen prototype bank (colmax matmul).
+    pub affinity_us: u64,
+    /// End model: base-GMM posteriors, ensemble fold-in, class mapping.
+    pub endmodel_us: u64,
+}
+
 /// A servable artifact: the frozen GOGGLES pipeline after fitting.
 ///
 /// Obtain one with [`FittedLabeler::fit`] (or [`FittedLabeler::from_fitted`]
@@ -230,14 +244,48 @@ impl FittedLabeler {
         images: &[&Image],
         threads: usize,
     ) -> ProbabilisticLabels {
+        self.label_batch_traced(scratch, images, threads).0
+    }
+
+    /// [`FittedLabeler::label_batch_with`] that additionally reports how
+    /// long each internal stage took. The labels are computed by exactly
+    /// the same calls in the same order — the only additions are three
+    /// clock reads around them — so the output is bit-identical to the
+    /// untraced path (the observability layer's core guarantee).
+    pub fn label_batch_traced(
+        &self,
+        scratch: &mut EmbedScratch,
+        images: &[&Image],
+        threads: usize,
+    ) -> (ProbabilisticLabels, StageTiming) {
         if images.is_empty() {
-            return ProbabilisticLabels { probs: Matrix::zeros(0, self.num_classes) };
+            return (
+                ProbabilisticLabels { probs: Matrix::zeros(0, self.num_classes) },
+                StageTiming::default(),
+            );
         }
+        let t0 = std::time::Instant::now();
         let embeddings =
             embed_images_with(&self.net, scratch, images, self.top_z, threads, self.center_patches);
+        let t1 = std::time::Instant::now();
         let rows = self.bank.affinity_rows(&embeddings, threads);
+        let t2 = std::time::Instant::now();
         let cluster_probs = self.fold_in(&rows);
-        ProbabilisticLabels { probs: apply_mapping(&cluster_probs, &self.mapping) }
+        let labels = ProbabilisticLabels { probs: apply_mapping(&cluster_probs, &self.mapping) };
+        let t3 = std::time::Instant::now();
+        let timing = StageTiming {
+            embed_us: t1.duration_since(t0).as_micros() as u64,
+            affinity_us: t2.duration_since(t1).as_micros() as u64,
+            endmodel_us: t3.duration_since(t2).as_micros() as u64,
+        };
+        (labels, timing)
+    }
+
+    /// Estimated backbone flops per labeled image — surfaced as the
+    /// `goggles_backbone_flops_per_image` gauge so scrape-side tooling can
+    /// turn embed-stage latency into effective GFLOP/s.
+    pub fn backbone_flops_per_image(&self) -> u64 {
+        self.net.forward_flops_per_image()
     }
 
     /// Label a single image; returns the argmax class and the full

@@ -23,7 +23,8 @@
 //! on one connection and match replies by id.
 //!
 //! The operation set mirrors the serving control plane: label (image +
-//! optional deadline budget), stats, hot-reload, shutdown.
+//! optional deadline budget), stats, hot-reload, shutdown, and a metrics
+//! dump (the full observability registry as Prometheus text).
 
 use crate::codec::{fnv1a, Reader, Writer};
 use crate::service::{LabelResponse, LatencyHistogram, ServiceStats, LATENCY_BUCKETS};
@@ -74,6 +75,10 @@ pub enum Opcode {
     ShutdownRequest = 8,
     /// Acknowledged; the server stops accepting and drains.
     ShutdownReply = 9,
+    /// Ask for the full observability registry → [`Opcode::MetricsReply`].
+    MetricsRequest = 10,
+    /// Prometheus text exposition dump of the server's metrics registry.
+    MetricsReply = 11,
 }
 
 impl Opcode {
@@ -90,6 +95,8 @@ impl Opcode {
             7 => Opcode::ReloadReply,
             8 => Opcode::ShutdownRequest,
             9 => Opcode::ShutdownReply,
+            10 => Opcode::MetricsRequest,
+            11 => Opcode::MetricsReply,
             b => return Err(ServeError::Wire(format!("unknown opcode {b:#04x}"))),
         })
     }
@@ -371,7 +378,11 @@ pub fn encode_stats_reply(remote: &RemoteStats) -> Vec<u8> {
     w.put_u64(s.failed_requests);
     w.put_u64(s.deadline_expired);
     w.put_u64(s.cancelled);
+    w.put_u64(s.queue_depth);
     for &count in &s.latency.counts {
+        w.put_u64(count);
+    }
+    for &count in &s.batch_size.counts {
         w.put_u64(count);
     }
     w.into_bytes()
@@ -391,15 +402,39 @@ pub fn decode_stats_reply(payload: &[u8]) -> ServeResult<RemoteStats> {
         failed_requests: r.get_u64().map_err(wire_err)?,
         deadline_expired: r.get_u64().map_err(wire_err)?,
         cancelled: r.get_u64().map_err(wire_err)?,
+        queue_depth: r.get_u64().map_err(wire_err)?,
         latency: LatencyHistogram::default(),
+        batch_size: LatencyHistogram::default(),
     };
     for i in 0..LATENCY_BUCKETS {
         stats.latency.counts[i] = r.get_u64().map_err(wire_err)?;
+    }
+    for i in 0..LATENCY_BUCKETS {
+        stats.batch_size.counts[i] = r.get_u64().map_err(wire_err)?;
     }
     if r.remaining() != 0 {
         return Err(ServeError::Wire("trailing bytes after stats reply".into()));
     }
     Ok(RemoteStats { stats, version })
+}
+
+/// Encode a registry dump (Prometheus text) for [`Opcode::MetricsReply`].
+/// The text is length-prefixed UTF-8, same convention as every string on
+/// this wire.
+pub fn encode_metrics_reply(text: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_string(&mut w, text);
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::MetricsReply`] payload back into exposition text.
+pub fn decode_metrics_reply(payload: &[u8]) -> ServeResult<String> {
+    let mut r = Reader::new(payload);
+    let text = get_string(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after metrics reply".into()));
+    }
+    Ok(text)
 }
 
 /// Encode a server-side snapshot path for [`Opcode::ReloadRequest`].
@@ -609,6 +644,32 @@ mod tests {
         for cut in 0..payload.len() {
             assert!(decode_stats_reply(&payload[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_and_rejects_corruption() {
+        let text = "# HELP goggles_requests_total requests\n\
+                    # TYPE goggles_requests_total counter\n\
+                    goggles_requests_total{result=\"ok\"} 12\n";
+        let payload = encode_metrics_reply(text);
+        assert_eq!(decode_metrics_reply(&payload).unwrap(), text);
+        for cut in 0..payload.len() {
+            assert!(decode_metrics_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        // trailing garbage
+        let mut padded = payload.clone();
+        padded.extend_from_slice(&[0u8; 3]);
+        assert!(decode_metrics_reply(&padded).is_err());
+        // non-UTF-8 body
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        assert!(decode_metrics_reply(&w.into_bytes()).is_err());
+        // and the new opcodes survive the framing layer
+        let frame = encode_frame(Opcode::MetricsRequest, 5, &[]);
+        assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::MetricsRequest);
+        let frame = encode_frame(Opcode::MetricsReply, 6, &payload);
+        assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::MetricsReply);
     }
 
     #[test]

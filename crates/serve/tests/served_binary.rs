@@ -42,6 +42,8 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
             snap_path.to_str().unwrap(),
             "--addr",
             "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
             "--workers",
             "1",
             "--conn-threads",
@@ -54,13 +56,15 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
     let mut child = Reaper(child);
     let stdout = child.0.stdout.take().expect("piped stdout");
 
-    // First stdout line carries the resolved address; read it with a
-    // timeout guard so a broken server fails the test instead of hanging.
+    // The first two stdout lines carry the resolved wire and metrics
+    // addresses; read them with a timeout guard so a broken server fails
+    // the test instead of hanging.
     let (addr_tx, addr_rx) = std::sync::mpsc::channel();
     let reader = std::thread::spawn(move || {
         let mut lines = std::io::BufReader::new(stdout).lines();
-        let first = lines.next().and_then(Result::ok).unwrap_or_default();
-        let _ = addr_tx.send(first);
+        for _ in 0..2 {
+            let _ = addr_tx.send(lines.next().and_then(Result::ok).unwrap_or_default());
+        }
         // Drain the rest so the child never blocks on a full pipe.
         for _ in lines.by_ref() {}
     });
@@ -69,6 +73,13 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
     let addr = banner
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    let metrics_banner = addr_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server never printed its metrics address");
+    let metrics_addr = metrics_banner
+        .strip_prefix("metrics listening on ")
+        .unwrap_or_else(|| panic!("unexpected metrics banner {metrics_banner:?}"))
         .to_string();
 
     // --- label a batch remotely, compare with in-process answers -----
@@ -85,6 +96,24 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
     assert_eq!(stats.stats.requests, images.len() as u64);
     assert_eq!(stats.version, 1);
 
+    // --- scrape the HTTP metrics front -------------------------------
+    let body = http_get_metrics(&metrics_addr);
+    for family in ["goggles_requests_total", "goggles_stage_latency_us", "goggles_snapshot_version"]
+    {
+        assert!(body.contains(&format!("# TYPE {family}")), "scrape missing {family}:\n{body}");
+    }
+    assert!(
+        body.lines().any(|l| l.starts_with("goggles_snapshot_version ")
+            && l.split_whitespace().nth(1) == Some("1")),
+        "snapshot version gauge wrong:\n{body}"
+    );
+    let served: u64 = body
+        .lines()
+        .filter(|l| l.starts_with("goggles_requests_total{"))
+        .filter_map(|l| l.split_whitespace().last()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(served, images.len() as u64, "scraped request count:\n{body}");
+
     // --- clean shutdown over the wire --------------------------------
     client.shutdown_server().expect("shutdown op");
     drop(client);
@@ -93,6 +122,19 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
     assert!(status.success(), "server exited with {status:?}");
     reader.join().expect("stdout reader");
     std::fs::remove_file(&snap_path).ok();
+}
+
+/// Raw HTTP/1.0 `GET /metrics` against the binary's scrape endpoint; the
+/// headers are skipped and the body returned.
+fn http_get_metrics(addr: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed HTTP response");
+    assert!(head.starts_with("HTTP/1.0 200"), "scrape failed: {head}");
+    body.to_string()
 }
 
 /// `Child::wait` with a crude polling timeout (std has no native one).

@@ -28,8 +28,9 @@ pub mod tensor3;
 
 pub use linalg::{
     cholesky, colmax_matmul_f32, colmax_matmul_naive_f32, colmax_matmul_scratch_f32,
-    gemm_bias_relu_f32, gemm_f32, im2col_3x3, jacobi_eigh, log_det_psd, orthogonal_iteration,
-    solve_lower_triangular, ColmaxScratch, EighResult, GemmScratch, Pca,
+    gemm_bias_relu_f32, gemm_call_count, gemm_f32, gemm_flop_count, im2col_3x3, jacobi_eigh,
+    log_det_psd, orthogonal_iteration, solve_lower_triangular, ColmaxScratch, EighResult,
+    GemmScratch, Pca,
 };
 pub use matrix::Matrix;
 pub use rng::{

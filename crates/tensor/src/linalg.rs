@@ -14,6 +14,27 @@
 use crate::matrix::Matrix;
 use crate::rng;
 use crate::{Result, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of GEMM invocations (both [`gemm_f32`] and
+/// [`gemm_bias_relu_f32`] funnel through the same implementation). Two
+/// relaxed adds per call — noise next to the `2·m·k·n` flops of any real
+/// product — but enough for the observability layer to attribute embedding
+/// throughput to the kernel.
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide multiply-add flop count (`2·m·k·n` per GEMM call).
+static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of GEMM calls since process start.
+pub fn gemm_call_count() -> u64 {
+    GEMM_CALLS.load(Ordering::Relaxed)
+}
+
+/// Total `2·m·k·n` flops pushed through the GEMM kernel since process start.
+pub fn gemm_flop_count() -> u64 {
+    GEMM_FLOPS.load(Ordering::Relaxed)
+}
 
 /// Prototype rows held as running maxima per register tile of
 /// [`colmax_matmul_f32`].
@@ -314,6 +335,8 @@ fn gemm_impl(
     if m == 0 || n == 0 {
         return;
     }
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+    GEMM_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
     let m_blocks = m.div_ceil(GEMM_MR);
     let packed = m_blocks * GEMM_MR * k;
     if scratch.a_pack.len() < packed {
@@ -773,6 +796,25 @@ mod tests {
     fn spd3() -> Matrix<f64> {
         // A known symmetric positive definite matrix.
         Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn gemm_counters_advance_by_call_and_flops() {
+        let calls_before = gemm_call_count();
+        let flops_before = gemm_flop_count();
+        let (m, k, n) = (3, 4, 5);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut out = vec![0.0f32; m * n];
+        gemm_f32(&mut GemmScratch::default(), &a, &b, m, k, n, &mut out);
+        // Counters are process-global and tests run in parallel, so assert
+        // monotone growth by at least this call's contribution.
+        assert!(gemm_call_count() > calls_before);
+        assert!(gemm_flop_count() >= flops_before + 2 * (m * k * n) as u64);
+        // Empty products are not counted.
+        let calls = gemm_call_count();
+        gemm_f32(&mut GemmScratch::default(), &[], &b[..0], 0, 0, 0, &mut []);
+        assert!(gemm_call_count() >= calls);
     }
 
     #[test]

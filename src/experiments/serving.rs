@@ -51,6 +51,22 @@ pub struct ServingReport {
     /// p99 request latency through the service, milliseconds (histogram
     /// bucket upper bound) — the tail the mean hides.
     pub service_p99_latency_ms: f64,
+    /// p50 of per-request queue wait inside the micro-batcher, ms.
+    pub stage_queue_p50_ms: f64,
+    /// p99 of per-request queue wait inside the micro-batcher, ms.
+    pub stage_queue_p99_ms: f64,
+    /// p50 of per-batch embed (im2col/GEMM trunk) time, ms.
+    pub stage_embed_p50_ms: f64,
+    /// p99 of per-batch embed time, ms.
+    pub stage_embed_p99_ms: f64,
+    /// p50 of per-batch affinity (prototype colmax) time, ms.
+    pub stage_affinity_p50_ms: f64,
+    /// p99 of per-batch affinity time, ms.
+    pub stage_affinity_p99_ms: f64,
+    /// p50 of per-batch end-model (fold-in + mapping) time, ms.
+    pub stage_endmodel_p50_ms: f64,
+    /// p99 of per-batch end-model time, ms.
+    pub stage_endmodel_p99_ms: f64,
     /// Wall-clock seconds of a full transductive `label_dataset` refit over
     /// train + held-out (the only way the batch system can label new
     /// images).
@@ -126,6 +142,22 @@ impl ServingReport {
         row("service mean latency", format!("{:.2} ms", self.service_mean_latency_ms));
         row("service p50 latency", format!("{:.2} ms", self.service_p50_latency_ms));
         row("service p99 latency", format!("{:.2} ms", self.service_p99_latency_ms));
+        row(
+            "stage queue wait p50 / p99",
+            format!("{:.2} / {:.2} ms", self.stage_queue_p50_ms, self.stage_queue_p99_ms),
+        );
+        row(
+            "stage embed p50 / p99",
+            format!("{:.2} / {:.2} ms", self.stage_embed_p50_ms, self.stage_embed_p99_ms),
+        );
+        row(
+            "stage affinity p50 / p99",
+            format!("{:.2} / {:.2} ms", self.stage_affinity_p50_ms, self.stage_affinity_p99_ms),
+        );
+        row(
+            "stage end-model p50 / p99",
+            format!("{:.2} / {:.2} ms", self.stage_endmodel_p50_ms, self.stage_endmodel_p99_ms),
+        );
         row("batch refit (train+held-out)", format!("{:.3} s", self.refit_seconds));
         row("per-image speedup vs refit", format!("{:.1}×", self.speedup_vs_refit()));
         row("served accuracy", format!("{:.1}%", 100.0 * self.served_accuracy));
@@ -153,7 +185,12 @@ impl ServingReport {
              \"snapshot_bytes\": {},\n  \"single_p50_ms\": {:.4},\n  \"single_mean_ms\": {:.4},\n  \
              \"service_throughput_ips\": {:.2},\n  \"service_mean_batch\": {:.3},\n  \
              \"service_mean_latency_ms\": {:.4},\n  \"service_p50_latency_ms\": {:.4},\n  \
-             \"service_p99_latency_ms\": {:.4},\n  \"refit_seconds\": {:.6},\n  \
+             \"service_p99_latency_ms\": {:.4},\n  \
+             \"stage_queue_p50_ms\": {:.4},\n  \"stage_queue_p99_ms\": {:.4},\n  \
+             \"stage_embed_p50_ms\": {:.4},\n  \"stage_embed_p99_ms\": {:.4},\n  \
+             \"stage_affinity_p50_ms\": {:.4},\n  \"stage_affinity_p99_ms\": {:.4},\n  \
+             \"stage_endmodel_p50_ms\": {:.4},\n  \"stage_endmodel_p99_ms\": {:.4},\n  \
+             \"refit_seconds\": {:.6},\n  \
              \"speedup_vs_refit\": {:.2},\n  \"served_accuracy\": {:.4},\n  \
              \"batch_accuracy\": {:.4},\n  \"snapshot_v2_bytes\": {},\n  \
              \"v2_size_ratio\": {:.4},\n  \"v2_max_prob_dev\": {:.3e},\n  \
@@ -174,6 +211,14 @@ impl ServingReport {
             self.service_mean_latency_ms,
             self.service_p50_latency_ms,
             self.service_p99_latency_ms,
+            self.stage_queue_p50_ms,
+            self.stage_queue_p99_ms,
+            self.stage_embed_p50_ms,
+            self.stage_embed_p99_ms,
+            self.stage_affinity_p50_ms,
+            self.stage_affinity_p99_ms,
+            self.stage_endmodel_p50_ms,
+            self.stage_endmodel_p99_ms,
             self.refit_seconds,
             self.speedup_vs_refit(),
             self.served_accuracy,
@@ -284,6 +329,20 @@ pub fn run(params: &RunParams) -> ServingReport {
     let service_mean_latency_ms = stats.mean_latency_us() / 1e3;
     let service_p50_latency_ms = stats.p50_latency_us() as f64 / 1e3;
     let service_p99_latency_ms = stats.p99_latency_us() as f64 / 1e3;
+    // Per-stage breakdown from the service's observability registry: where
+    // a request's latency actually went (queue wait vs the three labeling
+    // stages). Percentiles are histogram bucket upper bounds, like the
+    // end-to-end latency above.
+    let stages = service.stage_stats();
+    let p = |h: &goggles_serve::LatencyHistogram, q: f64| h.percentile_us(q) as f64 / 1e3;
+    let stage_queue_p50_ms = p(&stages.queue_wait, 0.50);
+    let stage_queue_p99_ms = p(&stages.queue_wait, 0.99);
+    let stage_embed_p50_ms = p(&stages.embed, 0.50);
+    let stage_embed_p99_ms = p(&stages.embed, 0.99);
+    let stage_affinity_p50_ms = p(&stages.affinity, 0.50);
+    let stage_affinity_p99_ms = p(&stages.affinity, 0.99);
+    let stage_endmodel_p50_ms = p(&stages.endmodel, 0.50);
+    let stage_endmodel_p99_ms = p(&stages.endmodel, 0.99);
     drop(service);
 
     // network front: the same labeler behind goggles-served's wire
@@ -431,6 +490,14 @@ pub fn run(params: &RunParams) -> ServingReport {
         service_mean_latency_ms,
         service_p50_latency_ms,
         service_p99_latency_ms,
+        stage_queue_p50_ms,
+        stage_queue_p99_ms,
+        stage_embed_p50_ms,
+        stage_embed_p99_ms,
+        stage_affinity_p50_ms,
+        stage_affinity_p99_ms,
+        stage_endmodel_p50_ms,
+        stage_endmodel_p99_ms,
         refit_seconds,
         served_accuracy,
         batch_accuracy,
@@ -469,6 +536,14 @@ mod tests {
             service_mean_latency_ms: 4.0,
             service_p50_latency_ms: 3.0,
             service_p99_latency_ms: 9.0,
+            stage_queue_p50_ms: 0.5,
+            stage_queue_p99_ms: 2.0,
+            stage_embed_p50_ms: 2.0,
+            stage_embed_p99_ms: 4.0,
+            stage_affinity_p50_ms: 0.1,
+            stage_affinity_p99_ms: 0.3,
+            stage_endmodel_p50_ms: 0.05,
+            stage_endmodel_p99_ms: 0.1,
             refit_seconds: 1.0,
             served_accuracy: 0.96,
             batch_accuracy: 0.95,
@@ -495,6 +570,14 @@ mod tests {
             "service_throughput_ips",
             "service_p50_latency_ms",
             "service_p99_latency_ms",
+            "stage_queue_p50_ms",
+            "stage_queue_p99_ms",
+            "stage_embed_p50_ms",
+            "stage_embed_p99_ms",
+            "stage_affinity_p50_ms",
+            "stage_affinity_p99_ms",
+            "stage_endmodel_p50_ms",
+            "stage_endmodel_p99_ms",
             "speedup_vs_refit",
             "served_accuracy",
             "snapshot_v2_bytes",

@@ -163,6 +163,68 @@ fn remote_reload_swaps_versions_under_load_and_prunes_the_registry() {
     std::fs::remove_file(&bad_path).ok();
 }
 
+/// Pull the value of a single-sample family (no labels) out of a
+/// Prometheus text exposition.
+fn scrape_value(text: &str, family: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(family))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Sum every sample of a labeled counter family (e.g. all `result=` series
+/// of `goggles_requests_total`).
+fn scrape_family_sum(text: &str, family: &str) -> f64 {
+    text.lines()
+        .filter(|l| {
+            !l.starts_with('#')
+                && l.split(['{', ' ']).next() == Some(family)
+                && !l.starts_with(&format!("{family}_"))
+        })
+        .filter_map(|l| l.split_whitespace().last())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}
+
+#[test]
+fn remote_metrics_scrape_matches_in_process_registry() {
+    let (labeler, ds) = fixture(80);
+    let (service, _server, client) = spawn_stack(
+        labeler,
+        ServeConfig { workers: 1, batch_timeout: Duration::ZERO, ..ServeConfig::default() },
+    );
+    let n = ds.test_indices.len() as u64;
+    client.label_all(&ds.test_images()).unwrap();
+
+    let remote = client.metrics().unwrap();
+    let local = service.render_metrics();
+    // Both renders come from the same registry; spot-check that the remote
+    // scrape carries the same families and counter values. (Full string
+    // equality would be racy: the wire spans themselves record between the
+    // two renders.)
+    for family in ["goggles_requests_total", "goggles_stage_latency_us", "goggles_snapshot_version"]
+    {
+        assert!(remote.contains(family), "remote scrape missing {family}:\n{remote}");
+        assert!(local.contains(family), "local render missing {family}:\n{local}");
+    }
+    assert_eq!(scrape_value(&remote, "goggles_snapshot_version"), Some(1.0));
+    assert_eq!(
+        scrape_family_sum(&remote, "goggles_requests_total"),
+        n as f64,
+        "remote requests_total must equal the requests served:\n{remote}"
+    );
+    assert_eq!(
+        scrape_family_sum(&remote, "goggles_requests_total"),
+        scrape_family_sum(&local, "goggles_requests_total"),
+    );
+    // The wire path itself is instrumented: the remote scrape travelled the
+    // protocol, so decode/encode spans must have samples by now.
+    let decode_count =
+        scrape_value(&remote, "goggles_stage_latency_us_count{stage=\"wire_decode\"}");
+    assert!(decode_count.unwrap_or(0.0) >= n as f64, "wire_decode span missing:\n{remote}");
+    assert_eq!(service.stats().requests, n);
+}
+
 #[test]
 fn remote_deadlines_resolve_to_deadline_error_without_labeling() {
     let (labeler, ds) = fixture(74);

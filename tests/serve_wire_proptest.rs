@@ -7,8 +7,9 @@
 use goggles::serve::service::LabelResponse;
 use goggles::serve::wire::{
     decode_error_reply, decode_frame, decode_label_reply, decode_label_request,
-    decode_reload_reply, decode_reload_request, decode_stats_reply, encode_frame,
-    encode_label_request, encode_reload_request, read_frame, Opcode, MAX_FRAME_LEN,
+    decode_metrics_reply, decode_reload_reply, decode_reload_request, decode_stats_reply,
+    encode_frame, encode_label_request, encode_metrics_reply, encode_reload_request, read_frame,
+    Opcode, MAX_FRAME_LEN,
 };
 use goggles::serve::ServeError;
 use goggles_vision::Image;
@@ -68,9 +69,10 @@ proptest! {
     }
 
     /// Garbage opcode bytes (re-checksummed so they reach the opcode
-    /// check) are rejected, never dispatched.
+    /// check) are rejected, never dispatched. Valid opcodes stop at 11
+    /// (`MetricsReply`).
     #[test]
-    fn garbage_opcodes_always_err(op in 10u16..256) {
+    fn garbage_opcodes_always_err(op in 12u16..256) {
         use goggles::serve::codec::fnv1a;
         let mut bytes = reference_frame();
         bytes[8] = op as u8;
@@ -99,6 +101,7 @@ proptest! {
         }
         let _ = decode_error_reply(&bytes);
         let _ = decode_stats_reply(&bytes);
+        let _ = decode_metrics_reply(&bytes);
         let _ = decode_reload_request(&bytes);
         let _ = decode_reload_reply(&bytes);
         let _ = decode_frame(&bytes);
@@ -129,6 +132,22 @@ proptest! {
         let resp = LabelResponse { label, probs, batch_size: 3, version };
         let payload = goggles::serve::wire::encode_label_reply(&resp);
         prop_assert_eq!(decode_label_reply(&payload).unwrap(), resp);
+    }
+
+    /// Metrics replies carry arbitrary Prometheus text verbatim, and every
+    /// truncation of the encoding is rejected rather than misread.
+    #[test]
+    fn metrics_replies_round_trip_and_reject_truncation(
+        chars in proptest::collection::vec(32u16..127, 0..256),
+        cut in 0usize..1_000_000,
+    ) {
+        let text: String = chars.into_iter().map(|c| c as u8 as char).collect();
+        let payload = encode_metrics_reply(&text);
+        prop_assert_eq!(decode_metrics_reply(&payload).unwrap(), text);
+        let cut = cut % payload.len().max(1);
+        if cut < payload.len() {
+            prop_assert!(decode_metrics_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     /// Reload paths with arbitrary (valid-UTF-8) content round trip.
