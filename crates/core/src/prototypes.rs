@@ -102,8 +102,7 @@ fn extract_top_z_prototypes_raw(
         })
         .collect();
     let mut order: Vec<usize> = (0..map.channels()).collect();
-    order
-        .sort_by(|&a, &b| per_channel[b].0.partial_cmp(&per_channel[a].0).expect("NaN activation"));
+    order.sort_by(|&a, &b| per_channel[b].0.total_cmp(&per_channel[a].0));
     let z_eff = z.min(map.channels());
     let mut locations: Vec<(usize, usize)> = Vec::with_capacity(z);
     let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::with_capacity(z);

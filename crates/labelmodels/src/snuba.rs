@@ -161,7 +161,7 @@ impl KnnLf {
             .iter()
             .map(|&(sa, sb, l)| ((sa - a).powi(2) + (sb - b).powi(2), l))
             .collect();
-        dists.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN distance"));
+        dists.sort_by(|x, y| x.0.total_cmp(&y.0));
         let k = self.k.min(dists.len()).max(1);
         let ones = dists[..k].iter().filter(|&&(_, l)| l == 1).count();
         let zeros = k - ones;
@@ -305,7 +305,7 @@ impl Snuba {
             // emits labels (Snuba's terminate-with-best behaviour).
             let best = candidates
                 .into_iter()
-                .max_by(|a, b| a.dev_f1().partial_cmp(&b.dev_f1()).expect("NaN F1"))
+                .max_by(|a, b| a.dev_f1().total_cmp(&b.dev_f1()))
                 .expect("non-empty candidates");
             committee.push(best);
         }
@@ -340,7 +340,7 @@ fn synthesize_stumps_for_feature(
     config: &SnubaConfig,
 ) -> Vec<Stump> {
     let mut values: Vec<f64> = dev_feats.iter().map(|r| r[feature]).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN primitive"));
+    values.sort_by(|a, b| a.total_cmp(b));
     values.dedup();
     if values.len() < 2 {
         return Vec::new();
@@ -359,7 +359,7 @@ fn synthesize_stumps_for_feature(
         }
     }
     // Keep only the best few per feature to bound the candidate pool.
-    out.sort_by(|a, b| b.dev_f1.partial_cmp(&a.dev_f1).expect("NaN F1"));
+    out.sort_by(|a, b| b.dev_f1.total_cmp(&a.dev_f1));
     out.truncate(4);
     out
 }
@@ -409,7 +409,7 @@ fn synthesize_logistic_for_pair(
         let f1 = macro_f1_generic(|row| lf.vote(row), dev_feats, dev_labels);
         out.push(LogisticLf { dev_f1: f1, ..lf });
     }
-    out.sort_by(|a, b| b.dev_f1.partial_cmp(&a.dev_f1).expect("NaN F1"));
+    out.sort_by(|a, b| b.dev_f1.total_cmp(&a.dev_f1));
     out.truncate(2);
     out
 }

@@ -1,0 +1,369 @@
+//! The path-scoped rule engine: loads a workspace's sources and manifests,
+//! resolves `goggles-lint: allow(...)` escape hatches, skips test code, and
+//! runs every rule.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+use crate::rules;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One reported violation, formatted as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name, as used in `allow(<rule>)`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed `// goggles-lint: allow(<rule>): <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    /// Line the annotation comment *ends* on.
+    pub line: usize,
+    /// Whole-file scope (`allow-file`) instead of line scope.
+    pub file_scope: bool,
+    /// No code shares the comment's line: the allow covers the *next* line.
+    /// A trailing comment (code on the same line) covers only its own line.
+    pub standalone: bool,
+}
+
+/// One lexed source file plus everything the rules need to scope and
+/// suppress their findings.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (rule scoping keys off this).
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    allows: Vec<Allow>,
+    /// `goggles-lint: allow(...)` annotations that are themselves malformed
+    /// (missing reason, unknown rule) — reported as violations.
+    bad_allows: Vec<Diagnostic>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items; findings inside are
+    /// dropped (test code may panic freely).
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex and annotate one source file.
+    pub fn new(rel: String, src: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lex(src);
+        let (allows, bad_allows) = parse_allows(&rel, &comments, &tokens);
+        let test_ranges = find_test_ranges(&tokens);
+        SourceFile { rel, tokens, comments, allows, bad_allows, test_ranges }
+    }
+
+    /// Whether `line` is inside test-only code.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Whether a finding of `rule` at `line` is suppressed by an allow
+    /// annotation: file-scoped, same-line, or on the directly preceding
+    /// line.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && (a.file_scope || a.line == line || (a.standalone && a.line + 1 == line))
+        })
+    }
+
+    /// Report a finding unless it is in test code or allow-annotated.
+    pub fn report(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: usize,
+        message: String,
+    ) {
+        if self.in_test_code(line) || self.is_allowed(rule, line) {
+            return;
+        }
+        out.push(Diagnostic { file: self.rel.clone(), line, rule, message });
+    }
+}
+
+/// The loaded workspace view every rule runs over.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `Cargo.toml` contents keyed by workspace-relative path.
+    pub manifests: BTreeMap<String, String>,
+}
+
+/// Directory names never descended into: build output, test/bench/example
+/// code (which may panic freely), and the lint fixtures themselves.
+const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", "fixtures", ".git"];
+
+/// Vendored shim crates mimic third-party APIs; only their manifests are
+/// subject to the dependency gate — their code is not product code.
+const MANIFEST_ONLY_DIRS: &[&str] = &["shims"];
+
+impl Workspace {
+    /// Load every non-test `.rs` file and every `Cargo.toml` under `root`.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut manifests = BTreeMap::new();
+        walk(root, root, &mut files, &mut manifests, false)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace { root: root.to_path_buf(), files, manifests })
+    }
+
+    /// The source file at a workspace-relative path, if loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Run every rule; diagnostics come back sorted by file and line.
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &self.files {
+            out.extend(file.bad_allows.iter().cloned());
+        }
+        rules::run_all(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    files: &mut Vec<SourceFile>,
+    manifests: &mut BTreeMap<String, String>,
+    manifest_only: bool,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            let manifest_only = manifest_only || MANIFEST_ONLY_DIRS.contains(&name.as_str());
+            walk(root, &path, files, manifests, manifest_only)?;
+        } else if name == "Cargo.toml" {
+            manifests.insert(rel_of(root, &path), std::fs::read_to_string(&path)?);
+        } else if name.ends_with(".rs") && !manifest_only {
+            let src = std::fs::read_to_string(&path)?;
+            files.push(SourceFile::new(rel_of(root, &path), &src));
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Extract `goggles-lint: allow(<rule>): <reason>` (and `allow-file`)
+/// annotations from a file's comments. Malformed annotations — missing
+/// reason, unknown rule — are violations themselves: a silent typo must not
+/// silently disable a rule.
+fn parse_allows(
+    rel: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let code_lines: std::collections::BTreeSet<usize> = tokens.iter().map(|t| t.line).collect();
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        // The directive must BE the comment, not be quoted mid-prose: strip
+        // the comment leader (`//`, `///`, `//!`, `/*`, `/**`) and require
+        // the marker at the front. Docs that merely mention the syntax are
+        // not directives.
+        let content = comment.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(directive) = content.strip_prefix("goggles-lint:") else { continue };
+        let directive = directive.trim();
+        let file_scope = directive.starts_with("allow-file(");
+        let Some(open) = directive.find('(') else {
+            bad.push(bad_allow(rel, comment.line, "expected `allow(<rule>): <reason>`"));
+            continue;
+        };
+        if !directive.starts_with("allow(") && !file_scope {
+            bad.push(bad_allow(
+                rel,
+                comment.line,
+                "unknown directive (use `allow` or `allow-file`)",
+            ));
+            continue;
+        }
+        let Some(close) = directive.find(')') else {
+            bad.push(bad_allow(rel, comment.line, "unclosed `allow(`"));
+            continue;
+        };
+        let rule = directive[open + 1..close].trim().to_string();
+        if !rules::RULE_NAMES.contains(&rule.as_str()) {
+            bad.push(bad_allow(
+                rel,
+                comment.line,
+                &format!("unknown rule `{rule}` (rules: {})", rules::RULE_NAMES.join(", ")),
+            ));
+            continue;
+        }
+        let reason = directive[close + 1..].trim_start_matches(':').trim();
+        if reason.is_empty() {
+            bad.push(bad_allow(
+                rel,
+                comment.line,
+                &format!("allow({rule}) needs a reason: `allow({rule}): <why this is safe>`"),
+            ));
+            continue;
+        }
+        allows.push(Allow {
+            rule,
+            line: comment.end_line,
+            file_scope,
+            standalone: !code_lines.contains(&comment.end_line),
+        });
+    }
+    (allows, bad)
+}
+
+fn bad_allow(rel: &str, line: usize, message: &str) -> Diagnostic {
+    Diagnostic { file: rel.to_string(), line, rule: "bad-allow", message: message.to_string() }
+}
+
+/// Find the inclusive line ranges of `#[cfg(test)]` items (modules or
+/// functions) by matching the attribute token shape and then brace-matching
+/// the item body that follows.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            let start_line = tokens[i].line;
+            // Skip past this attribute (7 tokens: # [ cfg ( test ) ]) and
+            // any further attributes, then find the item's opening brace.
+            let mut j = i + 7;
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            let mut depth = 0usize;
+            let mut end_line = start_line;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(';') && depth == 0 {
+                    end_line = t.line; // e.g. `#[cfg(test)] mod tests;`
+                    break;
+                }
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.line;
+                        break;
+                    }
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            ranges.push((start_line, end_line));
+            i = j;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
+    tokens.len() > i + 6
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].ident() == Some("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].ident() == Some("test")
+        && tokens[i + 5].is_punct(')')
+        && tokens[i + 6].is_punct(']')
+}
+
+/// Given `tokens[i] == '#'` starting an attribute, return the index just
+/// past its closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_ranged() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn allow_parses_and_scopes() {
+        let src = "\
+// goggles-lint: allow(panic): provably infallible, len checked above
+x.unwrap();
+y.unwrap(); // goggles-lint: allow(panic): same line
+z.unwrap();
+";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert!(f.is_allowed("panic", 2), "next-line scope");
+        assert!(f.is_allowed("panic", 3), "same-line scope");
+        assert!(!f.is_allowed("panic", 4));
+        assert!(!f.is_allowed("index", 2), "other rules unaffected");
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let src = "// goggles-lint: allow-file(index): kernel file\nfn f() {}\nfn g() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert!(f.is_allowed("index", 3));
+    }
+
+    #[test]
+    fn malformed_allows_are_violations() {
+        for bad in [
+            "// goggles-lint: allow(panic)",           // no reason
+            "// goggles-lint: allow(panic):   ",       // blank reason
+            "// goggles-lint: allow(no-such-rule): x", // unknown rule
+            "// goggles-lint: permit(panic): x",       // unknown directive
+        ] {
+            let f = SourceFile::new("a.rs".into(), &format!("{bad}\nx.unwrap();\n"));
+            assert_eq!(f.bad_allows.len(), 1, "{bad}");
+            assert!(!f.is_allowed("panic", 2), "{bad} must not suppress");
+        }
+    }
+}

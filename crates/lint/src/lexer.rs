@@ -1,0 +1,379 @@
+//! A hand-rolled Rust lexer: enough of the language to drive token-level
+//! lint rules, with comments and line spans retained.
+//!
+//! This is deliberately **not** a parser (`syn` is a registry dependency —
+//! see the workspace's offline constraint). The rules in this crate match
+//! token shapes (`ident '.' ident '('`, `'#' '[' cfg(test) ']'`, postfix
+//! `'['`), which a faithful token stream supports without any grammar. The
+//! lexer therefore must get exactly one thing right: never confuse code
+//! with non-code. Strings (plain, raw, byte), char literals, lifetimes and
+//! nested block comments are all handled so that an `unwrap` inside a
+//! string literal or a doc comment is never reported as a call.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `match`, `r#type` …).
+    Ident(String),
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime(String),
+    /// String / raw-string / byte-string literal (content not retained).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integers, floats, any radix or suffix).
+    Num,
+    /// A single punctuation character (`.`, `[`, `#`, `:` …). Multi-char
+    /// operators arrive as consecutive tokens; the rules only ever match
+    /// single characters or short sequences, so this is lossless for them.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on. Doc
+/// comments are comments too — rules like the `SAFETY:` requirement and the
+/// `goggles-lint: allow(...)` escape hatch read these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+    /// Line the comment ends on (equals `line` for `//` comments).
+    pub end_line: usize,
+}
+
+/// Lexed view of one source file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Unterminated constructs (strings, block comments)
+/// consume to end-of-input rather than erroring: a lint must degrade
+/// gracefully on code that `rustc` itself will reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_alphabetic() || c == '_' => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token { kind: TokenKind::Punct(c), line });
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` prefixes. Returns
+    /// false (consuming nothing) when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0);
+        let (skip, next) = match (c0, self.peek(1), self.peek(2)) {
+            (Some('r'), Some('"' | '#'), _) => (1, self.peek(1)),
+            (Some('b'), Some('"'), _) => (1, self.peek(1)),
+            (Some('b'), Some('\''), _) => (1, self.peek(1)),
+            (Some('b'), Some('r'), Some('"' | '#')) => (2, self.peek(2)),
+            _ => return false,
+        };
+        // `r#ident` is a raw identifier, not a raw string.
+        if next == Some('#') {
+            let mut i = skip;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+            if self.peek(i) != Some('"') {
+                self.ident();
+                return true;
+            }
+        }
+        for _ in 0..skip {
+            self.bump();
+        }
+        match next {
+            Some('"') => self.string(),
+            Some('\'') => self.char_literal(),
+            Some('#') => self.raw_string(),
+            _ => {}
+        }
+        true
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line, end_line: line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line, end_line: self.line });
+    }
+
+    fn string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_here(TokenKind::Str);
+    }
+
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_here(TokenKind::Str);
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_here(TokenKind::Char);
+    }
+
+    /// `'` starts either a char literal or a lifetime. Heuristic (the same
+    /// one rustc's lexer uses): it is a char literal iff the quote is
+    /// followed by `X'` for a single char X, or by an escape.
+    fn char_or_lifetime(&mut self) {
+        let is_char =
+            matches!((self.peek(1), self.peek(2)), (Some('\\'), _) | (Some(_), Some('\'')));
+        if is_char {
+            self.char_literal();
+            return;
+        }
+        let line = self.line;
+        self.bump(); // the quote
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Lifetime(name), line });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        // raw identifier prefix
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Ident(name), line });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Consume the full literal: digits, radix prefixes, `_` separators,
+        // type suffixes, and float forms (`1.5e-3`). A trailing range like
+        // `0..n` must NOT swallow the dots: only a digit after `.` makes it
+        // part of the number.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // exponent sign inside `1e-3`
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Num, line });
+    }
+
+    fn push_here(&mut self, kind: TokenKind) {
+        let line = self.line;
+        self.out.tokens.push(Token { kind, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized() {
+        let src = r##"
+            // calls unwrap() in a comment
+            /* and expect() in /* a nested */ block */
+            let s = "x.unwrap()";
+            let r = r#"y.expect("no")"#;
+            let b = b"unwrap";
+            real.call();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap() in a comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Lifetime(_))).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let lexed = lex("for i in 0..n { x += 1.5e-3; }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the two range dots survive");
+        let nums = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Num).count();
+        assert_eq!(nums, 2, "0 and 1.5e-3");
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let ids = idents("let r#type = r#fn;");
+        assert_eq!(ids, vec!["let", "type", "fn"]);
+    }
+}

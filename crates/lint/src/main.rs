@@ -1,0 +1,85 @@
+//! CLI front end: `goggles-lint --workspace` (discover the workspace root
+//! from the current directory) or `goggles-lint --root <path>`. Exits 0
+//! when clean, 1 on violations, 2 on usage or I/O errors — so CI can gate
+//! on it directly.
+
+use goggles_lint::Workspace;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+goggles-lint: machine-check the workspace's panic-freedom, determinism,
+atomic-ordering, unsafe, wire-exhaustiveness, and dependency invariants.
+
+usage:
+  goggles-lint --workspace      lint the enclosing cargo workspace (default)
+  goggles-lint --root <path>    lint the tree rooted at <path>
+  goggles-lint --help           this text
+
+exit status: 0 clean, 1 violations found, 2 usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match parse_args(&args) {
+        Ok(Some(root)) => root,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("goggles-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("goggles-lint: failed to load {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diagnostics = ws.lint();
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    let files = ws.files.len();
+    if diagnostics.is_empty() {
+        eprintln!("goggles-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("goggles-lint: {} violation(s) across {files} files", diagnostics.len());
+        ExitCode::from(1)
+    }
+}
+
+/// `Ok(Some(root))` to lint, `Ok(None)` for `--help`, `Err` on bad usage.
+fn parse_args(args: &[String]) -> Result<Option<PathBuf>, String> {
+    match args {
+        [] => workspace_root().map(Some),
+        [flag] if flag == "--workspace" => workspace_root().map(Some),
+        [flag] if flag == "--help" || flag == "-h" => Ok(None),
+        [flag, path] if flag == "--root" => Ok(Some(PathBuf::from(path))),
+        _ => Err(format!("unrecognized arguments: {}", args.join(" "))),
+    }
+}
+
+/// Walk ancestors of the current directory for the `Cargo.toml` that
+/// declares `[workspace]`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    for dir in cwd.ancestors() {
+        if is_workspace_manifest(&dir.join("Cargo.toml")) {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Err(format!("no workspace Cargo.toml found above {}", cwd.display()))
+}
+
+fn is_workspace_manifest(manifest: &Path) -> bool {
+    std::fs::read_to_string(manifest)
+        .is_ok_and(|text| text.lines().any(|l| l.trim() == "[workspace]"))
+}

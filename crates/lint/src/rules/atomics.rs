@@ -1,0 +1,95 @@
+//! `atomics`: audited memory orderings.
+//!
+//! PR 6's metrics hot path is "relaxed atomics only" by design: counters
+//! and gauges tolerate reordering, and anything stronger puts fences in the
+//! per-request path. Elsewhere, `SeqCst` is almost always cargo-culted — a
+//! global total order is rarely what a shutdown flag needs. The rule:
+//! `Relaxed` is always fine; `Acquire`/`Release`/`AcqRel` on a hot-path
+//! module and `SeqCst` anywhere must carry an `allow(atomics)` annotation
+//! explaining what the ordering synchronizes.
+
+use crate::engine::{Diagnostic, SourceFile};
+
+/// Orderings that insert fences; each entry is `(name, hot_path_only)` —
+/// `SeqCst` is audited workspace-wide, acquire/release only where the
+/// per-request cost matters.
+const STRONG_ORDERINGS: &[(&str, bool)] =
+    &[("SeqCst", false), ("AcqRel", true), ("Acquire", true), ("Release", true)];
+
+/// Flag `Ordering::<strong>` path expressions (including `use` imports of
+/// a specific strong ordering, which lex to the same shape).
+pub fn check_orderings(file: &SourceFile, is_hot: bool, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let Some(&(_, hot_only)) = STRONG_ORDERINGS.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        if hot_only && !is_hot {
+            continue;
+        }
+        // Must be the `X` of `Ordering :: X` so enum variants or locals that
+        // happen to share a name (e.g. `cmp::Ordering` has no such variants,
+        // but a user type might) are not flagged.
+        let path_qualified = i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].ident() == Some("Ordering");
+        if !path_qualified {
+            continue;
+        }
+        let scope = if hot_only { "a hot-path module" } else { "this workspace" };
+        file.report(
+            out,
+            "atomics",
+            t.line,
+            format!(
+                "Ordering::{name} in {scope}: prefer Relaxed unless this access \
+                 publishes or consumes other memory, and annotate what it synchronizes"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(rel: &str, src: &str, is_hot: bool) -> Vec<Diagnostic> {
+        let f = SourceFile::new(rel.into(), src);
+        let mut out = Vec::new();
+        check_orderings(&f, is_hot, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_is_always_fine() {
+        let src = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        assert!(diags("crates/obs/src/metrics.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn seqcst_flagged_everywhere_acquire_only_hot() {
+        let src =
+            "fn f(a: &AtomicBool) { a.store(true, Ordering::SeqCst); a.load(Ordering::Acquire); }";
+        assert_eq!(diags("crates/obs/src/http.rs", src, false).len(), 1, "SeqCst only");
+        assert_eq!(diags("crates/serve/src/server.rs", src, true).len(), 2);
+    }
+
+    #[test]
+    fn annotated_orderings_pass() {
+        let src = "\
+fn f(a: &AtomicBool) {
+    // goggles-lint: allow(atomics): Release publishes the drained queue to the reader thread
+    a.store(true, Ordering::Release);
+}
+";
+        assert!(diags("crates/serve/src/client.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn bare_idents_are_not_orderings() {
+        let src = "enum Mode { Acquire, Release } fn f(m: Mode) { let x = Mode::Acquire; }";
+        assert!(diags("crates/serve/src/server.rs", src, true).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! `deps`: the offline no-registry gate.
+//!
+//! This workspace builds with no network: every dependency is a path dep
+//! into `crates/` or `shims/` (which vendor the API subsets of `rand`,
+//! `proptest`, `criterion`). A version/`git`/`registry` dependency anywhere
+//! would turn the first `cargo build` on a clean machine into a network
+//! fetch — and fail. The rule scans every `Cargo.toml` dependency section
+//! and requires each entry to be `path = …` or `workspace = true`.
+//!
+//! TOML escape hatch: `# goggles-lint: allow(deps): <reason>` on the entry's
+//! line or the line above.
+
+use crate::engine::{Diagnostic, Workspace};
+
+/// Section headers whose body lines are `name = <spec>` dependency entries.
+fn is_inline_dep_section(header: &str) -> bool {
+    matches!(header, "dependencies" | "dev-dependencies" | "build-dependencies")
+        || header == "workspace.dependencies"
+        || (header.starts_with("target.") && header.ends_with(".dependencies"))
+}
+
+/// Section headers that are a single dependency as a subtable, e.g.
+/// `[dependencies.goggles-core]`.
+fn is_subtable_dep_section(header: &str) -> bool {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = header.strip_prefix(prefix) {
+            return !rest.contains('.');
+        }
+    }
+    false
+}
+
+/// Scan every manifest for non-path, non-workspace dependency specs.
+pub fn check_manifests(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (rel, text) in &ws.manifests {
+        check_manifest(rel, text, out);
+    }
+}
+
+fn check_manifest(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut section = String::new();
+    let mut section_line = 0usize;
+    // Subtable sections are judged as a whole once fully read.
+    let mut subtable: Option<String> = None;
+    let flush = |sub: &mut Option<String>, header_line: usize, out: &mut Vec<Diagnostic>| {
+        if let Some(body) = sub.take() {
+            judge_spec(rel, header_line, &lines, &body, out);
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim_matches('"');
+            flush(&mut subtable, section_line, out);
+            section = header.to_string();
+            section_line = idx + 1;
+            if is_subtable_dep_section(&section) {
+                subtable = Some(String::new());
+            }
+            continue;
+        }
+        if let Some(body) = subtable.as_mut() {
+            body.push_str(line);
+            body.push('\n');
+        } else if is_inline_dep_section(&section) {
+            judge_spec(rel, idx + 1, &lines, line, out);
+        }
+    }
+    flush(&mut subtable, section_line, out);
+}
+
+/// Judge one dependency spec (an inline entry line, or a whole subtable
+/// body) at `line_no`.
+fn judge_spec(rel: &str, line_no: usize, lines: &[&str], spec: &str, out: &mut Vec<Diagnostic>) {
+    let reason = if spec.contains("git =") || spec.contains("git=") {
+        Some("git dependencies require network access")
+    } else if spec.contains("registry =") || spec.contains("registry=") {
+        Some("registry dependencies require network access")
+    } else if spec.contains("path") || spec.contains("workspace") {
+        None
+    } else {
+        Some("version-only specs resolve against crates.io, which this workspace cannot reach")
+    };
+    let Some(reason) = reason else { return };
+    if allowed_in_toml(lines, line_no) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: rel.to_string(),
+        line: line_no,
+        rule: "deps",
+        message: format!(
+            "dependency must be a path or workspace dep ({reason}); vendor it under \
+             shims/ or use `path = …`"
+        ),
+    });
+}
+
+/// `# goggles-lint: allow(deps): <reason>` on this line or the one above.
+fn allowed_in_toml(lines: &[&str], line_no: usize) -> bool {
+    [line_no, line_no.saturating_sub(1)].iter().any(|&n| {
+        n >= 1
+            && lines.get(n - 1).is_some_and(|l| {
+                l.split_once("goggles-lint: allow(deps):")
+                    .is_some_and(|(_, reason)| !reason.trim().is_empty())
+            })
+    })
+}
+
+/// Drop a trailing `# comment` (naive: `#` inside quoted strings is rare in
+/// dependency specs and a false strip only hides spec text, never adds it).
+fn strip_toml_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) if !line[..i].contains('"') => &line[..i],
+        _ => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(toml: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_manifest("crates/x/Cargo.toml", toml, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "\
+[package]
+name = \"x\"
+
+[dependencies]
+goggles-core = { path = \"../core\" }
+goggles-obs.workspace = true
+rand = { workspace = true }
+
+[dev-dependencies]
+proptest.workspace = true
+";
+        assert!(diags(toml).is_empty());
+    }
+
+    #[test]
+    fn version_git_and_registry_specs_fail() {
+        let toml = "\
+[dependencies]
+serde = \"1.0\"
+syn = { version = \"2\", features = [\"full\"] }
+left-pad = { git = \"https://example.com/left-pad\" }
+";
+        let out = diags(toml);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "deps"));
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn subtable_deps_are_judged_whole() {
+        let ok = "[dependencies.goggles-core]\npath = \"../core\"\nfeatures = []\n";
+        assert!(diags(ok).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let out = diags(bad);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn toml_allow_hatch_works() {
+        let toml = "\
+[dependencies]
+# goggles-lint: allow(deps): exercising the violating-fixture path in tests
+serde = \"1.0\"
+";
+        assert!(diags(toml).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let toml = "[package]\nversion = \"0.1.0\"\n\n[features]\ndefault = []\n";
+        assert!(diags(toml).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! The rule set. Each rule is a function over the loaded [`Workspace`]
+//! appending [`Diagnostic`]s; scoping (which files a rule applies to) lives
+//! here so the whole policy is readable in one place.
+//!
+//! | rule        | scope                        | protects                      |
+//! |-------------|------------------------------|-------------------------------|
+//! | `panic`     | hot-path modules             | panic-freedom of serving      |
+//! | `index`     | hot-path modules             | panic-freedom (slice indexing)|
+//! | `hash-iter` | fit/kernel crates            | bit-deterministic fits        |
+//! | `nan-cmp`   | whole workspace              | NaN-safe comparators          |
+//! | `atomics`   | whole workspace              | audited memory orderings      |
+//! | `unsafe`    | whole workspace              | the unsafe-free invariant     |
+//! | `wire`      | serve wire/server/client     | opcode codec exhaustiveness   |
+//! | `deps`      | every `Cargo.toml`           | the offline no-registry rule  |
+
+mod atomics;
+mod deps;
+mod determinism;
+mod panic_free;
+mod unsafety;
+mod wire;
+
+use crate::engine::{Diagnostic, SourceFile, Workspace};
+
+/// Every rule name `allow(<rule>)` accepts.
+pub const RULE_NAMES: &[&str] =
+    &["panic", "index", "hash-iter", "nan-cmp", "atomics", "unsafe", "wire", "deps"];
+
+/// The serving/observability hot paths: modules on the per-request path
+/// where a panic poisons co-batched requests (see the PR 3 salvage logic)
+/// and where PR 6 claims "relaxed atomics only". Paths are
+/// workspace-relative.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/serve/src/service.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/client.rs",
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/codec.rs",
+    "crates/tensor/src/linalg.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/span.rs",
+];
+
+/// Crates whose outputs must be bit-deterministic given a seed (fits,
+/// kernels, dataset synthesis): HashMap/HashSet *iteration* here can feed
+/// numeric accumulation in arbitrary order.
+pub const DETERMINISM_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/models/src/",
+    "crates/tensor/src/",
+    "crates/cnn/src/",
+    "crates/endmodel/src/",
+    "crates/labelmodels/src/",
+    "crates/datasets/src/",
+];
+
+pub fn is_hot_path(file: &SourceFile) -> bool {
+    HOT_PATHS.contains(&file.rel.as_str())
+}
+
+pub fn is_determinism_scoped(file: &SourceFile) -> bool {
+    DETERMINISM_PREFIXES.iter().any(|p| file.rel.starts_with(p))
+}
+
+/// Run every rule over the workspace.
+pub fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if is_hot_path(file) {
+            panic_free::check_panics(file, out);
+            panic_free::check_indexing(file, out);
+        }
+        if is_determinism_scoped(file) {
+            determinism::check_hash_iteration(file, out);
+        }
+        determinism::check_nan_comparators(file, out);
+        atomics::check_orderings(file, is_hot_path(file), out);
+        unsafety::check_unsafe(file, out);
+    }
+    wire::check_opcode_exhaustiveness(ws, out);
+    deps::check_manifests(ws, out);
+}

@@ -1,0 +1,146 @@
+//! `panic` + `index`: panic-freedom of the hot-path modules.
+//!
+//! A panic inside the serving path kills a worker mid-batch; PR 3's salvage
+//! machinery exists precisely because one poisoned request used to take its
+//! whole micro-batch down. These rules make the "no panics on the hot path"
+//! discipline machine-checked: no `unwrap`/`expect` calls, no panicking
+//! macros, and no bare slice indexing (every `xs[i]` is an implicit
+//! `panic!` behind a bounds check).
+
+use crate::engine::{Diagnostic, SourceFile};
+use crate::lexer::TokenKind;
+
+/// Macros that unconditionally panic when reached. `assert!`-family macros
+/// are deliberately *not* listed: they encode checked preconditions at
+/// non-per-request boundaries (constructors, config validation) and removing
+/// them would trade a loud failure for silent corruption.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods that panic on `None`/`Err`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Flag `.unwrap()` / `.expect(...)` calls and `panic!`-family macro
+/// invocations.
+pub fn check_panics(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        // `.unwrap(` / `.expect(` — method position only, so identifiers
+        // like `unwrap_or_else` or a local named `expect` don't match.
+        if PANIC_METHODS.contains(&name)
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            file.report(
+                out,
+                "panic",
+                t.line,
+                format!(
+                    ".{name}() can panic on the hot path; return a ServeError \
+                     (or annotate why this is provably infallible)"
+                ),
+            );
+        }
+        // `panic!(` etc — macro position.
+        if PANIC_MACROS.contains(&name)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && (i == 0 || !tokens[i - 1].is_punct('.'))
+        {
+            file.report(
+                out,
+                "panic",
+                t.line,
+                format!("{name}! is forbidden on the hot path; return an error instead"),
+            );
+        }
+    }
+}
+
+/// Keywords after which a `[` opens a pattern, type, or array literal —
+/// never an index expression.
+const NON_POSTFIX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "while", "loop", "for", "break", "continue",
+    "move", "mut", "ref", "as", "where", "use", "pub", "fn", "impl", "dyn", "const", "static",
+    "unsafe", "box", "yield", "await",
+];
+
+/// Flag postfix `expr[...]` index expressions: a token stream `[` is an
+/// index (not an array literal, attribute, pattern, or type) exactly when
+/// the previous token could end an expression — an identifier (that is not
+/// a keyword), a closing `)` / `]`, or a literal.
+pub fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let postfix = match &tokens[i - 1].kind {
+            TokenKind::Ident(name) => !NON_POSTFIX_KEYWORDS.contains(&name.as_str()),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            TokenKind::Num | TokenKind::Str => true,
+            _ => false,
+        };
+        if postfix {
+            file.report(
+                out,
+                "index",
+                t.line,
+                "slice index can panic on the hot path; use .get()/.get_mut(), iterators, \
+                 or annotate why the bound holds"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+
+    fn diags(src: &str, check: fn(&SourceFile, &mut Vec<Diagnostic>)) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/serve/src/service.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }";
+        let out = diags(src, check_panics);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn ignores_lookalikes_and_test_code() {
+        let src = "\
+fn f() { a.unwrap_or_else(|| 0); let unwrap = 1; b(unwrap); s.push_str(\"x.unwrap()\"); }
+#[cfg(test)]
+mod tests { fn t() { a.unwrap(); panic!(); } }
+";
+        assert!(diags(src, check_panics).is_empty());
+    }
+
+    #[test]
+    fn index_postfix_only() {
+        let flagged = "fn f(xs: &[u8], i: usize) { let a = xs[i]; let b = m.row(0)[1]; }";
+        assert_eq!(diags(flagged, check_indexing).len(), 2);
+        let clean = "\
+fn f() -> [u8; 2] { let [a, b] = [1, 2]; let v = vec![0; 4]; let s: &[u8] = &v; \
+let t: Vec<[f32; 4]> = Vec::new(); #[derive(Debug)] struct X; [a, b] }";
+        assert!(diags(clean, check_indexing).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "\
+fn f() {
+    // goggles-lint: allow(panic): the mutex cannot be poisoned, no panics under the lock
+    a.unwrap();
+}
+";
+        assert!(diags(src, check_panics).is_empty());
+    }
+}

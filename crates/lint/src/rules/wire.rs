@@ -1,0 +1,175 @@
+//! `wire`: opcode codec exhaustiveness.
+//!
+//! The wire protocol (PR 5) evolves by appending `Opcode` variants. Rust's
+//! exhaustive `match` protects the decode path, but the *cross-file*
+//! contract — every opcode is decodable (`from_u8`), dispatched by the
+//! server, and speakable by the client — is exactly the kind of invariant
+//! a new variant silently misses: `from_u8` returning `None` for a real
+//! opcode turns into a `BadFrame` at runtime, not a compile error. This
+//! rule closes the loop: each enum variant must appear in `from_u8`'s body
+//! and be referenced in both `server.rs` and `client.rs`.
+
+use crate::engine::{Diagnostic, Workspace};
+use crate::lexer::Token;
+use std::collections::BTreeSet;
+
+const WIRE: &str = "crates/serve/src/wire.rs";
+const PEERS: &[&str] = &["crates/serve/src/server.rs", "crates/serve/src/client.rs"];
+
+/// Cross-file exhaustiveness over `enum Opcode`. A no-op when the workspace
+/// under lint has no wire module (fixture trees exercising other rules).
+pub fn check_opcode_exhaustiveness(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(wire) = ws.file(WIRE) else { return };
+    let Some((enum_line, variants)) = parse_enum(&wire.tokens, "Opcode") else { return };
+
+    let decoder = body_idents_of_fn(&wire.tokens, "from_u8");
+    for v in &variants {
+        if !decoder.contains(v.as_str()) {
+            wire.report(
+                out,
+                "wire",
+                enum_line,
+                format!(
+                    "Opcode::{v} is not handled by from_u8: the decoder will reject \
+                         frames carrying it as BadFrame"
+                ),
+            );
+        }
+    }
+
+    for peer in PEERS {
+        let Some(peer_file) = ws.file(peer) else { continue };
+        let referenced = path_refs(&peer_file.tokens, "Opcode");
+        for v in &variants {
+            if !referenced.contains(v.as_str()) {
+                wire.report(
+                    out,
+                    "wire",
+                    enum_line,
+                    format!(
+                        "Opcode::{v} is never referenced in {peer}: the variant is \
+                             decodable but not dispatched/encoded there"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `(line, variant names)` of `enum <name> { … }`, if present.
+fn parse_enum(tokens: &[Token], name: &str) -> Option<(usize, Vec<String>)> {
+    let start = tokens.windows(3).position(|w| {
+        w[0].ident() == Some("enum") && w[1].ident() == Some(name) && w[2].is_punct('{')
+    })?;
+    let enum_line = tokens[start].line;
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_variant = true;
+    let mut i = start + 3;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        if t.is_punct('#') {
+            // skip a variant attribute: `# [ … ]`
+            let mut bd = 0usize;
+            i += 1;
+            while i < tokens.len() {
+                if tokens[i].is_punct('[') {
+                    bd += 1;
+                } else if tokens[i].is_punct(']') {
+                    bd -= 1;
+                    if bd == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        } else if t.is_punct('{') || t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') {
+            depth -= 1;
+        } else if depth == 1 && t.is_punct(',') {
+            expect_variant = true;
+        } else if depth == 1 && expect_variant {
+            if let Some(v) = t.ident() {
+                variants.push(v.to_string());
+            }
+            expect_variant = false;
+        }
+        i += 1;
+    }
+    Some((enum_line, variants))
+}
+
+/// All identifiers inside the brace-matched body of `fn <name>`.
+fn body_idents_of_fn<'t>(tokens: &'t [Token], name: &str) -> BTreeSet<&'t str> {
+    let mut idents = BTreeSet::new();
+    let Some(at) =
+        tokens.windows(2).position(|w| w[0].ident() == Some("fn") && w[1].ident() == Some(name))
+    else {
+        return idents;
+    };
+    let mut i = at + 2;
+    while i < tokens.len() && !tokens[i].is_punct('{') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if let Some(id) = t.ident() {
+            idents.insert(id);
+        }
+        i += 1;
+    }
+    idents
+}
+
+/// All `X` of `<prefix> :: X` path expressions in a file.
+fn path_refs<'t>(tokens: &'t [Token], prefix: &str) -> BTreeSet<&'t str> {
+    let mut refs = BTreeSet::new();
+    for w in tokens.windows(4) {
+        if w[0].ident() == Some(prefix) && w[1].is_punct(':') && w[2].is_punct(':') {
+            if let Some(v) = w[3].ident() {
+                refs.insert(v);
+            }
+        }
+    }
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn enum_variants_parse_with_discriminants_and_attrs() {
+        let src = "\
+#[repr(u8)]
+pub enum Opcode {
+    LabelRequest = 1,
+    #[allow(dead_code)]
+    LabelReply = 2,
+    Ping,
+}
+";
+        let (line, vs) = parse_enum(&lex(src).tokens, "Opcode").unwrap();
+        assert_eq!(line, 2);
+        assert_eq!(vs, vec!["LabelRequest", "LabelReply", "Ping"]);
+    }
+
+    #[test]
+    fn fn_body_and_path_refs() {
+        let src = "fn from_u8(v: u8) -> Option<Opcode> { match v { 1 => Some(Opcode::Ping), _ => None } }";
+        let tokens = lex(src).tokens;
+        assert!(body_idents_of_fn(&tokens, "from_u8").contains("Ping"));
+        assert!(path_refs(&tokens, "Opcode").contains("Ping"));
+        assert!(!path_refs(&tokens, "Opcode").contains("from_u8"));
+    }
+}

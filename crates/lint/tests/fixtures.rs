@@ -1,0 +1,141 @@
+//! Fixture-tree tests: each rule is exercised against a miniature workspace
+//! under `tests/fixtures/<name>/` whose paths mimic the real layout (rules
+//! scope by workspace-relative path), plus the meta-test that the *actual*
+//! workspace lints clean and exit-code tests for the CLI binary.
+
+use goggles_lint::{Diagnostic, Workspace};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    Workspace::load(&fixture_root(name)).expect("fixture tree loads").lint()
+}
+
+/// `(rule, line)` pairs, in the engine's sorted order.
+fn shape(diags: &[Diagnostic]) -> Vec<(&str, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn panic_fixture_flags_unwrap_and_macro() {
+    let out = lint_fixture("panic");
+    assert_eq!(shape(&out), vec![("panic", 4), ("panic", 6)], "{out:?}");
+    assert!(out.iter().all(|d| d.file == "crates/serve/src/service.rs"));
+}
+
+#[test]
+fn index_fixture_flags_bare_indexing() {
+    let out = lint_fixture("index");
+    assert_eq!(shape(&out), vec![("index", 4)], "{out:?}");
+}
+
+#[test]
+fn hash_iter_fixture_flags_hashmap_iteration() {
+    let out = lint_fixture("hash_iter");
+    assert_eq!(shape(&out), vec![("hash-iter", 9)], "{out:?}");
+}
+
+#[test]
+fn nan_cmp_fixture_flags_partial_cmp_unwrap() {
+    let out = lint_fixture("nan_cmp");
+    assert_eq!(shape(&out), vec![("nan-cmp", 4)], "{out:?}");
+}
+
+#[test]
+fn atomics_fixture_flags_seqcst_everywhere_acquire_on_hot_paths() {
+    let out = lint_fixture("atomics");
+    assert_eq!(shape(&out), vec![("atomics", 6), ("atomics", 6)], "{out:?}");
+    let files: Vec<&str> = out.iter().map(|d| d.file.as_str()).collect();
+    assert_eq!(files, vec!["crates/obs/src/http.rs", "crates/serve/src/server.rs"]);
+}
+
+#[test]
+fn unsafety_fixture_flags_unsafe_without_safety_comment() {
+    let out = lint_fixture("unsafety");
+    assert_eq!(shape(&out), vec![("unsafe", 4)], "{out:?}");
+}
+
+#[test]
+fn wire_fixture_flags_missing_decoder_and_dispatch() {
+    let out = lint_fixture("wire");
+    // Opcode::Stats decodes nowhere and the server never references it; the
+    // client speaks both, so exactly two findings, anchored at the enum.
+    assert_eq!(shape(&out), vec![("wire", 5), ("wire", 5)], "{out:?}");
+    assert!(out.iter().all(|d| d.message.contains("Stats")), "{out:?}");
+    assert!(out.iter().any(|d| d.message.contains("from_u8")), "{out:?}");
+    assert!(out.iter().any(|d| d.message.contains("server.rs")), "{out:?}");
+}
+
+#[test]
+fn deps_fixture_flags_version_git_and_subtable_specs() {
+    let out = lint_fixture("deps");
+    assert_eq!(shape(&out), vec![("deps", 9), ("deps", 10), ("deps", 13)], "{out:?}");
+    assert!(out.iter().all(|d| d.file == "Cargo.toml"));
+}
+
+#[test]
+fn bad_allow_fixture_flags_malformed_annotations() {
+    let out = lint_fixture("bad_allow");
+    assert_eq!(shape(&out), vec![("bad-allow", 3), ("bad-allow", 6)], "{out:?}");
+}
+
+#[test]
+fn clean_fixture_lints_clean() {
+    // Correct code, allow-annotated escape hatches, and #[cfg(test)] code
+    // covering every rule: zero findings.
+    let out = lint_fixture("clean");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+/// The meta-test: the real workspace must satisfy its own invariants.
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let out = Workspace::load(&root).expect("workspace loads").lint();
+    assert!(out.is_empty(), "workspace must lint clean:\n{}", render(&out));
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| format!("{d}\n")).collect()
+}
+
+mod cli {
+    use super::fixture_root;
+    use std::process::Command;
+
+    fn run(args: &[&str]) -> (Option<i32>, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_goggles-lint"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        (out.status.code(), String::from_utf8_lossy(&out.stdout).into_owned())
+    }
+
+    #[test]
+    fn exit_1_and_diagnostics_on_stdout_for_violations() {
+        let root = fixture_root("panic");
+        let (code, stdout) = run(&["--root", root.to_str().expect("utf-8 path")]);
+        assert_eq!(code, Some(1));
+        assert!(stdout.contains("crates/serve/src/service.rs:4: panic:"), "{stdout}");
+    }
+
+    #[test]
+    fn exit_0_on_clean_tree() {
+        let root = fixture_root("clean");
+        let (code, stdout) = run(&["--root", root.to_str().expect("utf-8 path")]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(stdout.is_empty(), "clean run prints nothing to stdout: {stdout}");
+    }
+
+    #[test]
+    fn exit_2_on_bad_usage() {
+        let (code, _) = run(&["--frobnicate"]);
+        assert_eq!(code, Some(2));
+    }
+}

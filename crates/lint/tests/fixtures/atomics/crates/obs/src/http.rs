@@ -1,0 +1,7 @@
+//! Fixture: SeqCst outside a hot path (flagged workspace-wide).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn shutdown(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

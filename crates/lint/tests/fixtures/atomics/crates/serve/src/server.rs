@@ -1,0 +1,7 @@
+//! Fixture: acquire ordering on a hot-path module (flagged hot-only).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn is_closed(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,7 @@
+//! Fixture: malformed allow annotations are themselves violations.
+
+// goggles-lint: allow(no-such-rule): misspelled rule names must not pass silently
+pub fn f() {}
+
+// goggles-lint: allow(panic)
+pub fn g() {}

@@ -1,0 +1,17 @@
+//! Fixture: hash lookups are fine; ordered iteration goes through a
+//! BTreeMap; an order-free reduction is annotated.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(table: HashMap<u32, f64>, key: u32) -> f64 {
+    table.get(&key).copied().unwrap_or(0.0)
+}
+
+pub fn total(weights: HashMap<u32, f64>) -> f64 {
+    // goggles-lint: allow(hash-iter): summation is commutative; order cannot change the result
+    weights.values().sum()
+}
+
+pub fn ordered(scores: BTreeMap<u32, f64>) -> Vec<f64> {
+    scores.values().copied().collect()
+}

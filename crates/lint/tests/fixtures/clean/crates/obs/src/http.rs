@@ -1,0 +1,7 @@
+//! Fixture: relaxed orderings are always fine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+//! Fixture: client speaks every opcode.
+
+use crate::wire::Opcode;
+
+pub fn encode_all() -> (u8, u8) {
+    (Opcode::Label as u8, Opcode::Stats as u8)
+}

@@ -1,0 +1,16 @@
+//! Fixture: peer dispatching every opcode; annotated acquire load.
+
+use crate::wire::Opcode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn dispatch(op: Opcode) -> u8 {
+    match op {
+        Opcode::Label => 1,
+        Opcode::Stats => 2,
+    }
+}
+
+pub fn is_closed(flag: &AtomicBool) -> bool {
+    // goggles-lint: allow(atomics): pairs with the closer's Release store of the drain flag
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,19 @@
+//! Fixture: hot-path code that is panic-free, annotated, or test-only.
+
+pub fn checked(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}
+
+pub fn annotated(xs: &[u8]) -> u8 {
+    // goggles-lint: allow(panic): fixture exercises the standalone-comment scope
+    xs.first().unwrap() + xs[0] // goggles-lint: allow(index): fixture exercises trailing-comment scope
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let xs = [1u8];
+        assert_eq!(xs[0], xs.first().copied().unwrap());
+    }
+}

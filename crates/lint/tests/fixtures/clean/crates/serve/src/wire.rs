@@ -1,0 +1,15 @@
+//! Fixture: exhaustive opcode codec.
+
+#[repr(u8)]
+pub enum Opcode {
+    Label = 1,
+    Stats = 2,
+}
+
+pub fn from_u8(v: u8) -> Option<Opcode> {
+    match v {
+        1 => Some(Opcode::Label),
+        2 => Some(Opcode::Stats),
+        _ => None,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: unsafe with an adjacent SAFETY comment.
+
+pub fn first_unchecked(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: non-emptiness is asserted on entry, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

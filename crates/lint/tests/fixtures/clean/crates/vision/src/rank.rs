@@ -1,0 +1,5 @@
+//! Fixture: total_cmp comparator — no NaN panic possible.
+
+pub fn sort_scores(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

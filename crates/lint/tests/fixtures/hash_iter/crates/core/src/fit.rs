@@ -1,0 +1,13 @@
+//! Fixture: hash-container iteration in a fit crate.
+
+use std::collections::HashMap;
+
+pub fn sum_scores() -> f64 {
+    let mut scores: HashMap<usize, f64> = HashMap::new();
+    scores.insert(0, 1.0);
+    let mut acc = 0.0;
+    for (_, v) in scores.iter() {
+        acc += v;
+    }
+    acc
+}

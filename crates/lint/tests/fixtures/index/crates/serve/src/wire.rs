@@ -1,0 +1,5 @@
+//! Fixture: bare slice indexing on a hot-path module.
+
+pub fn header_byte(frame: &[u8]) -> u8 {
+    frame[0]
+}

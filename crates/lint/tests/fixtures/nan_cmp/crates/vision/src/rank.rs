@@ -1,0 +1,5 @@
+//! Fixture: NaN-panicking comparator (nan-cmp is workspace-wide).
+
+pub fn sort_scores(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

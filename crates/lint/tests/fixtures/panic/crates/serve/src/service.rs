@@ -1,0 +1,9 @@
+//! Fixture: panic-family violations on a hot-path module.
+
+pub fn first(xs: &[u8]) -> u8 {
+    let v = xs.first().unwrap();
+    if *v == 0 {
+        panic!("zero byte");
+    }
+    *v
+}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe block without an adjacent SAFETY comment.
+
+pub fn first_unchecked(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

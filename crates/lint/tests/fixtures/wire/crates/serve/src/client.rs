@@ -1,0 +1,7 @@
+//! Fixture peer: the client can speak both opcodes.
+
+use crate::wire::Opcode;
+
+pub fn encode() -> (u8, u8) {
+    (Opcode::Label as u8, Opcode::Stats as u8)
+}

@@ -1,0 +1,7 @@
+//! Fixture peer: dispatches `Label` but not `Stats`.
+
+use crate::wire::Opcode;
+
+pub fn dispatch() -> u8 {
+    Opcode::Label as u8
+}

@@ -84,7 +84,7 @@ impl KMeans {
                         .max_by(|&a, &b| {
                             let da = sq_dist(data.row(a), centroids.row(labels[a]));
                             let db = sq_dist(data.row(b), centroids.row(labels[b]));
-                            da.partial_cmp(&db).expect("NaN distance")
+                            da.total_cmp(&db)
                         })
                         .expect("non-empty data");
                     centroids.row_mut(c).copy_from_slice(data.row(far));

@@ -51,7 +51,7 @@ impl MetricsServer {
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::Relaxed);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
@@ -66,7 +66,7 @@ fn accept_loop(
     render: &Arc<dyn Fn() -> String + Send + Sync>,
 ) {
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::Relaxed) {
             return;
         }
         let Ok(stream) = stream else { continue };

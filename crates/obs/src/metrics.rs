@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Number of power-of-two histogram buckets. Bucket `i` covers values in
 /// `(2^i, 2^(i+1)]` microseconds-or-whatever-unit, with bucket 0 also
@@ -121,15 +121,17 @@ impl Histogram {
 
     #[inline]
     pub fn observe(&self, value: u64) {
-        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.0.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.0.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// Consistent-enough copy of the current bucket counts and sum.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut counts = [0u64; POW2_BUCKETS];
-        for (i, b) in self.0.buckets.iter().enumerate() {
-            counts[i] = b.load(Ordering::Relaxed);
+        for (count, b) in counts.iter_mut().zip(self.0.buckets.iter()) {
+            *count = b.load(Ordering::Relaxed);
         }
         HistogramSnapshot { counts, sum: self.0.sum.load(Ordering::Relaxed) }
     }
@@ -244,6 +246,7 @@ impl Registry {
             || Metric::Counter(Counter::detached()),
         ) {
             Metric::Counter(c) => c,
+            // goggles-lint: allow(panic): type confusion at registration is a programming error, caught at spawn not per-request
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -252,6 +255,7 @@ impl Registry {
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.series(name, help, Kind::Gauge, labels, || Metric::Gauge(Gauge::detached())) {
             Metric::Gauge(g) => g,
+            // goggles-lint: allow(panic): type confusion at registration is a programming error, caught at spawn not per-request
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -262,6 +266,7 @@ impl Registry {
             Metric::Histogram(Histogram::detached())
         }) {
             Metric::Histogram(h) => h,
+            // goggles-lint: allow(panic): type confusion at registration is a programming error, caught at spawn not per-request
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -270,7 +275,7 @@ impl Registry {
     /// The closure is responsible for its own `# HELP` / `# TYPE` lines and
     /// must not reuse a family name already registered directly.
     pub fn register_collector(&self, f: impl Fn(&mut String) + Send + Sync + 'static) {
-        self.inner.lock().unwrap().collectors.push(Box::new(f));
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).collectors.push(Box::new(f));
     }
 
     fn series(
@@ -282,7 +287,7 @@ impl Registry {
         make: impl FnOnce() -> Metric,
     ) -> Metric {
         let label_block = render_labels(labels);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let idx = match inner.by_name.get(name) {
             Some(&idx) => idx,
             None => {
@@ -297,7 +302,11 @@ impl Registry {
                 idx
             }
         };
-        let family = &mut inner.families[idx];
+        let Some(family) = inner.families.get_mut(idx) else {
+            // `by_name` only ever points at pushed families; if that breaks,
+            // hand back a working detached metric instead of panicking.
+            return make();
+        };
         assert!(
             family.kind == kind,
             "metric {name} already registered as {}",
@@ -321,7 +330,7 @@ impl Registry {
 
     /// Append the exposition text to `out` (used to concatenate registries).
     pub fn render_into(&self, out: &mut String) {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         for family in &inner.families {
             let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
             let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
@@ -390,7 +399,7 @@ fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &Histogram
         if labels.is_empty() {
             format!("{{le=\"{le}\"}}")
         } else {
-            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+            format!("{},le=\"{le}\"}}", labels.strip_suffix('}').unwrap_or(labels))
         }
     };
     let mut cumulative = 0u64;

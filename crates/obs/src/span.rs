@@ -8,7 +8,7 @@
 //! label output.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::metrics::Histogram;
@@ -58,7 +58,7 @@ impl TraceRing {
             return;
         }
         let at_us = self.epoch.elapsed().as_micros() as u64;
-        let mut ring = self.inner.lock().unwrap();
+        let mut ring = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -67,15 +67,15 @@ impl TraceRing {
 
     /// Copy of the buffered events, oldest first.
     pub fn recent(&self) -> Vec<TraceEvent> {
-        self.inner.lock().unwrap().iter().cloned().collect()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).iter().cloned().collect()
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
     }
 }
 

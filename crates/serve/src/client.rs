@@ -24,7 +24,7 @@ use goggles_vision::Image;
 use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// A reply waiter, keyed by request id in [`ClientShared::pending`].
@@ -64,6 +64,7 @@ impl ClientShared {
     /// Register a waiter and write its request frame; on a write failure
     /// the waiter is deregistered and the connection marked closed.
     fn send(&self, opcode: Opcode, payload: &[u8], pending: Pending) -> ServeResult<u64> {
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store so the drained map is visible
         if self.closed.load(Ordering::Acquire) {
             return Err(ServeError::Closed);
         }
@@ -79,13 +80,14 @@ impl ClientShared {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.pending.lock().expect("pending poisoned").insert(id, pending);
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner).insert(id, pending);
         let outcome = {
-            let mut writer = self.writer.lock().expect("writer poisoned");
+            let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
             wire::write_frame(&mut *writer, opcode, id, payload)
         };
         if let Err(e) = outcome {
-            self.pending.lock().expect("pending poisoned").remove(&id);
+            self.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+            // goggles-lint: allow(atomics): Release publishes the deregistered waiter before peers see `closed`
             self.closed.store(true, Ordering::Release);
             return Err(e);
         }
@@ -97,8 +99,9 @@ impl ClientShared {
         // close) or drained (the dropped sender resolves the wait to
         // `Closed`). The reader sets `closed` *before* clearing, so one of
         // the paths always fires.
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release; see the ordering argument above
         if self.closed.load(Ordering::Acquire)
-            && self.pending.lock().expect("pending poisoned").remove(&id).is_some()
+            && self.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&id).is_some()
         {
             return Err(ServeError::Closed);
         }
@@ -110,7 +113,7 @@ impl ClientShared {
     /// with a wire error.
     fn dispatch(&self, frame: Frame) {
         let Some(pending) =
-            self.pending.lock().expect("pending poisoned").remove(&frame.request_id)
+            self.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&frame.request_id)
         else {
             return;
         };
@@ -176,10 +179,11 @@ impl RemoteLabeler {
                     while let Ok(Some(frame)) = wire::read_frame(&mut read_half) {
                         shared.dispatch(frame);
                     }
+                    // goggles-lint: allow(atomics): Release orders the flag before the drain, the linchpin of send()'s re-check
                     shared.closed.store(true, Ordering::Release);
-                    shared.pending.lock().expect("pending poisoned").clear();
+                    shared.pending.lock().unwrap_or_else(PoisonError::into_inner).clear();
                 })
-                .expect("spawn reader thread")
+                .map_err(|e| ServeError::Io(format!("spawning reader thread: {e}")))?
         };
         Ok(Self { shared, reader: Some(reader) })
     }
@@ -226,6 +230,7 @@ impl RemoteLabeler {
 
     /// Whether the connection has failed (or the peer closed it).
     pub fn is_closed(&self) -> bool {
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
         self.shared.closed.load(Ordering::Acquire)
     }
 
@@ -298,7 +303,10 @@ impl std::fmt::Debug for RemoteLabeler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteLabeler")
             .field("closed", &self.is_closed())
-            .field("in_flight", &self.shared.pending.lock().expect("pending poisoned").len())
+            .field(
+                "in_flight",
+                &self.shared.pending.lock().unwrap_or_else(PoisonError::into_inner).len(),
+            )
             .finish()
     }
 }

@@ -183,20 +183,29 @@ impl<'a> Reader<'a> {
     }
 
     pub fn take(&mut self, n: usize) -> ServeResult<&'a [u8]> {
-        if self.remaining() < n {
+        let Some(out) = self.pos.checked_add(n).and_then(|end| self.buf.get(self.pos..end)) else {
             return Err(ServeError::Snapshot(format!(
                 "unexpected end of snapshot: wanted {n} bytes at offset {}, {} left",
                 self.pos,
                 self.remaining()
             )));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(out)
     }
 
+    /// `take` with the length known at compile time, as an array — the
+    /// building block for the fixed-width `get_*` decoders below, with no
+    /// slice-to-array conversion that could panic.
+    fn take_array<const N: usize>(&mut self) -> ServeResult<[u8; N]> {
+        self.take(N)?.try_into().map_err(|_| {
+            ServeError::Snapshot(format!("internal: take({N}) returned a mis-sized slice"))
+        })
+    }
+
     pub fn get_u8(&mut self) -> ServeResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
 
     pub fn get_bool(&mut self) -> ServeResult<bool> {
@@ -208,15 +217,15 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_u16(&mut self) -> ServeResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.take_array::<2>()?))
     }
 
     pub fn get_u32(&mut self) -> ServeResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     pub fn get_u64(&mut self) -> ServeResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     pub fn get_usize(&mut self) -> ServeResult<usize> {
@@ -238,11 +247,11 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_f64(&mut self) -> ServeResult<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.take_array::<8>()?))
     }
 
     pub fn get_f32(&mut self) -> ServeResult<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(self.take_array::<4>()?))
     }
 
     pub fn get_usize_slice(&mut self) -> ServeResult<Vec<usize>> {

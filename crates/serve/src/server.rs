@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// State shared by every connection thread of one server.
@@ -45,8 +45,9 @@ impl ServerShared {
     /// Flip the shutdown flag and unblock every parked thread: acceptors
     /// via throwaway connects, connection readers via socket shutdown.
     fn initiate_shutdown(&self) {
+        // goggles-lint: allow(atomics): Release pairs with the acceptors' Acquire loads so a woken thread sees the flag
         self.shutdown.store(true, Ordering::Release);
-        for stream in self.open_conns.lock().expect("conn registry poisoned").values() {
+        for stream in self.open_conns.lock().unwrap_or_else(PoisonError::into_inner).values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         wake_acceptors(self.local, self.pool);
@@ -89,16 +90,26 @@ impl WireServer {
             local,
             pool: conn_threads,
         });
-        let threads = (0..conn_threads)
-            .map(|i| {
-                let listener = Arc::clone(&listener);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("goggles-served-conn-{i}"))
-                    .spawn(move || accept_loop(&listener, &shared))
-                    .expect("spawn connection thread")
-            })
-            .collect();
+        let mut threads = Vec::with_capacity(conn_threads);
+        for i in 0..conn_threads {
+            let listener = Arc::clone(&listener);
+            let shared_for_thread = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("goggles-served-conn-{i}"))
+                .spawn(move || accept_loop(&listener, &shared_for_thread));
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(e) => {
+                    // Unwind the part of the pool that did start, then
+                    // surface the failure instead of panicking.
+                    shared.initiate_shutdown();
+                    for handle in threads {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Io(format!("spawning connection thread: {e}")));
+                }
+            }
+        }
         Ok(Self { addr: local, shared, threads, service: Some(service) })
     }
 
@@ -156,9 +167,11 @@ fn wake_acceptors(addr: SocketAddr, n: usize) {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    // goggles-lint: allow(atomics): Acquire pairs with initiate_shutdown's Release store before sockets close
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // goggles-lint: allow(atomics): Acquire pairs with initiate_shutdown's Release store
                 if shared.shutdown.load(Ordering::Acquire) {
                     return; // woken for shutdown, not a real client
                 }
@@ -170,13 +183,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                     shared
                         .open_conns
                         .lock()
-                        .expect("conn registry poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(conn_id, clone);
                 }
                 handle_connection(stream, shared);
-                shared.open_conns.lock().expect("conn registry poisoned").remove(&conn_id);
+                shared.open_conns.lock().unwrap_or_else(PoisonError::into_inner).remove(&conn_id);
             }
             Err(_) => {
+                // goggles-lint: allow(atomics): Acquire pairs with initiate_shutdown's Release store
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
@@ -210,9 +224,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     // Writer: awaits tickets in submission order and streams replies while
     // the reader keeps accepting frames — this is what makes one
     // connection's pipeline fill micro-batches.
-    let writer = std::thread::Builder::new()
-        .name("goggles-served-writer".into())
-        .spawn(move || {
+    let writer =
+        std::thread::Builder::new().name("goggles-served-writer".into()).spawn(move || {
             let mut out = BufWriter::new(write_half);
             while let Ok(job) = job_rx.recv() {
                 let (id, opcode, payload) = match job {
@@ -229,8 +242,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                     return; // peer gone; replies have nowhere to go
                 }
             }
-        })
-        .expect("spawn connection writer");
+        });
+    let writer = match writer {
+        Ok(handle) => handle,
+        // No writer means no way to answer; drop the connection (the
+        // client sees a close, the server keeps serving others).
+        Err(_) => return,
+    };
 
     let mut read_half = stream;
     // Reading stops on clean disconnect, stream desync or I/O failure —

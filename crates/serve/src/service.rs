@@ -35,7 +35,7 @@ use goggles_vision::Image;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Retired versions [`LabelService::reload_from`] keeps around after a
@@ -162,7 +162,9 @@ impl LatencyHistogram {
     /// Count one observation (test/bench-side helper; the service records
     /// through its atomic counters).
     pub fn record(&mut self, us: u64) {
-        self.counts[Self::bucket_index(us)] += 1;
+        if let Some(count) = self.counts.get_mut(Self::bucket_index(us)) {
+            *count += 1;
+        }
     }
 
     /// Add `other`'s counts into `self`, bucket by bucket — how
@@ -333,16 +335,16 @@ struct WorkerShard {
 impl WorkerShard {
     fn latency(&self) -> LatencyHistogram {
         let mut h = LatencyHistogram::default();
-        for (i, b) in self.latency_buckets.iter().enumerate() {
-            h.counts[i] = b.load(Ordering::Relaxed);
+        for (count, b) in h.counts.iter_mut().zip(self.latency_buckets.iter()) {
+            *count = b.load(Ordering::Relaxed);
         }
         h
     }
 
     fn batch_size(&self) -> LatencyHistogram {
         let mut h = LatencyHistogram::default();
-        for (i, b) in self.batch_size_buckets.iter().enumerate() {
-            h.counts[i] = b.load(Ordering::Relaxed);
+        for (count, b) in h.counts.iter_mut().zip(self.batch_size_buckets.iter()) {
+            *count = b.load(Ordering::Relaxed);
         }
         h
     }
@@ -513,6 +515,7 @@ impl LabelService {
     /// from [`FittedLabeler::fit`]/[`FittedLabeler::load`] always pass; use
     /// [`LabelService::spawn_with_registry`] to handle validation errors.
     pub fn spawn(labeler: FittedLabeler, config: ServeConfig) -> Self {
+        // goggles-lint: allow(panic): documented panic (see `# Panics`); spawn_with_registry is the fallible path
         let registry = SnapshotRegistry::new(labeler).expect("initial labeler failed validation");
         Self::spawn_with_registry(Arc::new(registry), config)
     }
@@ -541,6 +544,7 @@ impl LabelService {
                 std::thread::Builder::new()
                     .name(format!("goggles-serve-{i}"))
                     .spawn(move || worker_loop(&shared, i))
+                    // goggles-lint: allow(panic): spawn only fails on OS thread exhaustion at startup; this constructor is infallible by API
                     .expect("spawn worker")
             })
             .collect();
@@ -573,12 +577,12 @@ impl LabelService {
         }
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
-        let mut state = self.shared.state.lock().expect("queue poisoned");
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         while state.queue.len() >= self.shared.config.queue_capacity {
             if state.shutting_down {
                 return Err(ServeError::Closed);
             }
-            state = self.shared.not_full.wait(state).expect("queue poisoned");
+            state = self.shared.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         if state.shutting_down {
             return Err(ServeError::Closed);
@@ -713,7 +717,7 @@ impl LabelService {
     /// Idempotent; also invoked on drop.
     pub fn shutdown(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("queue poisoned");
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.shutting_down = true;
             self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
@@ -753,12 +757,18 @@ fn worker_loop(shared: &Shared, worker: usize) {
     // backbone's im2col/GEMM/activation buffers grow once and every
     // subsequent batch embeds allocation-free (outputs aside).
     let mut scratch = EmbedScratch::new();
+    let Some(shard) = shared.shards.get(worker) else {
+        // One shard is allocated per worker index at spawn; a missing shard
+        // would be a construction bug, and a dead worker is the loudest
+        // recoverable signal.
+        return;
+    };
     loop {
         let batch = match next_batch(shared) {
             Some(batch) => batch,
             None => return,
         };
-        run_batch(shared, &shared.shards[worker], &mut scratch, batch);
+        run_batch(shared, shard, &mut scratch, batch);
     }
 }
 
@@ -769,13 +779,13 @@ fn worker_loop(shared: &Shared, worker: usize) {
 /// Returns `None` when the service is shutting down *and* the queue is
 /// fully drained.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
-    let mut state = shared.state.lock().expect("queue poisoned");
+    let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
         while state.queue.is_empty() {
             if state.shutting_down {
                 return None;
             }
-            state = shared.not_empty.wait(state).expect("queue poisoned");
+            state = shared.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         let max_batch = shared.config.max_batch;
         let assembly_start = Instant::now();
@@ -786,8 +796,10 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             if now >= deadline {
                 break;
             }
-            let (next, timeout) =
-                shared.not_empty.wait_timeout(state, deadline - now).expect("queue poisoned");
+            let (next, timeout) = shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if timeout.timed_out() {
                 break;
@@ -847,7 +859,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
         }
         if batch.is_empty() {
             // Everything drained was doomed; go back to waiting.
-            state = shared.state.lock().expect("queue poisoned");
+            state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             continue;
         }
         return Some(batch);
@@ -966,10 +978,15 @@ fn respond(
         let us = done.duration_since(request.enqueued).as_micros() as u64;
         total_us += us;
         max_us = max_us.max(us);
-        shard.latency_buckets[LatencyHistogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = shard.latency_buckets.get(LatencyHistogram::bucket_index(us)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
     }
-    shard.batch_size_buckets[LatencyHistogram::bucket_index(batch.len() as u64)]
-        .fetch_add(1, Ordering::Relaxed);
+    if let Some(bucket) =
+        shard.batch_size_buckets.get(LatencyHistogram::bucket_index(batch.len() as u64))
+    {
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
     m.batch_size.observe(batch.len() as u64);
     m.requests_ok.add(batch.len() as u64);
     m.batches_total.inc();

@@ -27,7 +27,7 @@
 //! dump (the full observability registry as Prometheus text).
 
 use crate::codec::{fnv1a, Reader, Writer};
-use crate::service::{LabelResponse, LatencyHistogram, ServiceStats, LATENCY_BUCKETS};
+use crate::service::{LabelResponse, LatencyHistogram, ServiceStats};
 use crate::{ServeError, ServeResult};
 use goggles_tensor::Tensor3;
 use goggles_vision::Image;
@@ -124,7 +124,7 @@ pub fn encode_frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> 
     out.push(opcode as u8);
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(payload);
-    let checksum = fnv1a(&out[body_start..]);
+    let checksum = fnv1a(out.get(body_start..).unwrap_or_default());
     out.extend_from_slice(&checksum.to_le_bytes());
     out
 }
@@ -134,36 +134,46 @@ pub fn encode_frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> 
 /// checksum mismatches and unknown opcodes all come back as
 /// [`ServeError::Wire`] — never a panic, never an unbounded allocation.
 pub fn decode_frame(bytes: &[u8]) -> ServeResult<(Frame, usize)> {
-    if bytes.len() < 8 {
+    let Some((&[m0, m1, m2, m3, l0, l1, l2, l3], after_header)) = bytes.split_first_chunk::<8>()
+    else {
         return Err(ServeError::Wire(format!("frame header truncated ({} bytes)", bytes.len())));
-    }
-    if bytes[..4] != WIRE_MAGIC {
+    };
+    if [m0, m1, m2, m3] != WIRE_MAGIC {
         return Err(ServeError::Wire("bad frame magic".into()));
     }
-    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
         return Err(ServeError::Wire(format!(
             "implausible frame length {len} (bounds {FRAME_OVERHEAD}..={MAX_FRAME_LEN})"
         )));
     }
-    if bytes.len() < 8 + len {
+    let Some(body) = after_header.get(..len) else {
         return Err(ServeError::Wire(format!(
             "frame truncated: header promises {len} bytes, {} available",
-            bytes.len() - 8
+            after_header.len()
         )));
-    }
-    let body = &bytes[8..8 + len];
-    let (checked, trailer) = body.split_at(len - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    };
+    // `len >= FRAME_OVERHEAD` makes the three splits below infallible, but
+    // each still degrades to a Wire error rather than trusting arithmetic.
+    let Some((checked, trailer)) = body.split_last_chunk::<8>() else {
+        return Err(ServeError::Wire("frame body too short for checksum".into()));
+    };
+    let stored = u64::from_le_bytes(*trailer);
     let actual = fnv1a(checked);
     if stored != actual {
         return Err(ServeError::Wire(format!(
             "frame checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
         )));
     }
-    let opcode = Opcode::from_u8(checked[0])?;
-    let request_id = u64::from_le_bytes(checked[1..9].try_into().expect("8 bytes"));
-    Ok((Frame { opcode, request_id, payload: checked[9..].to_vec() }, 8 + len))
+    let Some((&op, after_op)) = checked.split_first() else {
+        return Err(ServeError::Wire("frame body too short for opcode".into()));
+    };
+    let opcode = Opcode::from_u8(op)?;
+    let Some((rid, payload)) = after_op.split_first_chunk::<8>() else {
+        return Err(ServeError::Wire("frame body too short for request id".into()));
+    };
+    let request_id = u64::from_le_bytes(*rid);
+    Ok((Frame { opcode, request_id, payload: payload.to_vec() }, 8 + len))
 }
 
 /// Write one frame to a stream.
@@ -192,13 +202,16 @@ pub fn read_frame(r: &mut impl Read) -> ServeResult<Option<Frame>> {
             Err(e) => return Err(ServeError::Io(format!("reading frame: {e}"))),
         }
     }
-    let mut header = [0u8; 8];
-    header[0] = first[0];
-    read_exact(r, &mut header[1..])?;
-    if header[..4] != WIRE_MAGIC {
+    let [first_byte] = first;
+    let mut header = [first_byte, 0, 0, 0, 0, 0, 0, 0];
+    if let Some((_, rest)) = header.split_first_mut() {
+        read_exact(r, rest)?;
+    }
+    let [m0, m1, m2, m3, l0, l1, l2, l3] = header;
+    if [m0, m1, m2, m3] != WIRE_MAGIC {
         return Err(ServeError::Wire("bad frame magic".into()));
     }
-    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
         return Err(ServeError::Wire(format!(
             "implausible frame length {len} (bounds {FRAME_OVERHEAD}..={MAX_FRAME_LEN})"
@@ -406,11 +419,11 @@ pub fn decode_stats_reply(payload: &[u8]) -> ServeResult<RemoteStats> {
         latency: LatencyHistogram::default(),
         batch_size: LatencyHistogram::default(),
     };
-    for i in 0..LATENCY_BUCKETS {
-        stats.latency.counts[i] = r.get_u64().map_err(wire_err)?;
+    for count in stats.latency.counts.iter_mut() {
+        *count = r.get_u64().map_err(wire_err)?;
     }
-    for i in 0..LATENCY_BUCKETS {
-        stats.batch_size.counts[i] = r.get_u64().map_err(wire_err)?;
+    for count in stats.batch_size.counts.iter_mut() {
+        *count = r.get_u64().map_err(wire_err)?;
     }
     if r.remaining() != 0 {
         return Err(ServeError::Wire("trailing bytes after stats reply".into()));

@@ -99,7 +99,7 @@ pub fn auc<T: Scalar>(pos: &[T], neg: &[T]) -> f64 {
         .map(|v| (v.to_f64(), true))
         .chain(neg.iter().map(|v| (v.to_f64(), false)))
         .collect();
-    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score in auc"));
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Assign average ranks to tie groups.
     let n = all.len();
     let mut rank_sum_pos = 0.0f64;

@@ -151,7 +151,7 @@ pub fn fill_polygon(img: &mut Image, vertices: &[(f32, f32)], color: &[f32]) {
                 xs.push(ax + t * (bx - ax));
             }
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN vertex"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         for pair in xs.chunks_exact(2) {
             let x_start = pair[0].round().max(0.0) as i32;
             let x_end = pair[1].round().min(w as f32) as i32;

@@ -20,7 +20,7 @@ fn main() {
                     x.max(1.0 - x)
                 })
                 .collect();
-            aucs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            aucs.sort_by(|a, b| b.total_cmp(a));
             let acc = methods::run_goggles(&ctx).labeling_accuracy(&ctx);
             println!(
                 "trial {trial} {:>8}: goggles {:>6.2}% | best-fn AUC {:.3}/{:.3}/{:.3} median {:.3}",

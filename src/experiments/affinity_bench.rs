@@ -135,7 +135,7 @@ fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
             t.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
 

@@ -31,7 +31,7 @@ pub fn figure2(ctx: &TrialContext, bins: usize) -> Figure2 {
     let mut ranked: Vec<(usize, f64)> = (0..ctx.affinity.alpha)
         .map(|f| (f, ctx.affinity.score_distribution(f, &truth).auc))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN AUC"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let picks =
         [0usize, ranked.len() / 2, ranked.len() - 1].map(|i| ranked[i.min(ranked.len() - 1)]);
     let (lo, hi) = (-1.0, 1.0);

@@ -282,7 +282,7 @@ pub fn run(params: &RunParams) -> ServingReport {
         let _ = labeler.label_one_sharded(img, embed_threads);
         singles.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    singles.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    singles.sort_by(|a, b| a.total_cmp(b));
     let single_p50_ms = singles[singles.len() / 2];
     let single_mean_ms = singles.iter().sum::<f64>() / singles.len() as f64;
 
@@ -378,7 +378,7 @@ pub fn run(params: &RunParams) -> ServingReport {
             net_mismatches += 1;
         }
     }
-    round_trips.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    round_trips.sort_by(|a, b| a.total_cmp(b));
     let net_roundtrip_p50_ms = round_trips[round_trips.len() / 2];
     let net_roundtrip_p99_ms = round_trips[(round_trips.len() * 99) / 100];
     let net_requests = round_trips.len() as u64;
