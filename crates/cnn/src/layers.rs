@@ -109,11 +109,12 @@ impl Conv2d {
     }
 
     /// Output channel count.
-    pub fn out_channels(&self) -> usize {
+    pub(crate) fn out_channels(&self) -> usize {
         self.out_channels
     }
 
     /// Input channel count.
+    // goggles-lint: allow(dead-pub): accessor symmetric with the used out_channels; layer-shape introspection API
     pub fn in_channels(&self) -> usize {
         self.in_channels
     }
@@ -204,9 +205,9 @@ impl Conv2d {
             _ => {
                 // Odd kernels other than 1 and 3 are not on any hot path;
                 // run the scalar reference and fuse the epilogue manually.
-                let input = Tensor3::from_vec(self.in_channels, h, w, input.to_vec())
-                    .expect("shape checked above");
-                let res = self.forward_naive(&input);
+                let mut owned = Tensor3::zeros(self.in_channels, h, w);
+                owned.as_mut_slice().copy_from_slice(input);
+                let res = self.forward_naive(&owned);
                 for (d, &v) in out.iter_mut().zip(res.as_slice()) {
                     *d = if relu && v < 0.0 { 0.0 } else { v };
                 }
@@ -266,7 +267,7 @@ impl Conv2d {
 }
 
 /// In-place ReLU.
-pub fn relu_in_place(t: &mut Tensor3<f32>) {
+pub(crate) fn relu_in_place(t: &mut Tensor3<f32>) {
     for v in t.as_mut_slice() {
         if *v < 0.0 {
             *v = 0.0;
@@ -277,7 +278,7 @@ pub fn relu_in_place(t: &mut Tensor3<f32>) {
 /// 2×2 max pooling with stride 2 (odd trailing rows/cols are dropped, as in
 /// the standard VGG definition).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct MaxPool2d;
+pub(crate) struct MaxPool2d;
 
 impl MaxPool2d {
     /// Forward pass; halves each spatial dimension (floor).
@@ -318,6 +319,7 @@ impl MaxPool2d {
 
 /// Dense layer `y = W x + b` with `W: out × in`.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): the VGG classifier-head layer type, API-symmetric with the exported Conv2d; constructed via vgg.rs and unit tests
 pub struct Linear {
     weight: Matrix<f32>,
     bias: Vec<f32>,
@@ -338,12 +340,13 @@ impl Linear {
     }
 
     /// Output dimension.
+    // goggles-lint: allow(dead-pub): accessor symmetric with in_dim; layer-shape introspection API
     pub fn out_dim(&self) -> usize {
         self.weight.rows()
     }
 
     /// Input dimension.
-    pub fn in_dim(&self) -> usize {
+    pub(crate) fn in_dim(&self) -> usize {
         self.weight.cols()
     }
 

@@ -31,5 +31,5 @@
 pub mod layers;
 pub mod vgg;
 
-pub use layers::{Conv2d, ConvScratch, Linear, MaxPool2d};
+pub use layers::{Conv2d, ConvScratch};
 pub use vgg::{Vgg16, VggConfig};

@@ -60,7 +60,7 @@ impl VggConfig {
     }
 
     /// Flattened feature length after pool-5 (input to the first FC layer).
-    pub fn flattened_len(&self) -> usize {
+    pub(crate) fn flattened_len(&self) -> usize {
         let s = self.pool_size(4);
         self.block_channels[4] * s * s
     }
@@ -153,7 +153,7 @@ impl Vgg16 {
     /// **fixed** constants — the analogue of VGG's dataset-mean subtraction.
     /// (Per-image standardization would erase cross-image color statistics,
     /// which are a primary class signal on color datasets.)
-    pub fn prepare_input(&self, img: &Image) -> Tensor3<f32> {
+    pub(crate) fn prepare_input(&self, img: &Image) -> Tensor3<f32> {
         let mut buf = Vec::new();
         self.prepare_input_into(img, &mut buf);
         let s = self.config.input_size;
@@ -168,7 +168,7 @@ impl Vgg16 {
     /// bilinear resize (on the *source* channel count — a grayscale image
     /// is resized once, not three times), and channel broadcast happens
     /// during the final write.
-    pub fn prepare_input_into(&self, img: &Image, out: &mut Vec<f32>) {
+    pub(crate) fn prepare_input_into(&self, img: &Image, out: &mut Vec<f32>) {
         let s = self.config.input_size;
         let cin = self.config.input_channels;
         assert!(
@@ -300,7 +300,7 @@ impl Vgg16 {
 
     /// [`Vgg16::logits`] against a caller-owned scratch arena (see
     /// [`Vgg16::forward_pool_taps_into`]).
-    pub fn logits_with(&self, scratch: &mut ConvScratch, img: &Image) -> Vec<f32> {
+    pub(crate) fn logits_with(&self, scratch: &mut ConvScratch, img: &Image) -> Vec<f32> {
         let taps = self.forward_pool_taps_into(scratch, img);
         let last = taps.last().expect("five taps");
         let mut x: Vec<f32> = last.as_slice().to_vec();

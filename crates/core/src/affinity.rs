@@ -39,6 +39,7 @@ impl AffinityFunction {
     }
 
     /// Flat index of this function in the canonical library.
+    // goggles-lint: allow(dead-pub): documented cell-addressing contract of the pub AffinityMatrix; exercised only by unit tests
     pub fn flat_index(&self, z_per_layer: usize) -> usize {
         self.layer * z_per_layer + self.z
     }
@@ -384,6 +385,7 @@ impl AffinityMatrix {
 /// Same-class vs cross-class affinity scores of one function, plus the AUC
 /// separation measure used to rank functions (Example 2 / Figure 2).
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): return type of pub PrototypeBank scoring API; external callers destructure it without naming it
 pub struct ScoreDistribution {
     /// Flat function index.
     pub function: usize,

@@ -49,7 +49,7 @@ pub struct HierarchicalModel {
     /// folded in without refitting (see [`HierarchicalModel::predict_proba`]).
     /// Each model's `responsibilities` is its `N × K` label-prediction
     /// matrix (cluster ids are per-model and unaligned — the ensemble
-    /// resolves that); see [`HierarchicalModel::base_prediction`].
+    /// resolves that); see `HierarchicalModel::base_prediction`.
     pub base_models: Vec<DiagonalGmm>,
     /// Concatenated (one-hot) ensemble input, `N × αK`.
     pub ensemble_input: Matrix<f64>,
@@ -110,13 +110,6 @@ impl HierarchicalModel {
     /// Number of base models (α).
     pub fn alpha(&self) -> usize {
         self.base_models.len()
-    }
-
-    /// Label-prediction matrix (`N × K`, training responsibilities) of base
-    /// model `f` — a borrow, not a copy; the data lives in
-    /// [`HierarchicalModel::base_models`].
-    pub fn base_prediction(&self, f: usize) -> &Matrix<f64> {
-        &self.base_models[f].responsibilities
     }
 
     /// Dimensionality each base model was fit on (the training corpus size
@@ -284,7 +277,7 @@ fn fit_base_models(
 /// Concatenate α label-prediction matrices into the ensemble input
 /// (`N × αK`), one-hot encoding each block when requested. Accepts owned
 /// matrices or references (`&[Matrix<f64>]` / `&[&Matrix<f64>]`).
-pub fn concat_label_predictions<M: std::borrow::Borrow<Matrix<f64>>>(
+pub(crate) fn concat_label_predictions<M: std::borrow::Borrow<Matrix<f64>>>(
     blocks: &[M],
     one_hot: bool,
 ) -> Matrix<f64> {

@@ -41,6 +41,7 @@ impl EmbedScratch {
 
 /// Per-layer embedding of one image.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): field type of the pub ImageEmbedding; reached through inference
 pub struct LayerEmbedding {
     /// `H·W × C` patch table, rows L2-normalized (zero rows left as-is).
     pub patches: Matrix<f32>,
@@ -53,6 +54,7 @@ pub struct LayerEmbedding {
 
 /// All five layer embeddings of one image.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): element type of the pub embed_images_with API; external callers use it through inference
 pub struct ImageEmbedding {
     /// One entry per max-pool layer, shallow → deep.
     pub layers: Vec<LayerEmbedding>,
@@ -66,6 +68,7 @@ pub struct ImageEmbedding {
 /// 3. read the channel-axis vector at that location,
 /// 4. drop duplicate locations, then pad by cycling the kept locations so
 ///    exactly `z` prototypes come back.
+// goggles-lint: allow(dead-pub): the paper's §3.1 prototype-extraction primitive, kept as the documented entry point; exercised only by unit tests
 pub fn extract_top_z_prototypes(
     map: &Tensor3<f32>,
     z: usize,
@@ -223,22 +226,31 @@ pub fn embed_images_with(
             .map(|img| embed_image_with(net, arena, img, z, center_patches))
             .collect();
     }
-    let mut results: Vec<Option<ImageEmbedding>> = vec![None; images.len()];
     let chunk = images.len().div_ceil(threads);
     let arenas = scratch.arenas(threads);
+    let mut results: Vec<ImageEmbedding> = Vec::with_capacity(images.len());
     std::thread::scope(|scope| {
-        for ((t, out_chunk), arena) in results.chunks_mut(chunk).enumerate().zip(arenas.iter_mut())
-        {
-            let start = t * chunk;
-            let imgs = &images[start..(start + out_chunk.len())];
-            scope.spawn(move || {
-                for (slot, img) in out_chunk.iter_mut().zip(imgs) {
-                    *slot = Some(embed_image_with(net, arena, img, z, center_patches));
-                }
-            });
+        let handles: Vec<_> = images
+            .chunks(chunk)
+            .zip(arenas.iter_mut())
+            .map(|(imgs, arena)| {
+                scope.spawn(move || {
+                    imgs.iter()
+                        .map(|img| embed_image_with(net, arena, img, z, center_patches))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A worker can only fail by panicking; re-raise its payload
+            // (exactly what the implicit end-of-scope join would do).
+            match handle.join() {
+                Ok(embedded) => results.extend(embedded),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+    results
 }
 
 #[cfg(test)]

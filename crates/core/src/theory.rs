@@ -82,6 +82,7 @@ pub fn min_dev_set_size(eta: f64, k: usize, p: f64, max_d: usize) -> Option<(usi
 }
 
 /// The Figure 7 curve: `P(correct mapping)` for `d = 1..=max_d`.
+// goggles-lint: allow(dead-pub): reproduces the paper's Figure 7 accuracy-vs-alpha curve; exercised only by unit tests
 pub fn figure7_curve(eta: f64, k: usize, max_d: usize) -> Vec<(usize, f64)> {
     (1..=max_d).map(|d| (d, p_mapping_correct(eta, k, d))).collect()
 }

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Number of procedural species.
-pub const NUM_SPECIES: usize = 200;
+pub(crate) const NUM_SPECIES: usize = 200;
 
 /// Number of binary attributes in the vocabulary (8 body-color bins, 8
 /// head-color bins, 4 pattern flags, 4 beak flags).
@@ -32,6 +32,7 @@ const ATTRIBUTE_NOISE: f64 = 0.05;
 
 /// Procedural description of one species.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): dataset taxonomy surface with self-describing fields; exercised only by unit tests
 pub struct Species {
     /// Species index in `0..NUM_SPECIES`.
     pub id: usize,

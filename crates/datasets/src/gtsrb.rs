@@ -16,10 +16,11 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Number of procedural sign classes.
-pub const NUM_SIGNS: usize = 43;
+pub(crate) const NUM_SIGNS: usize = 43;
 
 /// Shared sign shape families (the discriminative glyph is *inside*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): field type of the pub SignType taxonomy surface
 pub enum SignShape {
     /// Red-bordered white circle (prohibition family).
     Circle,
@@ -33,6 +34,7 @@ pub enum SignShape {
 
 /// Glyph drawn inside the sign — the only class-discriminative content.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// goggles-lint: allow(dead-pub): field type of the pub SignType taxonomy surface
 pub enum Glyph {
     /// `n` thin vertical bars (speed-limit-digit analogue).
     Bars(usize),
@@ -48,6 +50,7 @@ pub enum Glyph {
 
 /// Procedural description of one sign class.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): dataset taxonomy surface with self-describing fields; exercised only by unit tests
 pub struct SignType {
     /// Class index in `0..NUM_SIGNS`.
     pub id: usize,

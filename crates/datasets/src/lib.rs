@@ -27,7 +27,7 @@ pub mod types;
 pub mod xray;
 
 pub use cub::CubAttributes;
-pub use types::{Dataset, DevSet, Split, TaskConfig, TaskKind};
+pub use types::{Dataset, DevSet, TaskConfig, TaskKind};
 
 /// Generate the dataset described by `config`.
 pub fn generate(config: &TaskConfig) -> Dataset {
@@ -43,6 +43,7 @@ pub fn generate(config: &TaskConfig) -> Dataset {
 
 /// The five standard benchmark tasks in the paper's Table 1 order, using
 /// the canonical class pair for the pair-sampled datasets.
+// goggles-lint: allow(dead-pub): the paper's Table 1 task catalog; exercised only by this crate's unit tests
 pub fn standard_suite(
     n_train_per_class: usize,
     n_test_per_class: usize,

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Render one metallic part photo. `rough == false` is the "good" class.
-pub fn render_part(rng: &mut StdRng, size: usize, rough: bool) -> Image {
+pub(crate) fn render_part(rng: &mut StdRng, size: usize, rough: bool) -> Image {
     let s = size as f32;
     let mut img = Image::new(3, size, size);
 
@@ -91,7 +91,7 @@ pub fn generate(config: &TaskConfig) -> Dataset {
 
 /// Defect grade of a part in the three-class task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Grade {
+pub(crate) enum Grade {
     /// Grade 0: smooth polished finish.
     Smooth,
     /// Grade 1: deep cross-direction scratches, otherwise fine grain.
@@ -101,7 +101,7 @@ pub enum Grade {
 }
 
 /// Render one part of the given grade (three-class task).
-pub fn render_part_graded(rng: &mut StdRng, size: usize, grade: Grade) -> Image {
+pub(crate) fn render_part_graded(rng: &mut StdRng, size: usize, grade: Grade) -> Image {
     let s = size as f32;
     let mut img = Image::new(3, size, size);
     let base = 0.55 + 0.1 * rng.random::<f32>();
@@ -154,7 +154,7 @@ pub fn render_part_graded(rng: &mut StdRng, size: usize, grade: Grade) -> Image 
 }
 
 /// Generate the three-grade dataset (0 = smooth, 1 = scratched, 2 = pitted).
-pub fn generate_grades(config: &TaskConfig) -> Dataset {
+pub(crate) fn generate_grades(config: &TaskConfig) -> Dataset {
     let mut rng = std_rng(config.seed ^ 0x50FA_CE03);
     let grades = [Grade::Smooth, Grade::Scratched, Grade::Pitted];
     let mut train = Vec::new();

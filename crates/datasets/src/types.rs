@@ -68,15 +68,6 @@ impl TaskConfig {
     }
 }
 
-/// Whether an index belongs to the train or test portion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Split {
-    /// Used for label inference (the paper reports labeling accuracy here).
-    Train,
-    /// Held out for end-model evaluation (Table 2).
-    Test,
-}
-
 /// A generated dataset: images plus ground truth and the split layout.
 ///
 /// Ground-truth labels are carried for *evaluation only*; the GOGGLES

@@ -93,7 +93,7 @@ fn finalize(mut img: Image, rng: &mut StdRng) -> Image {
 }
 
 /// Render a TB-screening image; `abnormal` adds focal upper-zone disease.
-pub fn render_tb(rng: &mut StdRng, size: usize, abnormal: bool) -> Image {
+pub(crate) fn render_tb(rng: &mut StdRng, size: usize, abnormal: bool) -> Image {
     let (mut img, anat) = render_chest(rng, size);
     if abnormal {
         // Disease severity varies per patient: florid cases carry large
@@ -144,7 +144,7 @@ pub fn render_tb(rng: &mut StdRng, size: usize, abnormal: bool) -> Image {
 
 /// Render a pneumonia-screening image; `pneumonia` adds diffuse haze in one
 /// or both lung fields.
-pub fn render_pn(rng: &mut StdRng, size: usize, pneumonia: bool) -> Image {
+pub(crate) fn render_pn(rng: &mut StdRng, size: usize, pneumonia: bool) -> Image {
     let (mut img, anat) = render_chest(rng, size);
     if pneumonia {
         let vn = ValueNoise::new(rng, 16);
@@ -187,7 +187,7 @@ pub fn render_pn(rng: &mut StdRng, size: usize, pneumonia: bool) -> Image {
 }
 
 /// Generate the TB-Xray dataset (class 0 = normal, class 1 = abnormal).
-pub fn generate_tb(config: &TaskConfig) -> Dataset {
+pub(crate) fn generate_tb(config: &TaskConfig) -> Dataset {
     let mut rng = std_rng(config.seed ^ 0x7B_0001);
     let mut train = Vec::new();
     let mut test = Vec::new();
@@ -203,7 +203,7 @@ pub fn generate_tb(config: &TaskConfig) -> Dataset {
 }
 
 /// Generate the PN-Xray dataset (class 0 = normal, class 1 = pneumonia).
-pub fn generate_pn(config: &TaskConfig) -> Dataset {
+pub(crate) fn generate_pn(config: &TaskConfig) -> Dataset {
     let mut rng = std_rng(config.seed ^ 0x9E00_0002);
     let mut train = Vec::new();
     let mut test = Vec::new();

@@ -5,6 +5,7 @@
 
 /// Adam state for one parameter vector.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): the optimizer behind the exported TrainConfig path; constructed intra-crate, kept as documented API
 pub struct Adam {
     lr: f64,
     beta1: f64,

@@ -5,6 +5,7 @@ use goggles_tensor::Matrix;
 
 /// Per-feature affine standardizer fit on training features.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): return type of pub standardize_fit; external callers reach it through inference
 pub struct Standardizer {
     means: Vec<f64>,
     inv_stds: Vec<f64>,

@@ -138,6 +138,7 @@ fn l2_norm(v: &[f64]) -> f64 {
 /// Baseline-vs-Baseline++ comparison the FSL reference paper runs; the
 /// GOGGLES paper's FSL column uses Baseline++ ([`CosineClassifier`]).
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): the paper's linear few-shot baseline head, API-symmetric with the exported CosineClassifier; exercised only by unit tests
 pub struct LinearFewShot {
     head: crate::head::SoftmaxHead,
 }

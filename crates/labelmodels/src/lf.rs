@@ -8,6 +8,7 @@ use crate::{LabelModelError, Result};
 use goggles_tensor::Matrix;
 
 /// The abstain vote.
+// goggles-lint: allow(dead-pub): the weak-supervision abstain sentinel, part of the LabelMatrix contract; external callers compare against the literal through the matrix API
 pub const ABSTAIN: i64 = -1;
 
 /// Dense matrix of LF votes: `n instances × m labeling functions`, entries
@@ -44,6 +45,7 @@ impl LabelMatrix {
     }
 
     /// Build by evaluating `lfs` (closures) on instance indices `0..n`.
+    // goggles-lint: allow(dead-pub): LabelMatrix constructor from raw votes, pairing with the exported new; exercised only by unit tests
     pub fn from_lfs(
         n: usize,
         num_classes: usize,
@@ -65,7 +67,7 @@ impl LabelMatrix {
     }
 
     /// Number of labeling functions.
-    pub fn num_lfs(&self) -> usize {
+    pub(crate) fn num_lfs(&self) -> usize {
         self.m
     }
 
@@ -76,7 +78,7 @@ impl LabelMatrix {
 
     /// Vote of LF `j` on instance `i`.
     #[inline(always)]
-    pub fn vote(&self, i: usize, j: usize) -> i64 {
+    pub(crate) fn vote(&self, i: usize, j: usize) -> i64 {
         debug_assert!(i < self.n && j < self.m);
         self.votes[i * self.m + j]
     }
@@ -87,6 +89,7 @@ impl LabelMatrix {
     }
 
     /// Fraction of instances on which LF `j` does not abstain.
+    // goggles-lint: allow(dead-pub): Snorkel-style LF diagnostic the paper's baselines report; exercised only by unit tests
     pub fn coverage(&self, j: usize) -> f64 {
         let non_abstain = (0..self.n).filter(|&i| self.vote(i, j) != ABSTAIN).count();
         non_abstain as f64 / self.n as f64
@@ -99,6 +102,7 @@ impl LabelMatrix {
     }
 
     /// Fraction of instances where two non-abstaining LFs disagree.
+    // goggles-lint: allow(dead-pub): Snorkel-style LF diagnostic the paper's baselines report; exercised only by unit tests
     pub fn conflict_rate(&self) -> f64 {
         let mut conflicts = 0usize;
         for i in 0..self.n {
@@ -127,6 +131,7 @@ impl LabelMatrix {
 
     /// Empirical accuracy of LF `j` against ground truth, over its covered
     /// instances (None if it always abstains).
+    // goggles-lint: allow(dead-pub): Snorkel-style LF diagnostic the paper's baselines report; exercised only by unit tests
     pub fn empirical_accuracy(&self, j: usize, truth: &[usize]) -> Option<f64> {
         assert_eq!(truth.len(), self.n);
         let mut correct = 0usize;
@@ -147,7 +152,7 @@ impl LabelMatrix {
     /// Majority-vote probabilistic labels: per instance, the normalized
     /// vote histogram (uniform when all LFs abstain). The standard
     /// data-programming baseline aggregator.
-    pub fn majority_vote(&self) -> Matrix<f64> {
+    pub(crate) fn majority_vote(&self) -> Matrix<f64> {
         let k = self.num_classes;
         let mut out = Matrix::<f64>::zeros(self.n, k);
         for i in 0..self.n {

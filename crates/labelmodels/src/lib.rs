@@ -31,6 +31,7 @@ pub use snuba::{Snuba, SnubaConfig};
 
 /// Errors from label-model fitting.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): error type of the pub label-model API: external callers name it only through `?`/inference
 pub enum LabelModelError {
     /// No labeling functions / empty vote matrix.
     EmptyInput,

@@ -11,6 +11,7 @@ use goggles_tensor::{Matrix, Pca};
 /// PCA-projected primitives plus the fitted projection (so test-time
 /// features can be mapped consistently).
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): return type of pub extract_primitives; external callers reach it through inference
 pub struct Primitives {
     /// `n × k` projected primitive matrix.
     pub values: Matrix<f64>,

@@ -99,6 +99,7 @@ impl SnorkelModel {
 
     /// Derived per-LF accuracy `P(vote = y | y, vote ≠ abstain)` averaged
     /// over classes — the quantity Snorkel reports.
+    // goggles-lint: allow(dead-pub): fitted-parameter accessor of the generative model; exercised only by unit tests
     pub fn accuracies(&self) -> Vec<f64> {
         let k = self.class_priors.len();
         self.thetas
@@ -123,6 +124,7 @@ impl SnorkelModel {
     }
 
     /// Derived per-LF, per-class firing propensity `P(vote ≠ abstain | y)`.
+    // goggles-lint: allow(dead-pub): fitted-parameter accessor of the generative model; exercised only by unit tests
     pub fn propensities(&self) -> Vec<Vec<f64>> {
         let k = self.class_priors.len();
         self.thetas.iter().map(|theta| (0..k).map(|c| 1.0 - theta[(c, 0)]).collect()).collect()

@@ -32,6 +32,7 @@ use goggles_tensor::Matrix;
 
 /// One synthesized stump heuristic.
 #[derive(Debug, Clone, PartialEq)]
+// goggles-lint: allow(dead-pub): variant payload of the pub Heuristic enum; reached through inference
 pub struct Stump {
     /// Primitive dimension the stump thresholds.
     pub feature: usize,
@@ -47,7 +48,7 @@ pub struct Stump {
 
 impl Stump {
     /// Vote on a primitive row.
-    pub fn vote(&self, row: &[f64]) -> i64 {
+    pub(crate) fn vote(&self, row: &[f64]) -> i64 {
         let x = row[self.feature];
         if x > self.threshold + self.beta {
             self.class_above as i64
@@ -61,6 +62,7 @@ impl Stump {
 
 /// Which weak-heuristic families the synthesizer may draw from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): field type of the pub SnubaConfig; reached through inference
 pub enum HeuristicFamily {
     /// Decision stumps on single primitives only.
     Stumps,
@@ -74,6 +76,7 @@ pub enum HeuristicFamily {
 
 /// A synthesized weak heuristic from any family.
 #[derive(Debug, Clone, PartialEq)]
+// goggles-lint: allow(dead-pub): return type of pub Snuba::committee; reached through inference
 pub enum Heuristic {
     /// Threshold on one primitive.
     Stump(Stump),
@@ -85,7 +88,7 @@ pub enum Heuristic {
 
 impl Heuristic {
     /// Vote on a primitive row.
-    pub fn vote(&self, row: &[f64]) -> i64 {
+    pub(crate) fn vote(&self, row: &[f64]) -> i64 {
         match self {
             Heuristic::Stump(s) => s.vote(row),
             Heuristic::Logistic(l) => l.vote(row),
@@ -106,6 +109,7 @@ impl Heuristic {
 /// Logistic-regressor heuristic on a primitive pair, with a symmetric
 /// abstain band around p = 0.5 (Snuba's confidence thresholding).
 #[derive(Debug, Clone, PartialEq)]
+// goggles-lint: allow(dead-pub): variant payload of the pub Heuristic enum; reached through inference
 pub struct LogisticLf {
     /// The two primitive dimensions consumed.
     pub features: (usize, usize),
@@ -126,7 +130,7 @@ impl LogisticLf {
     }
 
     /// Vote class 1 above `0.5 + β`, class 0 below `0.5 − β`, else abstain.
-    pub fn vote(&self, row: &[f64]) -> i64 {
+    pub(crate) fn vote(&self, row: &[f64]) -> i64 {
         let p = self.prob(row);
         if p > 0.5 + self.beta {
             1
@@ -141,6 +145,7 @@ impl LogisticLf {
 /// kNN heuristic on a primitive pair: majority vote of the `k` nearest dev
 /// examples, abstaining on ties.
 #[derive(Debug, Clone, PartialEq)]
+// goggles-lint: allow(dead-pub): variant payload of the pub Heuristic enum; reached through inference
 pub struct KnnLf {
     /// The two primitive dimensions consumed.
     pub features: (usize, usize),
@@ -154,7 +159,7 @@ pub struct KnnLf {
 
 impl KnnLf {
     /// Majority vote of the k nearest support points; abstain on ties.
-    pub fn vote(&self, row: &[f64]) -> i64 {
+    pub(crate) fn vote(&self, row: &[f64]) -> i64 {
         let (a, b) = (row[self.features.0], row[self.features.1]);
         let mut dists: Vec<(f64, usize)> = self
             .support

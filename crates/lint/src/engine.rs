@@ -18,6 +18,10 @@ pub struct Diagnostic {
     /// Rule name, as used in `allow(<rule>)`.
     pub rule: &'static str,
     pub message: String,
+    /// Call-chain witness for the flow rules (`lock-order`, `panic-reach`);
+    /// empty for single-site findings. Rendered structurally in `--format
+    /// json`, and already part of `message` in text output.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -87,10 +91,22 @@ impl SourceFile {
         line: usize,
         message: String,
     ) {
+        self.report_chain(out, rule, line, message, Vec::new());
+    }
+
+    /// Report a finding carrying a call-chain witness.
+    pub fn report_chain(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: usize,
+        message: String,
+        chain: Vec<String>,
+    ) {
         if self.in_test_code(line) || self.is_allowed(rule, line) {
             return;
         }
-        out.push(Diagnostic { file: self.rel.clone(), line, rule, message });
+        out.push(Diagnostic { file: self.rel.clone(), line, rule, message, chain });
     }
 }
 
@@ -98,13 +114,21 @@ impl SourceFile {
 pub struct Workspace {
     pub root: PathBuf,
     pub files: Vec<SourceFile>,
+    /// Test/bench/example sources: never linted, but lexed (once, like
+    /// everything else) as the reference corpus the `dead-pub` audit counts
+    /// as external users of an API.
+    pub ref_files: Vec<SourceFile>,
     /// `Cargo.toml` contents keyed by workspace-relative path.
     pub manifests: BTreeMap<String, String>,
 }
 
-/// Directory names never descended into: build output, test/bench/example
-/// code (which may panic freely), and the lint fixtures themselves.
-const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", "fixtures", ".git"];
+/// Directory names never descended into: build output and the lint
+/// fixtures themselves.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+/// Test/bench/example code may panic freely and is never linted, but it is
+/// collected as the `dead-pub` reference corpus.
+const REF_DIRS: &[&str] = &["tests", "benches", "examples"];
 
 /// Vendored shim crates mimic third-party APIs; only their manifests are
 /// subject to the dependency gate — their code is not product code.
@@ -114,10 +138,12 @@ impl Workspace {
     /// Load every non-test `.rs` file and every `Cargo.toml` under `root`.
     pub fn load(root: &Path) -> std::io::Result<Workspace> {
         let mut files = Vec::new();
+        let mut ref_files = Vec::new();
         let mut manifests = BTreeMap::new();
-        walk(root, root, &mut files, &mut manifests, false)?;
+        walk(root, root, &mut files, &mut ref_files, &mut manifests, Mode::Product)?;
         files.sort_by(|a, b| a.rel.cmp(&b.rel));
-        Ok(Workspace { root: root.to_path_buf(), files, manifests })
+        ref_files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace { root: root.to_path_buf(), files, ref_files, manifests })
     }
 
     /// The source file at a workspace-relative path, if loaded.
@@ -138,12 +164,23 @@ impl Workspace {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Linted product code.
+    Product,
+    /// Reference corpus (tests/benches/examples): lexed, never linted.
+    Reference,
+    /// Shims: manifests only.
+    ManifestOnly,
+}
+
 fn walk(
     root: &Path,
     dir: &Path,
     files: &mut Vec<SourceFile>,
+    ref_files: &mut Vec<SourceFile>,
     manifests: &mut BTreeMap<String, String>,
-    manifest_only: bool,
+    mode: Mode,
 ) -> std::io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
     entries.sort_by_key(std::fs::DirEntry::file_name);
@@ -154,13 +191,23 @@ fn walk(
             if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
                 continue;
             }
-            let manifest_only = manifest_only || MANIFEST_ONLY_DIRS.contains(&name.as_str());
-            walk(root, &path, files, manifests, manifest_only)?;
+            let mode = if MANIFEST_ONLY_DIRS.contains(&name.as_str()) {
+                Mode::ManifestOnly
+            } else if mode == Mode::Product && REF_DIRS.contains(&name.as_str()) {
+                Mode::Reference
+            } else {
+                mode
+            };
+            walk(root, &path, files, ref_files, manifests, mode)?;
         } else if name == "Cargo.toml" {
             manifests.insert(rel_of(root, &path), std::fs::read_to_string(&path)?);
-        } else if name.ends_with(".rs") && !manifest_only {
+        } else if name.ends_with(".rs") && mode != Mode::ManifestOnly {
             let src = std::fs::read_to_string(&path)?;
-            files.push(SourceFile::new(rel_of(root, &path), &src));
+            let file = SourceFile::new(rel_of(root, &path), &src);
+            match mode {
+                Mode::Reference => ref_files.push(file),
+                _ => files.push(file),
+            }
         }
     }
     Ok(())
@@ -241,7 +288,13 @@ fn parse_allows(
 }
 
 fn bad_allow(rel: &str, line: usize, message: &str) -> Diagnostic {
-    Diagnostic { file: rel.to_string(), line, rule: "bad-allow", message: message.to_string() }
+    Diagnostic {
+        file: rel.to_string(),
+        line,
+        rule: "bad-allow",
+        message: message.to_string(),
+        chain: Vec::new(),
+    }
 }
 
 /// Find the inclusive line ranges of `#[cfg(test)]` items (modules or

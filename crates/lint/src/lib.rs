@@ -30,6 +30,7 @@
 
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
 pub use engine::{Diagnostic, SourceFile, Workspace};

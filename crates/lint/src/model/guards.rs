@@ -1,0 +1,338 @@
+//! Guard liveness: which `Mutex`/`RwLock` guards are live at each point of
+//! a fn body, tracked over the token stream.
+//!
+//! A lock's identity is `file::field` — the receiver field (or variable)
+//! the guard came from, scoped by file so same-named fields of different
+//! structs do not alias. Liveness follows Rust's drop rules approximately:
+//!
+//! - `let g = x.lock()…;` (or `g = x.lock()…;`) lives to the end of the
+//!   enclosing block, or to an explicit `drop(g)`;
+//! - an unbound acquisition (`x.lock().f(…)`, a `for`/`match` header
+//!   temporary) lives to the end of its statement — the first `;` at its
+//!   depth, or the close of the first block the statement opens;
+//! - `cvar.wait(g)` / `wait_timeout(g, …)` consume and re-acquire `g`: the
+//!   wait is *not* "blocking while holding `g`" (that is the condvar
+//!   protocol), but any *other* live guard across the wait is flagged.
+//!
+//! Stdio locks (`stdout().lock()` et al.) are exempt: locking to write is
+//! their whole point and they nest freely.
+
+use crate::engine::SourceFile;
+use crate::lexer::{Token, TokenKind};
+
+/// A guard live at some point, with where it was acquired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Held {
+    pub lock: String,
+    pub line: usize,
+}
+
+/// One lock acquisition, with the guards already live when it happened.
+#[derive(Debug)]
+pub struct Acquire {
+    pub lock: String,
+    pub line: usize,
+    pub live: Vec<Held>,
+}
+
+/// One potentially-blocking operation (`wait`, `recv`, `join`, blocking
+/// I/O), with the guards live across it. An empty `live` still matters:
+/// it makes the enclosing fn "blocking" for callers that do hold locks.
+#[derive(Debug)]
+pub struct BlockOp {
+    pub op: String,
+    pub line: usize,
+    pub live: Vec<Held>,
+}
+
+/// Guard facts for one fn, aligned with its call sites.
+#[derive(Debug, Default)]
+pub struct GuardSummary {
+    pub acquires: Vec<Acquire>,
+    pub blocking: Vec<BlockOp>,
+    /// Guards live at each call site, index-aligned with
+    /// `CallGraph::sites[fn]`.
+    pub live_at_site: Vec<Vec<Held>>,
+}
+
+/// Methods that block the calling thread.
+const BLOCKING_METHODS: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "recv",
+    "recv_timeout",
+    "join",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "flush",
+    "accept",
+    "connect",
+];
+
+/// Receivers whose `.lock()` is the stdio protocol, not a mutex.
+const STDIO: &[&str] = &["stdout", "stderr", "stdin"];
+
+struct LiveGuard {
+    /// Binding name, when the guard is `let`-bound (condvar consumption and
+    /// `drop(g)` match on this).
+    var: Option<String>,
+    lock: String,
+    line: usize,
+    expiry: Expiry,
+}
+
+#[derive(PartialEq)]
+enum Expiry {
+    /// Dies when the block opened at this depth closes (`}` at depth d).
+    Block(usize),
+    /// Statement temporary: dies at the first `;` at depth ≤ d, or when the
+    /// first block the statement opened closes back to depth d.
+    Stmt(usize),
+}
+
+/// Analyze one fn body. `site_toks` are the token indices of the fn's call
+/// sites (from the call graph), in ascending order.
+pub fn analyze(
+    file: &SourceFile,
+    body: (usize, usize),
+    site_toks: &[usize],
+    rwlock_fields: &[String],
+) -> GuardSummary {
+    let toks = &file.tokens;
+    let mut sum =
+        GuardSummary { live_at_site: vec![Vec::new(); site_toks.len()], ..Default::default() };
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_start = body.0 + 1;
+    let mut next_site = 0usize;
+
+    for j in body.0..=body.1.min(toks.len().saturating_sub(1)) {
+        // Record liveness at call sites before interpreting the token: the
+        // callee runs while everything currently live is still held.
+        while next_site < site_toks.len() && site_toks[next_site] == j {
+            sum.live_at_site[next_site] = held(&live);
+            next_site += 1;
+        }
+        match &toks[j].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                stmt_start = j + 1;
+            }
+            TokenKind::Punct('}') => {
+                live.retain(|g| match g.expiry {
+                    Expiry::Block(d) => d < depth,
+                    Expiry::Stmt(d) => d + 1 != depth && d < depth,
+                });
+                depth = depth.saturating_sub(1);
+                stmt_start = j + 1;
+            }
+            TokenKind::Punct(';') => {
+                live.retain(|g| match g.expiry {
+                    Expiry::Stmt(d) => depth > d,
+                    Expiry::Block(_) => true,
+                });
+                stmt_start = j + 1;
+            }
+            TokenKind::Ident(word) => {
+                let method_pos = j > 0 && toks[j - 1].is_punct('.');
+                let called = toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+                if word == "drop" && !method_pos && called {
+                    if let Some(v) = toks.get(j + 2).and_then(Token::ident) {
+                        if toks.get(j + 3).is_some_and(|t| t.is_punct(')')) {
+                            live.retain(|g| g.var.as_deref() != Some(v));
+                        }
+                    }
+                } else if method_pos && called && is_acquisition(toks, j, word, rwlock_fields) {
+                    if let Some(field) = receiver_field(toks, j - 1) {
+                        if !STDIO.contains(&field) {
+                            let lock = format!("{}::{}", file.rel, field);
+                            sum.acquires.push(Acquire {
+                                lock: lock.clone(),
+                                line: toks[j].line,
+                                live: held(&live),
+                            });
+                            live.push(LiveGuard {
+                                var: binding_of(toks, stmt_start),
+                                lock,
+                                line: toks[j].line,
+                                expiry: match binding_of(toks, stmt_start) {
+                                    Some(_) => Expiry::Block(depth),
+                                    None => Expiry::Stmt(depth),
+                                },
+                            });
+                        }
+                    }
+                } else if method_pos && called && BLOCKING_METHODS.contains(&word.as_str()) {
+                    // A condvar wait consuming a live guard re-acquires it:
+                    // exclude that guard from the "held across" set.
+                    let consumed = toks.get(j + 2).and_then(Token::ident);
+                    let over: Vec<Held> = live
+                        .iter()
+                        .filter(|g| !(word.starts_with("wait") && g.var.as_deref() == consumed))
+                        .map(|g| Held { lock: g.lock.clone(), line: g.line })
+                        .collect();
+                    sum.blocking.push(BlockOp { op: word.clone(), line: toks[j].line, live: over });
+                } else if word == "sleep" && called && !method_pos {
+                    sum.blocking.push(BlockOp {
+                        op: "sleep".into(),
+                        line: toks[j].line,
+                        live: held(&live),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    sum
+}
+
+fn held(live: &[LiveGuard]) -> Vec<Held> {
+    live.iter().map(|g| Held { lock: g.lock.clone(), line: g.line }).collect()
+}
+
+/// `.lock()` always acquires; `.read()` / `.write()` acquire only when the
+/// receiver field is a known `RwLock` (empty argument lists alone would
+/// still collide with `io::Read`/`io::Write` trait objects).
+fn is_acquisition(toks: &[Token], j: usize, word: &str, rwlock_fields: &[String]) -> bool {
+    let empty_args = toks.get(j + 2).is_some_and(|t| t.is_punct(')'));
+    match word {
+        "lock" => empty_args,
+        "read" | "write" => {
+            empty_args
+                && receiver_field(toks, j - 1).is_some_and(|f| rwlock_fields.iter().any(|r| r == f))
+        }
+        _ => false,
+    }
+}
+
+/// The receiver field/variable name feeding a `.method(` call at `dot`:
+/// the ident before the dot, looking through one `(…)`/`[…]` group
+/// (`io::stdout().lock()`, `cells[i].lock()`).
+fn receiver_field(toks: &[Token], dot: usize) -> Option<&str> {
+    let mut k = dot.checked_sub(1)?;
+    match &toks[k].kind {
+        TokenKind::Ident(w) => Some(w),
+        TokenKind::Punct(close @ (')' | ']')) => {
+            let open = if *close == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            loop {
+                if toks[k].is_punct(*close) {
+                    depth += 1;
+                } else if toks[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            toks.get(k.checked_sub(1)?).and_then(Token::ident)
+        }
+        _ => None,
+    }
+}
+
+/// The variable a statement binds, when it has the shape `let [mut] name =`
+/// or `name = …` (a plain re-binding like `state = shared.state.lock()…`).
+fn binding_of(toks: &[Token], stmt_start: usize) -> Option<String> {
+    let first = toks.get(stmt_start)?;
+    if first.ident() == Some("let") {
+        let mut k = stmt_start + 1;
+        if toks.get(k).and_then(Token::ident) == Some("mut") {
+            k += 1;
+        }
+        let name = toks.get(k).and_then(Token::ident)?;
+        if toks.get(k + 1).is_some_and(|t| t.is_punct('=')) {
+            return Some(name.to_string());
+        }
+        return None;
+    }
+    let name = first.ident()?;
+    if toks.get(stmt_start + 1).is_some_and(|t| t.is_punct('='))
+        && !toks.get(stmt_start + 2).is_some_and(|t| t.is_punct('='))
+    {
+        return Some(name.to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+    use crate::model::items::match_brace;
+
+    fn summary(body_src: &str) -> GuardSummary {
+        let src = format!("fn f() {body_src}");
+        let f = SourceFile::new("crates/serve/src/service.rs".into(), &src);
+        let open = f.tokens.iter().position(|t| t.is_punct('{')).expect("body");
+        let close = match_brace(&f.tokens, open).expect("balanced");
+        analyze(&f, (open, close), &[], &[])
+    }
+
+    fn lock_names(held: &[Held]) -> Vec<&str> {
+        held.iter().map(|h| h.lock.rsplit("::").next().expect("lock id")).collect()
+    }
+
+    #[test]
+    fn bound_guards_live_to_block_end_and_order_pairs_nest() {
+        let s = summary(
+            "{ let a = self.alpha.lock().unwrap_or_else(e); \
+               { let b = self.beta.lock().unwrap_or_else(e); } \
+               let c = self.gamma.lock().unwrap_or_else(e); }",
+        );
+        assert_eq!(s.acquires.len(), 3);
+        assert_eq!(lock_names(&s.acquires[0].live), Vec::<&str>::new());
+        assert_eq!(lock_names(&s.acquires[1].live), vec!["alpha"]);
+        // `b` died with its block: only `a` is live when `c` is taken.
+        assert_eq!(lock_names(&s.acquires[2].live), vec!["alpha"]);
+    }
+
+    #[test]
+    fn drop_ends_liveness() {
+        let s =
+            summary("{ let a = self.alpha.lock().u(); drop(a); let b = self.beta.lock().u(); }");
+        assert_eq!(lock_names(&s.acquires[1].live), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn statement_temporaries_die_at_semicolon_but_span_loop_headers() {
+        let s = summary(
+            "{ self.alpha.lock().u().insert(1); \
+               for x in self.conns.lock().u().values() { x.write_all(b\"x\").u(); } \
+               let b = self.beta.lock().u(); }",
+        );
+        // The for-header temporary is held across the loop body: write_all
+        // blocks while `conns` is live.
+        let wa = s.blocking.iter().find(|b| b.op == "write_all").expect("write_all seen");
+        assert_eq!(lock_names(&wa.live), vec!["conns"]);
+        // Both temporaries are dead by the time `beta` is taken.
+        assert_eq!(lock_names(&s.acquires[2].live), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn condvar_wait_consumes_its_own_guard_only() {
+        let s = summary(
+            "{ let mut state = self.state.lock().u(); \
+               state = self.not_empty.wait(state).u(); \
+               let held = self.other.lock().u(); \
+               state = self.not_empty.wait_timeout(state, dur).u(); }",
+        );
+        assert_eq!(s.blocking.len(), 2);
+        // First wait: only its own guard is live — clean.
+        assert_eq!(lock_names(&s.blocking[0].live), Vec::<&str>::new());
+        // Second wait: `other` is held across the wait — that is the bug.
+        assert_eq!(lock_names(&s.blocking[1].live), vec!["other"]);
+    }
+
+    #[test]
+    fn stdio_locks_are_exempt() {
+        let s = summary("{ let out = std::io::stdout().lock(); out.write_all(b\"x\").u(); }");
+        assert!(s.acquires.is_empty(), "{:?}", s.acquires);
+    }
+}

@@ -1,0 +1,441 @@
+//! Item-level parsing: `fn` items (free functions and methods), `impl`
+//! blocks, `mod` scopes, `use` imports, and `pub` items, recovered from the
+//! token stream by keyword matching and brace counting.
+//!
+//! This is deliberately not a grammar. The recovered facts — "a function
+//! named X with this body token range, defined inside `impl Y`" — are the
+//! only ones the flow rules need, and each is identifiable from local token
+//! shapes: `fn` + name + brace-matched body, `impl [<…>] [Trait for] Type {`,
+//! `use root::…;`. Everything else (expressions, types, generics) passes
+//! through untouched.
+
+use crate::engine::{SourceFile, Workspace};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One `fn` item with its body's token range.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    pub name: String,
+    /// Surrounding `impl` self-type when the fn is a method.
+    pub self_ty: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Declared plain `pub` (`pub(crate)`/`pub(super)` do not count).
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` range.
+    pub is_test: bool,
+    /// Chain label for diagnostics: `serve::service::LabelService::submit`.
+    pub display: String,
+}
+
+/// A `pub` item (fn, struct, enum, trait, const, static, type) eligible for
+/// the dead-pub audit.
+#[derive(Debug)]
+pub struct PubItem {
+    pub file: usize,
+    pub kind: &'static str,
+    pub name: String,
+    pub line: usize,
+}
+
+/// Everything item-level recovered from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub pubs: Vec<PubItem>,
+    /// Imported name -> path root (`std`, `crate`, `goggles_tensor`, …).
+    pub uses: BTreeMap<String, String>,
+    /// Names of types declared here (struct/enum/trait/union/type), any
+    /// visibility — used to classify `Type::method(` path calls.
+    pub types: Vec<String>,
+}
+
+/// `crates/serve/src/service.rs` → `serve::service`; `lib.rs`/`mod.rs`/
+/// `main.rs` stems collapse into their parent module.
+pub fn module_path(rel: &str) -> String {
+    let mut segs: Vec<&str> =
+        rel.trim_end_matches(".rs").split('/').filter(|s| !s.is_empty()).collect();
+    if matches!(segs.last(), Some(&"lib" | &"mod" | &"main")) {
+        segs.pop();
+    }
+    let mut out: Vec<&str> = Vec::new();
+    let mut it = segs.into_iter();
+    while let Some(s) = it.next() {
+        match s {
+            "crates" => {
+                if let Some(krate) = it.next() {
+                    out.push(krate);
+                }
+            }
+            "src" => {}
+            _ => out.push(s),
+        }
+    }
+    if rel.starts_with("src/") || out.is_empty() {
+        out.insert(0, "goggles");
+    }
+    out.join("::")
+}
+
+/// The workspace crate a file belongs to (`crates/<name>/…`), with the root
+/// package as the fallback.
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("goggles")
+}
+
+/// Parse every file of the workspace. The result is index-aligned with
+/// `ws.files`.
+pub fn parse_workspace(ws: &Workspace) -> Vec<FileItems> {
+    ws.files.iter().enumerate().map(|(i, f)| parse_file(i, f)).collect()
+}
+
+fn parse_file(file_idx: usize, file: &SourceFile) -> FileItems {
+    let toks = &file.tokens;
+    let modpath = module_path(&file.rel);
+    let mut out = FileItems::default();
+    // Scopes opened at a given brace depth; popped when that depth closes.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut mod_stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    for i in 0..toks.len() {
+        match &toks[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
+                    impl_stack.pop();
+                }
+                while mod_stack.last().is_some_and(|&(d, _)| d > depth) {
+                    mod_stack.pop();
+                }
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "use" => parse_use(toks, i, &mut out.uses),
+                "impl" if is_impl_item(toks, i) => {
+                    if let Some(ty) = impl_self_ty(toks, i) {
+                        impl_stack.push((depth + 1, ty));
+                    }
+                }
+                "mod" => {
+                    if let (Some(name), Some(open)) =
+                        (toks.get(i + 1).and_then(Token::ident), toks.get(i + 2))
+                    {
+                        if open.is_punct('{') {
+                            mod_stack.push((depth + 1, name.to_string()));
+                        }
+                    }
+                }
+                "struct" | "enum" | "trait" | "union" | "type" => {
+                    record_type(toks, i, file_idx, file, &mut out);
+                }
+                "const" | "static" => {
+                    // `const NAME:` is an item; `const fn` falls through to
+                    // the `fn` arm, `<const N: usize>` fails the pub check.
+                    if let Some(name) = toks.get(i + 1).and_then(Token::ident) {
+                        if toks.get(i + 2).is_some_and(|t| t.is_punct(':')) && is_plain_pub(toks, i)
+                        {
+                            out.pubs.push(PubItem {
+                                file: file_idx,
+                                kind: if word == "const" { "const" } else { "static" },
+                                name: name.to_string(),
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                }
+                "fn" => {
+                    if let Some(item) = parse_fn(
+                        toks,
+                        i,
+                        file_idx,
+                        file,
+                        &modpath,
+                        &mod_stack,
+                        impl_stack.last().map(|(_, ty)| ty.as_str()),
+                    ) {
+                        if item.is_pub && !item.is_test {
+                            out.pubs.push(PubItem {
+                                file: file_idx,
+                                kind: "fn",
+                                name: item.name.clone(),
+                                line: item.line,
+                            });
+                        }
+                        out.fns.push(item);
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `impl` opens an item only at item position — not as `-> impl Trait`,
+/// `x: impl Fn(…)`, or `&impl …` inside a signature.
+fn is_impl_item(toks: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| &toks[p].kind) {
+        None => true,
+        Some(TokenKind::Punct('}' | ';' | ']')) => true,
+        Some(TokenKind::Ident(w)) => w == "unsafe",
+        _ => false,
+    }
+}
+
+/// The self-type name of an `impl` header: the last path segment before the
+/// body brace, taken after `for` when present, stopping at `where`.
+fn impl_self_ty(toks: &[Token], i: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    for j in i + 1..toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct('<') => angle += 1,
+            // `->` inside generic bounds must not close an angle bracket.
+            TokenKind::Punct('>') if !toks[j - 1].is_punct('-') => angle -= 1,
+            TokenKind::Punct('{') if angle <= 0 => return last.map(str::to_string),
+            TokenKind::Punct(';') if angle <= 0 => return None,
+            TokenKind::Ident(w) if angle <= 0 => match w.as_str() {
+                "for" => last = None,
+                "where" => return last.map(str::to_string),
+                "dyn" | "mut" => {}
+                _ => last = Some(w),
+            },
+            _ => {}
+        }
+    }
+    None
+}
+
+fn record_type(toks: &[Token], i: usize, file_idx: usize, file: &SourceFile, out: &mut FileItems) {
+    let Some(name) = toks.get(i + 1).and_then(Token::ident) else { return };
+    // Reject expression-position uses of contextual keywords (`union` as a
+    // variable): an item name is followed by `{`, `<`, `(`, `;`, `:`, `=`,
+    // or `where`.
+    let ok = match toks.get(i + 2).map(|t| &t.kind) {
+        Some(TokenKind::Punct('{' | '<' | '(' | ';' | '=')) => true,
+        Some(TokenKind::Ident(w)) => w == "where",
+        Some(TokenKind::Punct(':')) => true,
+        _ => false,
+    };
+    if !ok {
+        return;
+    }
+    out.types.push(name.to_string());
+    let kind = match toks[i].ident() {
+        Some("struct") => "struct",
+        Some("enum") => "enum",
+        Some("trait") => "trait",
+        Some("union") => "union",
+        _ => "type",
+    };
+    if is_plain_pub(toks, i) && !file.in_test_code(toks[i].line) {
+        out.pubs.push(PubItem { file: file_idx, kind, name: name.to_string(), line: toks[i].line });
+    }
+}
+
+/// Whether the item keyword at `i` is preceded by a bare `pub` (possibly
+/// through `const`/`unsafe`/`async`/`extern "C"`). Scoped `pub(...)` is not
+/// "plain pub": it cannot leak out of the workspace.
+fn is_plain_pub(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokenKind::Ident(w)
+                if matches!(w.as_str(), "const" | "unsafe" | "async" | "extern") => {}
+            TokenKind::Str => {} // the ABI string of `extern "C"`
+            TokenKind::Punct(')') => return false, // closes a `pub(...)` scope
+            TokenKind::Ident(w) => return w == "pub",
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    file_idx: usize,
+    file: &SourceFile,
+    modpath: &str,
+    mod_stack: &[(usize, String)],
+    self_ty: Option<&str>,
+) -> Option<FnItem> {
+    // `fn(` is a function-pointer type, not an item.
+    let name = toks.get(i + 1).and_then(Token::ident)?;
+    let open = fn_body_open(toks, i + 2)?;
+    let close = match_brace(toks, open)?;
+    let line = toks[i].line;
+    let mut display = String::from(modpath);
+    for (_, m) in mod_stack {
+        display.push_str("::");
+        display.push_str(m);
+    }
+    if let Some(ty) = self_ty {
+        display.push_str("::");
+        display.push_str(ty);
+    }
+    display.push_str("::");
+    display.push_str(name);
+    Some(FnItem {
+        file: file_idx,
+        name: name.to_string(),
+        self_ty: self_ty.map(str::to_string),
+        line,
+        body: (open, close),
+        is_pub: is_plain_pub(toks, i),
+        is_test: file.in_test_code(line),
+        display,
+    })
+}
+
+/// The index of a fn's body `{`: the first brace outside parens/brackets.
+/// A `;` first means a bodiless signature (trait method, extern).
+fn fn_body_open(toks: &[Token], from: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for j in from..toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') if paren == 0 && bracket == 0 => return Some(j),
+            TokenKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn match_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Record the leaf names a `use` declaration brings into scope, mapped to
+/// the path root — enough to tell a `std` import from a workspace one when
+/// classifying `Name::method(` qualifiers.
+fn parse_use(toks: &[Token], i: usize, uses: &mut BTreeMap<String, String>) {
+    let Some(root) = toks.get(i + 1).and_then(Token::ident) else { return };
+    let mut group = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct('{') => group += 1,
+            TokenKind::Punct('}') => group -= 1,
+            TokenKind::Punct(';') if group <= 0 => break,
+            TokenKind::Ident(leaf) if leaf != "as" => {
+                // A leaf is an ident directly followed by `,`, `}`, `;`, or
+                // ` as alias` (the alias is then its own leaf).
+                if matches!(
+                    toks.get(j + 1).map(|t| &t.kind),
+                    Some(TokenKind::Punct(',' | '}' | ';'))
+                ) {
+                    uses.insert(leaf.to_string(), root.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        let f = SourceFile::new("crates/serve/src/service.rs".into(), src);
+        parse_file(0, &f)
+    }
+
+    #[test]
+    fn fns_and_methods_are_found_with_bodies() {
+        let src = "\
+fn free() { helper(); }
+pub struct S { x: u32 }
+impl S {
+    pub fn method(&self) -> u32 { self.x }
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { write!(f, \"\") }
+}
+";
+        let it = items(src);
+        let names: Vec<(&str, Option<&str>)> =
+            it.fns.iter().map(|f| (f.name.as_str(), f.self_ty.as_deref())).collect();
+        assert_eq!(
+            names,
+            vec![("free", None), ("method", Some("S")), ("fmt", Some("S"))],
+            "{names:?}"
+        );
+        assert_eq!(it.fns[1].display, "serve::service::S::method");
+        assert!(it.fns[1].is_pub);
+        assert!(!it.fns[0].is_pub);
+    }
+
+    #[test]
+    fn impl_trait_in_signatures_is_not_an_impl_block() {
+        let src = "\
+fn make() -> impl Iterator<Item = u32> { (0..3).filter(|x| x % 2 == 0) }
+fn take(f: impl Fn() -> u32) -> u32 { f() }
+";
+        let it = items(src);
+        assert!(it.fns.iter().all(|f| f.self_ty.is_none()), "{:?}", it.fns);
+    }
+
+    #[test]
+    fn pub_items_and_scoped_pub() {
+        let src = "\
+pub fn api() {}
+pub(crate) fn internal() {}
+pub struct Wide;
+pub const MAX: usize = 4;
+struct Private;
+";
+        let it = items(src);
+        let pubs: Vec<(&str, &str)> = it.pubs.iter().map(|p| (p.kind, p.name.as_str())).collect();
+        assert_eq!(pubs, vec![("fn", "api"), ("struct", "Wide"), ("const", "MAX")], "{pubs:?}");
+        assert_eq!(it.types, vec!["Wide", "Private"]);
+    }
+
+    #[test]
+    fn use_map_records_roots() {
+        let src = "\
+use std::sync::{Mutex, Arc};
+use crate::wire::Opcode;
+use goggles_tensor::Matrix as Mat;
+";
+        let it = items(src);
+        assert_eq!(it.uses.get("Mutex").map(String::as_str), Some("std"));
+        assert_eq!(it.uses.get("Arc").map(String::as_str), Some("std"));
+        assert_eq!(it.uses.get("Opcode").map(String::as_str), Some("crate"));
+        assert_eq!(it.uses.get("Mat").map(String::as_str), Some("goggles_tensor"));
+    }
+
+    #[test]
+    fn module_paths_collapse_lib_and_mod_stems() {
+        assert_eq!(module_path("crates/serve/src/service.rs"), "serve::service");
+        assert_eq!(module_path("crates/obs/src/lib.rs"), "obs");
+        assert_eq!(module_path("src/lib.rs"), "goggles");
+        assert_eq!(module_path("src/experiments/harness.rs"), "goggles::experiments::harness");
+    }
+}

@@ -1,0 +1,79 @@
+//! The semantic workspace model the flow-aware rules run on: a symbol table
+//! of fns/impls/`pub` items ([`items`]), a name-based approximate call graph
+//! ([`callgraph`]), and a guard-liveness pass ([`guards`]).
+//!
+//! The model is built **once** per lint run and shared by every rule —
+//! `lock-order`, `panic-reach`, `alloc-hot`, and `dead-pub` all read the
+//! same parse, the same graph, and the same guard summaries (each file is
+//! also lexed exactly once, at workspace load).
+
+pub mod callgraph;
+pub mod guards;
+pub mod items;
+
+use crate::engine::Workspace;
+use crate::lexer::TokenKind;
+use callgraph::CallGraph;
+use guards::GuardSummary;
+use items::{FileItems, FnItem, PubItem};
+
+/// Everything the flow rules need, index-aligned: `fns[i]` has call sites
+/// `graph.sites[i]` and guard facts `guards[i]`.
+pub struct SemanticModel {
+    pub fns: Vec<FnItem>,
+    pub pubs: Vec<PubItem>,
+    pub per_file: Vec<FileItems>,
+    pub graph: CallGraph,
+    pub guards: Vec<GuardSummary>,
+}
+
+impl SemanticModel {
+    pub fn build(ws: &Workspace) -> SemanticModel {
+        let mut per_file = items::parse_workspace(ws);
+        let mut fns = Vec::new();
+        let mut pubs = Vec::new();
+        for items in &mut per_file {
+            fns.append(&mut items.fns);
+            pubs.append(&mut items.pubs);
+        }
+        let graph = callgraph::build(ws, &per_file, &fns);
+        let rwlock_fields = rwlock_fields(ws);
+        let guards = fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let site_toks: Vec<usize> = graph.sites[i].iter().map(|s| s.tok).collect();
+                guards::analyze(&ws.files[f.file], f.body, &site_toks, &rwlock_fields)
+            })
+            .collect();
+        SemanticModel { fns, pubs, per_file, graph, guards }
+    }
+
+    /// Index of the fn whose diagnostics label is `display` (tests).
+    pub fn fn_by_display(&self, display: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.display == display)
+    }
+}
+
+/// Field names declared as `name: RwLock<…>` anywhere in the workspace —
+/// the only receivers whose `.read()`/`.write()` count as lock
+/// acquisitions.
+fn rwlock_fields(ws: &Workspace) -> Vec<String> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let toks = &file.tokens;
+        for j in 2..toks.len() {
+            if toks[j].ident() == Some("RwLock")
+                && toks[j - 1].is_punct(':')
+                && !toks[j - 2].is_punct(':')
+            {
+                if let Some(TokenKind::Ident(field)) = toks.get(j - 2).map(|t| &t.kind) {
+                    if !out.contains(field) {
+                        out.push(field.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,96 @@
+//! `alloc-hot`: no per-iteration allocation inside hot-path loops.
+//!
+//! The register-tiled kernels and the per-request serve paths are sized so
+//! their steady state allocates nothing: buffers are preallocated, rows are
+//! borrowed, frames reuse scratch. An allocation *inside a loop* on those
+//! paths (`Vec::new`, `.to_vec()`, `.clone()`, `format!`, `Box::new`, …)
+//! multiplies allocator traffic by the trip count and shows up directly in
+//! tail latency. Loop bodies are found lexically (`for`/`while`/`loop`
+//! blocks); iterator-adapter closures are a documented false negative.
+
+use crate::engine::{Diagnostic, SourceFile, Workspace};
+use crate::model::items::match_brace;
+use crate::rules::is_hot_path;
+use std::collections::BTreeSet;
+
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone"];
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+const ALLOC_TYPES: &[&str] = &["Vec", "VecDeque", "String", "Box", "HashMap", "BTreeMap"];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+pub(crate) fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in ws.files.iter().filter(|f| is_hot_path(f)) {
+        check_file(file, out);
+    }
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    // Loop body token ranges: `loop {`, or `for`/`while` followed by the
+    // first brace outside parens/brackets.
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    for j in 0..toks.len() {
+        if !matches!(toks[j].ident(), Some("for" | "while" | "loop")) {
+            continue;
+        }
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        for k in j + 1..toks.len() {
+            match () {
+                () if toks[k].is_punct('(') => paren += 1,
+                () if toks[k].is_punct(')') => paren -= 1,
+                () if toks[k].is_punct('[') => bracket += 1,
+                () if toks[k].is_punct(']') => bracket -= 1,
+                () if toks[k].is_punct(';') && paren == 0 && bracket == 0 => break,
+                () if toks[k].is_punct('{') && paren == 0 && bracket == 0 => {
+                    if let Some(close) = match_brace(toks, k) {
+                        regions.push((k, close));
+                    }
+                    break;
+                }
+                () => {}
+            }
+        }
+    }
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for &(open, close) in &regions {
+        for j in open + 1..close {
+            let Some(name) = toks[j].ident() else { continue };
+            if flagged.contains(&j) {
+                continue;
+            }
+            let next_open = toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+            let what = if ALLOC_METHODS.contains(&name) && toks[j - 1].is_punct('.') && next_open {
+                Some(format!(".{name}()"))
+            } else if ALLOC_MACROS.contains(&name)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                Some(format!("{name}!"))
+            } else if ALLOC_CTORS.contains(&name)
+                && next_open
+                && j >= 3
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && toks[j - 3].ident().is_some_and(|q| ALLOC_TYPES.contains(&q))
+            {
+                Some(format!("{}::{name}", toks[j - 3].ident().unwrap_or_default()))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                flagged.insert(j);
+                file.report(
+                    out,
+                    "alloc-hot",
+                    toks[j].line,
+                    format!(
+                        "{what} allocates inside a hot-path loop — hoist the buffer out of \
+                         the loop, borrow instead of cloning, or annotate why the per-iteration \
+                         cost is intended"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@ const STRONG_ORDERINGS: &[(&str, bool)] =
 
 /// Flag `Ordering::<strong>` path expressions (including `use` imports of
 /// a specific strong ordering, which lex to the same shape).
-pub fn check_orderings(file: &SourceFile, is_hot: bool, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_orderings(file: &SourceFile, is_hot: bool, out: &mut Vec<Diagnostic>) {
     let tokens = &file.tokens;
     for (i, t) in tokens.iter().enumerate() {
         let Some(name) = t.ident() else { continue };

@@ -1,0 +1,75 @@
+//! `dead-pub`: `pub` items no other workspace crate, test, bench, or
+//! example ever references.
+//!
+//! A `pub` that nothing external uses is an API promise nobody collects on:
+//! it escapes dead-code detection (rustc sees "reachable"), it invites
+//! drift, and it hides what the real inter-crate surface is. Aliveness is
+//! name-based and deliberately generous: any identifier occurrence in a
+//! *different* crate, in any test/bench/example (the reference corpus), or
+//! in a binary target keeps an item alive — so a finding means the name
+//! appears nowhere outside its own crate at all.
+
+use crate::engine::{Diagnostic, Workspace};
+use crate::model::items::crate_of;
+use crate::model::SemanticModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) fn check(ws: &Workspace, model: &SemanticModel, out: &mut Vec<Diagnostic>) {
+    // The audit needs an external observer to be meaningful: a tree with a
+    // single crate and no reference corpus (most rule fixtures) has nobody
+    // who *could* reference anything.
+    let crates: BTreeSet<&str> = ws.files.iter().map(|f| crate_of(&f.rel)).collect();
+    if crates.len() < 2 && ws.ref_files.is_empty() {
+        return;
+    }
+
+    // Ident → set of realms referencing it. A realm is a crate name, or
+    // "//ref" for the corpus (tests/benches/examples) and binary targets,
+    // which count as external for everyone.
+    let mut refs: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for file in &ws.files {
+        let realm = if is_binary_target(&file.rel) { "//ref" } else { crate_of(&file.rel) };
+        for t in &file.tokens {
+            if let Some(name) = t.ident() {
+                refs.entry(name).or_default().insert(realm);
+            }
+        }
+    }
+    for file in &ws.ref_files {
+        for t in &file.tokens {
+            if let Some(name) = t.ident() {
+                refs.entry(name).or_default().insert("//ref");
+            }
+        }
+    }
+
+    for item in &model.pubs {
+        let file = &ws.files[item.file];
+        if !file.rel.starts_with("crates/") || is_binary_target(&file.rel) {
+            continue;
+        }
+        let krate = crate_of(&file.rel);
+        let alive = refs
+            .get(item.name.as_str())
+            .is_some_and(|realms| realms.iter().any(|r| *r == "//ref" || *r != krate));
+        if !alive {
+            file.report(
+                out,
+                "dead-pub",
+                item.line,
+                format!(
+                    "pub {} `{}` is never referenced by another crate, test, bench, or \
+                     example — demote to pub(crate)/private, delete it, or annotate why the \
+                     surface stays public",
+                    item.kind, item.name
+                ),
+            );
+        }
+    }
+}
+
+/// Binary targets consume APIs like an external crate does, and their own
+/// `pub` items are main-module plumbing, not API surface.
+fn is_binary_target(rel: &str) -> bool {
+    rel.contains("/bin/") || rel.ends_with("/main.rs")
+}

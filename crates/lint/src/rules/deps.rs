@@ -31,7 +31,7 @@ fn is_subtable_dep_section(header: &str) -> bool {
 }
 
 /// Scan every manifest for non-path, non-workspace dependency specs.
-pub fn check_manifests(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_manifests(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for (rel, text) in &ws.manifests {
         check_manifest(rel, text, out);
     }
@@ -97,6 +97,7 @@ fn judge_spec(rel: &str, line_no: usize, lines: &[&str], spec: &str, out: &mut V
             "dependency must be a path or workspace dep ({reason}); vendor it under \
              shims/ or use `path = …`"
         ),
+        chain: Vec::new(),
     });
 }
 

@@ -26,7 +26,7 @@ const ITER_METHODS: &[&str] =
 /// `name = HashMap::new()` and friends) — an over-approximation that errs
 /// toward reporting, with the `allow` hatch for intentional order-free
 /// iteration (e.g. feeding a commutative reduction into a sort).
-pub fn check_hash_iteration(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_hash_iteration(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let tokens = &file.tokens;
     let bound = hash_bound_idents(tokens);
     if bound.is_empty() {
@@ -120,7 +120,7 @@ fn hash_bound_idents(tokens: &[Token]) -> BTreeSet<String> {
 /// Flag `partial_cmp(…).unwrap()` / `.expect(…)` — a comparator that panics
 /// on NaN. `f32::total_cmp`/`f64::total_cmp` is the drop-in fix: total
 /// order, no panic, deterministic on every input. Workspace-wide.
-pub fn check_nan_comparators(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_nan_comparators(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let tokens = &file.tokens;
     for (i, t) in tokens.iter().enumerate() {
         if t.ident() != Some("partial_cmp") {

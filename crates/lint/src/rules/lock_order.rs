@@ -1,0 +1,232 @@
+//! `lock-order`: cross-function lock discipline over the semantic model.
+//!
+//! Three findings, all with full call-chain witnesses:
+//!
+//! 1. **Inversion** — lock `A` is acquired while `B` is held on one path
+//!    and `B` while `A` is held on another (possibly through calls): the
+//!    classic ABBA deadlock. One diagnostic per unordered lock pair, with
+//!    both witness chains.
+//! 2. **Re-entry** — a call chain re-acquires a non-reentrant lock the
+//!    caller already holds: a guaranteed self-deadlock.
+//! 3. **Blocking under a lock** — `wait`/`recv`/`join`/blocking I/O (direct
+//!    or transitive) while a guard is live. The condvar protocol
+//!    (`cvar.wait(guard)` consuming the guard it re-acquires) is exempt.
+
+use crate::engine::{Diagnostic, Workspace};
+use crate::model::guards::Held;
+use crate::model::SemanticModel;
+use std::collections::BTreeMap;
+
+/// `crates/serve/src/service.rs::state` → `state` for prose; the full id
+/// stays in the chain text.
+fn short(lock: &str) -> &str {
+    lock.rsplit("::").next().unwrap_or(lock)
+}
+
+pub(crate) fn check(ws: &Workspace, model: &SemanticModel, out: &mut Vec<Diagnostic>) {
+    let fns = &model.fns;
+    let n = fns.len();
+    let rel = |i: usize| ws.files[fns[i].file].rel.as_str();
+
+    // Transitive lock sets: fn index → lock id → witness chain starting at
+    // that fn and ending at the acquire site.
+    let mut acq: Vec<BTreeMap<String, Vec<String>>> = vec![BTreeMap::new(); n];
+    for (i, g) in model.guards.iter().enumerate() {
+        for a in &g.acquires {
+            acq[i].entry(a.lock.clone()).or_insert_with(|| {
+                vec![format!(
+                    "{} [takes `{}` @ {}:{}]",
+                    fns[i].display,
+                    short(&a.lock),
+                    rel(i),
+                    a.line
+                )]
+            });
+        }
+    }
+    // Transitive blocking: fn index → (op, witness chain).
+    let mut blk: Vec<Option<(String, Vec<String>)>> = vec![None; n];
+    for (i, g) in model.guards.iter().enumerate() {
+        if let Some(b) = g.blocking.first() {
+            blk[i] = Some((
+                b.op.clone(),
+                vec![format!("{} [blocks on `{}` @ {}:{}]", fns[i].display, b.op, rel(i), b.line)],
+            ));
+        }
+    }
+    // Propagate both over the call graph to a fixed point. The graph is
+    // small (one entry per workspace fn) and each fn gains each lock at
+    // most once, so this terminates quickly.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if fns[i].is_test {
+                continue;
+            }
+            for site in &model.graph.sites[i] {
+                for &g in &site.targets {
+                    let hop = format!(
+                        "{} [calls `{}` @ {}:{}]",
+                        fns[i].display,
+                        site.name,
+                        rel(i),
+                        site.line
+                    );
+                    let new_locks: Vec<(String, Vec<String>)> = acq[g]
+                        .iter()
+                        .filter(|(lock, _)| !acq[i].contains_key(*lock))
+                        .map(|(lock, chain)| {
+                            let mut c = vec![hop.clone()];
+                            c.extend(chain.iter().cloned());
+                            (lock.clone(), c)
+                        })
+                        .collect();
+                    if !new_locks.is_empty() {
+                        changed = true;
+                        acq[i].extend(new_locks);
+                    }
+                    if blk[i].is_none() {
+                        if let Some((op, chain)) = &blk[g] {
+                            let mut c = vec![hop.clone()];
+                            c.extend(chain.iter().cloned());
+                            blk[i] = Some((op.clone(), c));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Ordered pairs (A held while B acquired) with one witness each, plus
+    // the per-site violations that need no partner to be wrong.
+    let mut pairs: BTreeMap<(String, String), (usize, usize, Vec<String>)> = BTreeMap::new();
+    let mut record = |a: &Held, b: &str, file: usize, line: usize, chain: Vec<String>| {
+        pairs.entry((a.lock.clone(), b.to_string())).or_insert((file, line, chain));
+    };
+    for (i, g) in model.guards.iter().enumerate() {
+        if fns[i].is_test {
+            continue;
+        }
+        // Direct nesting inside one fn.
+        for a in &g.acquires {
+            for h in &a.live {
+                let chain = vec![format!(
+                    "{} [holds `{}` ({}:{}), takes `{}` @ {}:{}]",
+                    fns[i].display,
+                    short(&h.lock),
+                    rel(i),
+                    h.line,
+                    short(&a.lock),
+                    rel(i),
+                    a.line
+                )];
+                if h.lock == a.lock {
+                    report(ws, out, fns[i].file, a.line, format!(
+                        "re-acquires `{}` already held since line {} — non-reentrant Mutex, guaranteed deadlock",
+                        short(&a.lock), h.line
+                    ), chain);
+                } else {
+                    record(h, &a.lock, fns[i].file, a.line, chain);
+                }
+            }
+        }
+        // Locks acquired (and blocking reached) through calls made while a
+        // guard is live.
+        for (s, site) in model.graph.sites[i].iter().enumerate() {
+            let live = &g.live_at_site[s];
+            if live.is_empty() {
+                continue;
+            }
+            let mut site_blocking_reported = false;
+            for &t in &site.targets {
+                let hop = |h: &Held| {
+                    format!(
+                        "{} [holds `{}` ({}:{}), calls `{}` @ {}:{}]",
+                        fns[i].display,
+                        short(&h.lock),
+                        rel(i),
+                        h.line,
+                        site.name,
+                        rel(i),
+                        site.line
+                    )
+                };
+                for (lock, tail) in &acq[t] {
+                    if let Some(h) = live.iter().find(|h| &h.lock == lock) {
+                        let mut chain = vec![hop(h)];
+                        chain.extend(tail.iter().cloned());
+                        report(ws, out, fns[i].file, site.line, format!(
+                            "call re-acquires `{}` already held since line {} — non-reentrant Mutex, guaranteed deadlock",
+                            short(lock), h.line
+                        ), chain);
+                    } else {
+                        for h in live {
+                            let mut chain = vec![hop(h)];
+                            chain.extend(tail.iter().cloned());
+                            record(h, lock, fns[i].file, site.line, chain);
+                        }
+                    }
+                }
+                if let (false, Some((op, tail))) = (site_blocking_reported, &blk[t]) {
+                    site_blocking_reported = true;
+                    let h = &live[0];
+                    let mut chain = vec![hop(h)];
+                    chain.extend(tail.iter().cloned());
+                    report(ws, out, fns[i].file, site.line, format!(
+                        "call blocks (`{}`) while `{}` is held (acquired line {}) — stalls every thread contending for the lock",
+                        op, short(&h.lock), h.line
+                    ), chain);
+                }
+            }
+        }
+        // Direct blocking ops under a live guard.
+        for b in &g.blocking {
+            if let Some(h) = b.live.first() {
+                let chain = vec![format!(
+                    "{} [holds `{}` ({}:{}), blocks on `{}` @ {}:{}]",
+                    fns[i].display,
+                    short(&h.lock),
+                    rel(i),
+                    h.line,
+                    b.op,
+                    rel(i),
+                    b.line
+                )];
+                report(ws, out, fns[i].file, b.line, format!(
+                    "blocking `{}` while `{}` is held (acquired line {}) — stalls every thread contending for the lock",
+                    b.op, short(&h.lock), h.line
+                ), chain);
+            }
+        }
+    }
+
+    // Inversions: both (A, B) and (B, A) exist.
+    for ((a, b), (file, line, chain)) in &pairs {
+        if a < b {
+            if let Some((_, _, rev_chain)) = pairs.get(&(b.clone(), a.clone())) {
+                let mut full = chain.clone();
+                full.push("— reverse order —".to_string());
+                full.extend(rev_chain.iter().cloned());
+                report(ws, out, *file, *line, format!(
+                    "lock-order inversion between `{}` and `{}`: this path takes {} then {}, another takes {} then {} — deadlock when the paths interleave",
+                    short(a), short(b), short(a), short(b), short(b), short(a)
+                ), full);
+            }
+        }
+    }
+}
+
+fn report(
+    ws: &Workspace,
+    out: &mut Vec<Diagnostic>,
+    file: usize,
+    line: usize,
+    message: String,
+    chain: Vec<String>,
+) {
+    ws.files[file].report_chain(out, "lock-order", line, message, chain);
+}

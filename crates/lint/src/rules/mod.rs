@@ -12,25 +12,50 @@
 //! | `unsafe`    | whole workspace              | the unsafe-free invariant     |
 //! | `wire`      | serve wire/server/client     | opcode codec exhaustiveness   |
 //! | `deps`      | every `Cargo.toml`           | the offline no-registry rule  |
+//! | `lock-order`| whole workspace (flow)       | deadlock-free lock discipline |
+//! | `panic-reach`| hot-path call sites (flow)  | transitive panic-freedom      |
+//! | `alloc-hot` | hot-path loops               | steady-state allocation-free  |
+//! | `dead-pub`  | `crates/*/src` pub items     | honest inter-crate API surface|
+//!
+//! The last four are v2's flow-aware rules: they run over the semantic
+//! [`model`](crate::model) (symbol table, approximate call graph, guard
+//! liveness) built once per run, instead of per-file token shapes.
 
+mod alloc_hot;
 mod atomics;
+mod dead_pub;
 mod deps;
 mod determinism;
+mod lock_order;
 mod panic_free;
+mod panic_reach;
 mod unsafety;
 mod wire;
 
 use crate::engine::{Diagnostic, SourceFile, Workspace};
+use crate::model::SemanticModel;
 
 /// Every rule name `allow(<rule>)` accepts.
-pub const RULE_NAMES: &[&str] =
-    &["panic", "index", "hash-iter", "nan-cmp", "atomics", "unsafe", "wire", "deps"];
+pub const RULE_NAMES: &[&str] = &[
+    "panic",
+    "index",
+    "hash-iter",
+    "nan-cmp",
+    "atomics",
+    "unsafe",
+    "wire",
+    "deps",
+    "lock-order",
+    "panic-reach",
+    "alloc-hot",
+    "dead-pub",
+];
 
 /// The serving/observability hot paths: modules on the per-request path
 /// where a panic poisons co-batched requests (see the PR 3 salvage logic)
 /// and where PR 6 claims "relaxed atomics only". Paths are
 /// workspace-relative.
-pub const HOT_PATHS: &[&str] = &[
+pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/serve/src/service.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/client.rs",
@@ -44,7 +69,7 @@ pub const HOT_PATHS: &[&str] = &[
 /// Crates whose outputs must be bit-deterministic given a seed (fits,
 /// kernels, dataset synthesis): HashMap/HashSet *iteration* here can feed
 /// numeric accumulation in arbitrary order.
-pub const DETERMINISM_PREFIXES: &[&str] = &[
+pub(crate) const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/core/src/",
     "crates/models/src/",
     "crates/tensor/src/",
@@ -54,16 +79,16 @@ pub const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/datasets/src/",
 ];
 
-pub fn is_hot_path(file: &SourceFile) -> bool {
+pub(crate) fn is_hot_path(file: &SourceFile) -> bool {
     HOT_PATHS.contains(&file.rel.as_str())
 }
 
-pub fn is_determinism_scoped(file: &SourceFile) -> bool {
+pub(crate) fn is_determinism_scoped(file: &SourceFile) -> bool {
     DETERMINISM_PREFIXES.iter().any(|p| file.rel.starts_with(p))
 }
 
 /// Run every rule over the workspace.
-pub fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+pub(crate) fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for file in &ws.files {
         if is_hot_path(file) {
             panic_free::check_panics(file, out);
@@ -78,4 +103,12 @@ pub fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
     wire::check_opcode_exhaustiveness(ws, out);
     deps::check_manifests(ws, out);
+
+    // Flow-aware rules share one semantic model (and, through `Workspace`,
+    // one lexing pass per file).
+    let model = SemanticModel::build(ws);
+    lock_order::check(ws, &model, out);
+    panic_reach::check(ws, &model, out);
+    alloc_hot::check(ws, out);
+    dead_pub::check(ws, &model, out);
 }

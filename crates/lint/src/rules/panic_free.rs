@@ -21,7 +21,7 @@ const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
 /// Flag `.unwrap()` / `.expect(...)` calls and `panic!`-family macro
 /// invocations.
-pub fn check_panics(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_panics(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let tokens = &file.tokens;
     for (i, t) in tokens.iter().enumerate() {
         let Some(name) = t.ident() else { continue };
@@ -69,7 +69,7 @@ const NON_POSTFIX_KEYWORDS: &[&str] = &[
 /// index (not an array literal, attribute, pattern, or type) exactly when
 /// the previous token could end an expression — an identifier (that is not
 /// a keyword), a closing `)` / `]`, or a literal.
-pub fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let tokens = &file.tokens;
     for (i, t) in tokens.iter().enumerate() {
         if !t.is_punct('[') || i == 0 {

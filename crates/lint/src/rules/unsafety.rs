@@ -13,7 +13,7 @@ use crate::engine::{Diagnostic, SourceFile};
 const SAFETY_COMMENT_REACH: usize = 3;
 
 /// Flag `unsafe` keywords lacking an adjacent `// SAFETY:` comment.
-pub fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for t in &file.tokens {
         if t.ident() != Some("unsafe") {
             continue;

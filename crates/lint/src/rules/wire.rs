@@ -18,7 +18,7 @@ const PEERS: &[&str] = &["crates/serve/src/server.rs", "crates/serve/src/client.
 
 /// Cross-file exhaustiveness over `enum Opcode`. A no-op when the workspace
 /// under lint has no wire module (fixture trees exercising other rules).
-pub fn check_opcode_exhaustiveness(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_opcode_exhaustiveness(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     let Some(wire) = ws.file(WIRE) else { return };
     let Some((enum_line, variants)) = parse_enum(&wire.tokens, "Opcode") else { return };
 

@@ -83,6 +83,51 @@ fn bad_allow_fixture_flags_malformed_annotations() {
 }
 
 #[test]
+fn lock_order_fixture_flags_inversion_reentry_and_blocking() {
+    let out = lint_fixture("lock_order");
+    assert_eq!(
+        shape(&out),
+        vec![("lock-order", 14), ("lock-order", 27), ("lock-order", 36)],
+        "{out:?}"
+    );
+    // The inversion carries both witness chains, joined by a marker.
+    assert!(out[0].message.contains("inversion between `queue` and `stats`"), "{out:?}");
+    assert!(out[0].chain.iter().any(|hop| hop == "— reverse order —"), "{out:?}");
+    assert!(out[1].message.contains("re-acquires `stats`"), "{out:?}");
+    assert!(out[2].message.contains("blocking `write_all`"), "{out:?}");
+}
+
+#[test]
+fn panic_reach_fixture_reports_two_hop_chain() {
+    let out = lint_fixture("panic_reach");
+    assert_eq!(shape(&out), vec![("panic-reach", 7)], "{out:?}");
+    let d = &out[0];
+    assert!(d.message.contains("`load_header` can transitively panic"), "{}", d.message);
+    // Full witness: the intermediate hop and the concrete panic site.
+    assert_eq!(d.chain.len(), 2, "{:?}", d.chain);
+    assert!(d.chain[0].contains("load_header [calls @ crates/serve/src/snapshot.rs:5]"));
+    assert!(d.chain[1].contains("parse_magic [.unwrap() @ crates/serve/src/snapshot.rs:9]"));
+    // Text output renders the same chain inline.
+    assert!(d.message.contains(" → "), "{}", d.message);
+}
+
+#[test]
+fn alloc_hot_fixture_flags_per_iteration_allocations() {
+    let out = lint_fixture("alloc_hot");
+    assert_eq!(shape(&out), vec![("alloc-hot", 6), ("alloc-hot", 8)], "{out:?}");
+    assert!(out[0].message.contains("format!"), "{out:?}");
+    assert!(out[1].message.contains(".to_vec()"), "{out:?}");
+}
+
+#[test]
+fn dead_pub_fixture_flags_only_the_unreferenced_item() {
+    // `used` is kept alive by the serve crate's reference; `orphan` is not.
+    let out = lint_fixture("dead_pub");
+    assert_eq!(shape(&out), vec![("dead-pub", 7)], "{out:?}");
+    assert!(out[0].message.contains("`orphan`"), "{out:?}");
+}
+
+#[test]
 fn clean_fixture_lints_clean() {
     // Correct code, allow-annotated escape hatches, and #[cfg(test)] code
     // covering every rule: zero findings.
@@ -137,5 +182,28 @@ mod cli {
     fn exit_2_on_bad_usage() {
         let (code, _) = run(&["--frobnicate"]);
         assert_eq!(code, Some(2));
+    }
+
+    #[test]
+    fn json_format_emits_stable_fields_and_chain() {
+        let root = fixture_root("panic_reach");
+        let (code, stdout) =
+            run(&["--root", root.to_str().expect("utf-8 path"), "--format", "json"]);
+        assert_eq!(code, Some(1));
+        assert!(stdout.contains("\"violations\": 1"), "{stdout}");
+        assert!(stdout.contains("\"rule\": \"panic-reach\""), "{stdout}");
+        assert!(stdout.contains("\"path\": \"crates/serve/src/service.rs\""), "{stdout}");
+        assert!(stdout.contains("\"line\": 7"), "{stdout}");
+        assert!(stdout.contains("\"chain\": [\""), "{stdout}");
+    }
+
+    #[test]
+    fn json_format_prints_report_even_when_clean() {
+        let root = fixture_root("clean");
+        let (code, stdout) =
+            run(&["--root", root.to_str().expect("utf-8 path"), "--format", "json"]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(stdout.contains("\"violations\": 0"), "{stdout}");
+        assert!(stdout.contains("\"findings\": []"), "{stdout}");
     }
 }

@@ -1,0 +1,12 @@
+//! Fixture: per-iteration allocations inside a hot-path loop.
+
+pub fn render(xs: &[u8]) -> String {
+    let mut out = String::new();
+    for &x in xs {
+        let line = format!("item {x}");
+        out.push_str(&line);
+        let copy = xs.to_vec();
+        let _ = copy.len();
+    }
+    out
+}

@@ -2,6 +2,6 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-pub fn shutdown(flag: &AtomicBool) {
+pub(crate) fn shutdown(flag: &AtomicBool) {
     flag.store(true, Ordering::SeqCst);
 }

@@ -2,6 +2,6 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-pub fn is_closed(flag: &AtomicBool) -> bool {
+pub(crate) fn is_closed(flag: &AtomicBool) -> bool {
     flag.load(Ordering::Acquire)
 }

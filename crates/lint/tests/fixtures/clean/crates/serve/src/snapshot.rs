@@ -1,0 +1,7 @@
+//! Fixture: a non-hot helper whose panic site carries an annotation, so
+//! hot-path callers do not inherit its reachability (`panic-reach`).
+
+pub(crate) fn decode_header(xs: &[u8]) -> u8 {
+    // goggles-lint: allow(panic-reach): fixture — frame presence is validated before every hot-path call
+    xs.first().copied().unwrap()
+}

@@ -3,3 +3,12 @@
 pub fn sort_scores(xs: &mut [f32]) {
     xs.sort_by(|a, b| a.total_cmp(b));
 }
+
+/// `dead-pub`: nothing references this yet; the annotation records why the
+/// surface stays public anyway.
+// goggles-lint: allow(dead-pub): fixture — staged API; the consumer lands with the next PR
+pub fn normalize(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = x.clamp(0.0, 1.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `used` is consumed by the serve crate; `orphan` is not.
+
+pub fn used() -> u32 {
+    1
+}
+
+pub fn orphan() -> u32 {
+    2
+}

@@ -1,0 +1,5 @@
+//! Fixture: the external observer — referencing `used` keeps it alive.
+
+pub(crate) fn respond() -> u32 {
+    used()
+}

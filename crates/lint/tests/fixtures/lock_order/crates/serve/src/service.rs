@@ -1,0 +1,37 @@
+//! Fixture: the three lock-order findings — an ABBA inversion between
+//! `queue` and `stats`, a re-entry deadlock through a call, and blocking
+//! I/O while a guard is live.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct State {
+    pub queue: Mutex<Vec<u8>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn enqueue(s: &State, x: u8) {
+    let mut queue = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut stats = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    queue.push(x);
+    *stats += 1;
+}
+
+pub fn snapshot(s: &State) -> (usize, u64) {
+    let stats = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    let queue = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    (queue.len(), *stats)
+}
+
+pub fn total(s: &State) -> u64 {
+    let stats = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *stats + helper_total(s)
+}
+
+fn helper_total(s: &State) -> u64 {
+    *s.stats.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn drain_to(s: &State, out: &mut impl std::io::Write) {
+    let queue = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = out.write_all(&queue);
+}

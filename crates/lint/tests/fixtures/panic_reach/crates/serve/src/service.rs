@@ -1,0 +1,8 @@
+//! Fixture: a hot-path call whose panic is two hops away — the chain must
+//! walk `handle` → `load_header` → `parse_magic` to the `.unwrap()`.
+
+use crate::snapshot::load_header;
+
+pub fn handle(xs: &[u8]) -> u8 {
+    load_header(xs)
+}

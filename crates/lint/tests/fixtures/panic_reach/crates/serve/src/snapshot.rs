@@ -1,0 +1,10 @@
+//! Fixture: non-hot helpers — the panic itself is legal here, but hot-path
+//! reachability is not.
+
+pub(crate) fn load_header(xs: &[u8]) -> u8 {
+    parse_magic(xs)
+}
+
+fn parse_magic(xs: &[u8]) -> u8 {
+    xs.first().copied().unwrap()
+}

@@ -16,7 +16,7 @@ use goggles_tensor::Matrix;
 ///
 /// # Panics
 /// Panics if `cost` is not square or contains NaN.
-pub fn solve_assignment_min(cost: &Matrix<f64>) -> Vec<usize> {
+pub(crate) fn solve_assignment_min(cost: &Matrix<f64>) -> Vec<usize> {
     let n = cost.rows();
     assert_eq!(n, cost.cols(), "assignment requires a square matrix");
     assert!(cost.as_slice().iter().all(|v| !v.is_nan()), "NaN cost");

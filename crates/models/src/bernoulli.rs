@@ -117,6 +117,7 @@ impl BernoulliMixture {
 
     /// Number of free parameters: `K(d + 1) - 1`. Together with the base
     /// models this realizes the paper's `2αKN + αK` count (§4.1).
+    // goggles-lint: allow(dead-pub): BIC/model-selection statistic the paper reports; exercised only by unit tests
     pub fn n_parameters(&self) -> usize {
         let k = self.weights.len();
         k * (self.probs.cols() + 1) - 1

@@ -40,7 +40,7 @@ pub struct FitStats {
 /// probabilities `log π_k + log p(x_i | θ_k)` in `log_joint` (n × K), fill
 /// `resp` with posteriors γ_{ik} (Equation 8) and return the data
 /// log-likelihood `Σ_i log Σ_k exp(log_joint[i,k])`.
-pub fn e_step_from_log_joint(log_joint: &Matrix<f64>, resp: &mut Matrix<f64>) -> f64 {
+pub(crate) fn e_step_from_log_joint(log_joint: &Matrix<f64>, resp: &mut Matrix<f64>) -> f64 {
     assert_eq!(log_joint.shape(), resp.shape());
     let k = log_joint.cols();
     let mut total = 0.0;
@@ -71,7 +71,7 @@ pub fn hard_labels(resp: &Matrix<f64>) -> Vec<usize> {
 /// Mixture weights from responsibilities: `π_k = N_k / N` with
 /// `N_k = Σ_i γ_{ik}` (first line of Equations 10 and 11). A tiny floor
 /// keeps empty components alive so later log π terms stay finite.
-pub fn update_weights(resp: &Matrix<f64>) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn update_weights(resp: &Matrix<f64>) -> (Vec<f64>, Vec<f64>) {
     let n = resp.rows();
     let k = resp.cols();
     let mut nk = vec![0.0f64; k];
@@ -94,7 +94,7 @@ pub fn update_weights(resp: &Matrix<f64>) -> (Vec<f64>, Vec<f64>) {
 
 /// Relative improvement used for the convergence check; robust to
 /// near-zero likelihoods.
-pub fn relative_improvement(prev: f64, cur: f64) -> f64 {
+pub(crate) fn relative_improvement(prev: f64, cur: f64) -> f64 {
     if !prev.is_finite() {
         return f64::INFINITY;
     }

@@ -108,6 +108,7 @@ impl DiagonalGmm {
 
     /// Number of free parameters: `K(2d + 1) - 1` (means, variances,
     /// weights). The paper's §4.1 parameter-count argument.
+    // goggles-lint: allow(dead-pub): BIC/model-selection statistic the paper reports; exercised only by unit tests
     pub fn n_parameters(&self) -> usize {
         let k = self.weights.len();
         let d = self.means.cols();

@@ -126,6 +126,7 @@ impl FullGmm {
 
     /// Number of free parameters: `K(d(d+1)/2 + d + 1) - 1` — the count the
     /// paper contrasts against the hierarchical model's `2αKN + αK` (§4.1).
+    // goggles-lint: allow(dead-pub): BIC/model-selection statistic the paper reports; exercised only by unit tests
     pub fn n_parameters(&self) -> usize {
         let k = self.weights.len();
         let d = self.means.cols();

@@ -24,8 +24,5 @@ pub mod span;
 
 pub use http::MetricsServer;
 pub use log::{Level, Value};
-pub use metrics::{
-    bucket_index, bucket_upper, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
-    POW2_BUCKETS,
-};
+pub use metrics::{bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use span::{Span, TraceEvent, TraceRing};

@@ -94,6 +94,7 @@ pub fn set_level(level: Level) {
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
+// goggles-lint: allow(dead-pub): log-level introspection, pairs with the exported Level enum; exercised only by unit tests
 pub fn level() -> Level {
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Error,
@@ -114,12 +115,12 @@ pub fn json() -> bool {
 
 /// Whether an event at `level` would currently be emitted.
 #[inline]
-pub fn enabled(level: Level) -> bool {
+pub(crate) fn enabled(level: Level) -> bool {
     (level as u8) <= LEVEL.load(Ordering::Relaxed)
 }
 
 /// Emit one structured event to stderr (a no-op when the level is filtered).
-pub fn event(level: Level, component: &str, msg: &str, fields: &[(&str, Value)]) {
+pub(crate) fn event(level: Level, component: &str, msg: &str, fields: &[(&str, Value)]) {
     if !enabled(level) {
         return;
     }
@@ -143,12 +144,13 @@ pub fn warn(component: &str, msg: &str, fields: &[(&str, Value)]) {
 pub fn info(component: &str, msg: &str, fields: &[(&str, Value)]) {
     event(Level::Info, component, msg, fields);
 }
+// goggles-lint: allow(dead-pub): log-emitter sibling of the used info/warn macros; exercised only by unit tests
 pub fn debug(component: &str, msg: &str, fields: &[(&str, Value)]) {
     event(Level::Debug, component, msg, fields);
 }
 
 /// JSONL form: `{"ts_us":...,"level":"warn","component":"serve","msg":"...",...}`.
-pub fn format_json(
+pub(crate) fn format_json(
     ts_us: u64,
     level: Level,
     component: &str,
@@ -189,7 +191,7 @@ pub fn format_json(
 }
 
 /// Text form: `[1700000000.123456] WARN serve: message key=value`.
-pub fn format_text(
+pub(crate) fn format_text(
     ts_us: u64,
     level: Level,
     component: &str,
@@ -224,7 +226,7 @@ pub fn format_text(
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-pub fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 /// absorbing 0 and 1, and the top bucket absorbing everything larger.
 /// Matches the serving stack's `LatencyHistogram` so snapshots convert
 /// bucket-for-bucket.
-pub const POW2_BUCKETS: usize = 32;
+pub(crate) const POW2_BUCKETS: usize = 32;
 
 /// Index of the power-of-two bucket for `value` (same scheme as the serving
 /// crate's `LatencyHistogram::bucket_index`).
@@ -29,7 +29,7 @@ pub fn bucket_index(value: u64) -> usize {
 
 /// Inclusive upper bound of bucket `i` (`u64::MAX` for the top bucket).
 #[inline]
-pub fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i + 1 >= POW2_BUCKETS {
         u64::MAX
     } else {
@@ -43,7 +43,7 @@ pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Counter detached from any registry (for tests or scratch use).
-    pub fn detached() -> Self {
+    pub(crate) fn detached() -> Self {
         Counter(Arc::new(AtomicU64::new(0)))
     }
 
@@ -69,7 +69,7 @@ pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     /// Gauge detached from any registry (for tests or scratch use).
-    pub fn detached() -> Self {
+    pub(crate) fn detached() -> Self {
         Gauge(Arc::new(AtomicI64::new(0)))
     }
 
@@ -95,7 +95,7 @@ impl Gauge {
 }
 
 /// Shared storage behind a [`Histogram`] handle.
-pub struct HistogramCore {
+pub(crate) struct HistogramCore {
     buckets: [AtomicU64; POW2_BUCKETS],
     sum: AtomicU64,
 }
@@ -115,7 +115,7 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     /// Histogram detached from any registry (for tests or scratch use).
-    pub fn detached() -> Self {
+    pub(crate) fn detached() -> Self {
         Histogram(Arc::new(HistogramCore::new()))
     }
 
@@ -153,6 +153,7 @@ impl HistogramSnapshot {
 
     /// Upper bound of the bucket holding the `q`-quantile observation
     /// (0 when the histogram is empty).
+    // goggles-lint: allow(dead-pub): snapshot quantile accessor the scrape text renders inline; exercised only by unit tests
     pub fn quantile_upper(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
@@ -207,7 +208,10 @@ struct Family {
 }
 
 /// A scrape-time closure that appends exposition text to the page.
-type Collector = Box<dyn Fn(&mut String) + Send + Sync>;
+/// `Arc` rather than `Box` so a scrape can snapshot the collector list and
+/// run it *after* releasing the registry lock (collectors sample live
+/// structures with locks of their own, which must never nest under ours).
+type Collector = Arc<dyn Fn(&mut String) + Send + Sync>;
 
 #[derive(Default)]
 struct Inner {
@@ -275,7 +279,7 @@ impl Registry {
     /// The closure is responsible for its own `# HELP` / `# TYPE` lines and
     /// must not reuse a family name already registered directly.
     pub fn register_collector(&self, f: impl Fn(&mut String) + Send + Sync + 'static) {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner).collectors.push(Box::new(f));
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).collectors.push(Arc::new(f));
     }
 
     fn series(
@@ -330,7 +334,21 @@ impl Registry {
 
     /// Append the exposition text to `out` (used to concatenate registries).
     pub fn render_into(&self, out: &mut String) {
-        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Render the families under the lock, but only *snapshot* the
+        // collector list: collectors take other subsystems' locks (e.g. the
+        // snapshot registry state) and run after ours is released, so no
+        // lock ever nests under the registry's.
+        let collectors = {
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            self.render_families(&inner, out);
+            inner.collectors.clone()
+        };
+        for collector in &collectors {
+            collector(out);
+        }
+    }
+
+    fn render_families(&self, inner: &Inner, out: &mut String) {
         for family in &inner.families {
             let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
             let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
@@ -347,9 +365,6 @@ impl Registry {
                     }
                 }
             }
-        }
-        for collector in &inner.collectors {
-            collector(out);
         }
     }
 }
@@ -379,7 +394,7 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
 }
 
 /// Escape a label value per the exposition format (backslash, quote, newline).
-pub fn escape_label_value(v: &str) -> String {
+pub(crate) fn escape_label_value(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for ch in v.chars() {
         match ch {
@@ -403,17 +418,18 @@ fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &Histogram
         }
     };
     let mut cumulative = 0u64;
+    // Scratch for the numeric `le` value, hoisted out of the bucket loop so
+    // rendering a populated histogram does not allocate per bucket.
+    let mut upper = String::new();
     for (i, &c) in snap.counts.iter().enumerate() {
         cumulative += c;
         // Skip interior empty buckets to keep scrapes small, but always
         // emit buckets that carry counts plus the +Inf terminator. The top
         // bucket is unbounded and is covered by the +Inf line itself.
         if c > 0 && i + 1 < POW2_BUCKETS {
-            let _ = writeln!(
-                out,
-                "{name}_bucket{} {cumulative}",
-                with_le(&bucket_upper(i).to_string())
-            );
+            upper.clear();
+            let _ = write!(upper, "{}", bucket_upper(i));
+            let _ = writeln!(out, "{name}_bucket{} {cumulative}", with_le(&upper));
         }
     }
     let _ = writeln!(out, "{name}_bucket{} {cumulative}", with_le("+Inf"));

@@ -83,6 +83,7 @@ impl ClientShared {
         self.pending.lock().unwrap_or_else(PoisonError::into_inner).insert(id, pending);
         let outcome = {
             let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            // goggles-lint: allow(lock-order): intentional — the writer mutex exists precisely to serialize whole frames onto the shared socket; writing outside it would interleave frame bytes
             wire::write_frame(&mut *writer, opcode, id, payload)
         };
         if let Err(e) = outcome {
@@ -229,7 +230,7 @@ impl RemoteLabeler {
     }
 
     /// Whether the connection has failed (or the peer closed it).
-    pub fn is_closed(&self) -> bool {
+    pub(crate) fn is_closed(&self) -> bool {
         // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
         self.shared.closed.load(Ordering::Acquire)
     }

@@ -46,19 +46,19 @@ impl Writer {
         &self.buf
     }
 
-    pub fn put_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
     }
 
-    pub fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub fn put_bool(&mut self, v: bool) {
+    pub(crate) fn put_bool(&mut self, v: bool) {
         self.put_u8(u8::from(v));
     }
 
-    pub fn put_u16(&mut self, v: u16) {
+    pub(crate) fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -70,20 +70,20 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub fn put_usize(&mut self, v: usize) {
+    pub(crate) fn put_usize(&mut self, v: usize) {
         self.put_u64(v as u64);
     }
 
-    pub fn put_f64(&mut self, v: f64) {
+    pub(crate) fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub fn put_f32(&mut self, v: f32) {
+    pub(crate) fn put_f32(&mut self, v: f32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Length-prefixed `usize` slice.
-    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+    pub(crate) fn put_usize_slice(&mut self, vs: &[usize]) {
         self.put_usize(vs.len());
         for &v in vs {
             self.put_usize(v);
@@ -91,7 +91,7 @@ impl Writer {
     }
 
     /// Length-prefixed `f64` slice.
-    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+    pub(crate) fn put_f64_slice(&mut self, vs: &[f64]) {
         self.put_usize(vs.len());
         for &v in vs {
             self.put_f64(v);
@@ -99,7 +99,7 @@ impl Writer {
     }
 
     /// Shape-prefixed `f64` matrix (row-major payload).
-    pub fn put_matrix_f64(&mut self, m: &Matrix<f64>) {
+    pub(crate) fn put_matrix_f64(&mut self, m: &Matrix<f64>) {
         self.put_usize(m.rows());
         self.put_usize(m.cols());
         for &v in m.as_slice() {
@@ -108,7 +108,7 @@ impl Writer {
     }
 
     /// Shape-prefixed `f32` matrix (row-major payload).
-    pub fn put_matrix_f32(&mut self, m: &Matrix<f32>) {
+    pub(crate) fn put_matrix_f32(&mut self, m: &Matrix<f32>) {
         self.put_usize(m.rows());
         self.put_usize(m.cols());
         for &v in m.as_slice() {
@@ -118,7 +118,7 @@ impl Writer {
 
     /// Raw (no length prefix) `f32` payload — v2 snapshot fields whose
     /// length the schema implies from the header.
-    pub fn put_f32_slice_raw(&mut self, vs: &[f32]) {
+    pub(crate) fn put_f32_slice_raw(&mut self, vs: &[f32]) {
         for &v in vs {
             self.put_f32(v);
         }
@@ -128,7 +128,7 @@ impl Writer {
     /// ensemble parameters (half the bytes of [`Writer::put_f64_slice`]).
     /// Narrow → widen → narrow is idempotent, so v2 `save → load → save`
     /// stays byte-stable.
-    pub fn put_f64_slice_as_f32_raw(&mut self, vs: &[f64]) {
+    pub(crate) fn put_f64_slice_as_f32_raw(&mut self, vs: &[f64]) {
         for &v in vs {
             self.put_f32(v as f32);
         }
@@ -138,7 +138,7 @@ impl Writer {
     /// (see [`quantize_unit`]) — the v2 prototype-bank storage behind the
     /// quantization flag. Values outside `[-1, 1]` saturate; prototype rows
     /// are L2-normalized so none exist in practice.
-    pub fn put_quantized_slice_raw(&mut self, vs: &[f32]) {
+    pub(crate) fn put_quantized_slice_raw(&mut self, vs: &[f32]) {
         for &v in vs {
             self.put_u16(quantize_unit(v));
         }
@@ -149,14 +149,14 @@ impl Writer {
 /// values saturate). The grid is format-level (no per-tensor min/max), so
 /// re-encoding a dequantized value always returns the same code — quantized
 /// snapshots round-trip byte-stably.
-pub fn quantize_unit(v: f32) -> u16 {
+pub(crate) fn quantize_unit(v: f32) -> u16 {
     let x = ((f64::from(v) + 1.0) / 2.0 * 65535.0).round();
     // NaN saturates to 0 via the as-cast; prototypes are never NaN.
     x.clamp(0.0, 65535.0) as u16
 }
 
 /// Inverse of [`quantize_unit`]: grid code → `f32` value in `[-1, 1]`.
-pub fn dequantize_unit(q: u16) -> f32 {
+pub(crate) fn dequantize_unit(q: u16) -> f32 {
     (f64::from(q) / 65535.0 * 2.0 - 1.0) as f32
 }
 
@@ -224,11 +224,11 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
-    pub fn get_u64(&mut self) -> ServeResult<u64> {
+    pub(crate) fn get_u64(&mut self) -> ServeResult<u64> {
         Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
-    pub fn get_usize(&mut self) -> ServeResult<usize> {
+    pub(crate) fn get_usize(&mut self) -> ServeResult<usize> {
         let v = self.get_u64()?;
         usize::try_from(v).map_err(|_| ServeError::Snapshot(format!("length {v} exceeds usize")))
     }
@@ -332,12 +332,12 @@ impl<'a> Reader<'a> {
 
     /// Exactly `len` raw `f32`s widened to `f64` — inverse of
     /// [`Writer::put_f64_slice_as_f32_raw`].
-    pub fn get_f32_vec_as_f64(&mut self, len: usize) -> ServeResult<Vec<f64>> {
+    pub(crate) fn get_f32_vec_as_f64(&mut self, len: usize) -> ServeResult<Vec<f64>> {
         Ok(self.get_f32_vec(len)?.into_iter().map(f64::from).collect())
     }
 
     /// Exactly `len` `u16` grid codes dequantized from the fixed `[-1, 1]`
-    /// grid — inverse of [`Writer::put_quantized_slice_raw`].
+    /// grid — inverse of `Writer::put_quantized_slice_raw`.
     pub fn get_quantized_vec(&mut self, len: usize) -> ServeResult<Vec<f32>> {
         if len > self.remaining() / 2 {
             return Err(ServeError::Snapshot(format!(

@@ -18,10 +18,10 @@
 //! * [`SnapshotRegistry::rollback`] re-points "current" at the previously
 //!   published version (retired versions are kept, so rollback is O(1) and
 //!   in-flight leases stay valid).
-//! * Per-version serve counters ([`PublishedSnapshot::record_served`],
+//! * Per-version serve counters (`PublishedSnapshot::record_served`,
 //!   surfaced by [`SnapshotRegistry::versions`]) make a canary or a drain
 //!   observable: publish, then watch the old version's counter go quiet.
-//! * [`SnapshotRegistry::prune_retired`] expires old retired versions
+//! * `SnapshotRegistry::prune_retired` expires old retired versions
 //!   (keeping leased ones and the most recent `keep_last`), so a service
 //!   that republishes periodically holds O(1) snapshots in memory.
 
@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 /// A lease on one published snapshot version: the labeler, its version
 /// number, and the shared serve counter. Cloning is two `Arc` bumps.
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): return type of pub SnapshotRegistry accessors; external callers reach it through inference
 pub struct PublishedSnapshot {
     version: u64,
     labeler: Arc<FittedLabeler>,
@@ -52,7 +53,7 @@ impl PublishedSnapshot {
 
     /// Record `n` requests served on this version (reflected in
     /// [`SnapshotRegistry::versions`]).
-    pub fn record_served(&self, n: u64) {
+    pub(crate) fn record_served(&self, n: u64) {
         self.served.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -64,6 +65,7 @@ impl PublishedSnapshot {
 
 /// Observability row for one registered version.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): return type of pub SnapshotRegistry::versions; external callers reach it through inference
 pub struct VersionInfo {
     /// Version number.
     pub version: u64,
@@ -98,6 +100,14 @@ pub struct SnapshotRegistry {
 }
 
 impl SnapshotRegistry {
+    /// Take the state lock, recovering from poisoning. Recovery is sound:
+    /// every mutation below leaves `RegistryState` consistent before any
+    /// operation that could unwind, so a poisoned lock only means some
+    /// other thread panicked while *observing* a consistent state.
+    fn state(&self) -> std::sync::MutexGuard<'_, RegistryState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Start a registry with an initial labeler as version 1.
     ///
     /// The initial labeler is validated like any publish; a freshly fitted
@@ -121,8 +131,8 @@ impl SnapshotRegistry {
     /// left untouched.
     pub fn publish(&self, labeler: FittedLabeler) -> ServeResult<u64> {
         labeler.validate()?;
-        let mut state = self.state.lock().expect("registry poisoned");
-        let version = state.versions.last().expect("registry never empty").version + 1;
+        let mut state = self.state();
+        let version = state.versions.last().map_or(0, |s| s.version) + 1;
         state.versions.push(PublishedSnapshot {
             version,
             labeler: Arc::new(labeler),
@@ -135,7 +145,7 @@ impl SnapshotRegistry {
     /// Load, validate and publish a snapshot file — the hot-reload front
     /// used by [`crate::LabelService::reload_from`]. Accepts any
     /// [`crate::SnapshotFormat`].
-    pub fn publish_file(&self, path: &std::path::Path) -> ServeResult<u64> {
+    pub(crate) fn publish_file(&self, path: &std::path::Path) -> ServeResult<u64> {
         self.publish(FittedLabeler::load_from(path)?)
     }
 
@@ -143,7 +153,7 @@ impl SnapshotRegistry {
     /// current one. Errors with [`ServeError::Registry`] when already at
     /// the oldest registered version.
     pub fn rollback(&self) -> ServeResult<u64> {
-        let mut state = self.state.lock().expect("registry poisoned");
+        let mut state = self.state();
         if state.current == 0 {
             let v = state.versions[state.current].version;
             return Err(ServeError::Registry(format!(
@@ -156,13 +166,14 @@ impl SnapshotRegistry {
 
     /// Lease the current version: an `Arc` clone under a short lock.
     pub fn get(&self) -> PublishedSnapshot {
-        let state = self.state.lock().expect("registry poisoned");
+        let state = self.state();
         state.versions[state.current].clone()
     }
 
     /// Lease a specific registered version (current or retired).
+    // goggles-lint: allow(dead-pub): lookup sibling of the used current_version; part of the registry query API, exercised only by unit tests
     pub fn get_version(&self, version: u64) -> ServeResult<PublishedSnapshot> {
-        let state = self.state.lock().expect("registry poisoned");
+        let state = self.state();
         state
             .versions
             .iter()
@@ -172,8 +183,8 @@ impl SnapshotRegistry {
     }
 
     /// The current version number.
-    pub fn current_version(&self) -> u64 {
-        let state = self.state.lock().expect("registry poisoned");
+    pub(crate) fn current_version(&self) -> u64 {
+        let state = self.state();
         state.versions[state.current].version
     }
 
@@ -191,8 +202,8 @@ impl SnapshotRegistry {
     /// ([`SnapshotRegistry::versions`] observability), which is the point:
     /// a service that republishes periodically holds O(keep_last) snapshots
     /// instead of one per publish ever made.
-    pub fn prune_retired(&self, keep_last: usize) -> usize {
-        let mut state = self.state.lock().expect("registry poisoned");
+    pub(crate) fn prune_retired(&self, keep_last: usize) -> usize {
+        let mut state = self.state();
         let n = state.versions.len();
         let retired: Vec<usize> = (0..n).filter(|&i| i != state.current).collect();
         let prunable = retired.len().saturating_sub(keep_last);
@@ -205,17 +216,16 @@ impl SnapshotRegistry {
         }
         let dropped = drop_marks.iter().filter(|&&d| d).count();
         if dropped > 0 {
-            let current_version = state.versions[state.current].version;
+            // `current` is never marked, so its new index is its old index
+            // minus the entries dropped before it.
+            let dropped_before = drop_marks[..state.current].iter().filter(|&&d| d).count();
             let mut kept = Vec::with_capacity(n - dropped);
             for (i, snap) in state.versions.drain(..).enumerate() {
                 if !drop_marks[i] {
                     kept.push(snap);
                 }
             }
-            state.current = kept
-                .iter()
-                .position(|s| s.version == current_version)
-                .expect("current version is never pruned");
+            state.current -= dropped_before;
             state.versions = kept;
         }
         dropped
@@ -224,7 +234,7 @@ impl SnapshotRegistry {
     /// Observability: every registered version with its serve counter, in
     /// publish order.
     pub fn versions(&self) -> Vec<VersionInfo> {
-        let state = self.state.lock().expect("registry poisoned");
+        let state = self.state();
         state
             .versions
             .iter()

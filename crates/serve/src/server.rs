@@ -95,6 +95,7 @@ impl WireServer {
             let listener = Arc::clone(&listener);
             let shared_for_thread = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
+                // goggles-lint: allow(alloc-hot): startup-only pool-spawn loop, one name per thread, not steady-state
                 .name(format!("goggles-served-conn-{i}"))
                 .spawn(move || accept_loop(&listener, &shared_for_thread));
             match spawned {
@@ -106,6 +107,7 @@ impl WireServer {
                     for handle in threads {
                         let _ = handle.join();
                     }
+                    // goggles-lint: allow(alloc-hot): startup failure path, the loop (and server) exits here
                     return Err(ServeError::Io(format!("spawning connection thread: {e}")));
                 }
             }
@@ -323,6 +325,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                 let _ = jobs.send(Reply::Raw {
                     id,
                     opcode: Opcode::ShutdownReply,
+                    // goggles-lint: allow(alloc-hot): empty Vec::new never allocates, and this arm shuts the server down
                     payload: Vec::new(),
                 });
                 // Flush the ack before the global shutdown closes this
@@ -335,6 +338,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             // A client must never send reply opcodes; answer with a
             // protocol error and drop the connection (state is suspect).
             op => {
+                // goggles-lint: allow(alloc-hot): protocol-error path; the connection is dropped right after
                 let e = ServeError::Wire(format!("unexpected client opcode {op:?}"));
                 let _ = jobs.send(error_reply(id, &e));
                 break;

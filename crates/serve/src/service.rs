@@ -126,13 +126,13 @@ pub struct LabelResponse {
 /// Number of power-of-two latency buckets in [`LatencyHistogram`]. Bucket
 /// `i` counts requests whose latency fell in `[2^i, 2^(i+1))` microseconds
 /// (bucket 0 also absorbs 0), so 32 buckets cover 1 µs to ~71 minutes.
-pub const LATENCY_BUCKETS: usize = 32;
+pub(crate) const LATENCY_BUCKETS: usize = 32;
 
 /// Fixed-bucket (power-of-two) latency histogram, microsecond domain.
 ///
 /// Mean and max alone hide tail latency — the metric that matters for a
 /// network front — so the service counts every request into one of
-/// [`LATENCY_BUCKETS`] log-scale buckets and derives percentiles from the
+/// `LATENCY_BUCKETS` log-scale buckets and derives percentiles from the
 /// counts. Percentiles are conservative: a bucket's *upper* bound is
 /// reported, so the true pXX is never understated by more than the 2×
 /// bucket resolution.
@@ -151,7 +151,7 @@ impl LatencyHistogram {
 
     /// Upper bound (exclusive) of bucket `i` in microseconds; the top
     /// bucket is unbounded.
-    pub fn bucket_upper_us(i: usize) -> u64 {
+    pub(crate) fn bucket_upper_us(i: usize) -> u64 {
         if i >= LATENCY_BUCKETS - 1 {
             u64::MAX
         } else {
@@ -170,7 +170,7 @@ impl LatencyHistogram {
     /// Add `other`'s counts into `self`, bucket by bucket — how
     /// [`LabelService::stats`] folds the per-worker histogram shards into
     /// one service-wide distribution.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
+    pub(crate) fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
             *mine += theirs;
         }
@@ -202,6 +202,7 @@ impl LatencyHistogram {
 
 /// Monotonic counters captured by [`LabelService::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+// goggles-lint: allow(dead-pub): return type of pub LabelService::stats; external callers reach it through inference
 pub struct ServiceStats {
     /// Requests answered.
     pub requests: u64,
@@ -275,6 +276,7 @@ impl ServiceStats {
 /// affinity and endmodel are **whole-batch** durations (one observation per
 /// batch); queue wait is per-request; batch assembly is per-drain.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): field type of the pub ServiceStats; reached through inference
 pub struct StageStats {
     /// Time requests sat queued before being drained into a batch.
     pub queue_wait: LatencyHistogram,
@@ -420,18 +422,20 @@ impl ServeMetrics {
                 "# HELP goggles_snapshot_version Registry version new batches resolve\n\
                  # TYPE goggles_snapshot_version gauge\n",
             );
+            use std::fmt::Write as _;
             let versions = snaps.versions();
             let current = versions.iter().find(|v| v.current).map_or(0, |v| v.version);
-            out.push_str(&format!("goggles_snapshot_version {current}\n"));
+            let _ = writeln!(out, "goggles_snapshot_version {current}");
             out.push_str(
                 "# HELP goggles_snapshot_served_total Images served per snapshot version\n\
                  # TYPE goggles_snapshot_served_total counter\n",
             );
             for v in &versions {
-                out.push_str(&format!(
-                    "goggles_snapshot_served_total{{version=\"{}\"}} {}\n",
+                let _ = writeln!(
+                    out,
+                    "goggles_snapshot_served_total{{version=\"{}\"}} {}",
                     v.version, v.served
-                ));
+                );
             }
             out.push_str(
                 "# HELP goggles_snapshot_leases Outstanding leases per snapshot version \
@@ -439,10 +443,11 @@ impl ServeMetrics {
                  # TYPE goggles_snapshot_leases gauge\n",
             );
             for v in &versions {
-                out.push_str(&format!(
-                    "goggles_snapshot_leases{{version=\"{}\"}} {}\n",
+                let _ = writeln!(
+                    out,
+                    "goggles_snapshot_leases{{version=\"{}\"}} {}",
                     v.version, v.leases
-                ));
+                );
             }
         });
         // GEMM kernel counters are process-global (the tensor crate has no
@@ -513,7 +518,7 @@ impl LabelService {
     /// # Panics
     /// Panics if `labeler` fails [`FittedLabeler::validate`] — labelers
     /// from [`FittedLabeler::fit`]/[`FittedLabeler::load`] always pass; use
-    /// [`LabelService::spawn_with_registry`] to handle validation errors.
+    /// `LabelService::spawn_with_registry` to handle validation errors.
     pub fn spawn(labeler: FittedLabeler, config: ServeConfig) -> Self {
         // goggles-lint: allow(panic): documented panic (see `# Panics`); spawn_with_registry is the fallible path
         let registry = SnapshotRegistry::new(labeler).expect("initial labeler failed validation");
@@ -522,7 +527,10 @@ impl LabelService {
 
     /// Start the worker pool over an existing registry (e.g. one shared
     /// with a control plane that publishes retrained snapshots).
-    pub fn spawn_with_registry(registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
+    pub(crate) fn spawn_with_registry(
+        registry: Arc<SnapshotRegistry>,
+        config: ServeConfig,
+    ) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
@@ -617,7 +625,7 @@ impl LabelService {
     }
 
     /// Snapshot of the service counters. Histograms are merged from the
-    /// per-worker shards bucket-by-bucket ([`LatencyHistogram::merge`]).
+    /// per-worker shards bucket-by-bucket (`LatencyHistogram::merge`).
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
         let mut latency = LatencyHistogram::default();
@@ -657,15 +665,6 @@ impl LabelService {
         }
     }
 
-    /// This service's observability registry (counters, gauges, stage
-    /// histograms). Each service owns its own registry; process-wide
-    /// instrumentation (fit path, GEMM counters) lives in
-    /// [`goggles_obs::global`] and is appended by
-    /// [`LabelService::render_metrics`].
-    pub fn metrics_registry(&self) -> &Arc<goggles_obs::Registry> {
-        &self.shared.metrics.registry
-    }
-
     /// Render this service's metrics — plus the process-global registry —
     /// as one Prometheus text page. This is the payload of both export
     /// fronts (`Opcode::Metrics` on the wire, `GET /metrics` over HTTP).
@@ -678,6 +677,7 @@ impl LabelService {
     /// The most recent per-stage trace events (oldest first; empty when
     /// [`ServeConfig::trace_capacity`] is 0). Event tags carry the batch
     /// size the stage ran over.
+    // goggles-lint: allow(dead-pub): trace-ring drain pairing with the exported render_metrics; exercised only by unit tests
     pub fn recent_traces(&self) -> Vec<goggles_obs::TraceEvent> {
         self.shared.metrics.trace.recent()
     }
@@ -815,7 +815,9 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
         // Drain, then triage: doomed requests (cancelled / past deadline)
         // must not occupy batch slots that live requests could use.
         let now = Instant::now();
+        // goggles-lint: allow(alloc-hot): one allocation per *batch* (amortized over up to max_batch requests); the Vec is moved into run_batch, so it cannot be reused across iterations
         let mut batch = Vec::with_capacity(take);
+        // goggles-lint: allow(alloc-hot): empty Vec::new never allocates; it only grows on the rare expired-request path
         let mut expired = Vec::new();
         let mut cancelled = 0u64;
         for request in state.queue.drain(..take) {
@@ -999,6 +1001,7 @@ fn respond(
     c.max_latency_us.fetch_max(max_us, Ordering::Relaxed);
     lease.record_served(batch.len() as u64);
     for (i, request) in batch.iter().enumerate() {
+        // goggles-lint: allow(alloc-hot): each response owns its probability row — the copy *is* the handoff to the waiting client
         let probs = labels.probs.row(i).to_vec();
         let label = goggles_tensor::argmax(&probs);
         // The receiver may have given up; ignore send failures.

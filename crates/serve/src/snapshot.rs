@@ -87,10 +87,11 @@ fn frozen_ensemble(weights: Vec<f64>, probs: Matrix<f64>) -> BernoulliMixture {
 }
 
 /// Per-stage wall-clock breakdown of one labeling call, reported by
-/// [`FittedLabeler::label_batch_traced`]. Durations are whole-batch, in
+/// `FittedLabeler::label_batch_traced`. Durations are whole-batch, in
 /// microseconds; they are measurements only and never feed back into the
 /// computation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): return type of pub label_batch_traced; external callers reach it through inference
 pub struct StageTiming {
     /// Backbone forward passes + max-pool tap extraction (im2col/GEMM).
     pub embed_us: u64,
@@ -102,7 +103,7 @@ pub struct StageTiming {
 
 /// A servable artifact: the frozen GOGGLES pipeline after fitting.
 ///
-/// Obtain one with [`FittedLabeler::fit`] (or [`FittedLabeler::from_fitted`]
+/// Obtain one with [`FittedLabeler::fit`] (or `FittedLabeler::from_fitted`
 /// if you already ran the batch pipeline and kept the embeddings), persist
 /// it with [`FittedLabeler::save`], and answer requests with
 /// [`FittedLabeler::label_one`] / [`FittedLabeler::label_batch`].
@@ -167,7 +168,7 @@ impl FittedLabeler {
     /// Freeze an already-fitted pipeline: the `Goggles` system it ran under,
     /// the prototype bank of the training corpus, the fitted hierarchical
     /// model and the dev-set mapping.
-    pub fn from_fitted(
+    pub(crate) fn from_fitted(
         goggles: &Goggles,
         bank: PrototypeBank,
         model: &HierarchicalModel,
@@ -238,7 +239,7 @@ impl FittedLabeler {
     /// arenas across requests, so steady-state labeling allocates nothing
     /// on the embedding side beyond the per-image tap tensors. Output is
     /// identical to [`FittedLabeler::label_batch`] for any scratch history.
-    pub fn label_batch_with(
+    pub(crate) fn label_batch_with(
         &self,
         scratch: &mut EmbedScratch,
         images: &[&Image],
@@ -252,7 +253,7 @@ impl FittedLabeler {
     /// the same calls in the same order — the only additions are three
     /// clock reads around them — so the output is bit-identical to the
     /// untraced path (the observability layer's core guarantee).
-    pub fn label_batch_traced(
+    pub(crate) fn label_batch_traced(
         &self,
         scratch: &mut EmbedScratch,
         images: &[&Image],
@@ -284,7 +285,7 @@ impl FittedLabeler {
     /// Estimated backbone flops per labeled image — surfaced as the
     /// `goggles_backbone_flops_per_image` gauge so scrape-side tooling can
     /// turn embed-stage latency into effective GFLOP/s.
-    pub fn backbone_flops_per_image(&self) -> u64 {
+    pub(crate) fn backbone_flops_per_image(&self) -> u64 {
         self.net.forward_flops_per_image()
     }
 
@@ -310,7 +311,7 @@ impl FittedLabeler {
     /// Fold precomputed affinity rows (`m × αN`) through the stored base
     /// models and ensemble: `predict_proba` all the way down, in cluster
     /// space (mapping **not** applied).
-    pub fn fold_in(&self, rows: &Matrix<f64>) -> Matrix<f64> {
+    pub(crate) fn fold_in(&self, rows: &Matrix<f64>) -> Matrix<f64> {
         fold_in_rows(&self.base_models, &self.ensemble, self.one_hot, rows)
     }
 
@@ -326,7 +327,7 @@ impl FittedLabeler {
     // ------------------------------------------------------------------
 
     /// Serialize to the **v1** (lossless, byte-exact) snapshot format —
-    /// shorthand for [`FittedLabeler::save_with`]`(SnapshotFormat::V1)`.
+    /// shorthand for `FittedLabeler::save_with(SnapshotFormat::V1)`.
     /// Deterministic: equal labelers produce identical bytes. For the
     /// compact format, use [`FittedLabeler::save_v2`].
     pub fn save(&self) -> Vec<u8> {
@@ -335,7 +336,7 @@ impl FittedLabeler {
 
     /// Serialize to the **v2** compact format (`quantized_bank` additionally
     /// squeezes the prototype bank to u16 grid codes). Shorthand for
-    /// [`FittedLabeler::save_with`]`(SnapshotFormat::V2 { .. })`.
+    /// `FittedLabeler::save_with(SnapshotFormat::V2 { .. })`.
     ///
     /// # Panics
     /// v2 stores mapping entries as `u16`, so labelers with more than
@@ -349,7 +350,7 @@ impl FittedLabeler {
     /// deterministic and re-save stably: `save_with(f) → load → save_with(f)`
     /// is byte-for-byte identical for every `f` (f64→f32 narrowing and the
     /// fixed quantization grid are both idempotent).
-    pub fn save_with(&self, format: SnapshotFormat) -> Vec<u8> {
+    pub(crate) fn save_with(&self, format: SnapshotFormat) -> Vec<u8> {
         match format {
             SnapshotFormat::V1 => self.save_v1_impl(),
             SnapshotFormat::V2 { quantized_bank } => self.save_v2_impl(quantized_bank),
@@ -470,7 +471,10 @@ impl FittedLabeler {
             return Err(ServeError::Snapshot("snapshot too short".into()));
         }
         let (payload, trailer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let stored = match <[u8; 8]>::try_from(trailer) {
+            Ok(arr) => u64::from_le_bytes(arr),
+            Err(_) => return Err(ServeError::Snapshot("truncated checksum trailer".into())),
+        };
         let actual = fnv1a(payload);
         if stored != actual {
             return Err(ServeError::Snapshot(format!(

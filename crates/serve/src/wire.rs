@@ -34,7 +34,7 @@ use goggles_vision::Image;
 use std::io::{Read, Write as IoWrite};
 
 /// Magic bytes opening every frame ("GoggleS Wire Protocol v1").
-pub const WIRE_MAGIC: [u8; 4] = *b"GWP1";
+pub(crate) const WIRE_MAGIC: [u8; 4] = *b"GWP1";
 /// Hard cap on `len` (bytes after the length field). A 64 MiB frame fits a
 /// 3 × 2048 × 2048 float image plus headers; anything larger is garbage and
 /// must not trigger a huge allocation.
@@ -46,11 +46,11 @@ const FRAME_OVERHEAD: usize = 1 + 8 + 8;
 /// overhead). Senders must check against this **before** encoding — an
 /// oversized frame would be rejected by the peer's framing layer, killing
 /// the whole pipelined connection instead of just the one request.
-pub const MAX_PAYLOAD_LEN: usize = MAX_FRAME_LEN - FRAME_OVERHEAD;
+pub(crate) const MAX_PAYLOAD_LEN: usize = MAX_FRAME_LEN - FRAME_OVERHEAD;
 /// Largest image edge the protocol accepts.
-pub const MAX_IMAGE_DIM: usize = 1 << 14;
+pub(crate) const MAX_IMAGE_DIM: usize = 1 << 14;
 /// Largest channel count the protocol accepts.
-pub const MAX_IMAGE_CHANNELS: usize = 64;
+pub(crate) const MAX_IMAGE_CHANNELS: usize = 64;
 
 /// Frame opcodes. Requests flow client → server, replies server → client;
 /// [`Opcode::ErrorReply`] answers any request that failed.
@@ -84,7 +84,7 @@ pub enum Opcode {
 impl Opcode {
     /// Parse a wire byte; unknown opcodes are a protocol error (garbage
     /// must never be dispatched).
-    pub fn from_u8(b: u8) -> ServeResult<Self> {
+    pub(crate) fn from_u8(b: u8) -> ServeResult<Self> {
         Ok(match b {
             1 => Opcode::LabelRequest,
             2 => Opcode::LabelReply,
@@ -105,6 +105,7 @@ impl Opcode {
 /// One decoded frame: opcode, the client-chosen request id, and the
 /// opcode-specific payload bytes (still encoded).
 #[derive(Debug, Clone, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): parameter/return type of the pub read_frame/decode_frame codec API; reached through inference
 pub struct Frame {
     /// What this frame asks for / answers.
     pub opcode: Opcode,
@@ -177,7 +178,7 @@ pub fn decode_frame(bytes: &[u8]) -> ServeResult<(Frame, usize)> {
 }
 
 /// Write one frame to a stream.
-pub fn write_frame(
+pub(crate) fn write_frame(
     w: &mut impl IoWrite,
     opcode: Opcode,
     request_id: u64,
@@ -199,6 +200,7 @@ pub fn read_frame(r: &mut impl Read) -> ServeResult<Option<Frame>> {
             Ok(0) => return Ok(None),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // goggles-lint: allow(alloc-hot): I/O error return path; the retry loop exits here
             Err(e) => return Err(ServeError::Io(format!("reading frame: {e}"))),
         }
     }
@@ -263,7 +265,7 @@ pub fn encode_label_request(image: &Image, deadline_us: u64) -> Vec<u8> {
 }
 
 /// Decode an [`Opcode::LabelRequest`] payload. Dimensions are bounded
-/// ([`MAX_IMAGE_CHANNELS`], [`MAX_IMAGE_DIM`]) and the pixel count must
+/// (`MAX_IMAGE_CHANNELS`, `MAX_IMAGE_DIM`) and the pixel count must
 /// exactly match the remaining payload, so a corrupt frame can neither
 /// over-allocate nor smuggle in trailing garbage.
 pub fn decode_label_request(payload: &[u8]) -> ServeResult<LabelRequest> {
@@ -339,7 +341,7 @@ fn error_code(e: &ServeError) -> u8 {
 }
 
 /// Encode a [`ServeError`] for [`Opcode::ErrorReply`].
-pub fn encode_error_reply(e: &ServeError) -> Vec<u8> {
+pub(crate) fn encode_error_reply(e: &ServeError) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(error_code(e));
     put_string(&mut w, &e.to_string());
@@ -370,6 +372,7 @@ pub fn decode_error_reply(payload: &[u8]) -> ServeResult<ServeError> {
 /// (histogram included, so the client can derive any percentile) plus the
 /// registry version currently serving.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// goggles-lint: allow(dead-pub): return type of pub RemoteLabeler::stats; external callers reach it through inference
 pub struct RemoteStats {
     /// Counter snapshot of the remote service.
     pub stats: ServiceStats,
@@ -378,7 +381,7 @@ pub struct RemoteStats {
 }
 
 /// Encode a [`RemoteStats`] for [`Opcode::StatsReply`].
-pub fn encode_stats_reply(remote: &RemoteStats) -> Vec<u8> {
+pub(crate) fn encode_stats_reply(remote: &RemoteStats) -> Vec<u8> {
     let s = &remote.stats;
     let mut w = Writer::new();
     w.put_u64(remote.version);
@@ -468,7 +471,7 @@ pub fn decode_reload_request(payload: &[u8]) -> ServeResult<String> {
 }
 
 /// Encode the published version for [`Opcode::ReloadReply`].
-pub fn encode_reload_reply(version: u64) -> Vec<u8> {
+pub(crate) fn encode_reload_reply(version: u64) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u64(version);
     w.into_bytes()

@@ -14,7 +14,7 @@
 //! ```
 //! use goggles_tensor::Matrix;
 //! let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-//! let b = Matrix::<f64>::identity(2);
+//! let b = Matrix::<f64>::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
 //! let c = a.matmul(&b);
 //! assert_eq!(c, a);
 //! ```
@@ -26,25 +26,21 @@ pub mod scalar;
 pub mod stats;
 pub mod tensor3;
 
+pub use linalg::EighResult;
 pub use linalg::{
     cholesky, colmax_matmul_f32, colmax_matmul_naive_f32, colmax_matmul_scratch_f32,
-    gemm_bias_relu_f32, gemm_call_count, gemm_f32, gemm_flop_count, im2col_3x3, jacobi_eigh,
-    log_det_psd, orthogonal_iteration, solve_lower_triangular, ColmaxScratch, EighResult,
-    GemmScratch, Pca,
+    gemm_bias_relu_f32, gemm_call_count, gemm_flop_count, im2col_3x3, orthogonal_iteration,
+    solve_lower_triangular, ColmaxScratch, GemmScratch, Pca,
 };
 pub use matrix::Matrix;
-pub use rng::{
-    normal, normal_vec, sample_weighted, sample_without_replacement, shuffled_indices, std_rng,
-};
+pub use rng::{normal, sample_weighted, sample_without_replacement, std_rng};
 pub use scalar::Scalar;
-pub use stats::{
-    argmax, auc, cosine_similarity, histogram, log_sum_exp, mean, pearson, softmax_in_place,
-    variance,
-};
+pub use stats::{argmax, auc, cosine_similarity, histogram, log_sum_exp, mean};
 pub use tensor3::Tensor3;
 
 /// Errors produced by tensor and linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// goggles-lint: allow(dead-pub): error type of the pub tensor API: external callers name it only through `?`/inference
 pub enum TensorError {
     /// Two operands had incompatible shapes. The payload carries a
     /// human-readable description of the mismatch.

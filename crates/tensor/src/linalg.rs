@@ -283,6 +283,7 @@ pub struct GemmScratch {
 ///
 /// # Panics
 /// Panics if `a.len() != m·k`, `b.len() != k·n`, or `out.len() != m·n`.
+// goggles-lint: allow(dead-pub): the plain GEMM entry point, API-symmetric with gemm_bias_relu_f32; exercised by unit tests and benches history
 pub fn gemm_f32(
     scratch: &mut GemmScratch,
     a: &[f32],
@@ -490,6 +491,7 @@ pub fn colmax_matmul_naive_f32(a: &[f32], b: &[f32], cols: usize, out: &mut [f32
 /// eigenvalues sorted in **descending** order and eigenvectors as columns of
 /// `vectors` (i.e. `vectors.col(k)` pairs with `values[k]`).
 #[derive(Debug, Clone)]
+// goggles-lint: allow(dead-pub): return type of pub `orthogonal_iteration`: external callers destructure it without naming it
 pub struct EighResult {
     /// Eigenvalues, descending.
     pub values: Vec<f64>,
@@ -502,7 +504,7 @@ pub struct EighResult {
 /// Runs sweeps of Givens rotations until the off-diagonal Frobenius mass
 /// drops below `1e-12` times the matrix norm (or 100 sweeps). For the sizes
 /// this workspace uses (≤ a few hundred) this is fast and extremely robust.
-pub fn jacobi_eigh(a: &Matrix<f64>) -> Result<EighResult> {
+pub(crate) fn jacobi_eigh(a: &Matrix<f64>) -> Result<EighResult> {
     let n = a.rows();
     if a.cols() != n {
         return Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() });
@@ -596,6 +598,7 @@ pub fn cholesky(a: &Matrix<f64>) -> Result<Matrix<f64>> {
             }
             if i == j {
                 if sum <= 0.0 {
+                    // goggles-lint: allow(alloc-hot): numerical-failure return path; the factorization aborts here
                     return Err(TensorError::Numerical(format!(
                         "cholesky: non-positive pivot {sum:.3e} at {i}"
                     )));
@@ -625,6 +628,7 @@ pub fn solve_lower_triangular(l: &Matrix<f64>, b: &[f64]) -> Vec<f64> {
 }
 
 /// `log det(a)` of a positive-definite matrix via its Cholesky factor.
+// goggles-lint: allow(dead-pub): documented numeric API; currently exercised only by this crate's unit tests
 pub fn log_det_psd(a: &Matrix<f64>) -> Result<f64> {
     let l = cholesky(a)?;
     Ok(2.0 * (0..a.rows()).map(|i| l[(i, i)].ln()).sum::<f64>())

@@ -30,7 +30,7 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// The identity matrix of size `n`.
-    pub fn identity(n: usize) -> Self {
+    pub(crate) fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
             m[(i, i)] = T::ONE;
@@ -117,11 +117,6 @@ impl<T: Scalar> Matrix<T> {
         &mut self.data
     }
 
-    /// Consume the matrix and return its storage.
-    pub fn into_vec(self) -> Vec<T> {
-        self.data
-    }
-
     /// Row `i` as a slice.
     #[inline(always)]
     pub fn row(&self, i: usize) -> &[T] {
@@ -145,14 +140,6 @@ impl<T: Scalar> Matrix<T> {
     pub fn col(&self, j: usize) -> Vec<T> {
         assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
         (0..self.rows).map(|i| self[(i, j)]).collect()
-    }
-
-    /// Set column `j` from a slice of length `rows`.
-    pub fn set_col(&mut self, j: usize, values: &[T]) {
-        assert_eq!(values.len(), self.rows);
-        for (i, &v) in values.iter().enumerate() {
-            self[(i, j)] = v;
-        }
     }
 
     /// Transposed copy.
@@ -223,7 +210,7 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// Elementwise combination of two equally-shaped matrices.
-    pub fn zip_with(&self, other: &Self, f: impl Fn(T, T) -> T) -> Result<Self> {
+    pub(crate) fn zip_with(&self, other: &Self, f: impl Fn(T, T) -> T) -> Result<Self> {
         if self.shape() != other.shape() {
             return Err(TensorError::ShapeMismatch(format!(
                 "zip_with: {:?} vs {:?}",
@@ -238,20 +225,13 @@ impl<T: Scalar> Matrix<T> {
         })
     }
 
-    /// Multiply every element by `s`, in place.
-    pub fn scale_in_place(&mut self, s: T) {
-        for v in &mut self.data {
-            *v *= s;
-        }
-    }
-
     /// Sum of all elements.
     pub fn sum(&self) -> T {
         self.data.iter().copied().sum()
     }
 
     /// Frobenius norm.
-    pub fn frobenius_norm(&self) -> T {
+    pub(crate) fn frobenius_norm(&self) -> T {
         self.data.iter().map(|&v| v * v).sum::<T>().sqrt()
     }
 
@@ -359,6 +339,7 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// `true` when every element is finite.
+    // goggles-lint: allow(dead-pub): documented numeric API; currently exercised only by this crate's unit tests
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }

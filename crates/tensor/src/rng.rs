@@ -23,11 +23,13 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// `n` i.i.d. normal variates with the given mean and standard deviation.
+// goggles-lint: allow(dead-pub): documented rng API, sibling of the used `normal`; exercised only by unit tests
 pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, mean: f64, std_dev: f64) -> Vec<f64> {
     (0..n).map(|_| mean + std_dev * normal(rng)).collect()
 }
 
 /// A uniformly shuffled permutation of `0..n`.
+// goggles-lint: allow(dead-pub): documented rng API; exercised only by unit tests
 pub fn shuffled_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);

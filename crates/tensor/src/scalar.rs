@@ -10,6 +10,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// Implemented for `f32` and `f64`. The trait deliberately exposes only the
 /// operations the numeric kernels in this workspace need, so adding a new
 /// scalar (e.g. a fixed-point type for testing) stays cheap.
+// goggles-lint: allow(dead-pub): bound on the pub Matrix/stats generics: external callers instantiate at f32/f64 without naming it
 pub trait Scalar:
     Copy
     + PartialOrd

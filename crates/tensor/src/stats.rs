@@ -18,6 +18,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 
 /// In-place softmax over a slice of **log**-weights; after the call the slice
 /// holds a probability vector. No-op on an empty slice.
+// goggles-lint: allow(dead-pub): documented stats API; exercised only by unit tests
 pub fn softmax_in_place(xs: &mut [f64]) {
     if xs.is_empty() {
         return;
@@ -58,6 +59,7 @@ pub fn mean<T: Scalar>(xs: &[T]) -> f64 {
 }
 
 /// Population variance; 0 for slices with fewer than 2 elements.
+// goggles-lint: allow(dead-pub): documented stats API; exercised only by unit tests
 pub fn variance<T: Scalar>(xs: &[T]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
@@ -123,6 +125,7 @@ pub fn auc<T: Scalar>(pos: &[T], neg: &[T]) -> f64 {
 }
 
 /// Pearson correlation of two equally-long slices; 0 when degenerate.
+// goggles-lint: allow(dead-pub): documented stats API; exercised only by unit tests
 pub fn pearson<T: Scalar>(xs: &[T], ys: &[T]) -> f64 {
     assert_eq!(xs.len(), ys.len());
     if xs.len() < 2 {

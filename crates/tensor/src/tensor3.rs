@@ -109,6 +109,7 @@ impl<T: Scalar> Tensor3<T> {
     }
 
     /// Per-channel global max (the "2D Global Max Pooling" of §3.1).
+    // goggles-lint: allow(dead-pub): documented tensor API; exercised only by unit tests
     pub fn global_max_pool(&self) -> Vec<T> {
         (0..self.channels)
             .map(|c| {
@@ -122,6 +123,7 @@ impl<T: Scalar> Tensor3<T> {
 
     /// Location `(h, w)` of the maximum value of channel `c`
     /// (first occurrence wins on ties, scanning row-major).
+    // goggles-lint: allow(dead-pub): documented tensor API; exercised only by unit tests
     pub fn channel_argmax(&self, c: usize) -> (usize, usize) {
         let plane = self.channel(c);
         let mut best = 0usize;

@@ -76,7 +76,7 @@ pub fn fill_ellipse(img: &mut Image, cy: f32, cx: f32, ry: f32, rx: f32, color: 
 }
 
 /// Alpha-blend an axis-aligned ellipse with a soft rim.
-pub fn blend_ellipse(
+pub(crate) fn blend_ellipse(
     img: &mut Image,
     cy: f32,
     cx: f32,
@@ -243,6 +243,7 @@ pub fn fill_stripes_in_disc(
 }
 
 /// Checkerboard fill over the whole image with the given cell size.
+// goggles-lint: allow(dead-pub): documented drawing primitive; exercised only by this crate's unit tests
 pub fn fill_checkerboard(img: &mut Image, cell: usize, color_a: &[f32], color_b: &[f32]) {
     let cell = cell.max(1);
     for y in 0..img.height() {

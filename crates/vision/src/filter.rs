@@ -60,7 +60,7 @@ pub fn gaussian_blur(img: &Image, sigma: f32) -> Image {
 ///
 /// Returns `(magnitude, orientation)` planes of the same `H×W` size;
 /// orientation is in `[0, π)` (unsigned gradients, as HOG uses).
-pub fn sobel_gradients(gray: &Image) -> (Vec<f32>, Vec<f32>) {
+pub(crate) fn sobel_gradients(gray: &Image) -> (Vec<f32>, Vec<f32>) {
     assert_eq!(gray.channels(), 1, "sobel_gradients expects a grayscale image");
     let (_, h, w) = gray.shape();
     let mut mag = vec![0.0f32; h * w];

@@ -30,6 +30,7 @@ impl Default for HogParams {
 
 impl HogParams {
     /// Descriptor length for an `h × w` image.
+    // goggles-lint: allow(dead-pub): documented HOG API (output-size contract); exercised only by unit tests
     pub fn descriptor_len(&self, h: usize, w: usize) -> usize {
         let cy = h / self.cell_size;
         let cx = w / self.cell_size;

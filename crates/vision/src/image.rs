@@ -69,11 +69,6 @@ impl Image {
         &mut self.tensor
     }
 
-    /// Consume into the underlying tensor.
-    pub fn into_tensor(self) -> Tensor3<f32> {
-        self.tensor
-    }
-
     /// Pixel accessor.
     #[inline(always)]
     pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
@@ -96,7 +91,7 @@ impl Image {
 
     /// Alpha-blend `color` over the pixel at `(y, x)`:
     /// `out = alpha * color + (1 - alpha) * current`.
-    pub fn blend_pixel(&mut self, y: usize, x: usize, color: &[f32], alpha: f32) {
+    pub(crate) fn blend_pixel(&mut self, y: usize, x: usize, color: &[f32], alpha: f32) {
         assert_eq!(color.len(), self.channels(), "blend_pixel: color arity");
         let a = alpha.clamp(0.0, 1.0);
         for (c, &v) in color.iter().enumerate() {
@@ -121,7 +116,7 @@ impl Image {
 
     /// Convert to grayscale: for 3-channel images uses Rec.601 luma weights,
     /// otherwise a plain channel average. Single-channel images are cloned.
-    pub fn to_grayscale(&self) -> Image {
+    pub(crate) fn to_grayscale(&self) -> Image {
         if self.channels() == 1 {
             return self.clone();
         }
@@ -143,6 +138,7 @@ impl Image {
 
     /// Replicate a single-channel image to `n` identical channels (used to
     /// feed grayscale X-ray images into the 3-channel CNN stem).
+    // goggles-lint: allow(dead-pub): documented image API; exercised only by this crate's unit tests
     pub fn broadcast_channels(&self, n: usize) -> Image {
         assert_eq!(self.channels(), 1, "broadcast_channels expects 1-channel input");
         let (_, h, w) = self.shape();
@@ -155,6 +151,7 @@ impl Image {
 
     /// Per-channel standardization to zero mean and unit variance (variance
     /// floored at `1e-6`), the usual CNN input normalization.
+    // goggles-lint: allow(dead-pub): documented image API; exercised only by this crate's unit tests
     pub fn standardized(&self) -> Image {
         let (c, h, w) = self.shape();
         let mut out = self.clone();

@@ -9,6 +9,7 @@ use std::path::Path;
 
 /// Errors from netpbm encoding/decoding.
 #[derive(Debug)]
+// goggles-lint: allow(dead-pub): error type of the pub write_pnm API: external callers name it only through `?`/inference
 pub enum PnmError {
     /// Underlying I/O failure.
     Io(std::io::Error),
@@ -71,6 +72,7 @@ pub fn write_pnm(img: &Image, path: &Path) -> Result<(), PnmError> {
 
 /// Read a binary PPM (P6) or PGM (P5) file into an [`Image`] with values
 /// scaled to `[0, 1]`. Comments (`#`) in the header are honoured.
+// goggles-lint: allow(dead-pub): round-trip inverse of the exported write_pnm; exercised by this crate's unit tests
 pub fn read_pnm(path: &Path) -> Result<Image, PnmError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;

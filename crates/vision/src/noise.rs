@@ -15,6 +15,7 @@ pub fn add_gaussian_noise<R: Rng + ?Sized>(img: &mut Image, rng: &mut R, sigma: 
 
 /// Salt-and-pepper speckle: each pixel independently becomes `lo` or `hi`
 /// with probability `p / 2` each (applied across all channels jointly).
+// goggles-lint: allow(dead-pub): documented noise primitive, sibling of the used add_gaussian; exercised only by unit tests
 pub fn add_speckle<R: Rng + ?Sized>(img: &mut Image, rng: &mut R, p: f32, lo: f32, hi: f32) {
     let (c, h, w) = img.shape();
     for y in 0..h {
