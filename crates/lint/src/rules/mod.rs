@@ -4,8 +4,8 @@
 //!
 //! | rule        | scope                        | protects                      |
 //! |-------------|------------------------------|-------------------------------|
-//! | `panic`     | hot-path modules             | panic-freedom of serving      |
-//! | `index`     | hot-path modules             | panic-freedom (slice indexing)|
+//! | `panic`     | hot-path + resilience modules| panic-freedom of serving      |
+//! | `index`     | hot-path + resilience modules| panic-freedom (slice indexing)|
 //! | `hash-iter` | fit/kernel crates            | bit-deterministic fits        |
 //! | `nan-cmp`   | whole workspace              | NaN-safe comparators          |
 //! | `atomics`   | whole workspace              | audited memory orderings      |
@@ -79,8 +79,20 @@ pub(crate) const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/datasets/src/",
 ];
 
+/// Resilience-layer modules added to the *panic* rules' scope only: the
+/// fault injector sits inline on every failpoint probe and the health
+/// endpoint answers load-balancer traffic, so neither may panic — but both
+/// hold locks and non-Relaxed atomics by design, so subjecting them to the
+/// full hot-path ruleset (atomics, alloc-hot) would only breed allows.
+pub(crate) const PANIC_SCOPE_EXTRA: &[&str] =
+    &["crates/serve/src/fault.rs", "crates/obs/src/http.rs"];
+
 pub(crate) fn is_hot_path(file: &SourceFile) -> bool {
     HOT_PATHS.contains(&file.rel.as_str())
+}
+
+pub(crate) fn is_panic_scoped(file: &SourceFile) -> bool {
+    is_hot_path(file) || PANIC_SCOPE_EXTRA.contains(&file.rel.as_str())
 }
 
 pub(crate) fn is_determinism_scoped(file: &SourceFile) -> bool {
@@ -90,7 +102,7 @@ pub(crate) fn is_determinism_scoped(file: &SourceFile) -> bool {
 /// Run every rule over the workspace.
 pub(crate) fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for file in &ws.files {
-        if is_hot_path(file) {
+        if is_panic_scoped(file) {
             panic_free::check_panics(file, out);
             panic_free::check_indexing(file, out);
         }
@@ -103,6 +115,7 @@ pub(crate) fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
     wire::check_opcode_exhaustiveness(ws, out);
     deps::check_manifests(ws, out);
+    panic_free::check_chaos_panic_confinement(ws, out);
 
     // Flow-aware rules share one semantic model (and, through `Workspace`,
     // one lexing pass per file).

@@ -7,7 +7,7 @@
 //! macros, and no bare slice indexing (every `xs[i]` is an implicit
 //! `panic!` behind a bounds check).
 
-use crate::engine::{Diagnostic, SourceFile};
+use crate::engine::{Diagnostic, SourceFile, Workspace};
 use crate::lexer::TokenKind;
 
 /// Macros that unconditionally panic when reached. `assert!`-family macros
@@ -53,6 +53,39 @@ pub(crate) fn check_panics(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 t.line,
                 format!("{name}! is forbidden on the hot path; return an error instead"),
             );
+        }
+    }
+}
+
+/// Allow-audit over the chaos suite: test code is normally exempt from the
+/// panic rules, and the chaos tests *rely* on that exemption for their
+/// intentional panics (failpoint assertions, lost-ticket probes). This
+/// audit closes the loophole the exemption opens — every panicking call in
+/// `tests/serve_chaos*.rs` must actually sit inside a `#[cfg(test)]` item,
+/// so nothing panicky can leak into a non-test build of the binary.
+pub(crate) fn check_chaos_panic_confinement(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in ws.ref_files.iter().filter(|f| f.rel.starts_with("tests/serve_chaos")) {
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            let is_macro = PANIC_MACROS.contains(&name)
+                && file.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && (i == 0 || !file.tokens[i - 1].is_punct('.'));
+            let is_method = PANIC_METHODS.contains(&name)
+                && i > 0
+                && file.tokens[i - 1].is_punct('.')
+                && file.tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if (is_macro || is_method) && !file.in_test_code(t.line) {
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    rule: "panic",
+                    message: format!(
+                        "chaos suite calls {name} outside #[cfg(test)]; its intentional \
+                         panics must stay inside a #[cfg(test)] item"
+                    ),
+                    chain: Vec::new(),
+                });
+            }
         }
     }
 }
@@ -131,6 +164,28 @@ mod tests { fn t() { a.unwrap(); panic!(); } }
 fn f() -> [u8; 2] { let [a, b] = [1, 2]; let v = vec![0; 4]; let s: &[u8] = &v; \
 let t: Vec<[f32; 4]> = Vec::new(); #[derive(Debug)] struct X; [a, b] }";
         assert!(diags(clean, check_indexing).is_empty());
+    }
+
+    #[test]
+    fn chaos_audit_flags_panics_outside_cfg_test() {
+        let ws = |src: &str| Workspace {
+            root: std::path::PathBuf::new(),
+            files: Vec::new(),
+            ref_files: vec![SourceFile::new("tests/serve_chaos.rs".into(), src)],
+            manifests: std::collections::BTreeMap::new(),
+        };
+        // The real suite's shape: everything under `#[cfg(test)] mod chaos`.
+        let confined = "#[cfg(test)]\nmod chaos { fn t() { a.unwrap(); panic!(\"boom\"); } }\n";
+        let mut out = Vec::new();
+        check_chaos_panic_confinement(&ws(confined), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // A helper that escaped the module is exactly what the audit exists
+        // to catch.
+        let leaked = "fn helper() { a.unwrap(); }\n#[cfg(test)]\nmod chaos { fn t() {} }\n";
+        let mut out = Vec::new();
+        check_chaos_panic_confinement(&ws(leaked), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("outside #[cfg(test)]"));
     }
 
     #[test]

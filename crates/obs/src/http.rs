@@ -2,6 +2,11 @@
 //! scrapers (or plain `curl`) can read a registry without any HTTP
 //! dependency. One accept thread handles connections serially — scrapes
 //! are rare, tiny, and read-only, so there is nothing to parallelize.
+//!
+//! With [`MetricsServer::bind_with_health`] the same listener also answers
+//! `GET /healthz`: `200 ready` while the supplied readiness flag is set,
+//! `503 draining` once it clears — the probe surface a load balancer (or a
+//! test) watches while a server drains.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,13 +38,25 @@ impl MetricsServer {
         addr: A,
         render: Arc<dyn Fn() -> String + Send + Sync>,
     ) -> std::io::Result<MetricsServer> {
+        Self::bind_with_health(addr, render, None)
+    }
+
+    /// [`MetricsServer::bind`] plus a readiness probe: `GET /healthz`
+    /// answers `200 ready` while `ready` holds `true` and `503 draining`
+    /// once it holds `false`. Without a flag (`None`), `/healthz` is
+    /// unroutable (404) — exactly the old surface.
+    pub fn bind_with_health<A: ToSocketAddrs>(
+        addr: A,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+        ready: Option<Arc<AtomicBool>>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::Builder::new()
             .name("obs-metrics-http".to_string())
-            .spawn(move || accept_loop(listener, &flag, &render))?;
+            .spawn(move || accept_loop(listener, &flag, &render, ready.as_ref()))?;
         Ok(MetricsServer { addr, shutdown, thread: Some(thread) })
     }
 
@@ -64,19 +81,21 @@ fn accept_loop(
     listener: TcpListener,
     shutdown: &AtomicBool,
     render: &Arc<dyn Fn() -> String + Send + Sync>,
+    ready: Option<&Arc<AtomicBool>>,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::Relaxed) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        let _ = handle_connection(stream, render);
+        let _ = handle_connection(stream, render, ready);
     }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     render: &Arc<dyn Fn() -> String + Send + Sync>,
+    ready: Option<&Arc<AtomicBool>>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -89,6 +108,7 @@ fn handle_connection(
         if n == 0 {
             break;
         }
+        // goggles-lint: allow(index): n is the byte count read() just returned, bounded by chunk.len()
         head.extend_from_slice(&chunk[..n]);
         if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
             break;
@@ -105,6 +125,13 @@ fn handle_connection(
         ("405 Method Not Allowed", "method not allowed\n".to_string())
     } else if path == "/metrics" || path.starts_with("/metrics?") {
         ("200 OK", render())
+    } else if let ("/healthz", Some(ready)) = (path, ready) {
+        // goggles-lint: allow(atomics): Acquire pairs with the server's Release flip of the readiness flag at drain start
+        if ready.load(Ordering::Acquire) {
+            ("200 OK", "ready\n".to_string())
+        } else {
+            ("503 Service Unavailable", "draining\n".to_string())
+        }
     } else {
         ("404 Not Found", "not found; try /metrics\n".to_string())
     };
@@ -160,6 +187,37 @@ mod tests {
 
         let (status, _) = scrape(addr, "POST /metrics HTTP/1.0\r\n\r\n");
         assert_eq!(status, "HTTP/1.0 405 Method Not Allowed");
+    }
+
+    #[test]
+    fn healthz_follows_the_readiness_flag() {
+        let ready = Arc::new(AtomicBool::new(true));
+        let server = MetricsServer::bind_with_health(
+            "127.0.0.1:0",
+            Arc::new(|| "g_up 1\n".to_string()),
+            Some(Arc::clone(&ready)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = scrape(addr, "GET /healthz HTTP/1.0\r\n\r\n");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert_eq!(body, "ready\n");
+
+        ready.store(false, Ordering::Release);
+        let (status, body) = scrape(addr, "GET /healthz HTTP/1.0\r\n\r\n");
+        assert_eq!(status, "HTTP/1.0 503 Service Unavailable");
+        assert_eq!(body, "draining\n");
+
+        // /metrics keeps serving through a drain (scrapes stay possible).
+        let (status, _) = scrape(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+
+        // Without a flag the path stays a 404, as before.
+        let plain =
+            MetricsServer::bind("127.0.0.1:0", Arc::new(|| "g_up 1\n".to_string())).unwrap();
+        let (status, _) = scrape(plain.local_addr(), "GET /healthz HTTP/1.0\r\n\r\n");
+        assert_eq!(status, "HTTP/1.0 404 Not Found");
     }
 
     #[test]

@@ -19,22 +19,32 @@
 //! service joins its workers.
 
 use goggles_obs::{log, MetricsServer, Value};
-use goggles_serve::{FittedLabeler, LabelService, ServeConfig, WireServer};
+use goggles_serve::{
+    sweep_snapshot_dir, FaultPlan, FittedLabeler, LabelService, ServeConfig, ServerOptions,
+    WireServer,
+};
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: goggles-served (--snapshot FILE | --demo-fit) [options]
+const USAGE: &str = "usage: goggles-served (--snapshot PATH | --demo-fit) [options]
 
 options:
-  --snapshot FILE     serve this FittedLabeler snapshot (v1 or v2)
+  --snapshot PATH     serve this FittedLabeler snapshot (v1 or v2); a
+                      directory is swept and the newest valid snapshot
+                      served (torn/corrupt files are quarantined)
   --demo-fit          fit a small synthetic labeler instead of loading one
   --addr ADDR         listen address (default 127.0.0.1:7878; port 0 = ephemeral)
   --workers N         micro-batch worker threads (default 2)
   --conn-threads N    concurrent connections served (default 4)
   --max-batch N       largest micro-batch (default 8)
   --linger-ms N       batch linger timeout in ms (default 2)
-  --metrics-addr ADDR also serve HTTP GET /metrics on ADDR (Prometheus text)
+  --shed-watermark N  shed submissions (Overloaded) at queue depth N (default 0 = block)
+  --max-inflight N    per-connection inflight cap, shed past it (default 0 = unlimited)
+  --drain-grace-ms N  graceful-drain grace window in ms (default 250)
+  --metrics-addr ADDR also serve HTTP GET /metrics and GET /healthz on ADDR
+  --fault-plan SPEC   enable the deterministic fault injector, e.g.
+                      'seed=42;wire.read:flaky@p0.05;snapshot.write:torn@#1'
   --log-level LEVEL   stderr log threshold: error|warn|info|debug (default info)
   --log-json          emit logs as JSONL instead of text
 ";
@@ -47,7 +57,11 @@ struct Args {
     conn_threads: usize,
     max_batch: usize,
     linger_ms: u64,
+    shed_watermark: usize,
+    max_inflight: u64,
+    drain_grace_ms: u64,
     metrics_addr: Option<String>,
+    fault_plan: Option<FaultPlan>,
     log_level: log::Level,
     log_json: bool,
 }
@@ -61,7 +75,11 @@ fn parse_args() -> Result<Args, String> {
         conn_threads: 4,
         max_batch: 8,
         linger_ms: 2,
+        shed_watermark: 0,
+        max_inflight: 0,
+        drain_grace_ms: 250,
         metrics_addr: None,
+        fault_plan: None,
         log_level: log::Level::Info,
         log_json: false,
     };
@@ -80,7 +98,22 @@ fn parse_args() -> Result<Args, String> {
             "--linger-ms" => {
                 args.linger_ms = parse_num(&value("--linger-ms")?, "--linger-ms")? as u64
             }
+            "--shed-watermark" => {
+                args.shed_watermark = parse_num(&value("--shed-watermark")?, "--shed-watermark")?
+            }
+            "--max-inflight" => {
+                args.max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")? as u64
+            }
+            "--drain-grace-ms" => {
+                args.drain_grace_ms =
+                    parse_num(&value("--drain-grace-ms")?, "--drain-grace-ms")? as u64
+            }
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                args.fault_plan =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?);
+            }
             "--log-level" => {
                 let s = value("--log-level")?;
                 args.log_level = log::Level::parse(&s)
@@ -126,6 +159,56 @@ fn demo_labeler() -> Result<FittedLabeler, String> {
     Ok(labeler)
 }
 
+/// Load the snapshot to serve, with crash recovery. A directory is swept
+/// (torn/corrupt files quarantined) and the newest valid snapshot loaded.
+/// A file that fails to load triggers the same sweep over its parent
+/// directory — a server restarting onto a torn artifact falls back to the
+/// newest surviving version instead of refusing to start.
+fn load_snapshot(path: &std::path::Path) -> Result<FittedLabeler, String> {
+    if path.is_dir() {
+        return newest_valid_in(path);
+    }
+    match FittedLabeler::load_from(path) {
+        Ok(l) => Ok(l),
+        Err(e) => {
+            log::warn(
+                "served",
+                "snapshot failed to load; sweeping its directory for a fallback",
+                &[
+                    ("path", Value::from(path.display().to_string())),
+                    ("err", Value::from(e.to_string())),
+                ],
+            );
+            let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+            match dir {
+                Some(dir) => newest_valid_in(dir)
+                    .map_err(|sweep_err| format!("{e}; fallback sweep: {sweep_err}")),
+                None => Err(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Sweep `dir` and load its newest valid snapshot.
+fn newest_valid_in(dir: &std::path::Path) -> Result<FittedLabeler, String> {
+    let report = sweep_snapshot_dir(dir).map_err(|e| e.to_string())?;
+    for quarantined in &report.quarantined {
+        log::warn(
+            "served",
+            "quarantined a torn or corrupt snapshot file",
+            &[("path", Value::from(quarantined.display().to_string()))],
+        );
+    }
+    let newest =
+        report.valid.first().ok_or_else(|| format!("no valid snapshot in {}", dir.display()))?;
+    log::info(
+        "served",
+        "serving the newest valid snapshot",
+        &[("path", Value::from(newest.display().to_string()))],
+    );
+    FittedLabeler::load_from(newest).map_err(|e| e.to_string())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -147,13 +230,13 @@ fn main() {
         }
     } else {
         let path = args.snapshot.as_deref().expect("checked in parse_args");
-        match FittedLabeler::load_from(std::path::Path::new(path)) {
+        match load_snapshot(std::path::Path::new(path)) {
             Ok(l) => l,
             Err(e) => {
                 log::error(
                     "served",
                     "loading snapshot failed",
-                    &[("path", Value::from(path)), ("err", Value::from(e.to_string()))],
+                    &[("path", Value::from(path)), ("err", Value::from(e))],
                 );
                 std::process::exit(1);
             }
@@ -162,11 +245,21 @@ fn main() {
     let config = ServeConfig {
         max_batch: args.max_batch,
         batch_timeout: Duration::from_millis(args.linger_ms),
+        shed_watermark: args.shed_watermark,
+        fault_plan: args.fault_plan.clone(),
         ..ServeConfig::with_workers(args.workers)
     };
     let service = Arc::new(LabelService::spawn(labeler, config));
-    let server = match WireServer::bind(args.addr.as_str(), Arc::clone(&service), args.conn_threads)
-    {
+    let options = ServerOptions {
+        max_inflight_per_conn: args.max_inflight,
+        drain_grace: Duration::from_millis(args.drain_grace_ms),
+    };
+    let server = match WireServer::bind_with(
+        args.addr.as_str(),
+        Arc::clone(&service),
+        args.conn_threads,
+        options,
+    ) {
         Ok(server) => server,
         Err(e) => {
             log::error(
@@ -177,12 +270,19 @@ fn main() {
             std::process::exit(1);
         }
     };
-    // The HTTP scrape front renders the service registry (plus the global
-    // fit-path registry) on every GET /metrics. Held until shutdown.
+    // The HTTP front renders the service registry (plus the global
+    // fit-path registry) on every GET /metrics and answers GET /healthz
+    // from the server's readiness flag (503 once a drain starts). Held
+    // until shutdown.
     let _metrics_server = match args.metrics_addr.as_deref() {
         Some(addr) => {
             let render_service = Arc::clone(&service);
-            match MetricsServer::bind(addr, Arc::new(move || render_service.render_metrics())) {
+            let bound = MetricsServer::bind_with_health(
+                addr,
+                Arc::new(move || render_service.render_metrics()),
+                Some(server.ready_flag()),
+            );
+            match bound {
                 Ok(ms) => Some(ms),
                 Err(e) => {
                     log::error(

@@ -12,6 +12,21 @@
 //! [`RemoteLabeler::stats`] (full counter snapshot + current version),
 //! [`RemoteLabeler::reload`] (hot-swap a server-side snapshot file behind
 //! live traffic) and [`RemoteLabeler::shutdown_server`].
+//!
+//! ## Resilience: [`RetryPolicy`]
+//!
+//! Connected with [`RemoteLabeler::connect_with`], the client retries
+//! **idempotent blocking operations** (`label`, `label_all` items, `stats`,
+//! `metrics`) on retryable errors ([`ServeError::retryable`]: `Overloaded`,
+//! `Io`, `Closed`) with capped exponential backoff plus seeded jitter, and
+//! transparently **reconnects** when the connection died — the failed
+//! request is replayed on the fresh connection. Non-idempotent operations
+//! (`reload`, `shutdown_server`) and the raw ticket-based `submit` are
+//! never retried. [`RemoteLabeler::label_with_deadline`] spreads one
+//! deadline budget across all attempts: a retry that cannot finish before
+//! the deadline is not attempted. Retries and reconnects are counted in
+//! the process-global metrics registry (`goggles_retries_total`,
+//! `goggles_reconnects_total`).
 
 use crate::api::{Labeler, Ticket};
 use crate::service::LabelResponse;
@@ -21,11 +36,66 @@ use crate::wire::{
 };
 use crate::{ServeError, ServeResult};
 use goggles_vision::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Retry/reconnect policy for a [`RemoteLabeler`]'s idempotent blocking
+/// operations. The default retries twice (three attempts total) with
+/// 10 ms → 20 ms capped-exponential backoff and reconnects on dead
+/// connections; [`RetryPolicy::none`] restores the fail-fast behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, the first included. `1` disables
+    /// retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry up to
+    /// `max_backoff`.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter RNG (each sleep is scaled by a factor in
+    /// `[0.5, 1.0)`), so a retry schedule is reproducible under test.
+    pub jitter_seed: u64,
+    /// Reconnect (and replay the failed request) when the connection is
+    /// dead, instead of failing every subsequent call with
+    /// [`ServeError::Closed`].
+    pub reconnect: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0,
+            reconnect: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no reconnects — every error surfaces immediately.
+    /// What [`RemoteLabeler::connect`] uses.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, reconnect: false, ..Self::default() }
+    }
+
+    /// Backoff before retry number `retry` (1-based): capped exponential,
+    /// jittered into `[0.5, 1.0)` of the nominal value.
+    fn backoff(&self, retry: u32, jitter: &mut StdRng) -> Duration {
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        nominal.mul_f64(0.5 + 0.5 * jitter.random::<f64>())
+    }
+}
 
 /// A reply waiter, keyed by request id in [`ClientShared::pending`].
 enum Pending {
@@ -146,18 +216,16 @@ impl ClientShared {
     }
 }
 
-/// A [`Labeler`] on the far side of a TCP connection — the client half of
-/// the wire protocol, speaking to a [`crate::WireServer`] (usually the
-/// `goggles-served` binary).
-pub struct RemoteLabeler {
+/// One live TCP connection: the shared write/pending state plus its reader
+/// thread. Dropping a `Connection` closes the socket and joins the reader.
+struct Connection {
     shared: Arc<ClientShared>,
     reader: Option<std::thread::JoinHandle<()>>,
 }
 
-impl RemoteLabeler {
-    /// Connect to a serving endpoint (e.g. `"127.0.0.1:7878"`).
-    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Self> {
-        let stream = TcpStream::connect(addr)
+impl Connection {
+    fn open(addrs: &[SocketAddr]) -> ServeResult<Self> {
+        let stream = TcpStream::connect(addrs)
             .map_err(|e| ServeError::Io(format!("connecting to server: {e}")))?;
         // Frames are whole messages; latency matters more than packing.
         let _ = stream.set_nodelay(true);
@@ -188,106 +256,9 @@ impl RemoteLabeler {
         };
         Ok(Self { shared, reader: Some(reader) })
     }
-
-    /// Full counter snapshot of the remote service, plus the snapshot
-    /// version currently serving.
-    pub fn stats(&self) -> ServeResult<RemoteStats> {
-        let (tx, rx) = mpsc::channel();
-        self.shared.send(Opcode::StatsRequest, &[], Pending::Stats(tx))?;
-        rx.recv().unwrap_or(Err(ServeError::Closed))
-    }
-
-    /// Scrape the remote service's metrics registry: the same Prometheus
-    /// text exposition that the server's `GET /metrics` HTTP front renders
-    /// ([`crate::LabelService::render_metrics`]), shipped over the wire
-    /// protocol instead of HTTP.
-    pub fn metrics(&self) -> ServeResult<String> {
-        let (tx, rx) = mpsc::channel();
-        self.shared.send(Opcode::MetricsRequest, &[], Pending::Metrics(tx))?;
-        rx.recv().unwrap_or(Err(ServeError::Closed))
-    }
-
-    /// Hot-reload a snapshot file **on the server's filesystem** behind the
-    /// running service; returns the published version. In-flight batches
-    /// finish on their old version — same semantics as
-    /// [`crate::LabelService::reload_from`], driven over the wire.
-    pub fn reload(&self, server_path: &str) -> ServeResult<u64> {
-        let (tx, rx) = mpsc::channel();
-        self.shared.send(
-            Opcode::ReloadRequest,
-            &encode_reload_request(server_path),
-            Pending::Reload(tx),
-        )?;
-        rx.recv().unwrap_or(Err(ServeError::Closed))
-    }
-
-    /// Ask the server to shut down cleanly (stop accepting, drain, exit).
-    /// Returns once the server acknowledged.
-    pub fn shutdown_server(&self) -> ServeResult<()> {
-        let (tx, rx) = mpsc::channel();
-        self.shared.send(Opcode::ShutdownRequest, &[], Pending::Shutdown(tx))?;
-        rx.recv().unwrap_or(Err(ServeError::Closed))
-    }
-
-    /// Whether the connection has failed (or the peer closed it).
-    pub(crate) fn is_closed(&self) -> bool {
-        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
-        self.shared.closed.load(Ordering::Acquire)
-    }
-
-    /// Encode and send one label request straight from a borrowed image —
-    /// the wire frame is the only copy made, so the blocking wrappers
-    /// below never clone pixel buffers into throwaway `Arc`s.
-    fn submit_borrowed(&self, image: &Image, deadline: Option<Instant>) -> ServeResult<Ticket> {
-        let deadline_us = match deadline {
-            Some(d) => {
-                let now = Instant::now();
-                if now >= d {
-                    return Ok(Ticket::ready(Err(ServeError::Deadline)));
-                }
-                // max(1): a sub-microsecond budget must still travel as a
-                // deadline (0 means "none" on the wire).
-                (d - now).as_micros().min(u128::from(u64::MAX)).max(1) as u64
-            }
-            None => 0,
-        };
-        let payload = encode_label_request(image, deadline_us);
-        let (tx, rx) = mpsc::channel();
-        self.shared.send(Opcode::LabelRequest, &payload, Pending::Label(tx))?;
-        Ok(Ticket::pending(rx, None))
-    }
 }
 
-impl Labeler for RemoteLabeler {
-    /// Submission writes one frame and returns immediately; the ticket
-    /// resolves when the reply frame arrives. The deadline is shipped as a
-    /// *relative* budget (the hosts share no clock) and enforced by the
-    /// server's micro-batcher; an already-expired deadline short-circuits
-    /// locally without a wire trip.
-    fn submit_with_deadline(
-        &self,
-        image: Arc<Image>,
-        deadline: Option<Instant>,
-    ) -> ServeResult<Ticket> {
-        self.submit_borrowed(&image, deadline)
-    }
-
-    /// Overrides the default to encode straight from the borrowed image —
-    /// no pixel-buffer clone into a throwaway `Arc`.
-    fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
-        self.submit_borrowed(image, None)?.wait()
-    }
-
-    /// Overrides the default for the same reason as [`Labeler::label`];
-    /// still submits everything before awaiting anything (pipelining).
-    fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
-        let tickets: Vec<Ticket> =
-            images.iter().map(|img| self.submit_borrowed(img, None)).collect::<ServeResult<_>>()?;
-        tickets.into_iter().map(Ticket::wait).collect()
-    }
-}
-
-impl Drop for RemoteLabeler {
+impl Drop for Connection {
     fn drop(&mut self) {
         // Closing the socket unblocks the reader thread, which then fails
         // any still-pending waiters before exiting.
@@ -300,14 +271,291 @@ impl Drop for RemoteLabeler {
     }
 }
 
+/// A [`Labeler`] on the far side of a TCP connection — the client half of
+/// the wire protocol, speaking to a [`crate::WireServer`] (usually the
+/// `goggles-served` binary).
+pub struct RemoteLabeler {
+    /// Resolved endpoint, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    /// The live connection; swapped in place on reconnect. Tickets issued
+    /// on an older connection keep their own `Arc` into it and resolve
+    /// (with `Closed`) independently.
+    conn: Mutex<Connection>,
+    jitter: Mutex<StdRng>,
+    retries: goggles_obs::Counter,
+    reconnects: goggles_obs::Counter,
+}
+
+impl RemoteLabeler {
+    /// Connect to a serving endpoint (e.g. `"127.0.0.1:7878"`) with the
+    /// fail-fast [`RetryPolicy::none`] — errors surface immediately, as
+    /// they always did. Use [`RemoteLabeler::connect_with`] for retries.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Self> {
+        Self::connect_with(addr, RetryPolicy::none())
+    }
+
+    /// Connect with a [`RetryPolicy`] governing the idempotent blocking
+    /// operations (see the [module docs](self)).
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> ServeResult<Self> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(format!("resolving server address: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ServeError::Io("server address resolved to nothing".into()));
+        }
+        let conn = Connection::open(&addrs)?;
+        let global = goggles_obs::global();
+        Ok(Self {
+            addrs,
+            jitter: Mutex::new(StdRng::seed_from_u64(policy.jitter_seed)),
+            policy,
+            conn: Mutex::new(conn),
+            retries: global.counter(
+                "goggles_retries_total",
+                "Remote-labeler operations retried after a retryable error",
+                &[],
+            ),
+            reconnects: global.counter(
+                "goggles_reconnects_total",
+                "Remote-labeler reconnects after a dead connection",
+                &[],
+            ),
+        })
+    }
+
+    /// A usable connection handle: the current one if alive, a fresh one
+    /// (reconnect-and-replay) if it died and the policy allows. The
+    /// blocking open happens with no lock held; a racing reconnect from
+    /// another thread wins gracefully (its connection is used, ours is
+    /// discarded).
+    fn live_shared(&self) -> ServeResult<Arc<ClientShared>> {
+        {
+            let conn = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+            // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
+            if !conn.shared.closed.load(Ordering::Acquire) || !self.policy.reconnect {
+                return Ok(Arc::clone(&conn.shared));
+            }
+        }
+        let fresh = Connection::open(&self.addrs)?;
+        let shared = Arc::clone(&fresh.shared);
+        let mut conn = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
+        if conn.shared.closed.load(Ordering::Acquire) {
+            let stale = std::mem::replace(&mut *conn, fresh);
+            drop(conn);
+            self.reconnects.inc();
+            // The stale connection's reader is already exiting (its socket
+            // is dead); dropping joins it outside the conn lock.
+            drop(stale);
+            Ok(shared)
+        } else {
+            // Another thread reconnected first; use its connection.
+            let current = Arc::clone(&conn.shared);
+            drop(conn);
+            drop(fresh);
+            Ok(current)
+        }
+    }
+
+    /// Run one idempotent blocking operation under the retry policy:
+    /// retryable failures ([`ServeError::retryable`]) back off
+    /// (capped-exponential, jittered) and replay — on a fresh connection if
+    /// the old one died. A `deadline` bounds the *total* budget: no retry
+    /// is attempted that could not finish before it.
+    fn with_retry<T>(
+        &self,
+        deadline: Option<Instant>,
+        attempt: impl Fn(&ClientShared) -> ServeResult<T>,
+    ) -> ServeResult<T> {
+        let mut tries = 0u32;
+        loop {
+            let outcome = match self.live_shared() {
+                Ok(shared) => attempt(&shared),
+                Err(e) => Err(e),
+            };
+            tries += 1;
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) if e.retryable() && tries < self.policy.max_attempts => {
+                    let pause = {
+                        let mut jitter = self.jitter.lock().unwrap_or_else(PoisonError::into_inner);
+                        self.policy.backoff(tries, &mut jitter)
+                    };
+                    if let Some(d) = deadline {
+                        if Instant::now() + pause >= d {
+                            return Err(e);
+                        }
+                    }
+                    self.retries.inc();
+                    std::thread::sleep(pause);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Full counter snapshot of the remote service, plus the snapshot
+    /// version currently serving. Idempotent — retried under the policy.
+    pub fn stats(&self) -> ServeResult<RemoteStats> {
+        self.with_retry(None, |shared| {
+            let (tx, rx) = mpsc::channel();
+            shared.send(Opcode::StatsRequest, &[], Pending::Stats(tx))?;
+            rx.recv().unwrap_or(Err(ServeError::Closed))
+        })
+    }
+
+    /// Scrape the remote service's metrics registry: the same Prometheus
+    /// text exposition that the server's `GET /metrics` HTTP front renders
+    /// ([`crate::LabelService::render_metrics`]), shipped over the wire
+    /// protocol instead of HTTP. Idempotent — retried under the policy.
+    pub fn metrics(&self) -> ServeResult<String> {
+        self.with_retry(None, |shared| {
+            let (tx, rx) = mpsc::channel();
+            shared.send(Opcode::MetricsRequest, &[], Pending::Metrics(tx))?;
+            rx.recv().unwrap_or(Err(ServeError::Closed))
+        })
+    }
+
+    /// Hot-reload a snapshot file **on the server's filesystem** behind the
+    /// running service; returns the published version. In-flight batches
+    /// finish on their old version — same semantics as
+    /// [`crate::LabelService::reload_from`], driven over the wire. **Not
+    /// retried**: a replayed reload would publish (and bump the version)
+    /// twice.
+    pub fn reload(&self, server_path: &str) -> ServeResult<u64> {
+        let (tx, rx) = mpsc::channel();
+        self.live_shared()?.send(
+            Opcode::ReloadRequest,
+            &encode_reload_request(server_path),
+            Pending::Reload(tx),
+        )?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Ask the server to shut down cleanly (stop accepting, drain, exit).
+    /// Returns once the server acknowledged. **Not retried.**
+    pub fn shutdown_server(&self) -> ServeResult<()> {
+        let (tx, rx) = mpsc::channel();
+        self.live_shared()?.send(Opcode::ShutdownRequest, &[], Pending::Shutdown(tx))?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Label one image with a **total** deadline budget spread across all
+    /// retry attempts: each attempt ships the remaining budget to the
+    /// server, and a backoff that would overrun the deadline fails with the
+    /// last error instead of sleeping past it.
+    pub fn label_with_deadline(
+        &self,
+        image: &Image,
+        deadline: Instant,
+    ) -> ServeResult<LabelResponse> {
+        self.with_retry(Some(deadline), |shared| submit_on(shared, image, Some(deadline))?.wait())
+    }
+
+    /// Whether the current connection has failed (or the peer closed it).
+    /// With `RetryPolicy::reconnect`, the next idempotent operation opens a
+    /// fresh connection anyway.
+    pub fn is_closed(&self) -> bool {
+        let conn = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
+        conn.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Encode and send one label request straight from a borrowed image —
+    /// the wire frame is the only copy made, so the blocking wrappers
+    /// below never clone pixel buffers into throwaway `Arc`s. Single
+    /// attempt: the ticket is bound to the connection that sent it.
+    fn submit_borrowed(&self, image: &Image, deadline: Option<Instant>) -> ServeResult<Ticket> {
+        let shared = self.live_shared()?;
+        submit_on(&shared, image, deadline)
+    }
+}
+
+/// Encode and send one label request on a specific connection.
+fn submit_on(
+    shared: &ClientShared,
+    image: &Image,
+    deadline: Option<Instant>,
+) -> ServeResult<Ticket> {
+    let deadline_us = match deadline {
+        Some(d) => {
+            let now = Instant::now();
+            if now >= d {
+                return Ok(Ticket::ready(Err(ServeError::Deadline)));
+            }
+            // max(1): a sub-microsecond budget must still travel as a
+            // deadline (0 means "none" on the wire).
+            (d - now).as_micros().min(u128::from(u64::MAX)).max(1) as u64
+        }
+        None => 0,
+    };
+    let payload = encode_label_request(image, deadline_us);
+    let (tx, rx) = mpsc::channel();
+    shared.send(Opcode::LabelRequest, &payload, Pending::Label(tx))?;
+    Ok(Ticket::pending(rx, None))
+}
+
+impl Labeler for RemoteLabeler {
+    /// Submission writes one frame and returns immediately; the ticket
+    /// resolves when the reply frame arrives. The deadline is shipped as a
+    /// *relative* budget (the hosts share no clock) and enforced by the
+    /// server's micro-batcher; an already-expired deadline short-circuits
+    /// locally without a wire trip. Single attempt — a ticket cannot be
+    /// replayed; use the blocking wrappers for retry semantics.
+    fn submit_with_deadline(
+        &self,
+        image: Arc<Image>,
+        deadline: Option<Instant>,
+    ) -> ServeResult<Ticket> {
+        self.submit_borrowed(&image, deadline)
+    }
+
+    /// Overrides the default to encode straight from the borrowed image —
+    /// no pixel-buffer clone into a throwaway `Arc`. Retried under the
+    /// policy (labeling is idempotent).
+    fn label(&self, image: &Image) -> ServeResult<LabelResponse> {
+        self.with_retry(None, |shared| submit_on(shared, image, None)?.wait())
+    }
+
+    /// Overrides the default for the same reason as [`Labeler::label`];
+    /// still submits everything before awaiting anything (pipelining).
+    /// Items whose first (pipelined) attempt fails with a retryable error
+    /// are replayed individually under the policy.
+    fn label_all(&self, images: &[&Image]) -> ServeResult<Vec<LabelResponse>> {
+        let tickets: ServeResult<Vec<Ticket>> =
+            images.iter().map(|img| self.submit_borrowed(img, None)).collect();
+        let outcomes: Vec<ServeResult<LabelResponse>> = match tickets {
+            Ok(tickets) => tickets.into_iter().map(Ticket::wait).collect(),
+            // The pipelined burst could not even be submitted (e.g. dead
+            // connection): fall through and let the per-item retry path
+            // reconnect and replay everything.
+            // goggles-lint: allow(alloc-hot): submit-failure fan-out, runs once per dead connection — not per request
+            Err(e) => images.iter().map(|_| Err(e.clone())).collect(),
+        };
+        outcomes
+            .into_iter()
+            .zip(images.iter())
+            .map(|(outcome, img)| match outcome {
+                Err(e) if e.retryable() && self.policy.max_attempts > 1 => self.label(img),
+                other => other,
+            })
+            .collect()
+    }
+}
+
 impl std::fmt::Debug for RemoteLabeler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let conn = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        // goggles-lint: allow(atomics): Acquire pairs with the reader's Release store (see ClientShared::send)
+        let closed = conn.shared.closed.load(Ordering::Acquire);
+        let in_flight = conn.shared.pending.lock().unwrap_or_else(PoisonError::into_inner).len();
+        drop(conn);
         f.debug_struct("RemoteLabeler")
-            .field("closed", &self.is_closed())
-            .field(
-                "in_flight",
-                &self.shared.pending.lock().unwrap_or_else(PoisonError::into_inner).len(),
-            )
+            .field("closed", &closed)
+            .field("in_flight", &in_flight)
+            .field("policy", &self.policy)
             .finish()
     }
 }

@@ -63,6 +63,7 @@
 pub mod api;
 pub mod client;
 pub mod codec;
+pub mod fault;
 pub mod registry;
 pub mod server;
 pub mod service;
@@ -70,13 +71,14 @@ pub mod snapshot;
 pub mod wire;
 
 pub use api::{Labeler, Ticket};
-pub use client::RemoteLabeler;
+pub use client::{RemoteLabeler, RetryPolicy};
+pub use fault::FaultPlan;
 pub use registry::{PublishedSnapshot, SnapshotRegistry, VersionInfo};
-pub use server::WireServer;
+pub use server::{ServerOptions, WireServer};
 pub use service::{
     LabelResponse, LabelService, LatencyHistogram, ServeConfig, ServiceStats, StageStats,
 };
-pub use snapshot::{FittedLabeler, SnapshotFormat, StageTiming};
+pub use snapshot::{sweep_snapshot_dir, FittedLabeler, SnapshotFormat, StageTiming, SweepReport};
 pub use wire::RemoteStats;
 
 /// Errors surfaced by the serving layer.
@@ -110,6 +112,10 @@ pub enum ServeError {
     /// Wire-protocol damage (bad magic, checksum mismatch, truncated frame,
     /// implausible lengths, unknown opcode…) on the network path.
     Wire(String),
+    /// The server shed this request under load: the global queue was at its
+    /// shed watermark or the connection exceeded its inflight cap. Always
+    /// retryable — back off and resubmit.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -123,7 +129,22 @@ impl std::fmt::Display for ServeError {
             ServeError::Closed => write!(f, "label service is closed"),
             ServeError::Deadline => write!(f, "request deadline expired before labeling"),
             ServeError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
+            ServeError::Overloaded => write!(f, "server overloaded; request shed, retry later"),
         }
+    }
+}
+
+impl ServeError {
+    /// Whether a retry of the same request may succeed.
+    ///
+    /// `Overloaded` (transient load), `Io` (transient filesystem/socket
+    /// trouble) and `Closed` (the connection died — a reconnect gets a fresh
+    /// one) are retryable; everything else is a property of the request or
+    /// the artifact and will fail identically on resubmission. This flag
+    /// travels in the wire error reply so remote clients can decide without
+    /// string-matching, and [`client::RetryPolicy`] keys off it.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded | ServeError::Io(_) | ServeError::Closed)
     }
 }
 

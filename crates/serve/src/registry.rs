@@ -149,19 +149,58 @@ impl SnapshotRegistry {
         self.publish(FittedLabeler::load_from(path)?)
     }
 
+    /// Publish a snapshot from a file **or a directory**. A directory is
+    /// swept first ([`crate::snapshot::sweep_snapshot_dir`]): torn and
+    /// corrupt files are quarantined, and the newest valid snapshot is
+    /// published — the crash-recovery path, so a service restarting over a
+    /// snapshot directory always comes up on the best surviving version.
+    pub fn reload_from(&self, path: &std::path::Path) -> ServeResult<u64> {
+        if !path.is_dir() {
+            return self.publish_file(path);
+        }
+        let report = crate::snapshot::sweep_snapshot_dir(path)?;
+        match report.valid.first() {
+            Some(newest) => self.publish_file(newest),
+            None => Err(ServeError::Registry(format!(
+                "no valid snapshot in {} ({} file(s) quarantined)",
+                path.display(),
+                report.quarantined.len()
+            ))),
+        }
+    }
+
     /// Re-point "current" at the version published immediately before the
     /// current one. Errors with [`ServeError::Registry`] when already at
-    /// the oldest registered version.
+    /// version 1, or when the predecessor was expired by
+    /// `SnapshotRegistry::prune_retired` — rolling back must never land
+    /// on an *older* survivor silently, so the error lists the versions
+    /// still registered instead.
     pub fn rollback(&self) -> ServeResult<u64> {
         let mut state = self.state();
-        if state.current == 0 {
-            let v = state.versions[state.current].version;
+        let v = state.versions[state.current].version;
+        if v == 1 {
             return Err(ServeError::Registry(format!(
                 "cannot roll back: version {v} is the oldest registered snapshot"
             )));
         }
-        state.current -= 1;
-        Ok(state.versions[state.current].version)
+        // Versions are numbered consecutively at publish time, so the
+        // publish-order predecessor of `v` is exactly `v - 1`; an
+        // index-based step would target whichever older version happened
+        // to survive pruning.
+        let target = v - 1;
+        match state.versions.iter().position(|s| s.version == target) {
+            Some(i) => {
+                state.current = i;
+                Ok(target)
+            }
+            None => {
+                let surviving: Vec<u64> = state.versions.iter().map(|s| s.version).collect();
+                Err(ServeError::Registry(format!(
+                    "cannot roll back from version {v}: predecessor {target} was pruned; \
+                     surviving versions: {surviving:?}"
+                )))
+            }
+        }
     }
 
     /// Lease the current version: an `Arc` clone under a short lock.
@@ -365,6 +404,32 @@ mod tests {
         // with keep_last = 1 keeps it (most recent retired).
         assert_eq!(registry.prune_retired(1), 0);
         assert_eq!(registry.versions().len(), 2);
+    }
+
+    #[test]
+    fn rollback_refuses_to_land_on_a_pruned_predecessor() {
+        let (a, _) = fitted(46);
+        let registry = SnapshotRegistry::new(a.clone()).unwrap();
+        registry.publish(a.clone()).unwrap();
+        registry.publish(a.clone()).unwrap(); // versions 1..=3, current = 3
+        assert_eq!(registry.prune_retired(0), 2, "both retired versions expire");
+        // The publish-order predecessor (version 2) is gone. Before the
+        // index-based walk was fixed, this silently "succeeded" by landing
+        // on whatever older version survived; now it reports the pruned
+        // target and the surviving versions.
+        let err = registry.rollback().unwrap_err();
+        match err {
+            ServeError::Registry(msg) => {
+                assert!(msg.contains("predecessor 2 was pruned"), "unexpected message: {msg}");
+                assert!(msg.contains("[3]"), "must list surviving versions: {msg}");
+            }
+            other => panic!("expected Registry error, got {other:?}"),
+        }
+        // Current is untouched by the refused rollback.
+        assert_eq!(registry.current_version(), 3);
+        // A later publish restores a rollback target.
+        registry.publish(a).unwrap(); // version 4
+        assert_eq!(registry.rollback().unwrap(), 3);
     }
 
     #[test]

@@ -13,6 +13,19 @@
 //! only — no async runtime, per the offline-build constraint); the
 //! `goggles-served` binary is a thin argument-parsing wrapper around this
 //! type.
+//!
+//! ## Resilience
+//!
+//! [`ServerOptions`] adds two safeguards. A **per-connection inflight
+//! cap** bounds how many label tickets one connection may have pending:
+//! past the cap, requests are answered immediately with the retryable
+//! [`ServeError::Overloaded`] instead of queueing without bound (pair it
+//! with [`crate::ServeConfig::shed_watermark`] for a global bound).
+//! Shutdown over the wire is a **graceful drain**: the server flips its
+//! readiness flag ([`WireServer::ready_flag`] — exported as `GET /healthz`
+//! by the binary), stops accepting, keeps serving already-open connections
+//! for a grace window, then closes their read halves so every in-flight
+//! ticket is still answered before the pool exits.
 
 use crate::service::LabelService;
 use crate::wire::{
@@ -27,10 +40,34 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+/// Tuning for the resilience layer of a [`WireServer`]. The default is the
+/// historical behavior: no inflight cap, a 250 ms drain grace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Maximum label tickets one connection may have in flight; past it,
+    /// requests are shed with the retryable [`ServeError::Overloaded`]
+    /// instead of queueing. `0` disables the cap.
+    pub max_inflight_per_conn: u64,
+    /// How long a graceful drain keeps already-open connections alive
+    /// (still answering requests) after the readiness flag flips, before
+    /// their read halves are closed.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self { max_inflight_per_conn: 0, drain_grace: Duration::from_millis(250) }
+    }
+}
+
 /// State shared by every connection thread of one server.
 struct ServerShared {
     service: Arc<LabelService>,
     shutdown: AtomicBool,
+    /// `true` while serving; flipped off at the start of a drain or
+    /// shutdown. Shared out (`Arc`) so a health front can report readiness
+    /// without holding the server.
+    ready: Arc<AtomicBool>,
     /// Read halves of the currently open connections, so shutdown can
     /// close them and unblock readers parked in `read_frame` — without
     /// this, joining the pool would hang until every client disconnected
@@ -39,18 +76,39 @@ struct ServerShared {
     next_conn: AtomicU64,
     local: SocketAddr,
     pool: usize,
+    options: ServerOptions,
 }
 
 impl ServerShared {
     /// Flip the shutdown flag and unblock every parked thread: acceptors
     /// via throwaway connects, connection readers via socket shutdown.
     fn initiate_shutdown(&self) {
+        // goggles-lint: allow(atomics): Release pairs with the health front's Acquire so probes see the flip promptly
+        self.ready.store(false, Ordering::Release);
         // goggles-lint: allow(atomics): Release pairs with the acceptors' Acquire loads so a woken thread sees the flag
         self.shutdown.store(true, Ordering::Release);
         for stream in self.open_conns.lock().unwrap_or_else(PoisonError::into_inner).values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         wake_acceptors(self.local, self.pool);
+    }
+
+    /// Graceful drain: flip unready, stop accepting, keep serving
+    /// already-open connections for the grace window, then close only
+    /// their **read** halves — readers see EOF and stop taking new work,
+    /// while the per-connection writers still flush every queued reply, so
+    /// no in-flight ticket is lost. Blocks for the grace window; run from
+    /// the connection thread that received the shutdown request.
+    fn initiate_drain(&self) {
+        // goggles-lint: allow(atomics): Release pairs with the health front's Acquire so probes flip to draining before connections die
+        self.ready.store(false, Ordering::Release);
+        // goggles-lint: allow(atomics): Release pairs with the acceptors' Acquire loads; new connections are refused from here on
+        self.shutdown.store(true, Ordering::Release);
+        wake_acceptors(self.local, self.pool);
+        std::thread::sleep(self.options.drain_grace);
+        for stream in self.open_conns.lock().unwrap_or_else(PoisonError::into_inner).values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
     }
 }
 
@@ -75,6 +133,17 @@ impl WireServer {
         service: Arc<LabelService>,
         conn_threads: usize,
     ) -> ServeResult<Self> {
+        Self::bind_with(addr, service, conn_threads, ServerOptions::default())
+    }
+
+    /// [`WireServer::bind`] with explicit [`ServerOptions`] (inflight cap,
+    /// drain grace).
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<LabelService>,
+        conn_threads: usize,
+        options: ServerOptions,
+    ) -> ServeResult<Self> {
         assert!(conn_threads >= 1, "need at least one connection thread");
         let listener = TcpListener::bind(addr)
             .map_err(|e| ServeError::Io(format!("binding listener: {e}")))?;
@@ -85,10 +154,12 @@ impl WireServer {
         let shared = Arc::new(ServerShared {
             service: Arc::clone(&service),
             shutdown: AtomicBool::new(false),
+            ready: Arc::new(AtomicBool::new(true)),
             open_conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             local,
             pool: conn_threads,
+            options,
         });
         let mut threads = Vec::with_capacity(conn_threads);
         for i in 0..conn_threads {
@@ -118,6 +189,14 @@ impl WireServer {
     /// The address the listener actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Readiness flag: `true` while serving, `false` from the moment a
+    /// drain or shutdown starts. Hand it to a health front (the
+    /// `goggles-served` binary exports it as `GET /healthz`) — probes keep
+    /// answering through the drain window, reporting not-ready.
+    pub fn ready_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.ready)
     }
 
     /// Serve until shutdown is requested (by a [`Opcode::ShutdownRequest`]
@@ -223,6 +302,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         Err(_) => return,
     };
     let (jobs, job_rx) = mpsc::channel::<Reply>();
+    // Label tickets this connection has pending, for the inflight cap:
+    // the reader increments on submission, the writer decrements once the
+    // ticket resolved.
+    let inflight = Arc::new(AtomicU64::new(0));
+    let writer_inflight = Arc::clone(&inflight);
     // Writer: awaits tickets in submission order and streams replies while
     // the reader keeps accepting frames — this is what makes one
     // connection's pipeline fill micro-batches.
@@ -232,13 +316,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             while let Ok(job) = job_rx.recv() {
                 let (id, opcode, payload) = match job {
                     Reply::Raw { id, opcode, payload } => (id, opcode, payload),
-                    Reply::Label { id, ticket } => match ticket.wait() {
-                        Ok(resp) => {
-                            let _span = goggles_obs::Span::enter(&writer_metrics.stage_wire_encode);
-                            (id, Opcode::LabelReply, encode_label_reply(&resp))
+                    Reply::Label { id, ticket } => {
+                        let outcome = ticket.wait();
+                        writer_inflight.fetch_sub(1, Ordering::Relaxed);
+                        match outcome {
+                            Ok(resp) => {
+                                let _span =
+                                    goggles_obs::Span::enter(&writer_metrics.stage_wire_encode);
+                                (id, Opcode::LabelReply, encode_label_reply(&resp))
+                            }
+                            Err(e) => (id, Opcode::ErrorReply, encode_error_reply(&e)),
                         }
-                        Err(e) => (id, Opcode::ErrorReply, encode_error_reply(&e)),
-                    },
+                    }
                 };
                 if wire::write_frame(&mut out, opcode, id, &payload).is_err() {
                     return; // peer gone; replies have nowhere to go
@@ -264,14 +353,25 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                     let _span = goggles_obs::Span::enter(&metrics.stage_wire_decode);
                     decode_label_request(&frame.payload)
                 };
+                let cap = shared.options.max_inflight_per_conn;
                 let job = match decoded {
+                    // Per-connection backpressure: past the cap, shed with
+                    // the typed, retryable overload error before touching
+                    // the service queue at all.
+                    Ok(_) if cap > 0 && inflight.load(Ordering::Relaxed) >= cap => {
+                        service.record_shed();
+                        error_reply(id, &ServeError::Overloaded)
+                    }
                     Ok(req) => {
                         let deadline = (req.deadline_us > 0)
                             .then(|| Instant::now() + Duration::from_micros(req.deadline_us));
                         // Decoded straight into one allocation; the queue
                         // shares it — no pixel copy anywhere on the path.
                         match service.submit_with_deadline(Arc::new(req.image), deadline) {
-                            Ok(ticket) => Reply::Label { id, ticket },
+                            Ok(ticket) => {
+                                inflight.fetch_add(1, Ordering::Relaxed);
+                                Reply::Label { id, ticket }
+                            }
                             Err(e) => error_reply(id, &e),
                         }
                     }
@@ -328,11 +428,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                     // goggles-lint: allow(alloc-hot): empty Vec::new never allocates, and this arm shuts the server down
                     payload: Vec::new(),
                 });
-                // Flush the ack before the global shutdown closes this
-                // connection along with every other one.
+                // Flush the ack, then drain gracefully: readiness flips
+                // immediately, other connections keep serving through the
+                // grace window, and every queued ticket is still answered.
                 drop(jobs);
                 let _ = writer.join();
-                shared.initiate_shutdown();
+                shared.initiate_drain();
                 return;
             }
             // A client must never send reply opcodes; answer with a

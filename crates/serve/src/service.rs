@@ -75,6 +75,19 @@ pub struct ServeConfig {
     /// recording entirely; stage histograms are always kept either way.
     /// Tracing only reads clocks — labels are bit-identical at any value.
     pub trace_capacity: usize,
+    /// Queue-depth watermark at which new submissions are **shed** with
+    /// [`ServeError::Overloaded`] instead of blocking the producer. `0`
+    /// (the default) keeps the legacy behavior: producers block at
+    /// `queue_capacity`. A non-zero watermark should be ≤ `queue_capacity`;
+    /// with one set, the queue never reaches capacity and producers never
+    /// block — overload becomes a typed, retryable error the caller (or a
+    /// remote client's [`crate::RetryPolicy`]) handles, instead of
+    /// unbounded latency.
+    pub shed_watermark: usize,
+    /// Fault plan installed (process-wide) at [`LabelService::spawn`] time.
+    /// `None` (the default) leaves the failpoint framework untouched —
+    /// every site stays a no-op. See [`crate::fault`].
+    pub fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl ServeConfig {
@@ -98,6 +111,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             embed_threads: default_embed_threads(workers),
             trace_capacity: 256,
+            shed_watermark: 0,
+            fault_plan: None,
         }
     }
 }
@@ -231,6 +246,15 @@ pub struct ServiceStats {
     /// were still queued (drop-to-cancel). Never labeled, never counted in
     /// `requests`.
     pub cancelled: u64,
+    /// Requests shed with [`crate::ServeError::Overloaded`] because the
+    /// queue was at [`ServeConfig::shed_watermark`] (or the connection hit
+    /// its inflight cap, for wire traffic). Never queued, never labeled.
+    pub shed: u64,
+    /// Service workers respawned by the watchdog after a panic escaped a
+    /// batch (see `goggles_worker_restarts_total`). The panicked batch's
+    /// clients are answered [`crate::ServeError::Closed`]; the respawned
+    /// worker continues with fresh scratch.
+    pub worker_restarts: u64,
     /// Requests sitting in the queue at snapshot time (a live gauge, not a
     /// monotonic counter: the one non-cumulative field here).
     pub queue_depth: u64,
@@ -321,6 +345,8 @@ struct Counters {
     failed_requests: AtomicU64,
     deadline_expired: AtomicU64,
     cancelled: AtomicU64,
+    shed: AtomicU64,
+    worker_restarts: AtomicU64,
     queue_depth: AtomicU64,
 }
 
@@ -368,6 +394,8 @@ pub(crate) struct ServeMetrics {
     requests_failed: goggles_obs::Counter,
     requests_deadline: goggles_obs::Counter,
     requests_cancelled: goggles_obs::Counter,
+    requests_shed: goggles_obs::Counter,
+    worker_restarts: goggles_obs::Counter,
     batches_total: goggles_obs::Counter,
     batches_failed: goggles_obs::Counter,
     queue_depth: goggles_obs::Gauge,
@@ -399,6 +427,12 @@ impl ServeMetrics {
             requests_failed: result("failed"),
             requests_deadline: result("deadline"),
             requests_cancelled: result("cancelled"),
+            requests_shed: result("shed"),
+            worker_restarts: registry.counter(
+                "goggles_worker_restarts_total",
+                "Service workers respawned by the watchdog after a panic",
+                &[],
+            ),
             batches_total: registry.counter("goggles_batches_total", "Micro-batches executed", &[]),
             batches_failed: registry.counter(
                 "goggles_batches_failed_total",
@@ -534,6 +568,9 @@ impl LabelService {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
+        if let Some(plan) = &config.fault_plan {
+            crate::fault::install(plan);
+        }
         let metrics = Arc::new(ServeMetrics::new(&registry, config.trace_capacity));
         let shards = (0..config.workers).map(|_| WorkerShard::default()).collect();
         let shared = Arc::new(Shared {
@@ -551,7 +588,7 @@ impl LabelService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("goggles-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .spawn(move || worker_main(&shared, i))
                     // goggles-lint: allow(panic): spawn only fails on OS thread exhaustion at startup; this constructor is infallible by API
                     .expect("spawn worker")
             })
@@ -562,7 +599,9 @@ impl LabelService {
     /// Enqueue one image (no deadline) and return its [`Ticket`]. The
     /// image travels as `Arc<Image>` — pass an `Arc` (or an owned `Image`,
     /// converted without copying pixels) and the hot path is copy-free.
-    /// Applies backpressure (blocks) while the queue is at capacity.
+    /// Applies backpressure: blocks while the queue is at capacity, or —
+    /// with [`ServeConfig::shed_watermark`] set — sheds immediately with
+    /// [`ServeError::Overloaded`] once the queue reaches the watermark.
     pub fn submit(&self, image: impl Into<Arc<Image>>) -> ServeResult<Ticket> {
         self.submit_with_deadline(image, None)
     }
@@ -586,6 +625,17 @@ impl LabelService {
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // Watermark shedding: with a watermark configured, overload is a
+        // typed, immediately-returned error rather than producer blocking —
+        // the caller (or a remote RetryPolicy) decides whether to back off
+        // and retry, and queue latency stays bounded.
+        let watermark = self.shared.config.shed_watermark;
+        if watermark > 0 && state.queue.len() >= watermark {
+            drop(state);
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.requests_shed.inc();
+            return Err(ServeError::Overloaded);
+        }
         while state.queue.len() >= self.shared.config.queue_capacity {
             if state.shutting_down {
                 return Err(ServeError::Closed);
@@ -644,6 +694,8 @@ impl LabelService {
             failed_requests: c.failed_requests.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
             queue_depth: c.queue_depth.load(Ordering::Relaxed),
             latency,
             batch_size,
@@ -686,6 +738,15 @@ impl LabelService {
         &self.shared.metrics
     }
 
+    /// Record one shed request that never reached `submit` (the wire
+    /// server's per-connection inflight cap), so [`ServiceStats::shed`] and
+    /// the `result="shed"` metric count every shed regardless of which
+    /// layer refused it.
+    pub(crate) fn record_shed(&self) {
+        self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.requests_shed.inc();
+    }
+
     /// The registry behind the service: publish/rollback/inspect versions
     /// while traffic keeps flowing.
     pub fn registry(&self) -> &Arc<SnapshotRegistry> {
@@ -697,18 +758,20 @@ impl LabelService {
         self.shared.registry.get()
     }
 
-    /// Hot-reload: load a snapshot file (any [`crate::SnapshotFormat`]),
-    /// validate it, and publish it behind the running service. In-flight
-    /// batches finish on their old version; the next batch serves the new
-    /// one. Returns the published version number; on any error the
-    /// previously current version keeps serving.
+    /// Hot-reload: load a snapshot file (any [`crate::SnapshotFormat`]) —
+    /// or, given a directory, sweep it and load the newest valid snapshot
+    /// ([`SnapshotRegistry::reload_from`]) — validate it, and publish it
+    /// behind the running service. In-flight batches finish on their old
+    /// version; the next batch serves the new one. Returns the published
+    /// version number; on any error the previously current version keeps
+    /// serving.
     ///
     /// After a successful publish, retired versions older than the most
     /// recent one are pruned (if unleased) so a service that reloads
     /// periodically holds O(1) snapshots — rollback to the immediately
     /// previous version always stays possible.
     pub fn reload_from(&self, path: &std::path::Path) -> ServeResult<u64> {
-        let version = self.shared.registry.publish_file(path)?;
+        let version = self.shared.registry.reload_from(path)?;
         self.shared.registry.prune_retired(RELOAD_KEEP_RETIRED);
         Ok(version)
     }
@@ -752,6 +815,43 @@ impl Labeler for LabelService {
     }
 }
 
+/// Worker thread entry: runs [`worker_loop`] under a **watchdog**. A panic
+/// that escapes the loop (the labeler's own panics are already caught and
+/// salvaged inside [`run_batch`]; this catches everything else — scheduler
+/// bugs, injected `worker.batch` faults) does not silently shrink the pool:
+/// the worker is respawned in place with fresh scratch, the restart is
+/// counted (`goggles_worker_restarts_total`), and any batch held at panic
+/// time resolves its tickets with [`ServeError::Closed`] when the request
+/// senders unwind — typed errors, never hangs.
+fn worker_main(shared: &Shared, worker: usize) {
+    loop {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(shared, worker)));
+        match outcome {
+            // Clean return: shutdown drained the queue; the pool winds down.
+            Ok(()) => return,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    // goggles-lint: allow(alloc-hot): respawn path, reached once per worker panic — never per request
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                shared.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.worker_restarts.inc();
+                goggles_obs::log::warn(
+                    "serve",
+                    "worker panicked; watchdog respawning it",
+                    &[
+                        ("worker", goggles_obs::Value::from(worker)),
+                        ("panic", goggles_obs::Value::from(msg)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, worker: usize) {
     // One embedding scratch arena per worker, held across requests: the
     // backbone's im2col/GEMM/activation buffers grow once and every
@@ -768,6 +868,10 @@ fn worker_loop(shared: &Shared, worker: usize) {
             Some(batch) => batch,
             None => return,
         };
+        // Failpoint *outside* run_batch's own catch_unwind: an injected
+        // panic here escapes to the watchdog, exercising the respawn path
+        // (the held batch unwinds → its tickets resolve Closed).
+        crate::fault::maybe_panic("worker.batch");
         run_batch(shared, shard, &mut scratch, batch);
     }
 }
@@ -1275,6 +1379,44 @@ mod tests {
         assert!(service.label(&img).is_ok());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn shed_watermark_returns_overloaded_instead_of_blocking() {
+        // One worker, long linger, watermark 2: the first two submissions
+        // queue, the third is shed immediately with a typed, retryable
+        // error — the producer never blocks.
+        let (labeler, ds) = fitted(31);
+        let service = LabelService::spawn(
+            labeler,
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(300),
+                shed_watermark: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let img = ds.test_images()[0].clone();
+        let t1 = service.submit(img.clone()).unwrap();
+        let t2 = service.submit(img.clone()).unwrap();
+        let shed = service.submit(img.clone());
+        match shed {
+            Err(ServeError::Overloaded) => {}
+            other => panic!("expected Overloaded at the watermark, got {other:?}"),
+        }
+        assert!(ServeError::Overloaded.retryable());
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1, "exactly the third submission was shed");
+        assert_eq!(stats.requests, 2, "shed request was never labeled");
+        // below the watermark again: traffic flows
+        assert!(service.label(&img).is_ok());
+        assert!(
+            service.render_metrics().contains("goggles_requests_total{result=\"shed\"} 1"),
+            "shed outcome must be exported"
+        );
     }
 
     #[test]

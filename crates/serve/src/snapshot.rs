@@ -522,10 +522,14 @@ impl FittedLabeler {
         )
     }
 
-    /// [`FittedLabeler::save`] straight to a file.
+    /// [`FittedLabeler::save`] straight to a file — **crash-safely**: the
+    /// bytes go to a sibling `<name>.tmp`, are fsynced, and only then
+    /// atomically renamed over `path`, so a reader (or a restart) never
+    /// observes a half-written snapshot under the final name. A crash
+    /// mid-write leaves only a `.tmp` orphan, which
+    /// [`sweep_snapshot_dir`] quarantines at startup.
     pub fn save_to(&self, path: &std::path::Path) -> ServeResult<()> {
-        std::fs::write(path, self.save())
-            .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
+        write_atomic(path, &self.save())
     }
 
     /// [`FittedLabeler::load`] straight from a file.
@@ -534,6 +538,128 @@ impl FittedLabeler {
             .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
         Self::load(&bytes)
     }
+}
+
+/// Suffix appended to a file a [`sweep_snapshot_dir`] pass pulled out of
+/// rotation (torn temp files, corrupt snapshots).
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+/// Suffix of the sibling temp file [`FittedLabeler::save_to`] writes before
+/// the atomic rename.
+const TMP_SUFFIX: &str = ".tmp";
+
+/// Crash-safe file write: bytes land in a sibling `<name>.tmp`, are fsynced
+/// to disk, then atomically renamed over `path` (with a best-effort fsync
+/// of the parent directory so the rename itself survives a crash). The
+/// `snapshot.write` failpoint can fail the write or tear it — a torn write
+/// leaves a truncated `.tmp` behind and never renames, exactly like a
+/// crash mid-write.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> ServeResult<()> {
+    use std::io::Write as _;
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Err(ServeError::Io(format!("{} has no usable file name", path.display())));
+    };
+    let tmp = path.with_file_name(format!("{name}{TMP_SUFFIX}"));
+    let mut payload = bytes;
+    let mut torn = false;
+    if crate::fault::enabled() {
+        match crate::fault::inject_write("snapshot.write") {
+            Some(crate::fault::WriteFault::Err(e)) => {
+                return Err(ServeError::Io(format!("writing {}: {e}", tmp.display())));
+            }
+            Some(crate::fault::WriteFault::Torn) => {
+                payload = &bytes[..bytes.len() / 2];
+                torn = true;
+            }
+            None => {}
+        }
+    }
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| ServeError::Io(format!("creating {}: {e}", tmp.display())))?;
+    file.write_all(payload)
+        .map_err(|e| ServeError::Io(format!("writing {}: {e}", tmp.display())))?;
+    file.sync_all().map_err(|e| ServeError::Io(format!("syncing {}: {e}", tmp.display())))?;
+    drop(file);
+    if torn {
+        // Simulated crash mid-write: the truncated temp file stays on disk
+        // (for the startup sweep to find) and the final name is untouched.
+        return Err(ServeError::Io(format!(
+            "injected torn write: {} left half-written",
+            tmp.display()
+        )));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        ServeError::Io(format!("renaming {} over {}: {e}", tmp.display(), path.display()))
+    })?;
+    if let Some(parent) = path.parent() {
+        // Directory fsync is what makes the rename durable; not every
+        // filesystem supports opening a directory, so this stays
+        // best-effort.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a [`sweep_snapshot_dir`] pass.
+#[derive(Debug, Default)]
+pub struct SweepReport {
+    /// Loadable snapshot files, newest first (by modification time, file
+    /// name as tie-breaker) — `valid.first()` is the fall-back target.
+    pub valid: Vec<std::path::PathBuf>,
+    /// Files pulled out of rotation this pass (their new `.quarantined`
+    /// names): orphaned `.tmp` files from interrupted writes and files that
+    /// failed to load as a snapshot.
+    pub quarantined: Vec<std::path::PathBuf>,
+}
+
+/// Startup sweep over a snapshot directory: quarantine torn and corrupt
+/// files (rename to `<name>.quarantined`, preserving the evidence without
+/// deleting anything), and report the surviving valid snapshots newest
+/// first. Already-quarantined files and subdirectories are left alone.
+/// Used by [`crate::SnapshotRegistry::reload_from`] (and the
+/// `goggles-served` binary at startup) to fall back to the newest valid
+/// version when the preferred snapshot is damaged.
+pub fn sweep_snapshot_dir(dir: &std::path::Path) -> ServeResult<SweepReport> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ServeError::Io(format!("sweeping {}: {e}", dir.display())))?;
+    let mut report = SweepReport::default();
+    let mut valid: Vec<(std::time::SystemTime, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(_) => continue, // raced deletion; nothing to sweep
+        };
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()).map(str::to_owned) else {
+            continue;
+        };
+        if !entry.file_type().is_ok_and(|t| t.is_file()) || name.ends_with(QUARANTINE_SUFFIX) {
+            continue;
+        }
+        let broken = if name.ends_with(TMP_SUFFIX) {
+            // An orphaned temp file is an interrupted write by
+            // construction: save_to removes it on every successful rename.
+            true
+        } else {
+            FittedLabeler::load_from(&path).is_err()
+        };
+        if broken {
+            let target = path.with_file_name(format!("{name}{QUARANTINE_SUFFIX}"));
+            std::fs::rename(&path, &target)
+                .map_err(|e| ServeError::Io(format!("quarantining {}: {e}", path.display())))?;
+            report.quarantined.push(target);
+        } else {
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            valid.push((mtime, path));
+        }
+    }
+    valid.sort_by(|a, b| b.cmp(a));
+    report.valid = valid.into_iter().map(|(_, p)| p).collect();
+    Ok(report)
 }
 
 /// Decoded-but-not-yet-validated snapshot content, shared by both format

@@ -27,11 +27,12 @@
 //! dump (the full observability registry as Prometheus text).
 
 use crate::codec::{fnv1a, Reader, Writer};
+use crate::fault;
 use crate::service::{LabelResponse, LatencyHistogram, ServiceStats};
 use crate::{ServeError, ServeResult};
 use goggles_tensor::Tensor3;
 use goggles_vision::Image;
-use std::io::{Read, Write as IoWrite};
+use std::io::{ErrorKind, Read, Write as IoWrite};
 
 /// Magic bytes opening every frame ("GoggleS Wire Protocol v1").
 pub(crate) const WIRE_MAGIC: [u8; 4] = *b"GWP1";
@@ -177,6 +178,23 @@ pub fn decode_frame(bytes: &[u8]) -> ServeResult<(Frame, usize)> {
     Ok((Frame { opcode, request_id, payload: payload.to_vec() }, 8 + len))
 }
 
+/// A transient I/O error: the operation was interrupted or would block —
+/// retry it instead of treating the connection as dead. (`TimedOut` is what
+/// a socket read timeout surfaces on some platforms where Unix reports
+/// `WouldBlock`.)
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Back off before retrying a transient read: `Interrupted` retries
+/// immediately (the syscall was merely preempted), `WouldBlock`/`TimedOut`
+/// pause briefly so a not-ready socket is not spun on.
+fn transient_pause(e: &std::io::Error) {
+    if e.kind() != ErrorKind::Interrupted {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
 /// Write one frame to a stream.
 pub(crate) fn write_frame(
     w: &mut impl IoWrite,
@@ -184,6 +202,16 @@ pub(crate) fn write_frame(
     request_id: u64,
     payload: &[u8],
 ) -> ServeResult<()> {
+    if fault::enabled() {
+        if let Some(e) = fault::inject_io("wire.write") {
+            if !is_transient(&e) {
+                return Err(ServeError::Io(format!("writing frame: {e}")));
+            }
+            // A transient write fault only delays; write_all below retries
+            // `Interrupted` internally anyway.
+            transient_pause(&e);
+        }
+    }
     let bytes = encode_frame(opcode, request_id, payload);
     w.write_all(&bytes).map_err(|e| ServeError::Io(format!("writing frame: {e}")))?;
     w.flush().map_err(|e| ServeError::Io(format!("flushing frame: {e}")))
@@ -196,10 +224,20 @@ pub fn read_frame(r: &mut impl Read) -> ServeResult<Option<Frame>> {
     // First byte read separately so a clean close (0 bytes) is not an error.
     let mut first = [0u8; 1];
     loop {
+        if let Some(e) = fault::inject_io("wire.read") {
+            if is_transient(&e) {
+                transient_pause(&e);
+                continue;
+            }
+            // goggles-lint: allow(alloc-hot): injected-fault return path; the retry loop exits here
+            return Err(ServeError::Io(format!("reading frame: {e}")));
+        }
         match r.read(&mut first) {
             Ok(0) => return Ok(None),
             Ok(_) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Transient errors (`Interrupted`, `WouldBlock`, `TimedOut`)
+            // retry instead of killing a healthy pipelined connection.
+            Err(e) if is_transient(&e) => transient_pause(&e),
             // goggles-lint: allow(alloc-hot): I/O error return path; the retry loop exits here
             Err(e) => return Err(ServeError::Io(format!("reading frame: {e}"))),
         }
@@ -227,14 +265,34 @@ pub fn read_frame(r: &mut impl Read) -> ServeResult<Option<Frame>> {
     decode_frame(&framed).map(|(frame, _)| Some(frame))
 }
 
+/// Fill `buf` completely, retrying transient errors (`Interrupted`,
+/// `WouldBlock`, `TimedOut`) instead of treating them as fatal — the std
+/// `read_exact` only retries `Interrupted`, so a stray `WouldBlock` (e.g. a
+/// socket read timeout mid-frame) used to kill the whole pipelined
+/// connection. EOF mid-frame is still a protocol error.
 fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> ServeResult<()> {
-    r.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            ServeError::Wire("connection closed mid-frame".into())
-        } else {
-            ServeError::Io(format!("reading frame: {e}"))
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if let Some(e) = fault::inject_io("wire.read") {
+            if is_transient(&e) {
+                transient_pause(&e);
+                continue;
+            }
+            // goggles-lint: allow(alloc-hot): injected-fault return path; the retry loop exits here
+            return Err(ServeError::Io(format!("reading frame: {e}")));
         }
-    })
+        let Some(dst) = buf.get_mut(filled..) else {
+            break;
+        };
+        match r.read(dst) {
+            Ok(0) => return Err(ServeError::Wire("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_transient(&e) => transient_pause(&e),
+            // goggles-lint: allow(alloc-hot): I/O error return path; the retry loop exits here
+            Err(e) => return Err(ServeError::Io(format!("reading frame: {e}"))),
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -337,25 +395,38 @@ fn error_code(e: &ServeError) -> u8 {
         ServeError::Closed => 6,
         ServeError::Deadline => 7,
         ServeError::Wire(_) => 8,
+        ServeError::Overloaded => 9,
     }
 }
 
-/// Encode a [`ServeError`] for [`Opcode::ErrorReply`].
-pub(crate) fn encode_error_reply(e: &ServeError) -> Vec<u8> {
+/// Encode a [`ServeError`] for [`Opcode::ErrorReply`]: error code, a
+/// retryable flag byte (the wire image of [`ServeError::retryable`], so a
+/// client decides retry-vs-fail without string matching), and the display
+/// message.
+pub fn encode_error_reply(e: &ServeError) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(error_code(e));
+    w.put_u8(u8::from(e.retryable()));
     put_string(&mut w, &e.to_string());
     w.into_bytes()
 }
 
 /// Decode an [`Opcode::ErrorReply`] payload back into the native error.
 /// Variants that carry structured inner errors ([`ServeError::Pipeline`])
-/// come back with their display string.
+/// come back with their display string. The retryable flag must agree with
+/// the decoded variant's own [`ServeError::retryable`] — a disagreement
+/// means the peer speaks a different protocol revision (or the frame is
+/// corrupt despite its checksum) and is rejected rather than silently
+/// mis-classifying the error.
 pub fn decode_error_reply(payload: &[u8]) -> ServeResult<ServeError> {
     let mut r = Reader::new(payload);
     let code = r.get_u8().map_err(wire_err)?;
+    let flag = r.get_u8().map_err(wire_err)?;
+    if flag > 1 {
+        return Err(ServeError::Wire(format!("bad retryable flag {flag:#04x}")));
+    }
     let msg = get_string(&mut r)?;
-    Ok(match code {
+    let decoded = match code {
         1 => ServeError::Snapshot(msg),
         2 => ServeError::Corrupt(msg),
         3 => ServeError::Io(msg),
@@ -364,8 +435,15 @@ pub fn decode_error_reply(payload: &[u8]) -> ServeResult<ServeError> {
         6 => ServeError::Closed,
         7 => ServeError::Deadline,
         8 => ServeError::Wire(msg),
+        9 => ServeError::Overloaded,
         c => return Err(ServeError::Wire(format!("unknown error code {c}"))),
-    })
+    };
+    if (flag == 1) != decoded.retryable() {
+        return Err(ServeError::Wire(format!(
+            "retryable flag {flag} disagrees with error code {code}"
+        )));
+    }
+    Ok(decoded)
 }
 
 /// What [`Opcode::StatsReply`] carries: the server's full counter snapshot
@@ -394,6 +472,8 @@ pub(crate) fn encode_stats_reply(remote: &RemoteStats) -> Vec<u8> {
     w.put_u64(s.failed_requests);
     w.put_u64(s.deadline_expired);
     w.put_u64(s.cancelled);
+    w.put_u64(s.shed);
+    w.put_u64(s.worker_restarts);
     w.put_u64(s.queue_depth);
     for &count in &s.latency.counts {
         w.put_u64(count);
@@ -418,6 +498,8 @@ pub fn decode_stats_reply(payload: &[u8]) -> ServeResult<RemoteStats> {
         failed_requests: r.get_u64().map_err(wire_err)?,
         deadline_expired: r.get_u64().map_err(wire_err)?,
         cancelled: r.get_u64().map_err(wire_err)?,
+        shed: r.get_u64().map_err(wire_err)?,
+        worker_restarts: r.get_u64().map_err(wire_err)?,
         queue_depth: r.get_u64().map_err(wire_err)?,
         latency: LatencyHistogram::default(),
         batch_size: LatencyHistogram::default(),
@@ -639,12 +721,24 @@ mod tests {
             ServeError::Closed,
             ServeError::Deadline,
             ServeError::Wire("w".into()),
+            ServeError::Overloaded,
         ];
         for e in errors {
             let decoded = decode_error_reply(&encode_error_reply(&e)).unwrap();
             assert_eq!(error_code(&decoded), error_code(&e), "{e}");
+            assert_eq!(decoded.retryable(), e.retryable(), "{e}");
         }
-        assert!(decode_error_reply(&[0xFF, 0, 0, 0, 0]).is_err(), "unknown code");
+        assert!(decode_error_reply(&[0xFF, 0, 0, 0, 0, 0]).is_err(), "unknown code");
+        // a lying retryable flag is rejected, both polarities
+        let mut lie = encode_error_reply(&ServeError::Overloaded);
+        lie[1] = 0;
+        assert!(decode_error_reply(&lie).is_err(), "retryable error flagged non-retryable");
+        let mut lie = encode_error_reply(&ServeError::Deadline);
+        lie[1] = 1;
+        assert!(decode_error_reply(&lie).is_err(), "non-retryable error flagged retryable");
+        let mut lie = encode_error_reply(&ServeError::Closed);
+        lie[1] = 2;
+        assert!(decode_error_reply(&lie).is_err(), "out-of-range flag byte");
     }
 
     #[test]

@@ -124,17 +124,102 @@ fn served_binary_speaks_the_wire_protocol_and_shuts_down_cleanly() {
     std::fs::remove_file(&snap_path).ok();
 }
 
+/// The binary's `/healthz` readiness front must flip from `200 ready` to
+/// `503 draining` the moment the wire shutdown op lands, and the process
+/// must still exit cleanly once the drain grace window elapses.
+#[test]
+fn served_binary_healthz_flips_during_drain() {
+    let child = Command::new(env!("CARGO_BIN_EXE_goggles-served"))
+        .args([
+            "--demo-fit",
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--conn-threads",
+            "2",
+            // A generous grace window so the draining state is observable
+            // from outside before the process exits.
+            "--drain-grace-ms",
+            "2000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn goggles-served");
+    let mut child = Reaper(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        for _ in 0..2 {
+            let _ = addr_tx.send(lines.next().and_then(Result::ok).unwrap_or_default());
+        }
+        for _ in lines.by_ref() {}
+    });
+    let banner =
+        addr_rx.recv_timeout(Duration::from_secs(120)).expect("server never printed its address");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    let metrics_banner = addr_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server never printed its metrics address");
+    let metrics_addr = metrics_banner
+        .strip_prefix("metrics listening on ")
+        .unwrap_or_else(|| panic!("unexpected metrics banner {metrics_banner:?}"))
+        .to_string();
+
+    // Before the drain: ready.
+    let (head, body) = http_get(&metrics_addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.0 200"), "pre-drain healthz: {head}");
+    assert_eq!(body, "ready\n");
+
+    // Kick off the drain over the wire, then watch the probe flip. The
+    // flag flips before the grace window starts, so polling right after
+    // the shutdown ack must observe 503 well before the process exits.
+    let client = RemoteLabeler::connect(addr.as_str()).expect("connect to served binary");
+    client.shutdown_server().expect("shutdown op");
+    drop(client);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (head, body) = http_get(&metrics_addr, "/healthz");
+        if head.starts_with("HTTP/1.0 503") {
+            assert_eq!(body, "draining\n");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "healthz never flipped to draining");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let status = wait_with_timeout(&mut child.0, Duration::from_secs(60))
+        .expect("server did not exit after the drain");
+    assert!(status.success(), "server exited with {status:?}");
+    reader.join().expect("stdout reader");
+}
+
 /// Raw HTTP/1.0 `GET /metrics` against the binary's scrape endpoint; the
 /// headers are skipped and the body returned.
 fn http_get_metrics(addr: &str) -> String {
-    use std::io::{Read as _, Write as _};
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
-    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read scrape response");
-    let (head, body) = response.split_once("\r\n\r\n").expect("malformed HTTP response");
+    let (head, body) = http_get(addr, "/metrics");
     assert!(head.starts_with("HTTP/1.0 200"), "scrape failed: {head}");
-    body.to_string()
+    body
+}
+
+/// Raw HTTP/1.0 GET returning `(head, body)` without asserting a status,
+/// so probes can watch for expected non-200 answers (`503 draining`).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to HTTP endpoint");
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed HTTP response");
+    (head.to_string(), body.to_string())
 }
 
 /// `Child::wait` with a crude polling timeout (std has no native one).

@@ -54,8 +54,8 @@ pub mod prelude {
         BernoulliMixture, DiagonalGmm, EmOptions, FullGmm, KMeans, SpectralCoclustering,
     };
     pub use goggles_serve::{
-        FittedLabeler, LabelResponse, LabelService, Labeler, RemoteLabeler, ServeConfig,
-        SnapshotFormat, SnapshotRegistry, Ticket, WireServer,
+        FaultPlan, FittedLabeler, LabelResponse, LabelService, Labeler, RemoteLabeler, RetryPolicy,
+        ServeConfig, ServerOptions, SnapshotFormat, SnapshotRegistry, Ticket, WireServer,
     };
     pub use goggles_vision::Image;
 }

@@ -157,4 +157,63 @@ proptest! {
         let payload = encode_reload_request(&path);
         prop_assert_eq!(decode_reload_request(&payload).unwrap(), path);
     }
+
+    /// Every `ServeError` variant round trips through the wire error reply
+    /// with its variant *and* retryable flag intact — the property the
+    /// client's `RetryPolicy` relies on to classify remote failures.
+    #[test]
+    fn error_replies_round_trip_variant_and_retryable_flag(
+        variant in 0usize..9,
+        chars in proptest::collection::vec(32u16..127, 0..48),
+    ) {
+        use goggles::serve::wire::encode_error_reply;
+        let msg: String = chars.into_iter().map(|c| c as u8 as char).collect();
+        let e = match variant {
+            0 => ServeError::Snapshot(msg),
+            1 => ServeError::Corrupt(msg),
+            2 => ServeError::Io(msg),
+            3 => ServeError::Pipeline(goggles_core::GogglesError::InvalidInput(msg)),
+            4 => ServeError::Registry(msg),
+            5 => ServeError::Closed,
+            6 => ServeError::Deadline,
+            7 => ServeError::Wire(msg),
+            _ => ServeError::Overloaded,
+        };
+        let payload = encode_error_reply(&e);
+        let decoded = decode_error_reply(&payload).unwrap();
+        prop_assert_eq!(std::mem::discriminant(&decoded), std::mem::discriminant(&e));
+        prop_assert_eq!(decoded.retryable(), e.retryable());
+        // The encoder ships the rendered message; the decoded error must
+        // still carry it in full (re-prefixed by its own Display).
+        let rendered = e.to_string();
+        prop_assert!(decoded.to_string().contains(&rendered));
+    }
+
+    /// A forged retryable flag never sneaks through: toggling it (so it
+    /// disagrees with the error code) or using any value other than 0/1 is
+    /// rejected at decode time.
+    #[test]
+    fn lying_retryable_flags_always_err(
+        variant in 0usize..9,
+        junk in 2u16..256,
+    ) {
+        use goggles::serve::wire::encode_error_reply;
+        let e = match variant {
+            0 => ServeError::Snapshot("s".into()),
+            1 => ServeError::Corrupt("c".into()),
+            2 => ServeError::Io("i".into()),
+            3 => ServeError::Pipeline(goggles_core::GogglesError::InvalidInput("p".into())),
+            4 => ServeError::Registry("r".into()),
+            5 => ServeError::Closed,
+            6 => ServeError::Deadline,
+            7 => ServeError::Wire("w".into()),
+            _ => ServeError::Overloaded,
+        };
+        let mut toggled = encode_error_reply(&e);
+        toggled[1] ^= 1; // flag now disagrees with the variant's retryable()
+        prop_assert!(matches!(decode_error_reply(&toggled), Err(ServeError::Wire(_))));
+        let mut garbage = encode_error_reply(&e);
+        garbage[1] = junk as u8; // not a boolean at all
+        prop_assert!(matches!(decode_error_reply(&garbage), Err(ServeError::Wire(_))));
+    }
 }
