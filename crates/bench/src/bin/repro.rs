@@ -6,13 +6,13 @@
 //! ```
 //!
 //! Accepted names: `table1`, `table2`, `fig2`, `fig5`, `fig7`, `fig8`,
-//! `fig9`, `serving`, `affinity`, `embed`, `all`. Results print as text
-//! tables and are saved as CSV (plus `BENCH_serving.json` /
-//! `BENCH_affinity.json` / `BENCH_embed.json` for the performance runs)
-//! under `results/` (override with `GOGGLES_RESULTS_DIR`).
+//! `fig9`, `serving`, `affinity`, `embed`, `fit`, `all`. Results print as
+//! text tables and are saved as CSV (plus `BENCH_serving.json` /
+//! `BENCH_affinity.json` / `BENCH_embed.json` / `BENCH_fit.json` for the
+//! performance runs) under `results/` (override with `GOGGLES_RESULTS_DIR`).
 
 use goggles::experiments::{
-    affinity_bench, embed_bench, figures, serving, table1, table2, Scale, TrialContext,
+    affinity_bench, embed_bench, figures, fit_bench, serving, table1, table2, Scale, TrialContext,
 };
 use goggles_bench::{emit, timed};
 
@@ -21,7 +21,7 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
         "table1", "table2", "fig2", "fig5", "fig7", "fig8", "fig9", "serving", "affinity", "embed",
-        "all",
+        "fit", "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment {what:?}; expected one of {known:?}");
@@ -66,6 +66,15 @@ fn main() {
         let report = timed("Embedding backbone", || embed_bench::run(&params));
         println!("{}", report.to_table().render());
         let path = goggles::experiments::report::results_dir().join("BENCH_embed.json");
+        match report.write_json(&path) {
+            Ok(()) => println!("[saved {}]\n", path.display()),
+            Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),
+        }
+    }
+    if run("fit") {
+        let report = timed("Continuous-learning fit", || fit_bench::run(&params));
+        println!("{}", report.to_table().render());
+        let path = goggles::experiments::report::results_dir().join("BENCH_fit.json");
         match report.write_json(&path) {
             Ok(()) => println!("[saved {}]\n", path.display()),
             Err(e) => eprintln!("[warn: could not write {}: {e}]\n", path.display()),

@@ -81,6 +81,11 @@ pub struct PrototypeBank {
     pub n: usize,
     /// Prototypes per layer (`Z`).
     pub z_per_layer: usize,
+    /// Transposed prototype panels (one per layer), built once at
+    /// construction and reused by every affinity request: the kernel's tall
+    /// path reads prototypes column-major, and caching the transpose here
+    /// keeps the per-request hot path transpose- and allocation-free.
+    panels: Vec<goggles_tensor::ColmaxPanel>,
 }
 
 impl PrototypeBank {
@@ -135,7 +140,8 @@ impl PrototypeBank {
                 p
             })
             .collect();
-        Self { stacked, n, z_per_layer: z }
+        let panels = build_panels(&stacked);
+        Self { stacked, n, z_per_layer: z, panels }
     }
 
     /// Build a bank directly from already-stacked per-layer prototype
@@ -174,7 +180,8 @@ impl PrototypeBank {
                 )));
             }
         }
-        Ok(Self { stacked, n, z_per_layer })
+        let panels = build_panels(&stacked);
+        Ok(Self { stacked, n, z_per_layer, panels })
     }
 
     /// Number of affinity functions `α = layers · Z`.
@@ -207,7 +214,7 @@ impl PrototypeBank {
         if threads == 1 {
             let mut scratch = RowScratch::default();
             for (q, row) in data.as_mut_slice().chunks_mut(row_len).enumerate() {
-                fill_row(row, &queries[q], &self.stacked, n, z, &mut scratch);
+                fill_row(row, &queries[q], &self.stacked, &self.panels, n, z, &mut scratch);
             }
         } else if m >= threads {
             let chunk = m.div_ceil(threads);
@@ -215,12 +222,21 @@ impl PrototypeBank {
                 for (t, rows_chunk) in data.as_mut_slice().chunks_mut(chunk * row_len).enumerate() {
                     let start = t * chunk;
                     let stacked = &self.stacked;
+                    let panels = &self.panels;
                     scope.spawn(move || {
                         // One workspace per worker, reused across every row
                         // and layer it fills.
                         let mut scratch = RowScratch::default();
                         for (local, row) in rows_chunk.chunks_mut(row_len).enumerate() {
-                            fill_row(row, &queries[start + local], stacked, n, z, &mut scratch);
+                            fill_row(
+                                row,
+                                &queries[start + local],
+                                stacked,
+                                panels,
+                                n,
+                                z,
+                                &mut scratch,
+                            );
                         }
                     });
                 }
@@ -229,7 +245,16 @@ impl PrototypeBank {
             // Maxima buffer shared across rows (each pass overwrites it).
             let mut best = Vec::new();
             for (q, row) in data.as_mut_slice().chunks_mut(row_len).enumerate() {
-                fill_row_sharded(row, &queries[q], &self.stacked, n, z, threads, &mut best);
+                fill_row_sharded(
+                    row,
+                    &queries[q],
+                    &self.stacked,
+                    &self.panels,
+                    n,
+                    z,
+                    threads,
+                    &mut best,
+                );
             }
         }
         data
@@ -408,19 +433,28 @@ struct RowScratch {
     best: Vec<f32>,
 }
 
+/// One [`goggles_tensor::ColmaxPanel`] per stacked layer — the transposed
+/// prototype cache every affinity request reuses.
+fn build_panels(stacked: &[Matrix<f32>]) -> Vec<goggles_tensor::ColmaxPanel> {
+    stacked.iter().map(|p| goggles_tensor::ColmaxPanel::new(p.as_slice(), p.cols())).collect()
+}
+
 /// Fill row `i` of the affinity matrix: for every layer, run the blocked
 /// fused matmul + column-max kernel over the image's patch table and the
 /// stacked prototype table (Equation 2 vectorized over all (j, z) pairs at
 /// once), then scatter the maxima into the paper's `f·N + j` column layout.
+/// The kernel's tall path reads the bank's cached transposed panel, so the
+/// per-request work is pure streaming arithmetic.
 fn fill_row(
     row: &mut [f64],
     embedding: &ImageEmbedding,
     stacked: &[Matrix<f32>],
+    panels: &[goggles_tensor::ColmaxPanel],
     n: usize,
     z: usize,
     scratch: &mut RowScratch,
 ) {
-    for (layer, protos) in stacked.iter().enumerate() {
+    for ((layer, protos), panel) in stacked.iter().enumerate().zip(panels) {
         let patches = &embedding.layers[layer].patches; // HW × C
         let nz = protos.rows(); // n·z
         debug_assert_eq!(patches.cols(), protos.cols());
@@ -428,11 +462,12 @@ fn fill_row(
             scratch.best.resize(nz, 0.0);
         }
         let best = &mut scratch.best[..nz];
-        goggles_tensor::colmax_matmul_scratch_f32(
+        goggles_tensor::colmax_matmul_panel_f32(
             &mut scratch.kernel,
             patches.as_slice(),
             protos.as_slice(),
-            protos.cols(),
+            panel,
+            0,
             best,
         );
         scatter_layer(row, best, layer, n, z);
@@ -454,10 +489,15 @@ fn fill_row(
 /// soon as a row outweighs it (any realistic bank size); for rows cheaper
 /// than the fan-out, callers should pass `threads = 1` and take the serial
 /// kernel. `best` is caller-owned so repeated rows reuse one allocation.
+// The shard bookkeeping needs the stacked tables, their panels and the
+// layout metadata side by side; bundling them into a struct would obscure
+// the (hot) call sites more than the argument list does.
+#[allow(clippy::too_many_arguments)]
 fn fill_row_sharded(
     row: &mut [f64],
     embedding: &ImageEmbedding,
     stacked: &[Matrix<f32>],
+    panels: &[goggles_tensor::ColmaxPanel],
     n: usize,
     z: usize,
     threads: usize,
@@ -475,18 +515,18 @@ fn fill_row_sharded(
             scope.spawn(move || {
                 let mut kernel = goggles_tensor::ColmaxScratch::default();
                 let mut offset = 0usize;
-                for (layer, protos) in stacked.iter().enumerate() {
+                for ((layer, protos), panel) in stacked.iter().enumerate().zip(panels) {
                     let nz = protos.rows();
                     let lo = start.max(offset);
                     let hi = (start + out_chunk.len()).min(offset + nz);
                     if lo < hi {
                         let patches = &embedding.layers[layer].patches;
-                        let c = protos.cols();
-                        goggles_tensor::colmax_matmul_scratch_f32(
+                        goggles_tensor::colmax_matmul_panel_f32(
                             &mut kernel,
                             patches.as_slice(),
-                            &protos.as_slice()[(lo - offset) * c..(hi - offset) * c],
-                            c,
+                            protos.as_slice(),
+                            panel,
+                            lo - offset,
                             &mut out_chunk[lo - start..hi - start],
                         );
                     }

@@ -107,6 +107,72 @@ impl HierarchicalModel {
         })
     }
 
+    /// Refit the hierarchy on an affinity matrix, **warm-starting** every EM
+    /// from `prev`'s parameters instead of k-means: no restarts, no RNG
+    /// anywhere, so the result is deterministic in `(affinity, prev)` alone
+    /// and in particular independent of `opts.threads`.
+    ///
+    /// `affinity` may be rectangular — `(N + m) × αN` with rows appended
+    /// against the frozen prototype bank (the incremental-refit path): each
+    /// base GMM's dimensionality is the column count `N` of its block, which
+    /// appending rows does not change, so `prev`'s means/variances remain
+    /// shape-compatible. Requires `prev.alpha() == affinity.alpha` and
+    /// `prev.n_train() == affinity.n`.
+    pub fn refit_warm(
+        affinity: &AffinityMatrix,
+        prev: &Self,
+        opts: &HierarchicalOptions,
+    ) -> Result<Self> {
+        if prev.alpha() != affinity.alpha || prev.n_train() != affinity.n {
+            return Err(crate::GogglesError::InvalidInput(format!(
+                "warm refit: previous model is α={}, N={} but affinity matrix is α={}, N={}",
+                prev.alpha(),
+                prev.n_train(),
+                affinity.alpha,
+                affinity.n
+            )));
+        }
+        if affinity.data.rows() < affinity.n {
+            return Err(crate::GogglesError::InvalidInput(format!(
+                "warm refit: affinity matrix has {} rows, fewer than its declared N = {}",
+                affinity.data.rows(),
+                affinity.n
+            )));
+        }
+        let obs = fit_metrics();
+        let base_models = {
+            let _span = goggles_obs::Span::enter(&obs.em_base);
+            refit_base_models_warm(affinity, prev, opts)?
+        };
+        for gmm in &base_models {
+            obs.base_iterations.observe(gmm.stats.iterations as u64);
+        }
+        let lp: Vec<&Matrix<f64>> = base_models.iter().map(|g| &g.responsibilities).collect();
+        // Encode exactly like the previous fit so fold-in stays consistent.
+        let ensemble_input = concat_label_predictions(&lp, prev.one_hot);
+        let ensemble = {
+            let _span = goggles_obs::Span::enter(&obs.em_ensemble);
+            BernoulliMixture::fit_from(
+                &ensemble_input,
+                &prev.ensemble.weights,
+                &prev.ensemble.probs,
+                &opts.em,
+            )?
+        };
+        obs.ensemble_iterations.observe(ensemble.stats.iterations as u64);
+        obs.fits_total.inc();
+        let responsibilities = ensemble.responsibilities.clone();
+        let log_likelihood = ensemble.stats.log_likelihood;
+        Ok(Self {
+            base_models,
+            ensemble_input,
+            responsibilities,
+            ensemble,
+            one_hot: prev.one_hot,
+            log_likelihood,
+        })
+    }
+
     /// Number of base models (α).
     pub fn alpha(&self) -> usize {
         self.base_models.len()
@@ -266,6 +332,43 @@ fn fit_base_models(
                     let block = affinity.function_block(f);
                     let fit =
                         DiagonalGmm::fit(&block, k, &opts.em, opts.seed ^ (0xBA5E_0000 + f as u64));
+                    *slot = Some(fit.map_err(Into::into));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+}
+
+/// Warm-start one diagonal GMM per affinity-function block from the
+/// previous fit's parameters, in parallel. Each per-block fit is RNG-free
+/// and depends only on its own block + starting parameters, so the thread
+/// fan-out cannot change any result.
+fn refit_base_models_warm(
+    affinity: &AffinityMatrix,
+    prev: &HierarchicalModel,
+    opts: &HierarchicalOptions,
+) -> Result<Vec<DiagonalGmm>> {
+    let alpha = affinity.alpha;
+    let threads = opts.threads.max(1).min(alpha);
+    let mut results: Vec<Option<Result<DiagonalGmm>>> = Vec::new();
+    results.resize_with(alpha, || None);
+    let chunk = alpha.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let f = start + off;
+                    let block = affinity.function_block(f);
+                    let seed_model = &prev.base_models[f];
+                    let fit = DiagonalGmm::fit_from(
+                        &block,
+                        &seed_model.weights,
+                        &seed_model.means,
+                        &seed_model.variances,
+                        &opts.em,
+                    );
                     *slot = Some(fit.map_err(Into::into));
                 }
             });
@@ -449,6 +552,65 @@ mod tests {
             HierarchicalModel::fit(&no_rows, &opts(0)),
             Err(crate::GogglesError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn warm_refit_improves_and_ignores_thread_count() {
+        let (am, truth) = synthetic_affinity(15, 2, 2, 0.3, 10);
+        let cold = HierarchicalModel::fit(&am, &opts(11)).unwrap();
+        let warm = HierarchicalModel::refit_warm(&am, &cold, &opts(11)).unwrap();
+        assert!(warm.log_likelihood >= cold.log_likelihood - 1e-9);
+        let labels = goggles_models::hard_labels(&warm.responsibilities);
+        assert!(binary_accuracy(&labels, &truth) > 0.9);
+        // Thread fan-out must not change a single bit of the result.
+        for threads in [1usize, 2, 7] {
+            let o = HierarchicalOptions { threads, ..opts(11) };
+            let again = HierarchicalModel::refit_warm(&am, &cold, &o).unwrap();
+            assert_eq!(again.log_likelihood, warm.log_likelihood);
+            assert_eq!(
+                again.responsibilities.as_slice(),
+                warm.responsibilities.as_slice(),
+                "threads = {threads}"
+            );
+            for (a, b) in again.base_models.iter().zip(&warm.base_models) {
+                assert_eq!(a.means.as_slice(), b.means.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_refit_accepts_appended_rows() {
+        // Rectangular (N + m) × αN input: the incremental-append shape. The
+        // base models' dimensionality (block width N) is unchanged.
+        let (am, _) = synthetic_affinity(12, 2, 1, 0.3, 12);
+        let cold = HierarchicalModel::fit(&am, &opts(13)).unwrap();
+        let n = am.n;
+        let m = 5usize;
+        let grown = Matrix::from_fn(n + m, am.alpha * n, |i, j| am.data[(i % n, j)]);
+        let grown = AffinityMatrix { data: grown, n, alpha: am.alpha, z_per_layer: am.z_per_layer };
+        let warm = HierarchicalModel::refit_warm(&grown, &cold, &opts(13)).unwrap();
+        assert_eq!(warm.responsibilities.rows(), n + m);
+        assert_eq!(warm.n_train(), n);
+        assert!(warm.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn warm_refit_rejects_mismatched_shapes() {
+        let (am, _) = synthetic_affinity(10, 2, 0, 0.3, 14);
+        let model = HierarchicalModel::fit(&am, &opts(15)).unwrap();
+        let (other, _) = synthetic_affinity(10, 3, 0, 0.3, 14);
+        assert!(matches!(
+            HierarchicalModel::refit_warm(&other, &model, &opts(15)),
+            Err(crate::GogglesError::InvalidInput(_))
+        ));
+        // A declared N above the model's training N is rejected too.
+        let short = AffinityMatrix {
+            data: am.data.clone(),
+            n: am.n + 1,
+            alpha: am.alpha,
+            z_per_layer: am.z_per_layer,
+        };
+        assert!(HierarchicalModel::refit_warm(&short, &model, &opts(15)).is_err());
     }
 
     #[test]

@@ -156,6 +156,38 @@ impl LabelingResult {
     }
 }
 
+/// Outcome of [`Goggles::refit_from_affinity`]: the winning candidate of a
+/// warm restart plus cold restarts, ranked by held-out dev accuracy.
+#[derive(Debug, Clone)]
+pub struct RefitSelection {
+    /// Class-aligned probabilistic labels over every row of the input
+    /// matrix (appended rows included).
+    pub labels: ProbabilisticLabels,
+    /// The cluster→class mapping chosen by the dev set.
+    pub mapping: Vec<usize>,
+    /// The winning refitted model.
+    pub model: HierarchicalModel,
+    /// Dev-set accuracy of the winner (0.0 when the dev set is empty).
+    pub dev_score: f64,
+    /// Which candidate won: 0 = warm restart, `i > 0` = cold restart `i`.
+    pub candidate: usize,
+}
+
+/// Fraction of dev rows whose argmax label matches the dev label.
+fn dev_accuracy(labels: &ProbabilisticLabels, dev_rows: &DevSet) -> f64 {
+    if dev_rows.is_empty() {
+        return 0.0;
+    }
+    let hard = labels.hard_labels();
+    let correct = dev_rows
+        .indices
+        .iter()
+        .zip(&dev_rows.labels)
+        .filter(|(&idx, &lbl)| hard[idx] == lbl)
+        .count();
+    correct as f64 / dev_rows.len() as f64
+}
+
 /// The GOGGLES system: a frozen backbone plus the affinity-coding pipeline.
 #[derive(Debug, Clone)]
 pub struct Goggles {
@@ -215,6 +247,67 @@ impl Goggles {
         let mapping = map_clusters_via_dev_set(&model.responsibilities, dev_rows);
         let probs = apply_mapping(&model.responsibilities, &mapping);
         Ok((ProbabilisticLabels { probs }, mapping, model))
+    }
+
+    /// Incremental refit for the continuous-learning loop: given an
+    /// affinity matrix (possibly rectangular, `(N + m) × αN` with appended
+    /// rows) and the previously published model, produce the best candidate
+    /// among a **warm** restart (EM from `prev`'s parameters, candidate 0)
+    /// and `config.em.restarts - 1` **cold** restarts with perturbed seeds.
+    /// Candidates are ranked by held-out dev-set accuracy after the
+    /// cluster→class mapping — the cheap fix for EM instability at K ≥ 3:
+    /// rather than trusting in-sample likelihood, the restart that actually
+    /// labels the dev set best wins (ties: higher log-likelihood, then the
+    /// warm candidate / lowest index).
+    ///
+    /// `dev_rows` must be in **row space** of `affinity`. With an empty dev
+    /// set only the warm candidate is produced (nothing could rank a cold
+    /// one above it).
+    pub fn refit_from_affinity(
+        &self,
+        affinity: &AffinityMatrix,
+        dev_rows: &DevSet,
+        prev: &HierarchicalModel,
+    ) -> Result<RefitSelection> {
+        let opts = HierarchicalOptions {
+            num_classes: self.config.num_classes,
+            em: self.config.em,
+            one_hot: self.config.one_hot,
+            threads: self.config.threads,
+            seed: self.config.seed,
+        };
+        let mut candidates = vec![HierarchicalModel::refit_warm(affinity, prev, &opts)?];
+        if !dev_rows.is_empty() {
+            for r in 1..self.config.em.restarts.max(1) {
+                let cold_opts = HierarchicalOptions {
+                    seed: self
+                        .config
+                        .seed
+                        .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ..opts
+                };
+                candidates.push(HierarchicalModel::fit(affinity, &cold_opts)?);
+            }
+        }
+        let mut best: Option<RefitSelection> = None;
+        for (i, model) in candidates.into_iter().enumerate() {
+            let mapping = map_clusters_via_dev_set(&model.responsibilities, dev_rows);
+            let probs = apply_mapping(&model.responsibilities, &mapping);
+            let labels = ProbabilisticLabels { probs };
+            let dev_score = dev_accuracy(&labels, dev_rows);
+            let replace = match &best {
+                None => true,
+                Some(b) => {
+                    dev_score > b.dev_score
+                        || (dev_score == b.dev_score
+                            && model.log_likelihood > b.model.log_likelihood)
+                }
+            };
+            if replace {
+                best = Some(RefitSelection { labels, mapping, model, dev_score, candidate: i });
+            }
+        }
+        Ok(best.expect("at least the warm candidate"))
     }
 
     /// Full pipeline on a dataset's training block with a development set
@@ -396,6 +489,56 @@ mod tests {
         assert_eq!(labels.probs.rows(), ds.train_indices.len());
         assert_eq!(mapping.len(), 2);
         assert_eq!(model.alpha(), 1);
+    }
+
+    #[test]
+    fn refit_from_affinity_never_loses_to_previous_model() {
+        let ds = small_dataset(9);
+        let g = fast_goggles(6);
+        let am = g.build_affinity_matrix(&ds.train_images());
+        let dev = ds.sample_dev_set(4, 9);
+        let first = g.label_dataset_with_affinity(&ds, &am, &dev).unwrap();
+        let dev_rows = DevSet {
+            indices: dev
+                .indices
+                .iter()
+                .map(|&i| ds.train_indices.iter().position(|&t| t == i).unwrap())
+                .collect(),
+            labels: dev.labels.clone(),
+        };
+        let refit = g.refit_from_affinity(&am, &dev_rows, &first.model).unwrap();
+        // The warm candidate starts from `first.model`'s optimum, so the
+        // winner's dev score can only match or beat it.
+        let prev_score = {
+            let hard = first.labels.hard_labels();
+            dev_rows
+                .indices
+                .iter()
+                .zip(&dev_rows.labels)
+                .filter(|(&idx, &lbl)| hard[idx] == lbl)
+                .count() as f64
+                / dev_rows.len() as f64
+        };
+        assert!(refit.dev_score >= prev_score - 1e-12, "{} < {prev_score}", refit.dev_score);
+        assert_eq!(refit.labels.probs.rows(), am.data.rows());
+        assert_eq!(refit.mapping.len(), 2);
+        // Deterministic: same inputs, same winner.
+        let again = g.refit_from_affinity(&am, &dev_rows, &first.model).unwrap();
+        assert_eq!(again.candidate, refit.candidate);
+        assert_eq!(again.dev_score, refit.dev_score);
+        assert_eq!(again.labels.probs.as_slice(), refit.labels.probs.as_slice());
+    }
+
+    #[test]
+    fn refit_with_empty_dev_set_uses_warm_candidate_only() {
+        let ds = small_dataset(10);
+        let g = fast_goggles(7);
+        let am = g.build_affinity_matrix(&ds.train_images());
+        let dev = ds.sample_dev_set(3, 10);
+        let first = g.label_dataset_with_affinity(&ds, &am, &dev).unwrap();
+        let refit = g.refit_from_affinity(&am, &DevSet::empty(), &first.model).unwrap();
+        assert_eq!(refit.candidate, 0);
+        assert_eq!(refit.dev_score, 0.0);
     }
 
     #[test]

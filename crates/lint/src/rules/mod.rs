@@ -91,8 +91,18 @@ pub(crate) fn is_hot_path(file: &SourceFile) -> bool {
     HOT_PATHS.contains(&file.rel.as_str())
 }
 
+/// Library modules (not binaries) whose every file is panic-scoped. The
+/// continuous-learning trainer runs unattended in a background thread; a
+/// panic there silently kills the refit loop while the server keeps
+/// answering from a stale snapshot, so it must degrade through
+/// `RefitOutcome::Failed` instead.
+pub(crate) const PANIC_SCOPE_PREFIXES: &[&str] = &["crates/trainer/src/"];
+
 pub(crate) fn is_panic_scoped(file: &SourceFile) -> bool {
-    is_hot_path(file) || PANIC_SCOPE_EXTRA.contains(&file.rel.as_str())
+    is_hot_path(file)
+        || PANIC_SCOPE_EXTRA.contains(&file.rel.as_str())
+        || (!file.rel.contains("/bin/")
+            && PANIC_SCOPE_PREFIXES.iter().any(|p| file.rel.starts_with(p)))
 }
 
 pub(crate) fn is_determinism_scoped(file: &SourceFile) -> bool {

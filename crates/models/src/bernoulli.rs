@@ -71,32 +71,38 @@ impl BernoulliMixture {
         let mut weights = vec![1.0 / k as f64; k];
         let mut probs = Matrix::<f64>::zeros(k, data.cols());
         m_step(data, &resp, &mut weights, &mut probs);
+        em_loop(data, opts, weights, probs, resp)
+    }
 
-        let mut log_joint = Matrix::<f64>::zeros(n, k);
-        let mut prev_ll = f64::NEG_INFINITY;
-        let mut ll = f64::NEG_INFINITY;
-        let mut iterations = 0;
-        let mut converged = false;
-        for it in 0..opts.max_iters {
-            iterations = it + 1;
-            fill_log_joint(data, &weights, &probs, &mut log_joint);
-            ll = e_step_from_log_joint(&log_joint, &mut resp);
-            if !ll.is_finite() {
-                return Err(ModelError::Numerical(format!("log-likelihood became {ll}")));
-            }
-            if relative_improvement(prev_ll, ll) < opts.tol {
-                converged = true;
-                break;
-            }
-            prev_ll = ll;
-            m_step(data, &resp, &mut weights, &mut probs);
+    /// Warm-start EM from the given parameters: no k-means init, no
+    /// restarts, no RNG. The E-step runs first, so the fit can only match
+    /// or improve the starting likelihood, and the result depends on the
+    /// starting parameters alone.
+    pub fn fit_from(
+        data: &Matrix<f64>,
+        weights: &[f64],
+        probs: &Matrix<f64>,
+        opts: &EmOptions,
+    ) -> Result<Self> {
+        let k = weights.len();
+        if data.rows() == 0 || data.cols() == 0 {
+            return Err(ModelError::EmptyInput);
         }
-        Ok(Self {
-            weights,
-            probs,
-            responsibilities: resp,
-            stats: FitStats { log_likelihood: ll, iterations, converged },
-        })
+        if k == 0 {
+            return Err(ModelError::InvalidParameter("k must be ≥ 1".into()));
+        }
+        if data.rows() < k {
+            return Err(ModelError::TooFewSamples { samples: data.rows(), components: k });
+        }
+        if probs.shape() != (k, data.cols()) {
+            return Err(ModelError::InvalidParameter(format!(
+                "warm-start probs shape {:?} incompatible with k={k}, d={}",
+                probs.shape(),
+                data.cols()
+            )));
+        }
+        let resp = Matrix::<f64>::zeros(data.rows(), k);
+        em_loop(data, opts, weights.to_vec(), probs.clone(), resp)
     }
 
     /// Posterior `P(y = k | s′)` for new binary rows.
@@ -122,6 +128,42 @@ impl BernoulliMixture {
         let k = self.weights.len();
         k * (self.probs.cols() + 1) - 1
     }
+}
+
+/// Shared EM loop: alternate E-step (Equation 8) and M-step (Equation 11)
+/// from the given starting parameters until convergence.
+fn em_loop(
+    data: &Matrix<f64>,
+    opts: &EmOptions,
+    mut weights: Vec<f64>,
+    mut probs: Matrix<f64>,
+    mut resp: Matrix<f64>,
+) -> Result<BernoulliMixture> {
+    let mut log_joint = Matrix::<f64>::zeros(data.rows(), weights.len());
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        fill_log_joint(data, &weights, &probs, &mut log_joint);
+        ll = e_step_from_log_joint(&log_joint, &mut resp);
+        if !ll.is_finite() {
+            return Err(ModelError::Numerical(format!("log-likelihood became {ll}")));
+        }
+        if relative_improvement(prev_ll, ll) < opts.tol {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+        m_step(data, &resp, &mut weights, &mut probs);
+    }
+    Ok(BernoulliMixture {
+        weights,
+        probs,
+        responsibilities: resp,
+        stats: FitStats { log_likelihood: ll, iterations, converged },
+    })
 }
 
 /// `log_joint[i,k] = log π_k + Σ_l [ s log b + (1-s) log(1-b) ]`
@@ -275,6 +317,33 @@ mod tests {
         let (data, _) = binary_blobs(30, 7, 0.1, 6);
         let bm = BernoulliMixture::fit(&data, 2, &EmOptions::default(), 0).unwrap();
         assert_eq!(bm.n_parameters(), 2 * 8 - 1);
+    }
+
+    #[test]
+    fn warm_start_matches_or_improves_and_is_deterministic() {
+        let (data, _) = binary_blobs(50, 8, 0.1, 8);
+        let cold = BernoulliMixture::fit(&data, 2, &EmOptions::default(), 3).unwrap();
+        let warm =
+            BernoulliMixture::fit_from(&data, &cold.weights, &cold.probs, &EmOptions::default())
+                .unwrap();
+        assert!(warm.stats.log_likelihood >= cold.stats.log_likelihood - 1e-9);
+        assert!(warm.stats.converged && warm.stats.iterations <= 3, "{:?}", warm.stats);
+        let again =
+            BernoulliMixture::fit_from(&data, &cold.weights, &cold.probs, &EmOptions::default())
+                .unwrap();
+        assert_eq!(warm.stats.log_likelihood, again.stats.log_likelihood);
+        assert_eq!(warm.probs.as_slice(), again.probs.as_slice());
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_shapes() {
+        let (data, _) = binary_blobs(30, 6, 0.1, 9);
+        let fit = BernoulliMixture::fit(&data, 2, &EmOptions::default(), 0).unwrap();
+        let bad = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            BernoulliMixture::fit_from(&data, &fit.weights, &bad, &EmOptions::default()),
+            Err(ModelError::InvalidParameter(_))
+        ));
     }
 
     #[test]

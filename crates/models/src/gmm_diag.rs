@@ -61,33 +61,33 @@ impl DiagonalGmm {
         let mut means = Matrix::<f64>::zeros(k, d);
         let mut variances = Matrix::<f64>::zeros(k, d);
         m_step(data, &resp, &mut weights, &mut means, &mut variances, opts.var_floor);
+        em_loop(data, opts, weights, means, variances, resp)
+    }
 
-        let mut log_joint = Matrix::<f64>::zeros(n, k);
-        let mut prev_ll = f64::NEG_INFINITY;
-        let mut ll = f64::NEG_INFINITY;
-        let mut iterations = 0;
-        let mut converged = false;
-        for it in 0..opts.max_iters {
-            iterations = it + 1;
-            fill_log_joint(data, &weights, &means, &variances, &mut log_joint);
-            ll = e_step_from_log_joint(&log_joint, &mut resp);
-            if !ll.is_finite() {
-                return Err(ModelError::Numerical(format!("log-likelihood became {ll}")));
-            }
-            if relative_improvement(prev_ll, ll) < opts.tol {
-                converged = true;
-                break;
-            }
-            prev_ll = ll;
-            m_step(data, &resp, &mut weights, &mut means, &mut variances, opts.var_floor);
+    /// Warm-start EM from the given parameters: no k-means init, no
+    /// restarts, no RNG at all. The E-step runs first, so the returned fit
+    /// is at least as likely as the starting point, and the whole path is
+    /// deterministic in the parameters alone — the property the trainer's
+    /// cross-thread-count determinism tests rely on.
+    pub fn fit_from(
+        data: &Matrix<f64>,
+        weights: &[f64],
+        means: &Matrix<f64>,
+        variances: &Matrix<f64>,
+        opts: &EmOptions,
+    ) -> Result<Self> {
+        let k = weights.len();
+        validate(data, k)?;
+        if means.shape() != (k, data.cols()) || variances.shape() != (k, data.cols()) {
+            return Err(ModelError::InvalidParameter(format!(
+                "warm-start shapes {:?}/{:?} incompatible with k={k}, d={}",
+                means.shape(),
+                variances.shape(),
+                data.cols()
+            )));
         }
-        Ok(Self {
-            weights,
-            means,
-            variances,
-            responsibilities: resp,
-            stats: FitStats { log_likelihood: ll, iterations, converged },
-        })
+        let resp = Matrix::<f64>::zeros(data.rows(), k);
+        em_loop(data, opts, weights.to_vec(), means.clone(), variances.clone(), resp)
     }
 
     /// Posterior `P(y = k | x)` for each row of `data` (n × k).
@@ -114,6 +114,45 @@ impl DiagonalGmm {
         let d = self.means.cols();
         k * (2 * d + 1) - 1
     }
+}
+
+/// Shared EM loop: alternate E-step (Equation 8) and M-step (Equation 10)
+/// from the given starting parameters until the relative log-likelihood
+/// improvement drops below `opts.tol`.
+fn em_loop(
+    data: &Matrix<f64>,
+    opts: &EmOptions,
+    mut weights: Vec<f64>,
+    mut means: Matrix<f64>,
+    mut variances: Matrix<f64>,
+    mut resp: Matrix<f64>,
+) -> Result<DiagonalGmm> {
+    let mut log_joint = Matrix::<f64>::zeros(data.rows(), weights.len());
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        fill_log_joint(data, &weights, &means, &variances, &mut log_joint);
+        ll = e_step_from_log_joint(&log_joint, &mut resp);
+        if !ll.is_finite() {
+            return Err(ModelError::Numerical(format!("log-likelihood became {ll}")));
+        }
+        if relative_improvement(prev_ll, ll) < opts.tol {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+        m_step(data, &resp, &mut weights, &mut means, &mut variances, opts.var_floor);
+    }
+    Ok(DiagonalGmm {
+        weights,
+        means,
+        variances,
+        responsibilities: resp,
+        stats: FitStats { log_likelihood: ll, iterations, converged },
+    })
 }
 
 fn validate(data: &Matrix<f64>, k: usize) -> Result<()> {
@@ -328,6 +367,44 @@ mod tests {
         let b = DiagonalGmm::fit(&data, 2, &EmOptions::default(), 11).unwrap();
         assert_eq!(a.train_labels(), b.train_labels());
         assert_eq!(a.stats.log_likelihood, b.stats.log_likelihood);
+    }
+
+    #[test]
+    fn warm_start_matches_or_improves_and_is_deterministic() {
+        let (data, _) = gaussian_blobs(60, 3.0, 8);
+        let cold = DiagonalGmm::fit(&data, 2, &EmOptions::default(), 7).unwrap();
+        let warm = DiagonalGmm::fit_from(
+            &data,
+            &cold.weights,
+            &cold.means,
+            &cold.variances,
+            &EmOptions::default(),
+        )
+        .unwrap();
+        assert!(warm.stats.log_likelihood >= cold.stats.log_likelihood - 1e-9);
+        // Warm restart from a converged fit should terminate almost at once.
+        assert!(warm.stats.converged && warm.stats.iterations <= 3, "{:?}", warm.stats);
+        let again = DiagonalGmm::fit_from(
+            &data,
+            &cold.weights,
+            &cold.means,
+            &cold.variances,
+            &EmOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(warm.stats.log_likelihood, again.stats.log_likelihood);
+        assert_eq!(warm.means.as_slice(), again.means.as_slice());
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_shapes() {
+        let (data, _) = gaussian_blobs(30, 2.0, 9);
+        let fit = DiagonalGmm::fit(&data, 2, &EmOptions::default(), 0).unwrap();
+        let bad = Matrix::<f64>::zeros(2, 5);
+        assert!(matches!(
+            DiagonalGmm::fit_from(&data, &fit.weights, &bad, &fit.variances, &EmOptions::default()),
+            Err(ModelError::InvalidParameter(_))
+        ));
     }
 
     #[test]

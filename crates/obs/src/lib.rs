@@ -24,5 +24,7 @@ pub mod span;
 
 pub use http::MetricsServer;
 pub use log::{Level, Value};
-pub use metrics::{bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{
+    bucket_index, global, Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry,
+};
 pub use span::{Span, TraceEvent, TraceRing};

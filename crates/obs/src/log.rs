@@ -85,6 +85,11 @@ impl From<String> for Value {
         Value::Str(v)
     }
 }
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Str(if v { "true" } else { "false" }.to_string())
+    }
+}
 
 static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
 static JSON: AtomicBool = AtomicBool::new(false);

@@ -94,6 +94,29 @@ impl Gauge {
     }
 }
 
+/// Instantaneous floating-point value (scores, ratios). Stored as the
+/// `f64` bit pattern in an `AtomicU64`, so reads and writes stay a single
+/// relaxed atomic op — same hot-path cost as [`Gauge`].
+#[derive(Clone)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl FloatGauge {
+    /// Gauge detached from any registry (for tests or scratch use).
+    pub(crate) fn detached() -> Self {
+        FloatGauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// Shared storage behind a [`Histogram`] handle.
 pub(crate) struct HistogramCore {
     buckets: [AtomicU64; POW2_BUCKETS],
@@ -191,6 +214,7 @@ impl Kind {
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
+    FloatGauge(FloatGauge),
     Histogram(Histogram),
 }
 
@@ -259,6 +283,20 @@ impl Registry {
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.series(name, help, Kind::Gauge, labels, || Metric::Gauge(Gauge::detached())) {
             Metric::Gauge(g) => g,
+            // goggles-lint: allow(panic): type confusion at registration is a programming error, caught at spawn not per-request
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get-or-create the floating-point gauge `name{labels}` (rendered as
+    /// a Prometheus `gauge`). A family is either integer- or float-valued:
+    /// mixing [`Registry::gauge`] and [`Registry::float_gauge`] series on
+    /// one name panics at registration.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self
+            .series(name, help, Kind::Gauge, labels, || Metric::FloatGauge(FloatGauge::detached()))
+        {
+            Metric::FloatGauge(g) => g,
             // goggles-lint: allow(panic): type confusion at registration is a programming error, caught at spawn not per-request
             _ => panic!("metric {name} already registered with a different type"),
         }
@@ -360,6 +398,9 @@ impl Registry {
                     Metric::Gauge(g) => {
                         let _ = writeln!(out, "{}{} {}", family.name, series.labels, g.get());
                     }
+                    Metric::FloatGauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, series.labels, g.get());
+                    }
                     Metric::Histogram(h) => {
                         render_histogram(out, &family.name, &series.labels, &h.snapshot());
                     }
@@ -373,6 +414,7 @@ fn clone_metric(metric: &Metric) -> Metric {
     match metric {
         Metric::Counter(c) => Metric::Counter(c.clone()),
         Metric::Gauge(g) => Metric::Gauge(g.clone()),
+        Metric::FloatGauge(g) => Metric::FloatGauge(g.clone()),
         Metric::Histogram(h) => Metric::Histogram(h.clone()),
     }
 }
@@ -505,6 +547,29 @@ mod tests {
         assert!(text.contains("g_lat_us_bucket{stage=\"embed\",le=\"+Inf\"} 2"));
         assert!(text.contains("g_lat_us_sum{stage=\"embed\"} 103"));
         assert!(text.contains("g_lat_us_count{stage=\"embed\"} 2"));
+    }
+
+    #[test]
+    fn float_gauges_round_trip_and_render() {
+        let reg = Registry::new();
+        let g = reg.float_gauge("g_score", "dev score", &[]);
+        g.set(0.8125);
+        assert_eq!(g.get(), 0.8125);
+        let again = reg.float_gauge("g_score", "dev score", &[]);
+        assert_eq!(again.get(), 0.8125);
+        let text = reg.render();
+        assert!(text.contains("# TYPE g_score gauge"));
+        assert!(text.contains("g_score 0.8125"));
+        g.set(-1.5);
+        assert_eq!(again.get(), -1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn float_and_integer_gauges_do_not_mix() {
+        let reg = Registry::new();
+        let _ = reg.gauge("g_mixed", "help", &[]);
+        let _ = reg.float_gauge("g_mixed", "help", &[]);
     }
 
     #[test]

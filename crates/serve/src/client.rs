@@ -31,8 +31,9 @@
 use crate::api::{Labeler, Ticket};
 use crate::service::LabelResponse;
 use crate::wire::{
-    self, decode_error_reply, decode_label_reply, decode_metrics_reply, decode_reload_reply,
-    decode_stats_reply, encode_label_request, encode_reload_request, Frame, Opcode, RemoteStats,
+    self, decode_error_reply, decode_ingest_reply, decode_label_reply, decode_metrics_reply,
+    decode_reload_reply, decode_stats_reply, encode_ingest_request, encode_label_request,
+    encode_reload_request, Frame, Opcode, RemoteStats,
 };
 use crate::{ServeError, ServeResult};
 use goggles_vision::Image;
@@ -103,6 +104,7 @@ enum Pending {
     Stats(mpsc::Sender<ServeResult<RemoteStats>>),
     Metrics(mpsc::Sender<ServeResult<String>>),
     Reload(mpsc::Sender<ServeResult<u64>>),
+    Ingest(mpsc::Sender<ServeResult<u64>>),
     Shutdown(mpsc::Sender<ServeResult<()>>),
 }
 
@@ -114,6 +116,7 @@ impl Pending {
             Pending::Stats(tx) => drop(tx.send(Err(err))),
             Pending::Metrics(tx) => drop(tx.send(Err(err))),
             Pending::Reload(tx) => drop(tx.send(Err(err))),
+            Pending::Ingest(tx) => drop(tx.send(Err(err))),
             Pending::Shutdown(tx) => drop(tx.send(Err(err))),
         }
     }
@@ -205,6 +208,9 @@ impl ClientShared {
             }
             (Opcode::ReloadReply, Pending::Reload(tx)) => {
                 let _ = tx.send(decode_reload_reply(&frame.payload));
+            }
+            (Opcode::IngestReply, Pending::Ingest(tx)) => {
+                let _ = tx.send(decode_ingest_reply(&frame.payload));
             }
             (Opcode::ShutdownReply, Pending::Shutdown(tx)) => {
                 let _ = tx.send(Ok(()));
@@ -430,6 +436,22 @@ impl RemoteLabeler {
             Opcode::ReloadRequest,
             &encode_reload_request(server_path),
             Pending::Reload(tx),
+        )?;
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Submit one image to the server's background trainer (its continuous
+    /// -learning intake queue); returns the total number of images the
+    /// trainer has accepted so far. Requires the server to have been
+    /// started with an ingest sink (`goggles-served --retrain`); otherwise
+    /// the server answers with a wire error. **Not retried**: a replayed
+    /// ingest would enqueue (and train on) the same image twice.
+    pub fn ingest(&self, image: &Image) -> ServeResult<u64> {
+        let (tx, rx) = mpsc::channel();
+        self.live_shared()?.send(
+            Opcode::Ingest,
+            &encode_ingest_request(image),
+            Pending::Ingest(tx),
         )?;
         rx.recv().unwrap_or(Err(ServeError::Closed))
     }

@@ -263,6 +263,14 @@ pub(crate) fn inject_io(site: &str) -> Option<io::Error> {
     }
 }
 
+/// Control-plane failpoint for out-of-crate consumers — the background
+/// trainer's gate/canary sites (`trainer.gate`, `trainer.canary`). Same
+/// semantics as the internal I/O failpoint: `io`/`flaky`/`torn` rules
+/// return an injected error, `delay` sleeps and proceeds.
+pub fn inject_control(site: &str) -> Option<io::Error> {
+    inject_io(site)
+}
+
 /// Outcome of a [`inject_write`] failpoint.
 #[derive(Debug)]
 pub(crate) enum WriteFault {

@@ -74,11 +74,13 @@ pub use api::{Labeler, Ticket};
 pub use client::{RemoteLabeler, RetryPolicy};
 pub use fault::FaultPlan;
 pub use registry::{PublishedSnapshot, SnapshotRegistry, VersionInfo};
-pub use server::{ServerOptions, WireServer};
+pub use server::{IngestSink, ServerOptions, WireServer};
 pub use service::{
     LabelResponse, LabelService, LatencyHistogram, ServeConfig, ServiceStats, StageStats,
 };
-pub use snapshot::{sweep_snapshot_dir, FittedLabeler, SnapshotFormat, StageTiming, SweepReport};
+pub use snapshot::{
+    sweep_snapshot_dir, FittedLabeler, SnapshotFormat, StageTiming, SweepReport, TrainingBootstrap,
+};
 pub use wire::RemoteStats;
 
 /// Errors surfaced by the serving layer.

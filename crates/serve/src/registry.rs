@@ -222,7 +222,7 @@ impl SnapshotRegistry {
     }
 
     /// The current version number.
-    pub(crate) fn current_version(&self) -> u64 {
+    pub fn current_version(&self) -> u64 {
         let state = self.state();
         state.versions[state.current].version
     }
@@ -241,7 +241,7 @@ impl SnapshotRegistry {
     /// ([`SnapshotRegistry::versions`] observability), which is the point:
     /// a service that republishes periodically holds O(keep_last) snapshots
     /// instead of one per publish ever made.
-    pub(crate) fn prune_retired(&self, keep_last: usize) -> usize {
+    pub fn prune_retired(&self, keep_last: usize) -> usize {
         let mut state = self.state();
         let n = state.versions.len();
         let retired: Vec<usize> = (0..n).filter(|&i| i != state.current).collect();

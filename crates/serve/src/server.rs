@@ -29,10 +29,12 @@
 
 use crate::service::LabelService;
 use crate::wire::{
-    self, decode_label_request, decode_reload_request, encode_error_reply, encode_label_reply,
-    encode_metrics_reply, encode_reload_reply, encode_stats_reply, Opcode, RemoteStats,
+    self, decode_ingest_request, decode_label_request, decode_reload_request, encode_error_reply,
+    encode_ingest_reply, encode_label_reply, encode_metrics_reply, encode_reload_reply,
+    encode_stats_reply, Opcode, RemoteStats,
 };
 use crate::{ServeError, ServeResult, Ticket};
+use goggles_vision::Image;
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +62,18 @@ impl Default for ServerOptions {
     }
 }
 
+/// Receiver for [`Opcode::Ingest`] images: the server decodes the frame and
+/// hands the image off here without blocking the connection reader. The
+/// continuous-learning trainer implements this over its bounded intake
+/// queue; a full queue should return the retryable
+/// [`ServeError::Overloaded`] so clients back off instead of piling up.
+pub trait IngestSink: Send + Sync {
+    /// Accept one image for background training. Returns the total number
+    /// of images accepted so far (echoed to the client), or an error that
+    /// is sent back as a wire error reply.
+    fn ingest(&self, image: Image) -> ServeResult<u64>;
+}
+
 /// State shared by every connection thread of one server.
 struct ServerShared {
     service: Arc<LabelService>,
@@ -77,6 +91,9 @@ struct ServerShared {
     local: SocketAddr,
     pool: usize,
     options: ServerOptions,
+    /// Where [`Opcode::Ingest`] images go; `None` answers ingest requests
+    /// with a wire error (the server was started without a trainer).
+    ingest: Option<Arc<dyn IngestSink>>,
 }
 
 impl ServerShared {
@@ -144,6 +161,30 @@ impl WireServer {
         conn_threads: usize,
         options: ServerOptions,
     ) -> ServeResult<Self> {
+        Self::bind_inner(addr, service, conn_threads, options, None)
+    }
+
+    /// [`WireServer::bind_with`] plus an [`IngestSink`]: incoming
+    /// [`Opcode::Ingest`] frames are decoded and handed to `sink` (the
+    /// continuous-learning trainer's intake queue). Without a sink, ingest
+    /// requests are answered with a wire error.
+    pub fn bind_with_ingest(
+        addr: impl ToSocketAddrs,
+        service: Arc<LabelService>,
+        conn_threads: usize,
+        options: ServerOptions,
+        sink: Arc<dyn IngestSink>,
+    ) -> ServeResult<Self> {
+        Self::bind_inner(addr, service, conn_threads, options, Some(sink))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        service: Arc<LabelService>,
+        conn_threads: usize,
+        options: ServerOptions,
+        ingest: Option<Arc<dyn IngestSink>>,
+    ) -> ServeResult<Self> {
         assert!(conn_threads >= 1, "need at least one connection thread");
         let listener = TcpListener::bind(addr)
             .map_err(|e| ServeError::Io(format!("binding listener: {e}")))?;
@@ -160,6 +201,7 @@ impl WireServer {
             local,
             pool: conn_threads,
             options,
+            ingest,
         });
         let mut threads = Vec::with_capacity(conn_threads);
         for i in 0..conn_threads {
@@ -414,6 +456,30 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                             payload: encode_reload_reply(version),
                         },
                         Err(e) => error_reply(id, &e),
+                    },
+                    Err(e) => error_reply(id, &e),
+                };
+                if jobs.send(job).is_err() {
+                    break;
+                }
+            }
+            Opcode::Ingest => {
+                let job = match decode_ingest_request(&frame.payload) {
+                    Ok(image) => match &shared.ingest {
+                        Some(sink) => match sink.ingest(image) {
+                            Ok(accepted) => Reply::Raw {
+                                id,
+                                opcode: Opcode::IngestReply,
+                                payload: encode_ingest_reply(accepted),
+                            },
+                            Err(e) => error_reply(id, &e),
+                        },
+                        None => {
+                            let msg = "ingest is not enabled on this server (no trainer attached)";
+                            // goggles-lint: allow(alloc-hot): misconfigured-client error path, not steady-state
+                            let e = ServeError::Wire(msg.to_string());
+                            error_reply(id, &e)
+                        }
                     },
                     Err(e) => error_reply(id, &e),
                 };

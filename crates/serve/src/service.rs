@@ -560,11 +560,9 @@ impl LabelService {
     }
 
     /// Start the worker pool over an existing registry (e.g. one shared
-    /// with a control plane that publishes retrained snapshots).
-    pub(crate) fn spawn_with_registry(
-        registry: Arc<SnapshotRegistry>,
-        config: ServeConfig,
-    ) -> Self {
+    /// with a control plane that publishes retrained snapshots, such as
+    /// the continuous-learning trainer).
+    pub fn spawn_with_registry(registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");

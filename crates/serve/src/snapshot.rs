@@ -200,6 +200,112 @@ impl FittedLabeler {
         }
     }
 
+    /// Bootstrap fit for the continuous-learning loop:
+    /// [`FittedLabeler::fit`] that additionally hands back the training
+    /// affinity rows (`N × αN`) and the dev set translated into row space,
+    /// so a trainer can append incremental rows against the frozen bank and
+    /// re-score candidates without rebuilding anything.
+    pub fn fit_for_training(
+        config: &GogglesConfig,
+        dataset: &Dataset,
+        dev: &DevSet,
+    ) -> ServeResult<TrainingBootstrap> {
+        let goggles = Goggles::new(config.clone());
+        let images = dataset.train_images();
+        if images.is_empty() {
+            return Err(ServeError::Pipeline(goggles_core::GogglesError::InvalidInput(
+                "dataset has no training images".into(),
+            )));
+        }
+        let embeddings = embed_images(
+            goggles.backbone(),
+            &images,
+            config.top_z,
+            config.threads,
+            config.center_patches,
+        );
+        let bank = PrototypeBank::from_embeddings(&embeddings);
+        let data = bank.affinity_rows(&embeddings, config.threads);
+        let affinity = goggles_core::AffinityMatrix {
+            data: data.clone(),
+            n: bank.n,
+            alpha: bank.alpha(),
+            z_per_layer: bank.z_per_layer,
+        };
+        let result = goggles
+            .label_dataset_with_affinity(dataset, &affinity, dev)
+            .map_err(ServeError::Pipeline)?;
+        let mut dev_rows = Vec::with_capacity(dev.len());
+        for &idx in &dev.indices {
+            let row = dataset.train_indices.iter().position(|&t| t == idx).ok_or_else(|| {
+                ServeError::Pipeline(goggles_core::GogglesError::InvalidInput(format!(
+                    "dev index {idx} not in the training block"
+                )))
+            })?;
+            dev_rows.push(row);
+        }
+        let dev_rows = DevSet { indices: dev_rows, labels: dev.labels.clone() };
+        let labeler = Self::from_fitted(&goggles, bank, &result.model, result.mapping.clone());
+        Ok(TrainingBootstrap { labeler, result, rows: data, dev_rows })
+    }
+
+    /// Affinity rows (`m × αN`) for new images against the **frozen**
+    /// prototype bank — the incremental-append path: embeddings are computed
+    /// with the stored backbone recipe and each row is produced by exactly
+    /// the same kernel the serving path uses, so appending these rows to the
+    /// training matrix is bit-identical to having rebuilt it with the new
+    /// images present (for the original rows; see the append proptest).
+    pub fn affinity_rows_for(&self, images: &[&Image], threads: usize) -> Matrix<f64> {
+        let embeddings = embed_images(&self.net, images, self.top_z, threads, self.center_patches);
+        self.bank.affinity_rows(&embeddings, threads)
+    }
+
+    /// Rebuild a [`HierarchicalModel`] view of the frozen parameters (empty
+    /// responsibilities, zero likelihood) — the warm-start seed when the
+    /// trainer bootstraps from a loaded snapshot instead of an in-process
+    /// fit.
+    pub fn frozen_model(&self) -> HierarchicalModel {
+        let k = self.num_classes;
+        let alpha = self.base_models.len();
+        HierarchicalModel {
+            base_models: self.base_models.clone(),
+            ensemble_input: Matrix::zeros(0, alpha * k),
+            responsibilities: Matrix::zeros(0, k),
+            ensemble: self.ensemble.clone(),
+            one_hot: self.one_hot,
+            log_likelihood: 0.0,
+        }
+    }
+
+    /// A candidate labeler: this labeler's frozen backbone + prototype bank
+    /// with **new** model parameters and mapping (from an incremental
+    /// refit). Validates the combination before it can be published.
+    pub fn with_models(
+        &self,
+        model: &HierarchicalModel,
+        mapping: Vec<usize>,
+    ) -> ServeResult<FittedLabeler> {
+        let candidate = FittedLabeler {
+            vgg: self.vgg.clone(),
+            backbone_seed: self.backbone_seed,
+            top_z: self.top_z,
+            center_patches: self.center_patches,
+            num_classes: self.num_classes,
+            one_hot: model.one_hot,
+            mapping,
+            bank: self.bank.clone(),
+            base_models: model
+                .base_models
+                .iter()
+                .map(|g| frozen_gmm(g.weights.clone(), g.means.clone(), g.variances.clone()))
+                .collect(),
+            ensemble: frozen_ensemble(model.ensemble.weights.clone(), model.ensemble.probs.clone()),
+            net: self.net.clone(),
+        };
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
     /// Number of classes `K`.
     pub fn num_classes(&self) -> usize {
         self.num_classes
@@ -538,6 +644,22 @@ impl FittedLabeler {
             .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
         Self::load(&bytes)
     }
+}
+
+/// Everything [`FittedLabeler::fit_for_training`] hands the trainer: the
+/// servable snapshot, the batch labeling result (whose `model` seeds warm
+/// restarts), the raw training affinity rows to append to, and the dev set
+/// in affinity-row space for gate scoring.
+#[derive(Debug, Clone)]
+pub struct TrainingBootstrap {
+    /// The frozen, servable labeler.
+    pub labeler: FittedLabeler,
+    /// Batch pipeline output (training-set labels, mapping, fitted model).
+    pub result: LabelingResult,
+    /// Training affinity rows, `N × αN` — the matrix the trainer grows.
+    pub rows: Matrix<f64>,
+    /// Dev set translated into row space of `rows`.
+    pub dev_rows: DevSet,
 }
 
 /// Suffix appended to a file a [`sweep_snapshot_dir`] pass pulled out of

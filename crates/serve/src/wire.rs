@@ -80,6 +80,12 @@ pub enum Opcode {
     MetricsRequest = 10,
     /// Prometheus text exposition dump of the server's metrics registry.
     MetricsReply = 11,
+    /// Hand the server a new **training** image for the continuous-learning
+    /// intake queue → [`Opcode::IngestReply`]. Unlike a label request the
+    /// image is not answered, it is enqueued for the background trainer.
+    Ingest = 12,
+    /// Total images accepted into the intake queue so far (u64).
+    IngestReply = 13,
 }
 
 impl Opcode {
@@ -98,6 +104,8 @@ impl Opcode {
             9 => Opcode::ShutdownReply,
             10 => Opcode::MetricsRequest,
             11 => Opcode::MetricsReply,
+            12 => Opcode::Ingest,
+            13 => Opcode::IngestReply,
             b => return Err(ServeError::Wire(format!("unknown opcode {b:#04x}"))),
         })
     }
@@ -569,6 +577,64 @@ pub fn decode_reload_reply(payload: &[u8]) -> ServeResult<u64> {
     Ok(version)
 }
 
+/// Encode a training image for [`Opcode::Ingest`]. Same image layout as a
+/// label request (shape header + raw f32 pixels) but no deadline — intake
+/// is asynchronous by design.
+pub fn encode_ingest_request(image: &Image) -> Vec<u8> {
+    let (c, h, w) = image.shape();
+    let mut wr = Writer::new();
+    wr.put_u32(c as u32);
+    wr.put_u32(h as u32);
+    wr.put_u32(w as u32);
+    wr.put_f32_slice_raw(image.tensor().as_slice());
+    wr.into_bytes()
+}
+
+/// Decode an [`Opcode::Ingest`] payload. Bounds mirror
+/// [`decode_label_request`]: dimensions are capped and the pixel count must
+/// exactly match the remaining bytes.
+pub fn decode_ingest_request(payload: &[u8]) -> ServeResult<Image> {
+    let mut r = Reader::new(payload);
+    let c = r.get_len_u32(MAX_IMAGE_CHANNELS).map_err(wire_err)?;
+    let h = r.get_len_u32(MAX_IMAGE_DIM).map_err(wire_err)?;
+    let w = r.get_len_u32(MAX_IMAGE_DIM).map_err(wire_err)?;
+    if c == 0 || h == 0 || w == 0 {
+        return Err(ServeError::Wire(format!("image with zero dimension ({c}×{h}×{w})")));
+    }
+    let pixels = c
+        .checked_mul(h)
+        .and_then(|p| p.checked_mul(w))
+        .ok_or_else(|| ServeError::Wire(format!("image shape {c}×{h}×{w} overflows")))?;
+    if r.remaining() != pixels * 4 {
+        return Err(ServeError::Wire(format!(
+            "image payload is {} bytes, shape {c}×{h}×{w} needs {}",
+            r.remaining(),
+            pixels * 4
+        )));
+    }
+    let data = r.get_f32_vec(pixels).map_err(wire_err)?;
+    let tensor = Tensor3::from_vec(c, h, w, data)
+        .map_err(|e| ServeError::Wire(format!("image decode: {e}")))?;
+    Ok(Image::from_tensor(tensor))
+}
+
+/// Encode the running intake count for [`Opcode::IngestReply`].
+pub(crate) fn encode_ingest_reply(accepted: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(accepted);
+    w.into_bytes()
+}
+
+/// Decode an [`Opcode::IngestReply`] payload.
+pub fn decode_ingest_reply(payload: &[u8]) -> ServeResult<u64> {
+    let mut r = Reader::new(payload);
+    let accepted = r.get_u64().map_err(wire_err)?;
+    if r.remaining() != 0 {
+        return Err(ServeError::Wire("trailing bytes after ingest reply".into()));
+    }
+    Ok(accepted)
+}
+
 /// Length-prefixed UTF-8 string (u32 length, bounded by the remaining
 /// payload before allocation).
 fn put_string(w: &mut Writer, s: &str) {
@@ -780,6 +846,35 @@ mod tests {
         assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::MetricsRequest);
         let frame = encode_frame(Opcode::MetricsReply, 6, &payload);
         assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::MetricsReply);
+    }
+
+    #[test]
+    fn ingest_round_trips_and_rejects_bad_shapes() {
+        let mut image = Image::new(3, 4, 5);
+        for (i, v) in image.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 - 10.0) * 0.21;
+        }
+        let payload = encode_ingest_request(&image);
+        assert_eq!(decode_ingest_request(&payload).unwrap(), image);
+        // truncated pixels / trailing garbage
+        assert!(decode_ingest_request(&payload[..payload.len() - 1]).is_err());
+        let mut padded = payload.clone();
+        padded.extend_from_slice(&[0u8; 4]);
+        assert!(decode_ingest_request(&padded).is_err());
+        // zero dimension
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_u32(2);
+        assert!(decode_ingest_request(&w.into_bytes()).is_err());
+        // reply round trip
+        assert_eq!(decode_ingest_reply(&encode_ingest_reply(17)).unwrap(), 17);
+        assert!(decode_ingest_reply(&[1, 2]).is_err());
+        // new opcodes survive the framing layer
+        let frame = encode_frame(Opcode::Ingest, 8, &payload);
+        assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::Ingest);
+        let frame = encode_frame(Opcode::IngestReply, 9, &encode_ingest_reply(1));
+        assert_eq!(decode_frame(&frame).unwrap().0.opcode, Opcode::IngestReply);
     }
 
     #[test]

@@ -154,6 +154,149 @@ pub fn colmax_matmul_f32(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
     colmax_matmul_scratch_f32(&mut ColmaxScratch::default(), a, b, cols, out);
 }
 
+/// A prototype table transposed once and cached **across requests**: the
+/// column-major (`cols × rows`) copy of a row-major `rows × cols` table.
+///
+/// [`colmax_matmul_scratch_f32`]'s tall path pays a transpose of the *patch
+/// panel* on every call even though the other operand — the stacked
+/// prototype table of a frozen bank — never changes between requests. A
+/// `ColmaxPanel` moves that restructuring to construction time:
+/// [`colmax_matmul_panel_f32`] streams each patch row against contiguous
+/// prototype columns of the cached transpose, so the per-request hot path
+/// neither transposes nor allocates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColmaxPanel {
+    /// `cols × rows` transpose: `b_t[c · rows + j] = b[j · cols + c]`.
+    b_t: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl ColmaxPanel {
+    /// Transpose a row-major `b` (`rows × cols`, with `rows` inferred from
+    /// the slice length) into the cached column-major layout.
+    ///
+    /// # Panics
+    /// Panics if `cols == 0` or `b.len()` is not a multiple of `cols`.
+    pub fn new(b: &[f32], cols: usize) -> Self {
+        assert!(cols > 0, "ColmaxPanel::new: cols must be ≥ 1");
+        assert_eq!(b.len() % cols, 0, "ColmaxPanel::new: b.len() not a multiple of cols");
+        let rows = b.len() / cols;
+        let mut b_t = vec![0.0f32; b.len()];
+        for (j, b_row) in b.chunks_exact(cols).enumerate() {
+            for (c, &v) in b_row.iter().enumerate() {
+                b_t[c * rows + j] = v;
+            }
+        }
+        Self { b_t, rows, cols }
+    }
+
+    /// Prototype rows in the cached table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Channels per prototype row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// [`colmax_matmul_scratch_f32`] over rows `[lo, lo + out.len())` of a
+/// prototype table whose transpose is cached in `panel`:
+/// `out[jj] = max_i Σ_c a[i·cols + c] · b[(lo + jj)·cols + c]`.
+///
+/// `b` is the same row-major table the panel was built from (the wide path
+/// streams it directly; the tall path reads only the cached transpose).
+/// Path selection (`m ≥ 2·cols`) and per-dot accumulation order match
+/// [`colmax_matmul_scratch_f32`] exactly, and the max over patches is
+/// order-exact — the output is **bit-identical** to the uncached kernel on
+/// the matching row range, for any `lo` shard, which preserves the
+/// shard-stability contract callers rely on.
+///
+/// # Panics
+/// Panics if `b` disagrees with the panel geometry or the requested row
+/// range `[lo, lo + out.len())` exceeds the table.
+pub fn colmax_matmul_panel_f32(
+    scratch: &mut ColmaxScratch,
+    a: &[f32],
+    b: &[f32],
+    panel: &ColmaxPanel,
+    lo: usize,
+    out: &mut [f32],
+) {
+    let cols = panel.cols;
+    assert_eq!(
+        b.len(),
+        panel.rows * cols,
+        "colmax_matmul_panel_f32: b.len() {} != panel {}×{cols}",
+        b.len(),
+        panel.rows
+    );
+    assert_eq!(
+        a.len() % cols,
+        0,
+        "colmax_matmul_panel_f32: a.len() {} not a multiple of cols {cols}",
+        a.len()
+    );
+    assert!(
+        lo + out.len() <= panel.rows,
+        "colmax_matmul_panel_f32: rows [{lo}, {}) exceed the {}-row panel",
+        lo + out.len(),
+        panel.rows
+    );
+    out.fill(f32::NEG_INFINITY);
+    if a.is_empty() || out.is_empty() {
+        return;
+    }
+    let m = a.len() / cols;
+    if m >= 2 * cols {
+        colmax_panel_tall(scratch, a, panel, lo, out);
+    } else {
+        colmax_wide(a, &b[lo * cols..(lo + out.len()) * cols], cols, out);
+    }
+}
+
+/// Tall-panel path over a cached transpose: patches stream in the outer
+/// loop, and every patch's dot products against the whole shard accumulate
+/// along contiguous prototype columns of `panel.b_t` (channel `c`
+/// ascending, so each per-pair sum has exactly the order of
+/// [`colmax_tall`] and the naive reference). The running max over patches
+/// is order-independent, so the shard result is bit-identical to the
+/// uncached tall path — with no per-request transpose and no per-request
+/// allocation once `scratch` has grown.
+fn colmax_panel_tall(
+    scratch: &mut ColmaxScratch,
+    a: &[f32],
+    panel: &ColmaxPanel,
+    lo: usize,
+    out: &mut [f32],
+) {
+    let cols = panel.cols;
+    let stride = panel.rows;
+    let nz = out.len();
+    if scratch.acc.len() < nz {
+        scratch.acc.resize(nz, 0.0);
+    }
+    let acc = &mut scratch.acc[..nz];
+    for a_row in a.chunks_exact(cols) {
+        let w0 = a_row[0];
+        for (av, &x) in acc.iter_mut().zip(&panel.b_t[lo..lo + nz]) {
+            *av = w0 * x;
+        }
+        for (c, &w) in a_row.iter().enumerate().skip(1) {
+            for (av, &x) in acc.iter_mut().zip(&panel.b_t[c * stride + lo..c * stride + lo + nz]) {
+                *av += w * x;
+            }
+        }
+        for (o, &d) in out.iter_mut().zip(acc.iter()) {
+            if d > *o {
+                *o = d;
+            }
+        }
+    }
+}
+
 /// Tall-panel path: transpose `a` once, then accumulate all `m` dot
 /// products per prototype row along contiguous patch columns.
 fn colmax_tall(

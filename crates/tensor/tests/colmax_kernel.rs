@@ -6,7 +6,10 @@
 //! which is the contract intra-request sharding relies on).
 
 use goggles_tensor::rng::{normal, std_rng};
-use goggles_tensor::{colmax_matmul_f32, colmax_matmul_naive_f32};
+use goggles_tensor::{
+    colmax_matmul_f32, colmax_matmul_naive_f32, colmax_matmul_panel_f32, colmax_matmul_scratch_f32,
+    ColmaxPanel, ColmaxScratch,
+};
 use proptest::prelude::*;
 
 /// Deterministic random panel of `rows × cols` f32 values in roughly ±3.
@@ -76,6 +79,76 @@ proptest! {
             lo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             "cut at {}", cut
+        );
+    }
+
+    /// The cached-transpose panel kernel is bit-identical to the uncached
+    /// kernel on every row shard `[lo, hi)` — the contract that lets a
+    /// frozen bank pre-transpose its prototypes once and serve all
+    /// subsequent requests (and all intra-request shards) from the cache.
+    /// `m` ranges across both the tall (`m ≥ 2·cols`) and wide paths.
+    #[test]
+    fn panel_kernel_matches_uncached_on_every_shard(
+        m in 0usize..40,
+        n in 1usize..40,
+        cols in 1usize..16,
+        lo in 0usize..40,
+        span in 0usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_panel(m, cols, seed);
+        let b = random_panel(n, cols, seed ^ 0x9A7E1);
+        let panel = ColmaxPanel::new(&b, cols);
+        prop_assert_eq!(panel.rows(), n);
+        prop_assert_eq!(panel.cols(), cols);
+        let mut full = vec![0.0f32; n];
+        colmax_matmul_f32(&a, &b, cols, &mut full);
+        let lo = lo % n;
+        let hi = (lo + 1 + span % n).min(n);
+        let mut shard = vec![0.0f32; hi - lo];
+        let mut scratch = ColmaxScratch::default();
+        colmax_matmul_panel_f32(&mut scratch, &a, &b, &panel, lo, &mut shard);
+        prop_assert_eq!(
+            shard.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            full[lo..hi].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "shard [{}, {}) of {} rows, m={} cols={}", lo, hi, n, m, cols
+        );
+        // Scratch reuse across differently-shaped calls stays bit-stable.
+        let mut again = vec![0.0f32; n];
+        colmax_matmul_panel_f32(&mut scratch, &a, &b, &panel, 0, &mut again);
+        prop_assert_eq!(
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            full.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The scratch-reusing (panel-less) kernel is bit-identical to the
+    /// allocating one — callers that loop over many queries can keep one
+    /// `ColmaxScratch` hot without perturbing results.
+    #[test]
+    fn scratch_kernel_matches_allocating_kernel(
+        m in 0usize..32,
+        n in 1usize..40,
+        cols in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_panel(m, cols, seed);
+        let b = random_panel(n, cols, seed ^ 0x5C2A7C4);
+        let mut plain = vec![0.0f32; n];
+        colmax_matmul_f32(&a, &b, cols, &mut plain);
+        let mut scratch = ColmaxScratch::default();
+        let mut reused = vec![0.0f32; n];
+        colmax_matmul_scratch_f32(&mut scratch, &a, &b, cols, &mut reused);
+        prop_assert_eq!(
+            reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Second call with the warm scratch: still bit-identical.
+        let mut warm = vec![0.0f32; n];
+        colmax_matmul_scratch_f32(&mut scratch, &a, &b, cols, &mut warm);
+        prop_assert_eq!(
+            warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
     }
 }

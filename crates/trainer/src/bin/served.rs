@@ -17,12 +17,19 @@
 //! process exits cleanly (status 0) when a client sends the wire shutdown
 //! op — the listener stops accepting, in-flight requests drain, and the
 //! service joins its workers.
+//!
+//! With `--retrain` (requires `--demo-fit`), the continuous-learning loop
+//! runs alongside serving: wire `Ingest` ops feed the background
+//! [`goggles_trainer::Trainer`], which appends affinity rows against the
+//! frozen prototype bank, warm-refits, and republishes through the shared
+//! snapshot registry behind the accuracy gate.
 
 use goggles_obs::{log, MetricsServer, Value};
 use goggles_serve::{
     sweep_snapshot_dir, FaultPlan, FittedLabeler, LabelService, ServeConfig, ServerOptions,
-    WireServer,
+    SnapshotRegistry, WireServer,
 };
+use goggles_trainer::{Trainer, TrainerConfig};
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,6 +54,15 @@ options:
                       'seed=42;wire.read:flaky@p0.05;snapshot.write:torn@#1'
   --log-level LEVEL   stderr log threshold: error|warn|info|debug (default info)
   --log-json          emit logs as JSONL instead of text
+
+continuous learning (requires --demo-fit):
+  --retrain             run the background trainer; wire Ingest ops feed it
+  --retrain-min-batch N images to accumulate before a refit cycle (default 4)
+  --retrain-queue N     intake queue capacity, shed past it (default 256)
+  --retrain-epsilon F   dev-score slack the offline gate allows (default 0.0)
+  --retrain-canary N    requests the candidate must serve before acceptance
+                        (default 0 = offline gate only)
+  --retrain-snapshot P  persist each published candidate snapshot to P
 ";
 
 struct Args {
@@ -64,6 +80,12 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     log_level: log::Level,
     log_json: bool,
+    retrain: bool,
+    retrain_min_batch: usize,
+    retrain_queue: usize,
+    retrain_epsilon: f64,
+    retrain_canary: u64,
+    retrain_snapshot: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +104,12 @@ fn parse_args() -> Result<Args, String> {
         fault_plan: None,
         log_level: log::Level::Info,
         log_json: false,
+        retrain: false,
+        retrain_min_batch: 4,
+        retrain_queue: 256,
+        retrain_epsilon: 0.0,
+        retrain_canary: 0,
+        retrain_snapshot: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,6 +148,24 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--log-level: {s:?} is not error|warn|info|debug"))?;
             }
             "--log-json" => args.log_json = true,
+            "--retrain" => args.retrain = true,
+            "--retrain-min-batch" => {
+                args.retrain_min_batch =
+                    parse_num(&value("--retrain-min-batch")?, "--retrain-min-batch")?
+            }
+            "--retrain-queue" => {
+                args.retrain_queue = parse_num(&value("--retrain-queue")?, "--retrain-queue")?
+            }
+            "--retrain-epsilon" => {
+                let s = value("--retrain-epsilon")?;
+                args.retrain_epsilon =
+                    s.parse().map_err(|_| format!("--retrain-epsilon: {s:?} is not a number"))?;
+            }
+            "--retrain-canary" => {
+                args.retrain_canary =
+                    parse_num(&value("--retrain-canary")?, "--retrain-canary")? as u64
+            }
+            "--retrain-snapshot" => args.retrain_snapshot = Some(value("--retrain-snapshot")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -135,6 +181,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.workers == 0 || args.conn_threads == 0 || args.max_batch == 0 {
         return Err("--workers, --conn-threads and --max-batch must be ≥ 1".into());
+    }
+    if args.retrain && !args.demo_fit {
+        return Err("--retrain needs --demo-fit (the trainer bootstraps from the in-process fit; \
+             a loaded snapshot carries no training affinity rows)"
+            .into());
     }
     Ok(args)
 }
@@ -157,6 +208,24 @@ fn demo_labeler() -> Result<FittedLabeler, String> {
     let (labeler, _) =
         FittedLabeler::fit(&config, &ds, &dev).map_err(|e| format!("demo fit failed: {e}"))?;
     Ok(labeler)
+}
+
+/// [`demo_labeler`], but through [`FittedLabeler::fit_for_training`] so
+/// the training affinity rows and dev set survive — the bootstrap for the
+/// continuous-learning trainer.
+fn demo_bootstrap(
+) -> Result<(goggles_serve::TrainingBootstrap, goggles_core::GogglesConfig), String> {
+    use goggles_core::GogglesConfig;
+    use goggles_datasets::{generate, TaskConfig, TaskKind};
+    let seed = 7u64;
+    let mut task = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, 8, 4, seed);
+    task.image_size = 32;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(3, seed);
+    let config = GogglesConfig { seed, ..GogglesConfig::fast() };
+    let bootstrap = FittedLabeler::fit_for_training(&config, &ds, &dev)
+        .map_err(|e| format!("demo fit failed: {e}"))?;
+    Ok((bootstrap, config))
 }
 
 /// Load the snapshot to serve, with crash recovery. A directory is swept
@@ -219,29 +288,6 @@ fn main() {
     };
     log::set_level(args.log_level);
     log::set_json(args.log_json);
-    let labeler = if args.demo_fit {
-        log::info("served", "fitting the demo labeler", &[]);
-        match demo_labeler() {
-            Ok(l) => l,
-            Err(msg) => {
-                log::error("served", "demo fit failed", &[("err", Value::from(msg))]);
-                std::process::exit(1);
-            }
-        }
-    } else {
-        let path = args.snapshot.as_deref().expect("checked in parse_args");
-        match load_snapshot(std::path::Path::new(path)) {
-            Ok(l) => l,
-            Err(e) => {
-                log::error(
-                    "served",
-                    "loading snapshot failed",
-                    &[("path", Value::from(path)), ("err", Value::from(e))],
-                );
-                std::process::exit(1);
-            }
-        }
-    };
     let config = ServeConfig {
         max_batch: args.max_batch,
         batch_timeout: Duration::from_millis(args.linger_ms),
@@ -249,17 +295,83 @@ fn main() {
         fault_plan: args.fault_plan.clone(),
         ..ServeConfig::with_workers(args.workers)
     };
-    let service = Arc::new(LabelService::spawn(labeler, config));
+    let (service, trainer) = if args.retrain {
+        log::info("served", "fitting the demo labeler (retrain bootstrap)", &[]);
+        let (bootstrap, goggles_config) = match demo_bootstrap() {
+            Ok(v) => v,
+            Err(msg) => {
+                log::error("served", "demo fit failed", &[("err", Value::from(msg))]);
+                std::process::exit(1);
+            }
+        };
+        let registry = match SnapshotRegistry::new(bootstrap.labeler.clone()) {
+            Ok(r) => Arc::new(r),
+            Err(e) => {
+                log::error(
+                    "served",
+                    "registering the bootstrap labeler failed",
+                    &[("err", Value::from(e.to_string()))],
+                );
+                std::process::exit(1);
+            }
+        };
+        let service = Arc::new(LabelService::spawn_with_registry(Arc::clone(&registry), config));
+        let trainer_config = TrainerConfig {
+            queue_capacity: args.retrain_queue,
+            min_batch: args.retrain_min_batch,
+            epsilon: args.retrain_epsilon,
+            canary_served: args.retrain_canary,
+            snapshot_path: args.retrain_snapshot.as_ref().map(std::path::PathBuf::from),
+            ..TrainerConfig::default()
+        };
+        let trainer = Trainer::spawn(bootstrap, &goggles_config, registry, trainer_config);
+        (service, Some(trainer))
+    } else {
+        let labeler = if args.demo_fit {
+            log::info("served", "fitting the demo labeler", &[]);
+            match demo_labeler() {
+                Ok(l) => l,
+                Err(msg) => {
+                    log::error("served", "demo fit failed", &[("err", Value::from(msg))]);
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let path = args.snapshot.as_deref().expect("checked in parse_args");
+            match load_snapshot(std::path::Path::new(path)) {
+                Ok(l) => l,
+                Err(e) => {
+                    log::error(
+                        "served",
+                        "loading snapshot failed",
+                        &[("path", Value::from(path)), ("err", Value::from(e))],
+                    );
+                    std::process::exit(1);
+                }
+            }
+        };
+        (Arc::new(LabelService::spawn(labeler, config)), None)
+    };
     let options = ServerOptions {
         max_inflight_per_conn: args.max_inflight,
         drain_grace: Duration::from_millis(args.drain_grace_ms),
     };
-    let server = match WireServer::bind_with(
-        args.addr.as_str(),
-        Arc::clone(&service),
-        args.conn_threads,
-        options,
-    ) {
+    let bound = match &trainer {
+        Some(t) => WireServer::bind_with_ingest(
+            args.addr.as_str(),
+            Arc::clone(&service),
+            args.conn_threads,
+            options,
+            t.sink(),
+        ),
+        None => WireServer::bind_with(
+            args.addr.as_str(),
+            Arc::clone(&service),
+            args.conn_threads,
+            options,
+        ),
+    };
+    let server = match bound {
         Ok(server) => server,
         Err(e) => {
             log::error(

@@ -1,0 +1,249 @@
+//! Retrain smoke over the real wire: spawn the `goggles-served` binary
+//! with `--retrain`, push a batch through the `Ingest` op, and watch the
+//! continuous-learning loop publish (or reject / roll back, under injected
+//! faults) while a live label load observes zero drops. Trainer-internal
+//! outcomes are asserted through the `/metrics` scrape — the same signal
+//! an operator's alerting would use.
+
+use goggles_datasets::{generate, TaskConfig, TaskKind};
+use goggles_serve::{Labeler, RemoteLabeler};
+use goggles_vision::Image;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Kill the child on drop so a failing assert never leaks a server process.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// A running `goggles-served --retrain` plus its resolved addresses.
+struct Served {
+    child: Reaper,
+    reader: Option<std::thread::JoinHandle<()>>,
+    addr: String,
+    metrics_addr: String,
+}
+
+impl Served {
+    /// Spawn with the retrain loop on (min batch 2, gate held open so the
+    /// only rejections are the injected ones) plus any extra flags.
+    fn spawn(extra: &[&str]) -> Served {
+        let mut args = vec![
+            "--demo-fit",
+            "--retrain",
+            "--retrain-min-batch",
+            "2",
+            "--retrain-epsilon",
+            "1.0",
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--conn-threads",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        let child = Command::new(env!("CARGO_BIN_EXE_goggles-served"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn goggles-served --retrain");
+        let mut child = Reaper(child);
+        let stdout = child.0.stdout.take().expect("piped stdout");
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut lines = std::io::BufReader::new(stdout).lines();
+            for _ in 0..2 {
+                let _ = addr_tx.send(lines.next().and_then(Result::ok).unwrap_or_default());
+            }
+            for _ in lines.by_ref() {}
+        });
+        let banner = addr_rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("server never printed its address");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        let metrics_banner = addr_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("server never printed its metrics address");
+        let metrics_addr = metrics_banner
+            .strip_prefix("metrics listening on ")
+            .unwrap_or_else(|| panic!("unexpected metrics banner {metrics_banner:?}"))
+            .to_string();
+        Served { child, reader: Some(reader), addr, metrics_addr }
+    }
+
+    /// Counter value of `goggles_trainer_refits_total{outcome="..."}` in
+    /// the current scrape (0 when the family has not been exported yet).
+    fn refits(&self, outcome: &str) -> u64 {
+        let needle = format!("goggles_trainer_refits_total{{outcome=\"{outcome}\"}}");
+        http_get_metrics(&self.metrics_addr)
+            .lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .and_then(|rest| rest.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Poll the scrape until the outcome counter reaches `want`.
+    fn wait_refits(&self, outcome: &str, want: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.refits(outcome) >= want {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "refits_total{{outcome={outcome:?}}} never reached {want}; scrape:\n{}",
+                http_get_metrics(&self.metrics_addr)
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn shutdown(mut self) {
+        let client = RemoteLabeler::connect(self.addr.as_str()).expect("connect for shutdown");
+        client.shutdown_server().expect("shutdown op");
+        drop(client);
+        let status = wait_with_timeout(&mut self.child.0, Duration::from_secs(60))
+            .expect("server did not exit after the shutdown op");
+        assert!(status.success(), "server exited with {status:?}");
+        if let Some(reader) = self.reader.take() {
+            reader.join().expect("stdout reader");
+        }
+    }
+}
+
+/// Images shaped like the demo bootstrap corpus (3 × 32 × 32).
+fn fresh_images(seed: u64, per_class: usize) -> Vec<Image> {
+    let mut task = TaskConfig::new(TaskKind::Cub { class_a: 0, class_b: 1 }, per_class, 1, seed);
+    task.image_size = 32;
+    generate(&task).train_images().into_iter().cloned().collect()
+}
+
+/// Label continuously on an own connection until `stop`; every request
+/// must succeed — a single drop fails the test at join time.
+fn label_load(addr: String, stop: Arc<AtomicBool>, probe: Image) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let client = RemoteLabeler::connect(addr.as_str()).expect("load connection");
+        let mut answered = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            client.label(&probe).expect("label request dropped during retrain");
+            answered += 1;
+        }
+        answered
+    })
+}
+
+#[test]
+fn retrain_publishes_under_live_load_with_zero_drops() {
+    let served = Served::spawn(&[]);
+    let client = RemoteLabeler::connect(served.addr.as_str()).expect("connect");
+    let images = fresh_images(411, 2);
+
+    assert_eq!(client.label(&images[0]).expect("pre-retrain label").version, 1);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = label_load(served.addr.clone(), Arc::clone(&stop), images[0].clone());
+
+    assert_eq!(client.ingest(&images[0]).expect("ingest"), 1);
+    assert_eq!(client.ingest(&images[1]).expect("ingest"), 2);
+    served.wait_refits("published", 1, Duration::from_secs(120));
+
+    // The swap is atomic: the very next label answers from version 2.
+    let resp = client.label(&images[0]).expect("post-publish label");
+    assert_eq!(resp.version, 2, "publish must be visible over the wire");
+
+    stop.store(true, Ordering::Relaxed);
+    let answered = load.join().expect("zero drops under load");
+    assert!(answered > 0, "load thread never got a response");
+
+    assert_eq!(served.refits("rejected"), 0);
+    assert_eq!(served.refits("rolled_back"), 0);
+    served.shutdown();
+}
+
+#[test]
+fn retrain_gate_failure_rejects_then_recovers() {
+    let served = Served::spawn(&["--fault-plan", "trainer.gate:io@#1"]);
+    let client = RemoteLabeler::connect(served.addr.as_str()).expect("connect");
+    let images = fresh_images(423, 4);
+
+    // Cycle 1: the injected gate failure rejects the candidate; serving
+    // stays on version 1.
+    client.ingest(&images[0]).expect("ingest");
+    client.ingest(&images[1]).expect("ingest");
+    served.wait_refits("rejected", 1, Duration::from_secs(120));
+    assert_eq!(client.label(&images[0]).expect("label").version, 1);
+    assert_eq!(served.refits("published"), 0);
+
+    // Cycle 2: the failpoint is exhausted (`#1` fires once); the loop
+    // recovers and publishes without a restart.
+    client.ingest(&images[2]).expect("ingest");
+    client.ingest(&images[3]).expect("ingest");
+    served.wait_refits("published", 1, Duration::from_secs(120));
+    assert_eq!(client.label(&images[0]).expect("label").version, 2);
+    assert_eq!(served.refits("rejected"), 1);
+    served.shutdown();
+}
+
+#[test]
+fn retrain_canary_regression_rolls_back() {
+    let served = Served::spawn(&["--fault-plan", "trainer.canary:io@#1", "--retrain-canary", "1"]);
+    let client = RemoteLabeler::connect(served.addr.as_str()).expect("connect");
+    let images = fresh_images(437, 2);
+
+    // Live load so the canary actually serves traffic on the candidate.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = label_load(served.addr.clone(), Arc::clone(&stop), images[0].clone());
+
+    client.ingest(&images[0]).expect("ingest");
+    client.ingest(&images[1]).expect("ingest");
+    served.wait_refits("rolled_back", 1, Duration::from_secs(120));
+
+    stop.store(true, Ordering::Relaxed);
+    load.join().expect("zero drops across publish + rollback");
+
+    // Rolled back: serving answers from version 1 again.
+    assert_eq!(client.label(&images[0]).expect("label").version, 1);
+    assert_eq!(served.refits("published"), 0);
+    served.shutdown();
+}
+
+/// Raw HTTP/1.0 `GET /metrics` against the binary's scrape endpoint.
+fn http_get_metrics(addr: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed HTTP response");
+    assert!(head.starts_with("HTTP/1.0 200"), "scrape failed: {head}");
+    body.to_string()
+}
+
+/// `Child::wait` with a crude polling timeout (std has no native one).
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<std::process::ExitStatus> {
+    let start = Instant::now();
+    loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Some(status);
+        }
+        if start.elapsed() > timeout {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,318 @@
+//! Continuous-learning fit benchmark: what the trainer's incremental path
+//! buys over a from-scratch refit when `m` new images arrive.
+//!
+//! Two comparisons, same geometry:
+//!
+//! - **Wall time** — appending `m × αN` rows against the *frozen*
+//!   prototype bank and warm-refitting (`refit_from_affinity`, the
+//!   trainer's cycle) versus re-embedding all `N+m` images, rebuilding the
+//!   bank and the full `(N+m) × α(N+m)` matrix, and cold-fitting the
+//!   hierarchy (the offline path a trainer-less deployment would rerun).
+//! - **EM iterations** — `refit_warm` seeded from the previous snapshot's
+//!   parameters versus a cold `fit` with restarts, summed over the base
+//!   layer and the ensemble.
+//!
+//! The `BENCH_fit.json` artifact is the PR's acceptance number: the
+//! incremental cycle must beat the full refit at standard scale.
+
+use super::report::Table;
+use super::RunParams;
+use goggles_core::prototypes::embed_images;
+use goggles_core::{
+    AffinityMatrix, Goggles, HierarchicalModel, HierarchicalOptions, PrototypeBank,
+};
+use goggles_datasets::{generate, TaskConfig, TaskKind};
+use goggles_serve::FittedLabeler;
+use goggles_tensor::Matrix;
+use goggles_vision::Image;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Everything one fit-benchmark run measured.
+#[derive(Debug, Clone)]
+pub struct FitBenchReport {
+    /// Frozen training corpus size `N`.
+    pub n_train: usize,
+    /// Appended batch size `m`.
+    pub appended: usize,
+    /// Affinity functions `α`.
+    pub alpha: usize,
+    /// Thread budget of both paths.
+    pub threads: usize,
+    /// Median wall time of appending `m` rows against the frozen bank, ms.
+    pub append_rows_ms: f64,
+    /// Median wall time of one full incremental trainer cycle (append +
+    /// warm gated refit), seconds.
+    pub incremental_refit_s: f64,
+    /// Median wall time of the from-scratch path (re-embed, rebuild bank
+    /// and matrix, cold fit), seconds.
+    pub full_refit_s: f64,
+    /// EM iterations of a warm refit (base layer + ensemble).
+    pub warm_em_iterations: usize,
+    /// EM iterations of the cold fit's winning restarts (base + ensemble).
+    pub cold_em_iterations: usize,
+}
+
+impl FitBenchReport {
+    /// The acceptance number: full-refit wall time over incremental-cycle
+    /// wall time (must exceed 1).
+    pub fn incremental_speedup(&self) -> f64 {
+        if self.incremental_refit_s <= 0.0 {
+            return 0.0;
+        }
+        self.full_refit_s / self.incremental_refit_s
+    }
+
+    /// Cold EM iterations per warm EM iteration.
+    pub fn iteration_ratio(&self) -> f64 {
+        if self.warm_em_iterations == 0 {
+            return 0.0;
+        }
+        self.cold_em_iterations as f64 / self.warm_em_iterations as f64
+    }
+
+    /// Text table for the bench harness.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Continuous learning: incremental append + warm refit vs full refit",
+            &["metric", "value"],
+        );
+        let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+        row("frozen corpus (N)", format!("{}", self.n_train));
+        row("appended batch (m)", format!("{}", self.appended));
+        row("affinity functions (alpha)", format!("{}", self.alpha));
+        row("thread budget", format!("{}", self.threads));
+        row("append m rows vs frozen bank", format!("{:.3} ms", self.append_rows_ms));
+        row(
+            "incremental cycle (append + warm refit)",
+            format!("{:.3} s", self.incremental_refit_s),
+        );
+        row("full refit (re-embed + rebuild + cold fit)", format!("{:.3} s", self.full_refit_s));
+        row("incremental speedup", format!("{:.1}×", self.incremental_speedup()));
+        row("EM iterations, warm", format!("{}", self.warm_em_iterations));
+        row("EM iterations, cold", format!("{}", self.cold_em_iterations));
+        row("cold/warm iteration ratio", format!("{:.1}×", self.iteration_ratio()));
+        t
+    }
+
+    /// Hand-rolled JSON summary (the `BENCH_fit.json` artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"n_train\": {},\n  \"appended\": {},\n  \"alpha\": {},\n  \
+             \"threads\": {},\n  \"append_rows_ms\": {:.4},\n  \
+             \"incremental_refit_s\": {:.6},\n  \"full_refit_s\": {:.6},\n  \
+             \"incremental_speedup\": {:.2},\n  \"warm_em_iterations\": {},\n  \
+             \"cold_em_iterations\": {},\n  \"iteration_ratio\": {:.2}\n}}\n",
+            self.n_train,
+            self.appended,
+            self.alpha,
+            self.threads,
+            self.append_rows_ms,
+            self.incremental_refit_s,
+            self.full_refit_s,
+            self.incremental_speedup(),
+            self.warm_em_iterations,
+            self.cold_em_iterations,
+            self.iteration_ratio(),
+        )
+    }
+
+    /// Write the JSON artifact.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Median wall-clock of `reps` calls to `f`, in milliseconds (one warmup
+/// call excluded).
+fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// EM iterations of the winning restarts, base layer + ensemble.
+fn em_iterations(model: &HierarchicalModel) -> usize {
+    model.base_models.iter().map(|g| g.stats.iterations).sum::<usize>()
+        + model.ensemble.stats.iterations
+}
+
+/// Run the fit benchmark at the given scale parameters.
+pub fn run(params: &RunParams) -> FitBenchReport {
+    let seed = 29u64;
+    let mut task = TaskConfig::new(
+        TaskKind::Cub { class_a: 0, class_b: 1 },
+        params.n_train_per_class,
+        params.n_test_per_class.max(2),
+        seed,
+    );
+    task.image_size = params.image_size;
+    let ds = generate(&task);
+    let dev = ds.sample_dev_set(params.dev_per_class.min(params.n_train_per_class), seed);
+    let config = params.goggles_config(seed);
+    let bootstrap = FittedLabeler::fit_for_training(&config, &ds, &dev)
+        // goggles-lint: allow(panic): bench harness, not the serving path
+        .expect("fit bench: bootstrap fit failed");
+    let labeler = &bootstrap.labeler;
+    let threads = config.threads;
+
+    // The appended batch: a quarter of the corpus (at least one per class).
+    let extra_per_class = (params.n_train_per_class / 4).max(1);
+    let mut extra_task = task;
+    extra_task.n_train_per_class = extra_per_class;
+    extra_task.seed = seed.wrapping_add(5_001);
+    let extra_ds = generate(&extra_task);
+    let new_images: Vec<&Image> = extra_ds.train_images();
+    let appended = new_images.len();
+
+    let goggles = Goggles::new(config.clone());
+    let prev = &bootstrap.result.model;
+    let grown = |appended_rows: &Matrix<f64>| {
+        let cols = bootstrap.rows.cols();
+        let mut data =
+            Vec::with_capacity(bootstrap.rows.as_slice().len() + appended_rows.as_slice().len());
+        data.extend_from_slice(bootstrap.rows.as_slice());
+        data.extend_from_slice(appended_rows.as_slice());
+        AffinityMatrix {
+            data: Matrix::from_vec(bootstrap.rows.rows() + appended_rows.rows(), cols, data)
+                // goggles-lint: allow(panic): bench harness, widths fixed by construction
+                .expect("fit bench: stacked matrix"),
+            n: labeler.n_train(),
+            alpha: labeler.alpha(),
+            z_per_layer: labeler.bank().z_per_layer,
+        }
+    };
+
+    // Incremental path: append rows against the frozen bank, then the
+    // trainer's warm gated refit.
+    let append_rows_ms = median_ms(5, || labeler.affinity_rows_for(&new_images, threads));
+    let incremental_refit_s = median_ms(3, || {
+        let rows = labeler.affinity_rows_for(&new_images, threads);
+        let affinity = grown(&rows);
+        goggles
+            .refit_from_affinity(&affinity, &bootstrap.dev_rows, prev)
+            // goggles-lint: allow(panic): bench harness, not the serving path
+            .expect("fit bench: incremental refit failed")
+    }) / 1e3;
+
+    // Full-refit path: every image re-embedded, bank and matrix rebuilt at
+    // N+m, hierarchy cold-fitted with the configured restarts.
+    let all_images: Vec<&Image> =
+        ds.train_images().into_iter().chain(new_images.iter().copied()).collect();
+    let opts = HierarchicalOptions {
+        num_classes: config.num_classes,
+        em: config.em,
+        one_hot: config.one_hot,
+        threads,
+        seed,
+    };
+    let full_refit_s = median_ms(3, || {
+        let embeddings = embed_images(
+            goggles.backbone(),
+            &all_images,
+            config.top_z,
+            threads,
+            config.center_patches,
+        );
+        let bank = PrototypeBank::from_embeddings(&embeddings);
+        let affinity = AffinityMatrix {
+            data: bank.affinity_rows(&embeddings, threads),
+            n: bank.n,
+            alpha: bank.alpha(),
+            z_per_layer: bank.z_per_layer,
+        };
+        HierarchicalModel::fit(&affinity, &opts)
+            // goggles-lint: allow(panic): bench harness, not the serving path
+            .expect("fit bench: cold fit failed")
+    }) / 1e3;
+
+    // Iteration comparison on identical data: one warm refit vs one cold
+    // fit of the same grown matrix.
+    let rows = labeler.affinity_rows_for(&new_images, threads);
+    let affinity = grown(&rows);
+    let warm = HierarchicalModel::refit_warm(&affinity, prev, &opts)
+        // goggles-lint: allow(panic): bench harness, not the serving path
+        .expect("fit bench: warm refit failed");
+    let cold = HierarchicalModel::fit(&affinity, &opts)
+        // goggles-lint: allow(panic): bench harness, not the serving path
+        .expect("fit bench: cold fit failed");
+
+    FitBenchReport {
+        n_train: labeler.n_train(),
+        appended,
+        alpha: labeler.alpha(),
+        threads,
+        append_rows_ms,
+        incremental_refit_s,
+        full_refit_s,
+        warm_em_iterations: em_iterations(&warm),
+        cold_em_iterations: em_iterations(&cold),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_balanced_and_complete() {
+        let report = FitBenchReport {
+            n_train: 48,
+            appended: 12,
+            alpha: 30,
+            threads: 4,
+            append_rows_ms: 18.0,
+            incremental_refit_s: 0.25,
+            full_refit_s: 1.5,
+            warm_em_iterations: 40,
+            cold_em_iterations: 200,
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "n_train",
+            "appended",
+            "alpha",
+            "threads",
+            "append_rows_ms",
+            "incremental_refit_s",
+            "full_refit_s",
+            "incremental_speedup",
+            "warm_em_iterations",
+            "cold_em_iterations",
+            "iteration_ratio",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!((report.incremental_speedup() - 6.0).abs() < 1e-9);
+        assert!((report.iteration_ratio() - 5.0).abs() < 1e-9);
+        assert!(report.to_table().render().contains("incremental speedup"));
+    }
+
+    #[test]
+    fn degenerate_timings_do_not_divide_by_zero() {
+        let report = FitBenchReport {
+            n_train: 1,
+            appended: 1,
+            alpha: 1,
+            threads: 1,
+            append_rows_ms: 0.0,
+            incremental_refit_s: 0.0,
+            full_refit_s: 0.0,
+            warm_em_iterations: 0,
+            cold_em_iterations: 0,
+        };
+        assert_eq!(report.incremental_speedup(), 0.0);
+        assert_eq!(report.iteration_ratio(), 0.0);
+    }
+}

@@ -14,6 +14,7 @@
 //! | Serving latency/throughput (not in the paper) | [`serving::run`] |
 //! | Affinity kernel: blocked vs scalar (not in the paper) | [`affinity_bench::run`] |
 //! | Embedding: im2col+GEMM trunk vs scalar (not in the paper) | [`embed_bench::run`] |
+//! | Continuous learning: incremental vs full refit (not in the paper) | [`fit_bench::run`] |
 //!
 //! Every run is deterministic given the [`Scale`]; `Scale::from_env()`
 //! honours `GOGGLES_SCALE=quick|standard|paper` so CI and laptops can dial
@@ -22,6 +23,7 @@
 pub mod affinity_bench;
 pub mod embed_bench;
 pub mod figures;
+pub mod fit_bench;
 pub mod methods;
 pub mod report;
 pub mod serving;

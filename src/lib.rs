@@ -37,6 +37,7 @@ pub use goggles_labelmodels as labelmodels;
 pub use goggles_models as models;
 pub use goggles_serve as serve;
 pub use goggles_tensor as tensor;
+pub use goggles_trainer as trainer;
 pub use goggles_vision as vision;
 
 pub mod experiments;
@@ -57,5 +58,6 @@ pub mod prelude {
         FaultPlan, FittedLabeler, LabelResponse, LabelService, Labeler, RemoteLabeler, RetryPolicy,
         ServeConfig, ServerOptions, SnapshotFormat, SnapshotRegistry, Ticket, WireServer,
     };
+    pub use goggles_trainer::{RefitOutcome, Trainer, TrainerConfig, TrainerStatus};
     pub use goggles_vision::Image;
 }

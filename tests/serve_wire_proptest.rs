@@ -69,10 +69,10 @@ proptest! {
     }
 
     /// Garbage opcode bytes (re-checksummed so they reach the opcode
-    /// check) are rejected, never dispatched. Valid opcodes stop at 11
-    /// (`MetricsReply`).
+    /// check) are rejected, never dispatched. Valid opcodes stop at 13
+    /// (`IngestReply`).
     #[test]
-    fn garbage_opcodes_always_err(op in 12u16..256) {
+    fn garbage_opcodes_always_err(op in 14u16..256) {
         use goggles::serve::codec::fnv1a;
         let mut bytes = reference_frame();
         bytes[8] = op as u8;
@@ -215,5 +215,59 @@ proptest! {
         let mut garbage = encode_error_reply(&e);
         garbage[1] = junk as u8; // not a boolean at all
         prop_assert!(matches!(decode_error_reply(&garbage), Err(ServeError::Wire(_))));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An `Ingest` request round trips shape and pixels bit-exactly: the
+    /// trainer's incremental-append guarantee starts at the wire — if the
+    /// decoded image differed from what the client sent by even one ULP,
+    /// "append ≡ rebuild" would be unprovable.
+    #[test]
+    fn ingest_requests_round_trip_bit_exactly(
+        c in 1usize..4,
+        h in 1usize..10,
+        w in 1usize..10,
+        salt in 0u32..1_000_000,
+    ) {
+        use goggles::serve::wire::{decode_ingest_request, encode_ingest_request};
+        let mut image = Image::new(c, h, w);
+        for (i, v) in image.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt) as f32).sin();
+        }
+        let decoded = decode_ingest_request(&encode_ingest_request(&image)).unwrap();
+        prop_assert_eq!(decoded.shape(), image.shape());
+        let sent: Vec<u32> = image.tensor().as_slice().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = decoded.tensor().as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sent, got);
+    }
+
+    /// A truncated or padded `Ingest` payload never decodes: the pixel
+    /// count must exactly match the shape header.
+    #[test]
+    fn ingest_requests_reject_length_mismatch(trim in 1usize..12, pad in 1usize..12) {
+        use goggles::serve::wire::{decode_ingest_request, encode_ingest_request};
+        let image = Image::new(2, 4, 4);
+        let encoded = encode_ingest_request(&image);
+        let truncated = &encoded[..encoded.len() - trim];
+        prop_assert!(matches!(decode_ingest_request(truncated), Err(ServeError::Wire(_))));
+        let mut padded = encoded.clone();
+        padded.extend(std::iter::repeat_n(0u8, pad));
+        prop_assert!(matches!(decode_ingest_request(&padded), Err(ServeError::Wire(_))));
+    }
+
+    /// An `IngestReply` is exactly one little-endian u64 — anything longer
+    /// or shorter is rejected.
+    #[test]
+    fn ingest_replies_decode_exactly_eight_bytes(accepted in 0u64..u64::MAX, junk in 1usize..8) {
+        use goggles::serve::wire::decode_ingest_reply;
+        let payload = accepted.to_le_bytes().to_vec();
+        prop_assert_eq!(decode_ingest_reply(&payload).unwrap(), accepted);
+        prop_assert!(matches!(decode_ingest_reply(&payload[..8 - junk]), Err(ServeError::Wire(_))));
+        let mut long = payload.clone();
+        long.push(0);
+        prop_assert!(matches!(decode_ingest_reply(&long), Err(ServeError::Wire(_))));
     }
 }
